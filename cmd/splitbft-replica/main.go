@@ -1,0 +1,132 @@
+// Command splitbft-replica runs one SplitBFT replica over TCP.
+//
+// A four-replica local deployment:
+//
+//	splitbft-replica -id 0 -listen :7000 -peers ":7000,:7001,:7002,:7003" &
+//	splitbft-replica -id 1 -listen :7001 -peers ":7000,:7001,:7002,:7003" &
+//	splitbft-replica -id 2 -listen :7002 -peers ":7000,:7001,:7002,:7003" &
+//	splitbft-replica -id 3 -listen :7003 -peers ":7000,:7001,:7002,:7003" &
+//
+// All replicas and clients of one deployment must share -secret: it seeds
+// the deterministic enclave keys and client MAC keys, standing in for the
+// attestation-based key-exchange ceremony of a real SGX deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/core"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "replica ID in [0, n)")
+	n := flag.Int("n", 4, "number of replicas (3f+1)")
+	f := flag.Int("f", 1, "fault threshold")
+	listen := flag.String("listen", ":7000", "listen address")
+	peers := flag.String("peers", "", "comma-separated replica addresses, indexed by ID")
+	secret := flag.String("secret", "splitbft-dev-secret", "shared deployment secret")
+	appName := flag.String("app", "kvs", "application: kvs or blockchain")
+	confidential := flag.Bool("confidential", true, "end-to-end encrypt client payloads")
+	simulation := flag.Bool("simulation", false, "SGX simulation mode (no transition cost)")
+	singleThread := flag.Bool("single-thread", false, "serialize all ecalls through one thread")
+	batch := flag.Int("batch", core.DefaultBatchSize, "batch size (1 disables batching)")
+	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	flag.Parse()
+
+	addrList := strings.Split(*peers, ",")
+	if len(addrList) != *n {
+		fatalf("need exactly %d -peers entries, got %d", *n, len(addrList))
+	}
+	addrs := make(map[uint32]string, *n)
+	for i, a := range addrList {
+		addrs[uint32(i)] = strings.TrimSpace(a)
+	}
+
+	var application app.Application
+	switch *appName {
+	case "kvs":
+		application = app.NewKVS()
+	case "blockchain":
+		application = app.NewBlockchain(app.DefaultBlockSize, nil)
+	default:
+		fatalf("unknown app %q", *appName)
+	}
+
+	reg := crypto.NewRegistry()
+	if err := core.RegisterDeterministicKeys(reg, []byte(*secret), *n); err != nil {
+		fatalf("derive deployment keys: %v", err)
+	}
+	cost := tee.DefaultCostModel()
+	if *simulation {
+		cost = tee.SimulationCostModel()
+	}
+	replica, err := core.NewReplica(core.Config{
+		N: *n, F: *f, ID: uint32(*id),
+		Registry:     reg,
+		MACSecret:    []byte(*secret),
+		KeySeed:      []byte(*secret),
+		App:          application,
+		Confidential: *confidential,
+		Cost:         cost,
+		SingleThread: *singleThread,
+		BatchSize:    *batch,
+	})
+	if err != nil {
+		fatalf("create replica: %v", err)
+	}
+	node, err := transport.ListenTCP(transport.ReplicaEndpoint(uint32(*id)), *listen, addrs, replica.Handler())
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	replica.Start(node)
+	fmt.Printf("splitbft-replica %d listening on %s (app=%s, confidential=%v)\n",
+		*id, node.Addr(), *appName, *confidential)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if *stats > 0 {
+		ticker := time.NewTicker(*stats)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				shutdown(replica, node)
+				return
+			case <-ticker.C:
+				printStats(replica)
+			}
+		}
+	}
+	<-stop
+	shutdown(replica, node)
+}
+
+func printStats(r *core.Replica) {
+	es := r.EnclaveStats()
+	fmt.Printf("ops=%d batches=%d suspects=%d ecalls[prep=%d conf=%d exec=%d]\n",
+		r.ExecutedOps(), r.Batches(), r.Suspects(),
+		es[crypto.RolePreparation].Count,
+		es[crypto.RoleConfirmation].Count,
+		es[crypto.RoleExecution].Count)
+}
+
+func shutdown(r *core.Replica, node *transport.TCPNode) {
+	fmt.Println("shutting down")
+	r.Stop()
+	node.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "splitbft-replica: "+format+"\n", args...)
+	os.Exit(1)
+}

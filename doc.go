@@ -1,0 +1,13 @@
+// Package splitbft is a from-scratch Go reproduction of "SplitBFT:
+// Improving Byzantine Fault Tolerance Safety Using Trusted Compartments"
+// (Messadi et al., MIDDLEWARE 2022).
+//
+// The implementation lives under internal/: the SplitBFT core
+// (internal/core) compartmentalizes PBFT into Preparation, Confirmation
+// and Execution enclaves running on a simulated SGX substrate
+// (internal/tee); internal/pbft is the non-compartmentalized baseline the
+// paper compares against. See README.md for the architecture overview,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// reproduced tables and figures. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package splitbft

@@ -1,0 +1,134 @@
+// Blockchain ordering service: SplitBFT as the consensus core of a small
+// permissioned ledger, the paper's second use case (§6).
+//
+//	go run ./examples/blockchain
+//
+// Three clients submit transactions concurrently; the Execution enclaves
+// assemble blocks of five transactions, seal them (AES-GCM under the
+// enclave sealing key), and persist them to untrusted storage through an
+// ocall — the exact path whose cost makes the blockchain app slower than
+// the KVS in Figure 3. The example then verifies that every replica built
+// the identical hash-linked chain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/client"
+	"github.com/splitbft/splitbft/internal/core"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+const (
+	n      = 4
+	f      = 1
+	secret = "ledger-deployment-secret"
+)
+
+func main() {
+	net := transport.NewSimNet(7)
+	defer net.Close()
+	registry := crypto.NewRegistry()
+
+	chains := make([]*app.Blockchain, n)
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		chains[i] = app.NewBlockchain(app.DefaultBlockSize, nil)
+		r, err := core.NewReplica(core.Config{
+			N: n, F: f, ID: uint32(i),
+			Registry:     registry,
+			MACSecret:    []byte(secret),
+			App:          chains[i],
+			Confidential: true,
+			Cost:         tee.DefaultCostModel(),
+			BatchSize:    1,
+		})
+		if err != nil {
+			log.Fatalf("replica %d: %v", i, err)
+		}
+		replicas[i] = r
+	}
+	for i, r := range replicas {
+		conn, err := net.Join(transport.ReplicaEndpoint(uint32(i)), r.Handler())
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Start(conn)
+		defer r.Stop()
+	}
+
+	// Three concurrent clients submit 10 transactions each.
+	const clients, txPerClient = 3, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		id := uint32(200 + c)
+		cl, err := client.New(client.Config{
+			ID: id, N: n, F: f,
+			MACs:            crypto.NewMACStore([]byte(secret), crypto.Identity{ReplicaID: id, Role: crypto.RoleClient}),
+			AuthReceivers:   core.RequestAuthReceivers(n),
+			ReplyRole:       crypto.RoleExecution,
+			Confidential:    true,
+			Registry:        registry,
+			ExecMeasurement: core.ExecutionMeasurement(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := net.Join(transport.ClientEndpoint(id), cl.Handler())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl.Start(conn)
+		defer cl.Close()
+		if err := cl.Attest(); err != nil {
+			log.Fatalf("client %d attestation: %v", id, err)
+		}
+		wg.Add(1)
+		go func(cl *client.Client, c int) {
+			defer wg.Done()
+			for t := 0; t < txPerClient; t++ {
+				tx := fmt.Sprintf("transfer{from:acct%d, to:acct%d, amount:%d}", c, (c+1)%clients, t+1)
+				if _, err := cl.Invoke([]byte(tx)); err != nil {
+					log.Fatalf("client %d tx %d: %v", c, t, err)
+				}
+			}
+		}(cl, c)
+	}
+	wg.Wait()
+
+	// 30 transactions at block size 5 → 6 sealed blocks.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if chains[0].Height() >= (clients*txPerClient)/app.DefaultBlockSize {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("per-replica chains:")
+	for i, bc := range chains {
+		headers := bc.Headers()
+		if err := app.VerifyChain(headers); err != nil {
+			log.Fatalf("replica %d chain invalid: %v", i, err)
+		}
+		tip := "genesis"
+		if len(headers) > 0 {
+			tip = headers[len(headers)-1].Hash.String()
+		}
+		fmt.Printf("  replica %d: height=%d tip=%s persisted=%d sealed blocks\n",
+			i, bc.Height(), tip, replicas[i].PersistedBlocks())
+	}
+	for i := 1; i < n; i++ {
+		if chains[i].Digest() != chains[0].Digest() {
+			log.Fatalf("replica %d chain diverged", i)
+		}
+	}
+	fmt.Println("\nall replicas agree on the same hash-linked chain ✓")
+	fmt.Println("blocks were sealed inside the Execution enclave before the persist ocall ✓")
+}

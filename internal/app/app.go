@@ -1,0 +1,34 @@
+// Package app defines the replicated application interface executed inside
+// the Execution compartment, and the two applications the paper evaluates
+// (§6): a key-value store and a blockchain (distributed ledger).
+package app
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// Application is a deterministic state machine replicated by the ordering
+// protocol. It runs inside the Execution enclave: its state never leaves
+// the trusted boundary unencrypted.
+//
+// Implementations need not be safe for concurrent use; the Execution
+// compartment is single-threaded (paper §5: one thread per enclave).
+type Application interface {
+	// Execute applies one client operation and returns the result. Corrupt
+	// or malformed operations must execute as a no-op with an error result
+	// rather than failing (paper §4.1: "When clients submit corrupted
+	// operations, the Execution Compartment will detect this and execute a
+	// no-op instead").
+	Execute(clientID uint32, op []byte) []byte
+	// Digest returns a deterministic digest of the current state, used in
+	// Checkpoint messages. Replicas with equal histories must produce equal
+	// digests.
+	Digest() crypto.Digest
+	// Snapshot serializes the full state for state transfer.
+	Snapshot() []byte
+	// Restore replaces the state from a Snapshot.
+	Restore(snapshot []byte) error
+}
+
+// NoOpResult is the reply payload returned for corrupted operations.
+var NoOpResult = []byte("ERR no-op")

@@ -1,0 +1,163 @@
+package app
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+)
+
+// KVS op codes.
+const (
+	opPut uint8 = iota + 1
+	opGet
+	opDelete
+)
+
+// KVS is the trusted key-value store application from the paper's first use
+// case. Operations are PUT/GET/DELETE encoded with EncodePut and friends.
+type KVS struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// NewKVS returns an empty key-value store.
+func NewKVS() *KVS { return &KVS{data: make(map[string][]byte)} }
+
+// EncodePut encodes a PUT operation.
+func EncodePut(key string, value []byte) []byte {
+	e := messages.NewEncoder(9 + len(key) + len(value))
+	e.U8(opPut)
+	e.VarBytes([]byte(key))
+	e.VarBytes(value)
+	return e.Bytes()
+}
+
+// EncodeGet encodes a GET operation.
+func EncodeGet(key string) []byte {
+	e := messages.NewEncoder(5 + len(key))
+	e.U8(opGet)
+	e.VarBytes([]byte(key))
+	return e.Bytes()
+}
+
+// EncodeDelete encodes a DELETE operation.
+func EncodeDelete(key string) []byte {
+	e := messages.NewEncoder(5 + len(key))
+	e.U8(opDelete)
+	e.VarBytes([]byte(key))
+	return e.Bytes()
+}
+
+// Execute implements Application.
+func (k *KVS) Execute(_ uint32, op []byte) []byte {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	d := messages.NewDecoder(op)
+	code := d.U8()
+	switch code {
+	case opPut:
+		key := d.VarBytes()
+		val := d.VarBytes()
+		if d.Finish() != nil {
+			return NoOpResult
+		}
+		k.data[string(key)] = val
+		return []byte("OK")
+	case opGet:
+		key := d.VarBytes()
+		if d.Finish() != nil {
+			return NoOpResult
+		}
+		val, ok := k.data[string(key)]
+		if !ok {
+			return []byte("NOTFOUND")
+		}
+		out := make([]byte, len(val))
+		copy(out, val)
+		return out
+	case opDelete:
+		key := d.VarBytes()
+		if d.Finish() != nil {
+			return NoOpResult
+		}
+		delete(k.data, string(key))
+		return []byte("OK")
+	default:
+		return NoOpResult
+	}
+}
+
+// Len returns the number of stored keys.
+func (k *KVS) Len() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.data)
+}
+
+// Get reads a key directly (test helper; not part of the replicated API).
+func (k *KVS) Get(key string) ([]byte, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	v, ok := k.data[key]
+	return v, ok
+}
+
+// Digest implements Application: a hash over the sorted key/value pairs.
+func (k *KVS) Digest() crypto.Digest {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	keys := make([]string, 0, len(k.data))
+	for key := range k.data {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	e := messages.NewEncoder(64 * len(keys))
+	for _, key := range keys {
+		e.VarBytes([]byte(key))
+		e.VarBytes(k.data[key])
+	}
+	return crypto.HashData(e.Bytes())
+}
+
+// Snapshot implements Application.
+func (k *KVS) Snapshot() []byte {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	keys := make([]string, 0, len(k.data))
+	for key := range k.data {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	e := messages.NewEncoder(64 * len(keys))
+	e.U32(uint32(len(keys)))
+	for _, key := range keys {
+		e.VarBytes([]byte(key))
+		e.VarBytes(k.data[key])
+	}
+	return e.Bytes()
+}
+
+// Restore implements Application.
+func (k *KVS) Restore(snapshot []byte) error {
+	d := messages.NewDecoder(snapshot)
+	n := d.Count(1 << 24)
+	data := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		key := d.VarBytes()
+		val := d.VarBytes()
+		if d.Err() != nil {
+			break
+		}
+		data[string(key)] = val
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("kvs restore: %w", err)
+	}
+	k.mu.Lock()
+	k.data = data
+	k.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// Ablations isolate the contribution of individual design parameters:
+// the enclave-transition cost (how much of SplitBFT's overhead is the
+// SGX boundary itself) and the batch size (how transition costs amortize
+// over batches, §6's central performance argument).
+
+// TransitionCostPoint is one measurement of the transition-cost ablation.
+type TransitionCostPoint struct {
+	TransitionCycles uint64
+	Result           Result
+}
+
+// TransitionCostAblation sweeps the per-transition cycle cost of the
+// enclave boundary on the SplitBFT KVS: 0 cycles is simulation mode, 8640
+// the HotCalls default, higher values model older or more conservative
+// TEE implementations.
+func TransitionCostAblation(cycles []uint64, clients int, measure time.Duration) ([]TransitionCostPoint, error) {
+	out := make([]TransitionCostPoint, 0, len(cycles))
+	for _, c := range cycles {
+		cost := tee.DefaultCostModel()
+		cost.TransitionCycles = c
+		res, err := Run(RunConfig{
+			System:       SplitKVS,
+			Clients:      clients,
+			Batched:      false,
+			Measure:      measure,
+			CostOverride: &cost,
+		})
+		if err != nil {
+			return out, fmt.Errorf("transition ablation @%d cycles: %w", c, err)
+		}
+		out = append(out, TransitionCostPoint{TransitionCycles: c, Result: res})
+	}
+	return out, nil
+}
+
+// BatchSizePoint is one measurement of the batch-size ablation.
+type BatchSizePoint struct {
+	BatchSize int
+	Result    Result
+}
+
+// BatchSizeAblation sweeps the batch size on the SplitBFT KVS with a fixed
+// offered load, showing how the per-batch enclave costs amortize (the
+// paper jumps from 1 to 200; the sweep fills in the curve).
+func BatchSizeAblation(sizes []int, clients int, measure time.Duration) ([]BatchSizePoint, error) {
+	out := make([]BatchSizePoint, 0, len(sizes))
+	for _, s := range sizes {
+		res, err := Run(RunConfig{
+			System:            SplitKVS,
+			Clients:           clients,
+			Batched:           true, // 40 outstanding per client
+			Measure:           measure,
+			BatchSizeOverride: s,
+		})
+		if err != nil {
+			return out, fmt.Errorf("batch ablation @%d: %w", s, err)
+		}
+		out = append(out, BatchSizePoint{BatchSize: s, Result: res})
+	}
+	return out, nil
+}
+
+// FormatTransitionAblation renders the transition-cost sweep.
+func FormatTransitionAblation(points []TransitionCostPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — enclave transition cost (SplitBFT KVS, unbatched)\n\n")
+	fmt.Fprintf(&sb, "%-18s %14s %14s\n", "Transition cycles", "ops/s", "mean latency")
+	sb.WriteString(strings.Repeat("-", 50) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-18d %14.0f %14v\n",
+			p.TransitionCycles, p.Result.Throughput, p.Result.MeanLat.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// FormatBatchAblation renders the batch-size sweep.
+func FormatBatchAblation(points []BatchSizePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — batch size (SplitBFT KVS, 40 outstanding per client)\n\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s\n", "Batch size", "ops/s", "mean latency")
+	sb.WriteString(strings.Repeat("-", 44) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-12d %14.0f %14v\n",
+			p.BatchSize, p.Result.Throughput, p.Result.MeanLat.Round(time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,174 @@
+// Package bench is the experiment harness reproducing the paper's
+// evaluation (§6): throughput/latency sweeps over client counts for
+// SplitBFT and the PBFT baseline with KVS and blockchain applications
+// (Figure 3a/3b), and per-compartment ecall latency measurements
+// (Figure 4). Table 1 and Table 2 are produced by the faultmodel and loc
+// packages respectively; cmd/splitbft-bench ties everything together.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// System enumerates the evaluated configurations — exactly the series of
+// Figure 3.
+type System int
+
+// The Figure 3 series.
+const (
+	SplitKVS System = iota
+	PBFTKVS
+	SplitKVSSimulation   // SGX simulation mode: no transition cost
+	SplitKVSSingleThread // all ecalls through one thread
+	SplitBlockchain
+	PBFTBlockchain
+)
+
+// String implements fmt.Stringer with the paper's legend labels.
+func (s System) String() string {
+	switch s {
+	case SplitKVS:
+		return "SplitBFT KVS"
+	case PBFTKVS:
+		return "PBFT KVS"
+	case SplitKVSSimulation:
+		return "SplitBFT KVS Simulation"
+	case SplitKVSSingleThread:
+		return "SplitBFT KVS Single Thread"
+	case SplitBlockchain:
+		return "SplitBFT Blockchain"
+	case PBFTBlockchain:
+		return "PBFT Blockchain"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// AllSystems returns every Figure 3 series in display order.
+func AllSystems() []System {
+	return []System{SplitKVS, PBFTKVS, SplitKVSSimulation, SplitKVSSingleThread, SplitBlockchain, PBFTBlockchain}
+}
+
+// IsSplit reports whether the system is a SplitBFT variant.
+func (s System) IsSplit() bool { return s != PBFTKVS && s != PBFTBlockchain }
+
+// IsBlockchain reports whether the system runs the ledger application.
+func (s System) IsBlockchain() bool { return s == SplitBlockchain || s == PBFTBlockchain }
+
+// RunConfig parameterizes one experiment point.
+type RunConfig struct {
+	System  System
+	Clients int
+	// Batched selects the Figure 3b configuration: batches of 200 or 10 ms
+	// and 40 outstanding requests per client. Unbatched (3a) orders every
+	// request alone with one outstanding request per client.
+	Batched bool
+	// PayloadSize is the request payload in bytes (paper: 10).
+	PayloadSize int
+	// Warmup and Measure are the untimed ramp-up and the timed window.
+	Warmup  time.Duration
+	Measure time.Duration
+	// CostOverride replaces the system's default enclave cost model
+	// (ablations only; nil keeps the per-system default).
+	CostOverride *tee.CostModel
+	// BatchSizeOverride replaces the batched-mode batch size of 200
+	// (ablations only; 0 keeps the default).
+	BatchSizeOverride int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Clients == 0 {
+		c.Clients = 1
+	}
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 10
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 300 * time.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = time.Second
+	}
+	return c
+}
+
+// Outstanding returns the per-client concurrency (paper: 40 when batched).
+func (c RunConfig) Outstanding() int {
+	if c.Batched {
+		return 40
+	}
+	return 1
+}
+
+// CompartmentStat is one bar of Figure 4.
+type CompartmentStat struct {
+	Name  string
+	Calls uint64
+	Mean  time.Duration
+	Total time.Duration
+}
+
+// Result is one measured experiment point.
+type Result struct {
+	System     System
+	Clients    int
+	Batched    bool
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // ops/s
+	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P99Lat     time.Duration
+	// Compartments holds the leader's per-enclave ecall statistics for
+	// SplitBFT systems (Figure 4); nil for the baseline.
+	Compartments []CompartmentStat
+	// Errors counts failed invocations during the measure window.
+	Errors uint64
+}
+
+// recorder collects latencies from concurrent workers.
+type recorder struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errors    uint64
+}
+
+func (r *recorder) record(d time.Duration) {
+	r.mu.Lock()
+	r.latencies = append(r.latencies, d)
+	r.mu.Unlock()
+}
+
+func (r *recorder) fail() {
+	r.mu.Lock()
+	r.errors++
+	r.mu.Unlock()
+}
+
+// summarize computes the Result statistics from collected latencies.
+func (r *recorder) summarize(res *Result, elapsed time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res.Ops = uint64(len(r.latencies))
+	res.Elapsed = elapsed
+	res.Errors = r.errors
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	if len(r.latencies) == 0 {
+		return
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	var sum time.Duration
+	for _, d := range r.latencies {
+		sum += d
+	}
+	res.MeanLat = sum / time.Duration(len(r.latencies))
+	res.P50Lat = r.latencies[len(r.latencies)/2]
+	res.P99Lat = r.latencies[len(r.latencies)*99/100]
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortRun is a fast experiment configuration for tests.
+func shortRun(t *testing.T, sys System, clients int, batched bool) Result {
+	t.Helper()
+	res, err := Run(RunConfig{
+		System:  sys,
+		Clients: clients,
+		Batched: batched,
+		Warmup:  150 * time.Millisecond,
+		Measure: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run %v: %v", sys, err)
+	}
+	return res
+}
+
+func TestRunSplitKVSUnbatched(t *testing.T) {
+	res := shortRun(t, SplitKVS, 4, false)
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors during measurement", res.Errors)
+	}
+	if res.Throughput <= 0 || res.MeanLat <= 0 {
+		t.Fatalf("implausible stats: %+v", res)
+	}
+	if len(res.Compartments) != 3 {
+		t.Fatalf("expected 3 compartment stats, got %d", len(res.Compartments))
+	}
+	for _, cs := range res.Compartments {
+		if cs.Calls == 0 {
+			t.Fatalf("compartment %s recorded no ecalls", cs.Name)
+		}
+	}
+}
+
+func TestRunPBFTKVSUnbatched(t *testing.T) {
+	res := shortRun(t, PBFTKVS, 4, false)
+	if res.Ops == 0 || res.Errors > 0 {
+		t.Fatalf("baseline failed: %+v", res)
+	}
+	if res.Compartments != nil {
+		t.Fatal("baseline must not report compartment stats")
+	}
+}
+
+func TestRunBatchedModes(t *testing.T) {
+	split := shortRun(t, SplitKVS, 4, true)
+	base := shortRun(t, PBFTKVS, 4, true)
+	if split.Ops == 0 || base.Ops == 0 {
+		t.Fatalf("batched runs incomplete: split=%d base=%d", split.Ops, base.Ops)
+	}
+	// Batching must beat unbatched throughput substantially.
+	unsplit := shortRun(t, SplitKVS, 4, false)
+	if split.Throughput < 2*unsplit.Throughput {
+		t.Fatalf("batching did not help: %f vs %f", split.Throughput, unsplit.Throughput)
+	}
+}
+
+func TestRunBlockchainSystems(t *testing.T) {
+	res := shortRun(t, SplitBlockchain, 2, false)
+	if res.Ops == 0 || res.Errors > 0 {
+		t.Fatalf("split blockchain: %+v", res)
+	}
+	res = shortRun(t, PBFTBlockchain, 2, false)
+	if res.Ops == 0 || res.Errors > 0 {
+		t.Fatalf("pbft blockchain: %+v", res)
+	}
+}
+
+func TestSimulationModeFasterThanHardware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	hw := shortRun(t, SplitKVS, 8, false)
+	sim := shortRun(t, SplitKVSSimulation, 8, false)
+	// Simulation mode omits transition costs; it must not be slower by
+	// more than noise. (The paper attributes ~20% of overhead to
+	// transitions.)
+	if sim.Throughput < hw.Throughput*0.8 {
+		t.Fatalf("simulation mode slower than hardware mode: %.0f vs %.0f",
+			sim.Throughput, hw.Throughput)
+	}
+}
+
+func TestSingleThreadModeWorks(t *testing.T) {
+	res := shortRun(t, SplitKVSSingleThread, 4, false)
+	if res.Ops == 0 || res.Errors > 0 {
+		t.Fatalf("single-thread mode: %+v", res)
+	}
+}
+
+func TestSweepAndReports(t *testing.T) {
+	clients := []int{1, 2}
+	series := make(map[System][]Result)
+	for _, sys := range []System{SplitKVS, PBFTKVS} {
+		rs, err := Sweep(sys, clients, false, 250*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series[sys] = rs
+	}
+	text := FormatFigure3(series, clients, false)
+	if !strings.Contains(text, "SplitBFT KVS") || !strings.Contains(text, "Throughput") {
+		t.Fatalf("figure 3 table incomplete:\n%s", text)
+	}
+	ratios := SpeedupVsBaseline(series[SplitKVS], series[PBFTKVS])
+	if len(ratios) != 2 {
+		t.Fatalf("ratios = %v", ratios)
+	}
+	for _, r := range ratios {
+		if r <= 0 || r > 3 {
+			t.Fatalf("implausible split/pbft ratio %f", r)
+		}
+	}
+
+	unb := shortRun(t, SplitKVS, 2, false)
+	bat := shortRun(t, SplitKVS, 2, true)
+	fig4 := FormatFigure4(unb, bat)
+	if !strings.Contains(fig4, "Not Batched") || !strings.Contains(fig4, "prep") {
+		t.Fatalf("figure 4 table incomplete:\n%s", fig4)
+	}
+}
+
+func TestSystemLabels(t *testing.T) {
+	for _, sys := range AllSystems() {
+		if sys.String() == "" || strings.HasPrefix(sys.String(), "System(") {
+			t.Fatalf("missing label for %d", int(sys))
+		}
+	}
+	if !SplitBlockchain.IsBlockchain() || PBFTKVS.IsBlockchain() {
+		t.Fatal("IsBlockchain misclassifies")
+	}
+	if !SplitKVSSimulation.IsSplit() || PBFTBlockchain.IsSplit() {
+		t.Fatal("IsSplit misclassifies")
+	}
+}

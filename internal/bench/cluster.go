@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/client"
+	"github.com/splitbft/splitbft/internal/core"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/pbft"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// benchN and benchF fix the replica group size to the paper's deployment
+// (four SGX machines, f = 1).
+const (
+	benchN = 4
+	benchF = 1
+)
+
+// benchSecret seeds the pairwise MAC keys for a benchmark cluster.
+var benchSecret = []byte("splitbft-bench-secret")
+
+// stoppable abstracts over the two replica implementations for teardown
+// and metrics.
+type stoppable interface {
+	Stop()
+}
+
+// clusterHandle owns a running benchmark cluster and its clients.
+type clusterHandle struct {
+	net      *transport.SimNet
+	replicas []stoppable
+	clients  []*client.Client
+	// splitReplicas is non-nil for SplitBFT systems (for enclave stats).
+	splitReplicas []*core.Replica
+}
+
+func (h *clusterHandle) close() {
+	for _, cl := range h.clients {
+		cl.Close()
+	}
+	for _, r := range h.replicas {
+		r.Stop()
+	}
+	h.net.Close()
+}
+
+// buildApp constructs the application instance for one replica.
+func buildApp(sys System) app.Application {
+	if sys.IsBlockchain() {
+		return app.NewBlockchain(app.DefaultBlockSize, nil)
+	}
+	return app.NewKVS()
+}
+
+// startCluster launches the replica group for a system configuration and
+// attaches cfg.Clients clients, attesting them when confidential.
+func startCluster(cfg RunConfig) (*clusterHandle, error) {
+	h := &clusterHandle{net: transport.NewSimNet(42)}
+	reg := crypto.NewRegistry()
+
+	batchSize := 1
+	batchTimeout := time.Millisecond
+	if cfg.Batched {
+		batchSize = 200
+		if cfg.BatchSizeOverride > 0 {
+			batchSize = cfg.BatchSizeOverride
+		}
+		batchTimeout = 10 * time.Millisecond
+	}
+	// A generous request timeout keeps the failure detector quiet under
+	// benchmark load (there are no faults to detect here).
+	const requestTimeout = 5 * time.Second
+
+	if cfg.System.IsSplit() {
+		cost := tee.DefaultCostModel()
+		if cfg.System == SplitKVSSimulation {
+			cost = tee.SimulationCostModel()
+		}
+		if cfg.CostOverride != nil {
+			cost = *cfg.CostOverride
+		}
+		for i := 0; i < benchN; i++ {
+			rcfg := core.Config{
+				N: benchN, F: benchF, ID: uint32(i),
+				Registry:       reg,
+				MACSecret:      benchSecret,
+				App:            buildApp(cfg.System),
+				Confidential:   true,
+				Cost:           cost,
+				SingleThread:   cfg.System == SplitKVSSingleThread,
+				BatchSize:      batchSize,
+				BatchTimeout:   batchTimeout,
+				RequestTimeout: requestTimeout,
+			}
+			r, err := core.NewReplica(rcfg)
+			if err != nil {
+				h.close()
+				return nil, fmt.Errorf("bench: replica %d: %w", i, err)
+			}
+			h.replicas = append(h.replicas, r)
+			h.splitReplicas = append(h.splitReplicas, r)
+		}
+		for i, r := range h.splitReplicas {
+			conn, err := h.net.Join(transport.ReplicaEndpoint(uint32(i)), r.Handler())
+			if err != nil {
+				h.close()
+				return nil, err
+			}
+			r.Start(conn)
+		}
+	} else {
+		keys := make([]*crypto.KeyPair, benchN)
+		for i := range keys {
+			keys[i] = crypto.MustGenerateKeyPair()
+			reg.Register(pbft.ReplicaIdentity(uint32(i)), keys[i].Public)
+		}
+		for i := 0; i < benchN; i++ {
+			rcfg := pbft.Config{
+				N: benchN, F: benchF, ID: uint32(i),
+				Key:            keys[i],
+				Registry:       reg,
+				MACs:           crypto.NewMACStore(benchSecret, pbft.ReplicaIdentity(uint32(i))),
+				App:            buildApp(cfg.System),
+				BatchSize:      batchSize,
+				BatchTimeout:   batchTimeout,
+				RequestTimeout: requestTimeout,
+			}
+			r, err := pbft.NewReplica(rcfg)
+			if err != nil {
+				h.close()
+				return nil, fmt.Errorf("bench: replica %d: %w", i, err)
+			}
+			conn, err := h.net.Join(transport.ReplicaEndpoint(uint32(i)), r.Handler())
+			if err != nil {
+				h.close()
+				return nil, err
+			}
+			r.Start(conn)
+			h.replicas = append(h.replicas, r)
+		}
+	}
+
+	// Clients.
+	for c := 0; c < cfg.Clients; c++ {
+		id := uint32(1000 + c)
+		ccfg := client.Config{
+			ID: id, N: benchN, F: benchF,
+			MACs:               crypto.NewMACStore(benchSecret, crypto.Identity{ReplicaID: id, Role: crypto.RoleClient}),
+			RetransmitInterval: 2 * time.Second,
+			Timeout:            30 * time.Second,
+		}
+		if cfg.System.IsSplit() {
+			ccfg.AuthReceivers = core.RequestAuthReceivers(benchN)
+			ccfg.ReplyRole = crypto.RoleExecution
+			ccfg.Confidential = true
+			ccfg.Registry = reg
+			ccfg.ExecMeasurement = core.ExecutionMeasurement()
+		} else {
+			ccfg.AuthReceivers = pbft.BaselineAuthReceivers(benchN)
+			ccfg.ReplyRole = crypto.RoleReplica
+		}
+		cl, err := client.New(ccfg)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		conn, err := h.net.Join(transport.ClientEndpoint(id), cl.Handler())
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		cl.Start(conn)
+		h.clients = append(h.clients, cl)
+	}
+	// Attest concurrently: with 150 clients the handshakes are the setup
+	// bottleneck otherwise.
+	if cfg.System.IsSplit() {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(h.clients))
+		for _, cl := range h.clients {
+			wg.Add(1)
+			go func(cl *client.Client) {
+				defer wg.Done()
+				if err := cl.Attest(); err != nil {
+					errCh <- err
+				}
+			}(cl)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			h.close()
+			return nil, fmt.Errorf("bench: attestation: %w", err)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatFigure3 renders a sweep as the two panels of Figure 3: throughput
+// (ops/s) and latency (ms) per client count, one column per system.
+func FormatFigure3(series map[System][]Result, clients []int, batched bool) string {
+	var sb strings.Builder
+	label := "Figure 3(a) — not batched"
+	if batched {
+		label = "Figure 3(b) — batched (200 / 10ms, 40 outstanding per client)"
+	}
+	systems := AllSystems()
+	if batched {
+		// The paper's 3(b) omits the simulation/single-thread series.
+		systems = []System{SplitKVS, PBFTKVS, SplitBlockchain, PBFTBlockchain}
+	}
+
+	sb.WriteString(label + "\n\nThroughput (ops/s)\n")
+	fmt.Fprintf(&sb, "%-9s", "#clients")
+	for _, sys := range systems {
+		fmt.Fprintf(&sb, " %26s", sys)
+	}
+	sb.WriteString("\n")
+	for i, c := range clients {
+		fmt.Fprintf(&sb, "%-9d", c)
+		for _, sys := range systems {
+			rs := series[sys]
+			if i < len(rs) {
+				fmt.Fprintf(&sb, " %26.0f", rs[i].Throughput)
+			} else {
+				fmt.Fprintf(&sb, " %26s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+
+	sb.WriteString("\nLatency (ms, mean)\n")
+	fmt.Fprintf(&sb, "%-9s", "#clients")
+	for _, sys := range systems {
+		fmt.Fprintf(&sb, " %26s", sys)
+	}
+	sb.WriteString("\n")
+	for i, c := range clients {
+		fmt.Fprintf(&sb, "%-9d", c)
+		for _, sys := range systems {
+			rs := series[sys]
+			if i < len(rs) {
+				fmt.Fprintf(&sb, " %26.2f", float64(rs[i].MeanLat)/float64(time.Millisecond))
+			} else {
+				fmt.Fprintf(&sb, " %26s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatFigure4 renders the per-compartment ecall profile for the leader,
+// batched and unbatched, as in Figure 4.
+func FormatFigure4(unbatched, batched Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — mean ecall latency per compartment (leader, KVS, 40 clients)\n\n")
+	fmt.Fprintf(&sb, "%-12s %-14s %-12s %-12s\n", "Mode", "Compartment", "Mean ecall", "Calls")
+	sb.WriteString(strings.Repeat("-", 54) + "\n")
+	for _, pair := range []struct {
+		mode string
+		res  Result
+	}{{"Not Batched", unbatched}, {"Batched", batched}} {
+		for _, cs := range pair.res.Compartments {
+			fmt.Fprintf(&sb, "%-12s %-14s %-12s %-12d\n", pair.mode, cs.Name, cs.Mean.Round(time.Microsecond), cs.Calls)
+		}
+	}
+	return sb.String()
+}
+
+// SpeedupVsBaseline returns the SplitBFT-to-PBFT throughput ratio per
+// client count: the headline overhead numbers of §6 (e.g. unbatched KVS
+// 43–74 %).
+func SpeedupVsBaseline(split, baseline []Result) []float64 {
+	n := len(split)
+	if len(baseline) < n {
+		n = len(baseline)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if baseline[i].Throughput == 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, split[i].Throughput/baseline[i].Throughput)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/client"
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// Run executes one experiment point: it builds the cluster, drives
+// closed-loop clients through a warmup and a timed measurement window, and
+// returns throughput/latency statistics plus (for SplitBFT) the leader's
+// per-compartment ecall profile.
+func Run(cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	h, err := startCluster(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer h.close()
+
+	res := Result{System: cfg.System, Clients: cfg.Clients, Batched: cfg.Batched}
+	rec := &recorder{}
+	var measuring atomic.Bool
+	var stop atomic.Bool
+
+	payload := make([]byte, cfg.PayloadSize)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	// Closed-loop workers: each performs synchronous PUT operations
+	// (blockchain: raw transactions) back to back. In batched mode each
+	// client runs Outstanding() workers sharing its timestamp counter.
+	var wg sync.WaitGroup
+	for ci, cl := range h.clients {
+		for w := 0; w < cfg.Outstanding(); w++ {
+			wg.Add(1)
+			go func(cl *client.Client, ci, w int) {
+				defer wg.Done()
+				key := fmt.Sprintf("key-%d-%d", ci, w)
+				var op []byte
+				if cfg.System.IsBlockchain() {
+					op = payload
+				} else {
+					op = app.EncodePut(key, payload)
+				}
+				for !stop.Load() {
+					start := time.Now()
+					_, err := cl.Invoke(op)
+					if measuring.Load() {
+						if err != nil {
+							rec.fail()
+						} else {
+							rec.record(time.Since(start))
+						}
+					}
+				}
+			}(cl, ci, w)
+		}
+	}
+
+	time.Sleep(cfg.Warmup)
+	// Reset the leader's enclave stats so Figure 4 reflects steady state.
+	if len(h.splitReplicas) > 0 {
+		h.splitReplicas[0].ResetEnclaveStats()
+	}
+	measuring.Store(true)
+	begin := time.Now()
+	time.Sleep(cfg.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(begin)
+	stop.Store(true)
+	// Unblock workers stuck in Invoke by closing clients.
+	for _, cl := range h.clients {
+		cl.Close()
+	}
+	wg.Wait()
+
+	rec.summarize(&res, elapsed)
+	if len(h.splitReplicas) > 0 {
+		stats := h.splitReplicas[0].EnclaveStats()
+		for _, role := range []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution} {
+			s := stats[role]
+			res.Compartments = append(res.Compartments, CompartmentStat{
+				Name:  role.String(),
+				Calls: s.Count,
+				Mean:  s.Mean,
+				Total: s.Total,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Sweep runs one system over several client counts.
+func Sweep(sys System, clients []int, batched bool, measure time.Duration) ([]Result, error) {
+	out := make([]Result, 0, len(clients))
+	for _, c := range clients {
+		r, err := Run(RunConfig{System: sys, Clients: c, Batched: batched, Measure: measure})
+		if err != nil {
+			return out, fmt.Errorf("%v @%d clients: %w", sys, c, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

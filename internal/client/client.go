@@ -1,0 +1,375 @@
+// Package client implements the SplitBFT/PBFT client library: request
+// authentication (HMAC vectors), reply-quorum collection (f+1 matching
+// replies), retransmission, and — for the confidential SplitBFT mode —
+// enclave attestation, session-key provisioning and end-to-end payload
+// encryption (paper §4.1).
+package client
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// Errors returned by Invoke and Attest.
+var (
+	ErrTimeout     = errors.New("client: request timed out")
+	ErrClosed      = errors.New("client: closed")
+	ErrNotAttested = errors.New("client: confidential mode requires Attest first")
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// ID is the client's unique identifier.
+	ID uint32
+	// N and F describe the replica group.
+	N, F int
+	// MACs holds the client's pairwise MAC keys.
+	MACs *crypto.MACStore
+	// AuthReceivers is the request MAC-vector layout (one identity per
+	// slot). Baseline: one slot per replica. SplitBFT: Preparation then
+	// Execution enclaves.
+	AuthReceivers []crypto.Identity
+	// ReplyRole is the role whose identity authenticates replies
+	// (RoleReplica for the baseline, RoleExecution for SplitBFT).
+	ReplyRole crypto.Role
+	// Confidential enables end-to-end payload encryption to the Execution
+	// enclaves. Requires Attest before Invoke.
+	Confidential bool
+	// Registry and ExecMeasurement verify attestation quotes in
+	// confidential mode.
+	Registry        *crypto.Registry
+	ExecMeasurement crypto.Digest
+	// RetransmitInterval is how long to wait for a reply quorum before
+	// resending the request to all replicas. Default 500ms.
+	RetransmitInterval time.Duration
+	// Timeout bounds one Invoke end-to-end. Default 10s.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetransmitInterval == 0 {
+		c.RetransmitInterval = 500 * time.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// call tracks one in-flight request.
+type call struct {
+	done    chan []byte // resolved result (plaintext)
+	replies map[uint32][]byte
+	sealed  bool // whether results must be decrypted before matching
+}
+
+// Client is a closed-loop BFT client. It is safe for concurrent Invokes;
+// each concurrent Invoke uses a distinct timestamp.
+type Client struct {
+	cfg  Config
+	conn transport.Conn
+
+	ts atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	closed  bool
+
+	// Confidential-mode session state.
+	sessionKey crypto.SessionKey
+	sendSess   *crypto.Session
+	recvSess   *crypto.Session
+	attested   atomic.Bool
+
+	// attestation handshake plumbing
+	attestMu sync.Mutex
+	quoteCh  chan *messages.AttestQuote
+}
+
+// New builds a client from cfg.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MACs == nil {
+		return nil, errors.New("client: MACs required")
+	}
+	if len(cfg.AuthReceivers) == 0 {
+		return nil, errors.New("client: AuthReceivers required")
+	}
+	if cfg.Confidential && cfg.Registry == nil {
+		return nil, errors.New("client: confidential mode requires Registry")
+	}
+	return &Client{
+		cfg:     cfg,
+		pending: make(map[uint64]*call),
+		quoteCh: make(chan *messages.AttestQuote, 16),
+	}, nil
+}
+
+// Handler returns the transport handler for this client's endpoint.
+func (c *Client) Handler() transport.Handler {
+	return func(from transport.Endpoint, data []byte) {
+		m, err := messages.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		switch msg := m.(type) {
+		case *messages.Reply:
+			c.onReply(msg)
+		case *messages.AttestQuote:
+			select {
+			case c.quoteCh <- msg:
+			default:
+			}
+		}
+	}
+}
+
+// Start attaches the transport connection.
+func (c *Client) Start(conn transport.Conn) { c.conn = conn }
+
+// Close fails all pending calls.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for ts, call := range c.pending {
+		close(call.done)
+		delete(c.pending, ts)
+	}
+}
+
+// Attest runs the attestation + key-provisioning handshake with every
+// replica's Execution enclave and installs the service-wide session key
+// s_enc (paper §4.1). It must complete before confidential Invokes.
+func (c *Client) Attest() error {
+	if !c.cfg.Confidential {
+		return nil
+	}
+	c.attestMu.Lock()
+	defer c.attestMu.Unlock()
+	if c.attested.Load() {
+		return nil
+	}
+	ecdhKey, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("client ECDH key: %w", err)
+	}
+	var clientPub [32]byte
+	copy(clientPub[:], ecdhKey.PublicKey().Bytes())
+	var nonce [32]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return fmt.Errorf("client nonce: %w", err)
+	}
+	sessionKey, err := crypto.NewSessionKey()
+	if err != nil {
+		return err
+	}
+
+	ver, err := messages.NewVerifier(c.cfg.N, c.cfg.F, c.cfg.Registry, messages.SplitScheme())
+	if err != nil {
+		return err
+	}
+	req := &messages.AttestRequest{ClientID: c.cfg.ID, Nonce: nonce, ClientPub: clientPub}
+	data := messages.Marshal(req)
+	for id := uint32(0); int(id) < c.cfg.N; id++ {
+		if err := c.conn.Send(transport.ReplicaEndpoint(id), data); err != nil {
+			return err
+		}
+	}
+	// Collect quotes from all n Execution enclaves, wrap s_enc to each.
+	provisioned := make(map[uint32]bool)
+	deadline := time.After(c.cfg.Timeout)
+	for len(provisioned) < c.cfg.N {
+		select {
+		case <-deadline:
+			return fmt.Errorf("%w: attested %d/%d enclaves", ErrTimeout, len(provisioned), c.cfg.N)
+		case q := <-c.quoteCh:
+			if provisioned[q.Replica] || q.Nonce != nonce {
+				continue
+			}
+			if err := ver.VerifyQuote(q, c.cfg.ExecMeasurement, nonce); err != nil {
+				continue // forged or stale quote; keep waiting for a real one
+			}
+			peer, err := ecdh.X25519().NewPublicKey(q.EnclavePub[:])
+			if err != nil {
+				continue
+			}
+			shared, err := ecdhKey.ECDH(peer)
+			if err != nil {
+				continue
+			}
+			wrapKey := tee.DeriveSessionKey(shared)
+			wrapSess, err := crypto.NewSession(wrapKey, 0)
+			if err != nil {
+				continue
+			}
+			prov := &messages.ProvisionKey{
+				ClientID:   c.cfg.ID,
+				Replica:    q.Replica,
+				WrappedKey: wrapSess.Seal(sessionKey[:], ProvisionAD(c.cfg.ID)),
+			}
+			if err := c.conn.Send(transport.ReplicaEndpoint(q.Replica), messages.Marshal(prov)); err != nil {
+				return err
+			}
+			provisioned[q.Replica] = true
+		}
+	}
+	c.sessionKey = sessionKey
+	if c.sendSess, err = crypto.NewSession(sessionKey, 0); err != nil {
+		return err
+	}
+	// recvSess decrypts replies from any replica (nonces carried in-band).
+	if c.recvSess, err = crypto.NewSession(sessionKey, 1); err != nil {
+		return err
+	}
+	c.attested.Store(true)
+	return nil
+}
+
+// ProvisionAD binds the wrapped session-key blob to the provisioning
+// client; the Execution compartment computes the same bytes when
+// unwrapping.
+func ProvisionAD(clientID uint32) []byte {
+	e := messages.NewEncoder(8)
+	e.U32(clientID)
+	return e.Bytes()
+}
+
+// RequestAD binds a confidential payload to (client, timestamp); it is the
+// AES-GCM associated data for request payloads. Exported because the
+// Execution compartment must compute the same bytes.
+func RequestAD(clientID uint32, timestamp uint64) []byte {
+	e := messages.NewEncoder(12)
+	e.U32(clientID)
+	e.U64(timestamp)
+	return e.Bytes()
+}
+
+// ReplyAD binds a confidential reply to (client, timestamp). The replica ID
+// is intentionally excluded so honest replicas produce comparable
+// ciphertext contents (plaintexts are compared after decryption anyway).
+func ReplyAD(clientID uint32, timestamp uint64) []byte {
+	e := messages.NewEncoder(12)
+	e.U32(clientID)
+	e.U64(timestamp)
+	return e.Bytes()
+}
+
+// Invoke submits op and blocks until f+1 matching replies arrive or the
+// timeout expires. In confidential mode op is encrypted end-to-end and the
+// returned result is the decrypted plaintext.
+func (c *Client) Invoke(op []byte) ([]byte, error) {
+	if c.cfg.Confidential && !c.attested.Load() {
+		return nil, ErrNotAttested
+	}
+	ts := c.ts.Add(1)
+	payload := op
+	if c.cfg.Confidential {
+		payload = c.sendSess.Seal(op, RequestAD(c.cfg.ID, ts))
+	}
+	req := &messages.Request{ClientID: c.cfg.ID, Timestamp: ts, Payload: payload}
+	auth := c.cfg.MACs.Authenticate(req.AuthenticatedBytes(), c.cfg.AuthReceivers)
+	req.Auth = auth
+	data := messages.Marshal(req)
+
+	ca := &call{
+		done:    make(chan []byte, 1),
+		replies: make(map[uint32][]byte),
+		sealed:  c.cfg.Confidential,
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[ts] = ca
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, ts)
+		c.mu.Unlock()
+	}()
+
+	send := func() error {
+		for id := uint32(0); int(id) < c.cfg.N; id++ {
+			if err := c.conn.Send(transport.ReplicaEndpoint(id), data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := send(); err != nil {
+		return nil, err
+	}
+	deadline := time.After(c.cfg.Timeout)
+	retry := time.NewTicker(c.cfg.RetransmitInterval)
+	defer retry.Stop()
+	for {
+		select {
+		case res, ok := <-ca.done:
+			if !ok {
+				return nil, ErrClosed
+			}
+			return res, nil
+		case <-retry.C:
+			if err := send(); err != nil {
+				return nil, err
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("%w: op after %v", ErrTimeout, c.cfg.Timeout)
+		}
+	}
+}
+
+// onReply verifies a reply MAC, decrypts confidential results, and resolves
+// the pending call once f+1 replicas agree on the result.
+func (c *Client) onReply(rep *messages.Reply) {
+	if rep.ClientID != c.cfg.ID {
+		return
+	}
+	sender := crypto.Identity{ReplicaID: rep.Replica, Role: c.cfg.ReplyRole}
+	if err := c.cfg.MACs.VerifySingle(rep.AuthenticatedBytes(), rep.MAC, sender); err != nil {
+		return
+	}
+	result := rep.Result
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ca, ok := c.pending[rep.Timestamp]
+	if !ok {
+		return
+	}
+	if ca.sealed {
+		pt, err := c.recvSess.Open(result, ReplyAD(rep.ClientID, rep.Timestamp))
+		if err != nil {
+			return
+		}
+		result = pt
+	}
+	if _, dup := ca.replies[rep.Replica]; dup {
+		return
+	}
+	ca.replies[rep.Replica] = result
+	matching := 0
+	for _, other := range ca.replies {
+		if bytes.Equal(other, result) {
+			matching++
+		}
+	}
+	if matching >= c.cfg.F+1 {
+		select {
+		case ca.done <- result:
+		default:
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// ecall is one queued invocation of a local enclave.
+type ecall struct {
+	role    crypto.Role
+	payload []byte
+}
+
+// queue is an unbounded FIFO of ecalls. Unboundedness removes any
+// possibility of routing deadlock between enclave dispatchers (local
+// outputs always enqueue without blocking); memory stays bounded by the
+// protocol's watermark window in practice.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []ecall
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(e ecall) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, e)
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the queue closes.
+func (q *queue) pop() (ecall, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return ecall{}, false
+	}
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// reqKey identifies a pending client request for failure detection.
+type reqKey struct {
+	client uint32
+	ts     uint64
+}
+
+// broker is the untrusted environment of a SplitBFT replica (§5): a shim
+// layer where enclaves register. It handles all I/O for the enclaves —
+// network sends, the ecall queues, request batching, and timers. It is
+// untrusted: a compromised broker can drop, delay or misroute, costing
+// liveness or availability, but never integrity or confidentiality.
+type broker struct {
+	cfg  Config
+	conn transport.Conn
+
+	enclaves map[crypto.Role]*tee.Enclave
+	queues   []*queue // one per enclave, or a single shared queue
+
+	mu           sync.Mutex
+	pendingReqs  []messages.Request
+	pendingKeys  map[reqKey]bool
+	batchSince   time.Time
+	viewEstimate uint64
+	reqTimers    map[reqKey]time.Time
+	lastSuspect  time.Time
+
+	blocksMu sync.Mutex
+	blocks   [][]byte // sealed blockchain blocks persisted via ocall
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	mReplies  atomic.Uint64
+	mBatches  atomic.Uint64
+	mSuspects atomic.Uint64
+}
+
+func newBroker(cfg Config, prep, conf, exec *tee.Enclave) *broker {
+	b := &broker{
+		cfg: cfg,
+		enclaves: map[crypto.Role]*tee.Enclave{
+			crypto.RolePreparation:  prep,
+			crypto.RoleConfirmation: conf,
+			crypto.RoleExecution:    exec,
+		},
+		pendingKeys: make(map[reqKey]bool),
+		reqTimers:   make(map[reqKey]time.Time),
+		stop:        make(chan struct{}),
+	}
+	if cfg.SingleThread {
+		b.queues = []*queue{newQueue()}
+	} else {
+		b.queues = []*queue{newQueue(), newQueue(), newQueue()}
+	}
+	return b
+}
+
+// queueFor returns the queue serving a compartment.
+func (b *broker) queueFor(role crypto.Role) *queue {
+	if b.cfg.SingleThread {
+		return b.queues[0]
+	}
+	switch role {
+	case crypto.RolePreparation:
+		return b.queues[0]
+	case crypto.RoleConfirmation:
+		return b.queues[1]
+	default:
+		return b.queues[2]
+	}
+}
+
+// submit enqueues an ecall for a compartment.
+func (b *broker) submit(role crypto.Role, payload []byte) {
+	b.queueFor(role).push(ecall{role: role, payload: payload})
+}
+
+// start launches the dispatcher threads (one per enclave, matching the
+// paper's "each enclave is associated with a thread that triggers ecalls";
+// or a single thread in SingleThread mode) plus the event loop.
+func (b *broker) start(conn transport.Conn) {
+	b.conn = conn
+	for _, q := range b.queues {
+		b.wg.Add(1)
+		go b.dispatch(q)
+	}
+	b.wg.Add(1)
+	go b.eventLoop()
+}
+
+func (b *broker) stopAll() {
+	b.once.Do(func() {
+		close(b.stop)
+		for _, q := range b.queues {
+			q.close()
+		}
+	})
+	b.wg.Wait()
+}
+
+// dispatch pops ecalls and drives the enclave, routing its outputs.
+func (b *broker) dispatch(q *queue) {
+	defer b.wg.Done()
+	for {
+		e, ok := q.pop()
+		if !ok {
+			return
+		}
+		enc := b.enclaves[e.role]
+		out, err := enc.Invoke(e.payload)
+		if err != nil {
+			continue // crashed enclave: drop (availability loss only)
+		}
+		b.route(out)
+	}
+}
+
+// route delivers enclave output messages.
+func (b *broker) route(out []tee.OutMsg) {
+	for i := range out {
+		m := &out[i]
+		switch m.Kind {
+		case tee.DestBroadcast:
+			if b.conn != nil {
+				_ = b.conn.BroadcastReplicas(m.Payload)
+			}
+		case tee.DestReplica:
+			if b.conn != nil {
+				_ = b.conn.Send(transport.ReplicaEndpoint(m.ID), m.Payload)
+			}
+		case tee.DestClient:
+			b.noteClientBound(m.Payload)
+			if b.conn != nil {
+				_ = b.conn.Send(transport.ClientEndpoint(m.ID), m.Payload)
+			}
+		case tee.DestLocal:
+			b.submit(m.Local, wrapMessage(m.Payload))
+		}
+	}
+}
+
+// noteClientBound inspects outbound client traffic to clear request timers
+// and count executed operations. The broker may read these envelopes — the
+// confidential payload inside is ciphertext.
+func (b *broker) noteClientBound(data []byte) {
+	if len(data) == 0 || messages.Type(data[0]) != messages.TReply {
+		return
+	}
+	m, err := messages.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	rep := m.(*messages.Reply)
+	b.mReplies.Add(1)
+	b.mu.Lock()
+	delete(b.reqTimers, reqKey{client: rep.ClientID, ts: rep.Timestamp})
+	b.mu.Unlock()
+}
+
+// handler is the transport inbound path: route by envelope type to the
+// compartments' input logs, duplicating messages exactly as §3.2
+// prescribes.
+func (b *broker) handler(from transport.Endpoint, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	switch messages.Type(data[0]) {
+	case messages.TRequest:
+		b.onClientRequest(data)
+	case messages.TPrePrepare:
+		// Duplicated into all three input logs (Preparation prepares it,
+		// Confirmation matches it against Prepares, Execution needs the
+		// request bodies).
+		w := wrapMessage(data)
+		b.submit(crypto.RolePreparation, w)
+		b.submit(crypto.RoleConfirmation, w)
+		b.submit(crypto.RoleExecution, w)
+	case messages.TPrepare:
+		b.submit(crypto.RoleConfirmation, wrapMessage(data))
+	case messages.TCommit:
+		b.submit(crypto.RoleExecution, wrapMessage(data))
+	case messages.TCheckpoint:
+		w := wrapMessage(data)
+		b.submit(crypto.RolePreparation, w)
+		b.submit(crypto.RoleConfirmation, w)
+		b.submit(crypto.RoleExecution, w)
+	case messages.TViewChange:
+		w := wrapMessage(data)
+		b.submit(crypto.RolePreparation, w)
+		b.submit(crypto.RoleConfirmation, w)
+	case messages.TNewView:
+		b.observeNewView(data)
+		w := wrapMessage(data)
+		b.submit(crypto.RolePreparation, w)
+		b.submit(crypto.RoleConfirmation, w)
+		b.submit(crypto.RoleExecution, w)
+	case messages.TAttestRequest, messages.TProvisionKey,
+		messages.TStateRequest, messages.TStateReply:
+		b.submit(crypto.RoleExecution, wrapMessage(data))
+	}
+	_ = from
+}
+
+// observeNewView updates the broker's view estimate so batching
+// responsibility follows the primary. The estimate is untrusted and only
+// affects liveness.
+func (b *broker) observeNewView(data []byte) {
+	m, err := messages.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	nv := m.(*messages.NewView)
+	b.mu.Lock()
+	if nv.View > b.viewEstimate {
+		b.viewEstimate = nv.View
+	}
+	b.mu.Unlock()
+}
+
+// believesPrimary reports whether this replica's Preparation compartment is
+// the primary under the broker's view estimate.
+func (b *broker) believesPrimaryLocked() bool {
+	return uint32(b.viewEstimate%uint64(b.cfg.N)) == b.cfg.ID
+}
+
+// onClientRequest performs untrusted batching (§3.2: "we also place the
+// batching of requests into the untrusted environment") and failure
+// detection bookkeeping.
+func (b *broker) onClientRequest(data []byte) {
+	m, err := messages.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	req := m.(*messages.Request)
+	key := reqKey{client: req.ClientID, ts: req.Timestamp}
+	var submitNow *messages.Batch
+	b.mu.Lock()
+	if _, ok := b.reqTimers[key]; !ok {
+		b.reqTimers[key] = time.Now()
+	}
+	if b.believesPrimaryLocked() && !b.pendingKeys[key] {
+		if len(b.pendingReqs) == 0 {
+			b.batchSince = time.Now()
+		}
+		b.pendingKeys[key] = true
+		b.pendingReqs = append(b.pendingReqs, *req)
+		if len(b.pendingReqs) >= b.cfg.BatchSize {
+			submitNow = b.takeBatchLocked()
+		}
+	}
+	b.mu.Unlock()
+	if submitNow != nil {
+		b.submitBatch(submitNow)
+	}
+}
+
+// takeBatchLocked removes up to BatchSize requests from the buffer.
+func (b *broker) takeBatchLocked() *messages.Batch {
+	if len(b.pendingReqs) == 0 {
+		return nil
+	}
+	take := len(b.pendingReqs)
+	if take > b.cfg.BatchSize {
+		take = b.cfg.BatchSize
+	}
+	batch := &messages.Batch{Requests: b.pendingReqs[:take:take]}
+	b.pendingReqs = append([]messages.Request(nil), b.pendingReqs[take:]...)
+	for i := range batch.Requests {
+		delete(b.pendingKeys, reqKey{
+			client: batch.Requests[i].ClientID,
+			ts:     batch.Requests[i].Timestamp,
+		})
+	}
+	b.batchSince = time.Now()
+	return batch
+}
+
+func (b *broker) submitBatch(batch *messages.Batch) {
+	b.mBatches.Add(1)
+	b.submit(crypto.RolePreparation, wrapBatch(batch))
+}
+
+// eventLoop drives batch timeouts and the request-timer failure detector.
+func (b *broker) eventLoop() {
+	defer b.wg.Done()
+	tick := b.cfg.BatchTimeout / 2
+	if tick <= 0 || tick > 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+			b.onTick(time.Now())
+		}
+	}
+}
+
+func (b *broker) onTick(now time.Time) {
+	var batch *messages.Batch
+	suspect := false
+	var suspectView uint64
+	b.mu.Lock()
+	if len(b.pendingReqs) > 0 && now.Sub(b.batchSince) >= b.cfg.BatchTimeout {
+		batch = b.takeBatchLocked()
+	}
+	// Failure detection: any request pending longer than the timeout.
+	if now.Sub(b.lastSuspect) > b.cfg.RequestTimeout {
+		for key, since := range b.reqTimers {
+			if now.Sub(since) > 10*b.cfg.RequestTimeout {
+				delete(b.reqTimers, key) // stale entry (e.g. pre-dedup retransmit)
+				continue
+			}
+			if now.Sub(since) > b.cfg.RequestTimeout {
+				suspect = true
+				suspectView = b.viewEstimate
+				break
+			}
+		}
+		if suspect {
+			b.lastSuspect = now
+			b.viewEstimate++ // batching duty may now be ours in v+1
+		}
+	}
+	b.mu.Unlock()
+	if batch != nil {
+		b.submitBatch(batch)
+	}
+	if suspect {
+		b.mSuspects.Add(1)
+		s := &messages.Suspect{Replica: b.cfg.ID, View: suspectView}
+		b.submit(crypto.RoleConfirmation, wrapMessage(messages.Marshal(s)))
+	}
+}
+
+// persistBlock is the "fs.write" ocall target: it stores a sealed
+// blockchain block in untrusted memory (standing in for protected-file I/O).
+func (b *broker) persistBlock(data []byte) ([]byte, error) {
+	b.blocksMu.Lock()
+	defer b.blocksMu.Unlock()
+	b.blocks = append(b.blocks, data)
+	return nil, nil
+}
+
+// persistedBlocks returns how many sealed blocks were written.
+func (b *broker) persistedBlocks() int {
+	b.blocksMu.Lock()
+	defer b.blocksMu.Unlock()
+	return len(b.blocks)
+}

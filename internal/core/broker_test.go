@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue()
+	for i := byte(0); i < 10; i++ {
+		q.push(ecall{payload: []byte{i}})
+	}
+	for i := byte(0); i < 10; i++ {
+		e, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		if e.payload[0] != i {
+			t.Fatalf("out of order: got %d want %d", e.payload[0], i)
+		}
+	}
+}
+
+func TestQueueBlocksUntilPush(t *testing.T) {
+	q := newQueue()
+	got := make(chan ecall, 1)
+	go func() {
+		e, ok := q.pop()
+		if ok {
+			got <- e
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("pop returned from an empty queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.push(ecall{payload: []byte("x")})
+	select {
+	case e := <-got:
+		if string(e.payload) != "x" {
+			t.Fatalf("payload = %q", e.payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop did not wake on push")
+	}
+}
+
+func TestQueueCloseUnblocksAndRejects(t *testing.T) {
+	q := newQueue()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned an item from a closed empty queue")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock pop")
+	}
+	q.push(ecall{payload: []byte("late")})
+	if _, ok := q.pop(); ok {
+		t.Fatal("push after close was accepted")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := newQueue()
+	const producers, per = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.push(ecall{payload: []byte{1}})
+			}
+		}()
+	}
+	wg.Wait()
+	count := 0
+	for {
+		q.mu.Lock()
+		n := len(q.items)
+		q.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if _, ok := q.pop(); !ok {
+			break
+		}
+		count++
+	}
+	if count != producers*per {
+		t.Fatalf("drained %d items, want %d", count, producers*per)
+	}
+}
+
+// newTestBroker builds a broker with live enclaves but no network.
+func newTestBroker(t *testing.T, singleThread bool) (*broker, Config) {
+	t.Helper()
+	reg := crypto.NewRegistry()
+	cfg := Config{
+		N: 4, F: 1, ID: 0,
+		Registry:  reg,
+		MACSecret: []byte("broker-test"),
+		App:       app.NewKVS(),
+	}
+	cfg.SingleThread = singleThread
+	cfg = cfg.withDefaults()
+	ver, err := messages.NewVerifier(cfg.N, cfg.F, reg, messages.SplitScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(role crypto.Role, code tee.Code) *tee.Enclave {
+		enc, err := tee.NewEnclave(0, role, code, tee.ZeroCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Register(enc.Identity(), enc.PublicKey())
+		return enc
+	}
+	prep := mk(crypto.RolePreparation, newPreparation(cfg, ver))
+	conf := mk(crypto.RoleConfirmation, newConfirmation(cfg, ver))
+	exec := mk(crypto.RoleExecution, newExecution(cfg, ver))
+	return newBroker(cfg, prep, conf, exec), cfg
+}
+
+func TestBrokerQueueTopology(t *testing.T) {
+	multi, _ := newTestBroker(t, false)
+	if len(multi.queues) != 3 {
+		t.Fatalf("multithreaded broker has %d queues, want 3", len(multi.queues))
+	}
+	if multi.queueFor(crypto.RolePreparation) == multi.queueFor(crypto.RoleExecution) {
+		t.Fatal("compartments share a queue in multithreaded mode")
+	}
+	single, _ := newTestBroker(t, true)
+	if len(single.queues) != 1 {
+		t.Fatalf("single-thread broker has %d queues, want 1", len(single.queues))
+	}
+	if single.queueFor(crypto.RolePreparation) != single.queueFor(crypto.RoleExecution) {
+		t.Fatal("single-thread mode must funnel all ecalls into one queue")
+	}
+}
+
+func TestBrokerRoutingTable(t *testing.T) {
+	b, _ := newTestBroker(t, false)
+	// Count what lands in each queue for each inbound message type.
+	depth := func(q *queue) int {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.items)
+	}
+	drain := func() {
+		for _, q := range b.queues {
+			q.mu.Lock()
+			q.items = nil
+			q.mu.Unlock()
+		}
+	}
+	cases := []struct {
+		msg              messages.Message
+		prep, conf, exec int
+	}{
+		{&messages.PrePrepare{}, 1, 1, 1}, // duplicated into all three logs
+		{&messages.Prepare{}, 0, 1, 0},
+		{&messages.Commit{}, 0, 0, 1},
+		{&messages.Checkpoint{}, 1, 1, 1},
+		{&messages.ViewChange{}, 1, 1, 0},
+		{&messages.NewView{}, 1, 1, 1},
+		{&messages.AttestRequest{}, 0, 0, 1},
+		{&messages.ProvisionKey{}, 0, 0, 1},
+		{&messages.StateRequest{}, 0, 0, 1},
+		{&messages.StateReply{}, 0, 0, 1},
+	}
+	for _, tc := range cases {
+		drain()
+		b.handler(transportEndpoint(), messages.Marshal(tc.msg))
+		got := [3]int{
+			depth(b.queueFor(crypto.RolePreparation)),
+			depth(b.queueFor(crypto.RoleConfirmation)),
+			depth(b.queueFor(crypto.RoleExecution)),
+		}
+		want := [3]int{tc.prep, tc.conf, tc.exec}
+		if got != want {
+			t.Errorf("%s routed %v, want %v", tc.msg.MsgType(), got, want)
+		}
+	}
+}
+
+func TestBrokerBatchesOnlyWhenPrimary(t *testing.T) {
+	b, cfg := newTestBroker(t, false) // replica 0 is the view-0 primary
+	req := testRequest(cfg.MACSecret, cfg.N, 9, 1, []byte("op"))
+	b.onClientRequest(messages.Marshal(&req))
+	b.mu.Lock()
+	pending := len(b.pendingReqs)
+	b.mu.Unlock()
+	if pending != 1 {
+		t.Fatalf("primary broker buffered %d requests, want 1", pending)
+	}
+	// Advance the view estimate: replica 0 no longer believes it is the
+	// primary, so it only tracks timers.
+	b.mu.Lock()
+	b.viewEstimate = 1
+	b.pendingReqs = nil
+	b.pendingKeys = map[reqKey]bool{}
+	b.mu.Unlock()
+	req2 := testRequest(cfg.MACSecret, cfg.N, 9, 2, []byte("op2"))
+	b.onClientRequest(messages.Marshal(&req2))
+	b.mu.Lock()
+	pending = len(b.pendingReqs)
+	timers := len(b.reqTimers)
+	b.mu.Unlock()
+	if pending != 0 {
+		t.Fatal("backup broker buffered a batch")
+	}
+	if timers == 0 {
+		t.Fatal("backup broker must still track request timers")
+	}
+}
+
+func TestBrokerBatchCutOnSize(t *testing.T) {
+	b, cfg := newTestBroker(t, false)
+	b.cfg.BatchSize = 3
+	for ts := uint64(1); ts <= 3; ts++ {
+		req := testRequest(cfg.MACSecret, cfg.N, 9, ts, []byte("op"))
+		b.onClientRequest(messages.Marshal(&req))
+	}
+	// Batch of 3 must have been submitted to the Preparation queue.
+	if got := b.mBatches.Load(); got != 1 {
+		t.Fatalf("submitted %d batches, want 1", got)
+	}
+	q := b.queueFor(crypto.RolePreparation)
+	e, ok := q.pop()
+	if !ok || e.payload[0] != ecallBatch {
+		t.Fatal("preparation queue does not hold a batch ecall")
+	}
+	batch, err := messages.UnmarshalBatch(e.payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Requests) != 3 {
+		t.Fatalf("batch has %d requests", len(batch.Requests))
+	}
+	b.mu.Lock()
+	if len(b.pendingReqs) != 0 || len(b.pendingKeys) != 0 {
+		t.Fatal("buffer not drained after the cut")
+	}
+	b.mu.Unlock()
+}
+
+func TestBrokerDuplicateRequestNotDoubleBatched(t *testing.T) {
+	b, cfg := newTestBroker(t, false)
+	req := testRequest(cfg.MACSecret, cfg.N, 9, 1, []byte("op"))
+	raw := messages.Marshal(&req)
+	b.onClientRequest(raw)
+	b.onClientRequest(raw)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pendingReqs) != 1 {
+		t.Fatalf("duplicate buffered: %d pending", len(b.pendingReqs))
+	}
+}
+
+func TestBrokerSuspectAfterTimeout(t *testing.T) {
+	b, cfg := newTestBroker(t, false)
+	b.cfg.RequestTimeout = 10 * time.Millisecond
+	req := testRequest(cfg.MACSecret, cfg.N, 9, 1, []byte("op"))
+	b.onClientRequest(messages.Marshal(&req))
+	// Before the timeout: no suspect.
+	b.onTick(time.Now())
+	if b.mSuspects.Load() != 0 {
+		t.Fatal("suspected before the timeout")
+	}
+	// After the timeout: exactly one suspect, then a cooldown.
+	b.onTick(time.Now().Add(20 * time.Millisecond))
+	if b.mSuspects.Load() != 1 {
+		t.Fatalf("suspects = %d, want 1", b.mSuspects.Load())
+	}
+	q := b.queueFor(crypto.RoleConfirmation)
+	e, ok := q.pop()
+	if !ok {
+		t.Fatal("no suspect ecall queued")
+	}
+	m, err := messages.Unmarshal(e.payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MsgType() != messages.TSuspect {
+		t.Fatalf("queued %v, want Suspect", m.MsgType())
+	}
+	// A reply for the pending request clears the timer: no more suspects.
+	rep := &messages.Reply{ClientID: 9, Timestamp: 1, Replica: 0}
+	b.noteClientBound(messages.Marshal(rep))
+	b.onTick(time.Now().Add(100 * time.Millisecond))
+	if b.mSuspects.Load() != 1 {
+		t.Fatal("suspected after the request was answered")
+	}
+	if b.mReplies.Load() != 1 {
+		t.Fatal("reply not counted")
+	}
+}
+
+func TestBrokerViewEstimateFollowsNewView(t *testing.T) {
+	b, _ := newTestBroker(t, false)
+	nv := &messages.NewView{View: 3, Replica: 3}
+	b.handler(transportEndpoint(), messages.Marshal(nv))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.viewEstimate != 3 {
+		t.Fatalf("view estimate = %d, want 3", b.viewEstimate)
+	}
+}
+
+// transportEndpoint returns an arbitrary source endpoint for handler calls.
+func transportEndpoint() transport.Endpoint { return transport.ClientEndpoint(99) }

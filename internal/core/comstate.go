@@ -1,0 +1,143 @@
+package core
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// comState holds the bookkeeping every compartment type maintains
+// separately: its own view variable (replicated across compartments per
+// §3.2), its own low watermark, and its own collection of Checkpoint
+// messages. The paper duplicates the checkpoint and new-view-checkpoint
+// handlers (9, 7') in all compartments; this struct is that duplicated
+// handler's state, instantiated once per compartment.
+type comState struct {
+	n, f int
+	id   uint32
+	ver  *messages.Verifier
+
+	view         uint64
+	lowWatermark uint64
+	window       uint64
+	stableCert   messages.CheckpointCert
+
+	checkpoints map[uint64]map[uint32]*messages.Checkpoint
+}
+
+func newComState(n, f int, id uint32, window uint64, ver *messages.Verifier) comState {
+	return comState{
+		n: n, f: f, id: id, ver: ver, window: window,
+		checkpoints: make(map[uint64]map[uint32]*messages.Checkpoint),
+	}
+}
+
+func (s *comState) quorum() int { return 2*s.f + 1 }
+
+func (s *comState) primary(view uint64) uint32 { return uint32(view % uint64(s.n)) }
+
+// inWindow reports whether seq is inside the active watermark window.
+func (s *comState) inWindow(seq uint64) bool {
+	return seq > s.lowWatermark && seq <= s.lowWatermark+s.window
+}
+
+// onCheckpoint is the duplicated checkpoint handler (event handler 9): it
+// collects Execution-signed Checkpoints and returns a new stable
+// certificate once 2f+1 match, or nil. The caller performs its
+// compartment-specific GC.
+func (s *comState) onCheckpoint(c *messages.Checkpoint) *messages.CheckpointCert {
+	if c.Seq <= s.lowWatermark {
+		return nil
+	}
+	if err := s.ver.VerifyCheckpoint(c); err != nil {
+		return nil
+	}
+	set, ok := s.checkpoints[c.Seq]
+	if !ok {
+		set = make(map[uint32]*messages.Checkpoint)
+		s.checkpoints[c.Seq] = set
+	}
+	if _, dup := set[c.Replica]; dup {
+		return nil
+	}
+	set[c.Replica] = c
+	byDigest := make(map[crypto.Digest][]*messages.Checkpoint)
+	for _, cp := range set {
+		byDigest[cp.StateDigest] = append(byDigest[cp.StateDigest], cp)
+	}
+	for digest, cps := range byDigest {
+		if len(cps) < s.quorum() {
+			continue
+		}
+		cert := &messages.CheckpointCert{Seq: c.Seq, StateDigest: digest}
+		for _, cp := range cps[:s.quorum()] {
+			cert.Proof = append(cert.Proof, *cp)
+		}
+		return cert
+	}
+	return nil
+}
+
+// advanceStable installs a stable checkpoint certificate, pruning the
+// checkpoint collection. Returns true if the watermark moved.
+func (s *comState) advanceStable(cert messages.CheckpointCert) bool {
+	if cert.Seq <= s.lowWatermark {
+		return false
+	}
+	s.lowWatermark = cert.Seq
+	s.stableCert = cert
+	for seq := range s.checkpoints {
+		if seq < cert.Seq {
+			delete(s.checkpoints, seq)
+		}
+	}
+	return true
+}
+
+// applyNewViewCheckpoint is the duplicated new-view checkpoint handler
+// (event handler 7'): every compartment validates the stable certificate in
+// a NewView and applies it, updating its view if the NewView is newer. The
+// PrePrepares in the NewView are NOT validated here — only the Preparation
+// compartment does that (§4.4). Returns true if the view advanced.
+func (s *comState) applyNewViewCheckpoint(nv *messages.NewView) bool {
+	if nv.View < s.view {
+		return false
+	}
+	// Signature of the new primary's Preparation enclave.
+	signer := crypto.Identity{ReplicaID: nv.Replica, Role: crypto.RolePreparation}
+	if nv.Replica != s.primary(nv.View) {
+		return false
+	}
+	if err := s.ver.Reg.VerifyFrom(signer, nv.SigningBytes(), nv.Sig); err != nil {
+		return false
+	}
+	if err := s.ver.VerifyCheckpointCert(&nv.Stable); err != nil {
+		return false
+	}
+	advanced := nv.View > s.view || nv.View == s.view
+	s.view = nv.View
+	s.advanceStable(nv.Stable)
+	return advanced
+}
+
+// localOut builds a DestLocal output message to another compartment on the
+// same replica.
+func localOut(role crypto.Role, m messages.Message) tee.OutMsg {
+	return tee.OutMsg{Kind: tee.DestLocal, Local: role, Payload: messages.Marshal(m)}
+}
+
+// broadcastOut builds a DestBroadcast output message (network only; local
+// copies are emitted explicitly so quorum logic treats them uniformly).
+func broadcastOut(m messages.Message) tee.OutMsg {
+	return tee.OutMsg{Kind: tee.DestBroadcast, Payload: messages.Marshal(m)}
+}
+
+// replicaOut builds a DestReplica output message.
+func replicaOut(id uint32, m messages.Message) tee.OutMsg {
+	return tee.OutMsg{Kind: tee.DestReplica, ID: id, Payload: messages.Marshal(m)}
+}
+
+// clientOut builds a DestClient output message.
+func clientOut(clientID uint32, m messages.Message) tee.OutMsg {
+	return tee.OutMsg{Kind: tee.DestClient, ID: clientID, Payload: messages.Marshal(m)}
+}

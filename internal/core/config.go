@@ -1,0 +1,178 @@
+// Package core implements SplitBFT: PBFT compartmentalized into three
+// independently-failing trusted compartments per replica (paper §3–§4).
+//
+//   - The Preparation compartment receives client batches, assigns sequence
+//     numbers (primary), emits PrePrepares/Prepares, and creates/validates
+//     NewView messages.
+//   - The Confirmation compartment collects prepare certificates
+//     (1 PrePrepare + 2f Prepares), emits Commits, and initiates view
+//     changes.
+//   - The Execution compartment collects commit certificates (2f+1
+//     Commits), executes client requests against the application, replies
+//     (encrypted) to clients, and originates Checkpoints.
+//
+// Each compartment runs inside a simulated SGX enclave (internal/tee) with
+// its own key pair, log, view variable and watermarks; compartments only
+// change state on quorum certificates (principle P5). The untrusted broker
+// (environment) handles networking, batching and timers — all of which can
+// only hurt liveness, never safety (principle P1).
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCheckpointInterval = 128
+	DefaultWatermarkWindow    = 2 * DefaultCheckpointInterval
+	DefaultBatchSize          = 200
+	DefaultBatchTimeout       = 10 * time.Millisecond
+	DefaultRequestTimeout     = 500 * time.Millisecond
+)
+
+// Config parameterizes one SplitBFT replica (three enclaves plus broker).
+type Config struct {
+	// N is the number of replicas (3F+1); F the fault threshold.
+	N, F int
+	// ID is this replica's index in [0, N).
+	ID uint32
+
+	// Registry resolves enclave public keys; NewReplica registers this
+	// replica's enclave keys into it (the deployment-time attestation
+	// step).
+	Registry *crypto.Registry
+	// MACSecret derives the pairwise client MAC keys for the Preparation
+	// and Execution enclaves.
+	MACSecret []byte
+	// KeySeed, when set, derives the enclave key pairs deterministically
+	// so separate processes can compute each other's public keys with
+	// RegisterDeterministicKeys — the multi-process stand-in for the
+	// attestation-based key exchange. Leave nil for fresh random keys
+	// (single-process deployments and tests).
+	KeySeed []byte
+
+	// App is the replicated application, run inside the Execution enclave.
+	App app.Application
+	// Confidential enables end-to-end encrypted requests/replies. Clients
+	// must attest and provision a session key before invoking.
+	Confidential bool
+
+	// Cost is the enclave cost model (hardware, simulation, or zero).
+	Cost tee.CostModel
+	// SingleThread serializes all ecalls through one dispatcher goroutine
+	// (the paper's single-threaded configuration in Figure 3a). Default is
+	// one dispatcher per enclave plus the broker event loop.
+	SingleThread bool
+
+	// Agreement parameters; see the pbft package for semantics.
+	CheckpointInterval uint64
+	WatermarkWindow    uint64
+	BatchSize          int
+	BatchTimeout       time.Duration
+	RequestTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if c.WatermarkWindow == 0 {
+		c.WatermarkWindow = DefaultWatermarkWindow
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchTimeout == 0 {
+		c.BatchTimeout = DefaultBatchTimeout
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.N != 3*c.F+1 || c.F < 0 {
+		return errors.New("core: N must equal 3F+1")
+	}
+	if int(c.ID) >= c.N {
+		return errors.New("core: ID out of range")
+	}
+	if c.Registry == nil {
+		return errors.New("core: Registry is required")
+	}
+	if len(c.MACSecret) == 0 {
+		return errors.New("core: MACSecret is required")
+	}
+	if c.App == nil {
+		return errors.New("core: App is required")
+	}
+	return nil
+}
+
+// RequestAuthReceivers returns the client MAC-vector layout for SplitBFT:
+// first the n Preparation enclaves (which authenticate requests during
+// ordering), then the n Execution enclaves (which authenticate before
+// executing). Slot i belongs to Preparation enclave i; slot n+i to
+// Execution enclave i.
+func RequestAuthReceivers(n int) []crypto.Identity {
+	out := make([]crypto.Identity, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, crypto.Identity{ReplicaID: uint32(i), Role: crypto.RolePreparation})
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, crypto.Identity{ReplicaID: uint32(i), Role: crypto.RoleExecution})
+	}
+	return out
+}
+
+// Compartment code measurements. In real SGX these would be MRENCLAVE
+// values of the three (ideally diversely implemented) enclave binaries;
+// here they are stable digests of the compartment names so attestation has
+// something meaningful to check.
+var (
+	measPreparation  = crypto.HashData([]byte("splitbft/preparation/v1"))
+	measConfirmation = crypto.HashData([]byte("splitbft/confirmation/v1"))
+	measExecution    = crypto.HashData([]byte("splitbft/execution/v1"))
+)
+
+// ExecutionMeasurement returns the Execution compartment's measurement;
+// clients verify attestation quotes against it before provisioning session
+// keys.
+func ExecutionMeasurement() crypto.Digest { return measExecution }
+
+// PreparationMeasurement returns the Preparation compartment's measurement.
+func PreparationMeasurement() crypto.Digest { return measPreparation }
+
+// ConfirmationMeasurement returns the Confirmation compartment's
+// measurement.
+func ConfirmationMeasurement() crypto.Digest { return measConfirmation }
+
+// Ecall payload tags: the first byte of every ecall distinguishes wire
+// messages from environment-local calls.
+const (
+	ecallMessage byte = 1 // a messages.Marshal envelope follows
+	ecallBatch   byte = 2 // a messages.MarshalBatch body follows (env → Preparation)
+)
+
+// wrapMessage frames a wire message as an ecall payload.
+func wrapMessage(data []byte) []byte {
+	out := make([]byte, 0, len(data)+1)
+	out = append(out, ecallMessage)
+	return append(out, data...)
+}
+
+// wrapBatch frames a request batch as an ecall payload.
+func wrapBatch(b *messages.Batch) []byte {
+	body := messages.MarshalBatch(b)
+	out := make([]byte, 0, len(body)+1)
+	out = append(out, ecallBatch)
+	return append(out, body...)
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// confSlot is one (view, seq) entry in the Confirmation compartment's input
+// log: the PrePrepare (stripped of request bodies) plus the Prepares
+// collected towards a prepare certificate.
+type confSlot struct {
+	prePrepare *messages.PrePrepare
+	prepares   map[uint32]*messages.Prepare
+	committed  bool
+}
+
+// confirmation is the Confirmation compartment (§3.2): it confirms that a
+// batch was prepared by a quorum — event handler (3), waiting for one
+// PrePrepare plus 2f matching Prepares before emitting a Commit — and it
+// initiates view changes (5). Per principle P5 its only cross-compartment
+// transition, the Commit, rides on a full prepare certificate.
+type confirmation struct {
+	comState
+
+	slots map[uint64]map[uint64]*confSlot // view → seq → slot
+	// inViewChange is set after sending a ViewChange: the compartment then
+	// no longer processes Prepares or sends Commits in the old view (§4.4).
+	inViewChange bool
+	// myVC is the last ViewChange we sent; it is rebroadcast when the
+	// environment re-suspects while the view change is still incomplete
+	// (the NewView may have been lost on an unreliable network).
+	myVC *messages.ViewChange
+	// vcResends counts rebroadcasts since myVC was created. Escalation to
+	// the next view happens only after 2<<vcBackoff resends — exponential
+	// backoff per view, so chasing views eventually converge (as in PBFT's
+	// doubling view-change timeout).
+	vcResends int
+	vcBackoff uint
+	// vcSeen tracks which replicas demanded which views, for the f+1 join
+	// rule (liveness).
+	vcSeen map[uint64]map[uint32]bool
+}
+
+func newConfirmation(cfg Config, ver *messages.Verifier) *confirmation {
+	return &confirmation{
+		comState: newComState(cfg.N, cfg.F, cfg.ID, cfg.WatermarkWindow, ver),
+		slots:    make(map[uint64]map[uint64]*confSlot),
+		vcSeen:   make(map[uint64]map[uint32]bool),
+	}
+}
+
+// Measurement implements tee.Code.
+func (c *confirmation) Measurement() crypto.Digest { return measConfirmation }
+
+// HandleECall implements tee.Code.
+func (c *confirmation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
+	if len(raw) == 0 || raw[0] != ecallMessage {
+		return nil
+	}
+	m, err := messages.Unmarshal(raw[1:])
+	if err != nil {
+		return nil
+	}
+	switch msg := m.(type) {
+	case *messages.PrePrepare:
+		return c.onPrePrepare(host, msg)
+	case *messages.Prepare:
+		return c.onPrepare(host, msg)
+	case *messages.Suspect:
+		return c.onSuspect(host, msg)
+	case *messages.ViewChange:
+		return c.onPeerViewChange(host, msg)
+	case *messages.NewView:
+		return c.onNewView(host, msg)
+	case *messages.Checkpoint:
+		c.onCheckpointGC(msg)
+	}
+	return nil
+}
+
+func (c *confirmation) slot(view, seq uint64) *confSlot {
+	vs, ok := c.slots[view]
+	if !ok {
+		vs = make(map[uint64]*confSlot)
+		c.slots[view] = vs
+	}
+	s, ok := vs[seq]
+	if !ok {
+		s = &confSlot{prepares: make(map[uint32]*messages.Prepare)}
+		vs[seq] = s
+	}
+	return s
+}
+
+// onPrePrepare records the proposal side of a prepare certificate. The
+// Confirmation compartment receives every PrePrepare duplicated into its
+// input log (§3.2); request bodies are irrelevant here, only the header.
+func (c *confirmation) onPrePrepare(host tee.Host, pp *messages.PrePrepare) []tee.OutMsg {
+	if pp.View != c.view || c.inViewChange || !c.inWindow(pp.Seq) {
+		return nil
+	}
+	if err := c.ver.VerifyPrePrepare(pp, false); err != nil {
+		return nil
+	}
+	s := c.slot(pp.View, pp.Seq)
+	if s.prePrepare != nil {
+		return nil // first proposal wins; equivocation costs liveness only
+	}
+	s.prePrepare = pp.StripBatch()
+	return c.maybeCommit(host, pp.View, pp.Seq)
+}
+
+// onPrepare collects Prepares from Preparation enclaves (event handler 3).
+func (c *confirmation) onPrepare(host tee.Host, p *messages.Prepare) []tee.OutMsg {
+	if p.View != c.view || c.inViewChange || !c.inWindow(p.Seq) {
+		return nil
+	}
+	if err := c.ver.VerifyPrepare(p); err != nil {
+		return nil
+	}
+	s := c.slot(p.View, p.Seq)
+	if _, dup := s.prepares[p.Replica]; dup {
+		return nil
+	}
+	s.prepares[p.Replica] = p
+	return c.maybeCommit(host, p.View, p.Seq)
+}
+
+// maybeCommit emits the Commit once the slot holds a full prepare
+// certificate: one PrePrepare plus 2f matching Prepares from distinct
+// Preparation enclaves (P5: quorum-gated transition).
+func (c *confirmation) maybeCommit(host tee.Host, view, seq uint64) []tee.OutMsg {
+	s := c.slot(view, seq)
+	if s.committed || s.prePrepare == nil {
+		return nil
+	}
+	matching := 0
+	for _, p := range s.prepares {
+		if p.Digest == s.prePrepare.Digest {
+			matching++
+		}
+	}
+	if matching < 2*c.f {
+		return nil
+	}
+	s.committed = true
+	cm := &messages.Commit{View: view, Seq: seq, Digest: s.prePrepare.Digest, Replica: c.id}
+	cm.Sig = host.Sign(cm.SigningBytes())
+	return []tee.OutMsg{
+		broadcastOut(cm),
+		localOut(crypto.RoleExecution, cm),
+	}
+}
+
+// onSuspect is the view-change trigger (event handler 5): the environment's
+// request timer expired. Suspect messages are unauthenticated — a forged
+// one can only force an unnecessary view change (liveness), never break
+// safety. The ViewChange carries the stable checkpoint certificate and all
+// prepare certificates from in_conf.
+func (c *confirmation) onSuspect(host tee.Host, s *messages.Suspect) []tee.OutMsg {
+	if c.inViewChange {
+		// Still waiting for a NewView: resend our ViewChange (it or the
+		// NewView may have been dropped); escalate only after the backoff
+		// threshold (the new primary itself may be faulty).
+		backoff := c.vcBackoff
+		if backoff > 5 {
+			backoff = 5
+		}
+		if c.vcResends < 2<<backoff && c.myVC != nil {
+			c.vcResends++
+			return []tee.OutMsg{
+				broadcastOut(c.myVC),
+				localOut(crypto.RolePreparation, c.myVC),
+			}
+		}
+		c.vcBackoff++
+		return c.startViewChange(host, c.view+1)
+	}
+	if s.View < c.view {
+		return nil
+	}
+	return c.startViewChange(host, c.view+1)
+}
+
+func (c *confirmation) startViewChange(host tee.Host, target uint64) []tee.OutMsg {
+	vc := &messages.ViewChange{
+		NewViewNum: target,
+		Stable:     c.stableCert,
+		Prepared:   c.prepareCerts(),
+		Replica:    c.id,
+	}
+	vc.Sig = host.Sign(vc.SigningBytes())
+	// Upon sending the ViewChange the enclave increases its view and stops
+	// processing Prepares or sending Commits in the old view (§4.4).
+	c.view = target
+	c.inViewChange = true
+	c.myVC = vc
+	c.vcResends = 0
+	return []tee.OutMsg{
+		broadcastOut(vc),
+		localOut(crypto.RolePreparation, vc),
+	}
+}
+
+// prepareCerts extracts prepare certificates for every slot above the
+// stable checkpoint that reached a certificate, best view per sequence.
+func (c *confirmation) prepareCerts() []messages.PrepareCert {
+	best := make(map[uint64]*messages.PrepareCert)
+	for _, vs := range c.slots {
+		for seq, s := range vs {
+			if seq <= c.lowWatermark || s.prePrepare == nil {
+				continue
+			}
+			pc := &messages.PrepareCert{PrePrepare: *s.prePrepare}
+			for _, p := range s.prepares {
+				if p.Digest == s.prePrepare.Digest && len(pc.Prepares) < 2*c.f {
+					pc.Prepares = append(pc.Prepares, *p)
+				}
+			}
+			if len(pc.Prepares) < 2*c.f {
+				continue
+			}
+			if cur, ok := best[seq]; !ok || pc.View() > cur.View() {
+				best[seq] = pc
+			}
+		}
+	}
+	out := make([]messages.PrepareCert, 0, len(best))
+	for _, pc := range best {
+		out = append(out, *pc)
+	}
+	// Insertion sort by sequence number (small sets).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq() < out[j-1].Seq(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// onPeerViewChange implements the f+1 join rule: when more than f distinct
+// replicas demand views above ours, join the smallest to preserve liveness.
+func (c *confirmation) onPeerViewChange(host tee.Host, vc *messages.ViewChange) []tee.OutMsg {
+	if vc.NewViewNum <= c.view {
+		return nil
+	}
+	if err := c.ver.VerifyViewChange(vc); err != nil {
+		return nil
+	}
+	set, ok := c.vcSeen[vc.NewViewNum]
+	if !ok {
+		set = make(map[uint32]bool)
+		c.vcSeen[vc.NewViewNum] = set
+	}
+	set[vc.Replica] = true
+	distinct := make(map[uint32]bool)
+	minTarget := vc.NewViewNum
+	for target, ids := range c.vcSeen {
+		if target <= c.view {
+			continue
+		}
+		for id := range ids {
+			distinct[id] = true
+		}
+		if target < minTarget {
+			minTarget = target
+		}
+	}
+	if len(distinct) > c.f {
+		return c.startViewChange(host, minTarget)
+	}
+	return nil
+}
+
+// onNewView applies the checkpoint and view number from a NewView without
+// recomputing the re-issued PrePrepares from the ViewChanges — the paper's
+// corner case: a NewView with false PrePrepares is accepted here but not by
+// the Preparation compartment, and commits still need full prepare
+// certificates (2f Prepares from correct Preparation enclaves), so safety
+// holds (§4). The re-issued PrePrepares are ingested into the input log
+// (after per-message signature checks) so the prepare certificates of the
+// new view can complete.
+func (c *confirmation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMsg {
+	if !c.applyNewViewCheckpoint(nv) {
+		return nil
+	}
+	c.inViewChange = false
+	c.vcBackoff = 0
+	c.gc()
+	for target := range c.vcSeen {
+		if target <= c.view {
+			delete(c.vcSeen, target)
+		}
+	}
+	var out []tee.OutMsg
+	for i := range nv.PrePrepares {
+		pp := &nv.PrePrepares[i]
+		if pp.View != c.view || !c.inWindow(pp.Seq) {
+			continue
+		}
+		if err := c.ver.VerifyPrePrepare(pp, false); err != nil {
+			continue
+		}
+		s := c.slot(pp.View, pp.Seq)
+		if s.prePrepare == nil {
+			s.prePrepare = pp.StripBatch()
+			out = append(out, c.maybeCommit(host, pp.View, pp.Seq)...)
+		}
+	}
+	return out
+}
+
+// onCheckpointGC is the duplicated checkpoint handler (9).
+func (c *confirmation) onCheckpointGC(cp *messages.Checkpoint) {
+	cert := c.onCheckpoint(cp)
+	if cert == nil {
+		return
+	}
+	if c.advanceStable(*cert) {
+		c.gc()
+	}
+}
+
+// gc prunes slots at or below the watermark.
+func (c *confirmation) gc() {
+	for view, vs := range c.slots {
+		for seq := range vs {
+			if seq <= c.lowWatermark {
+				delete(vs, seq)
+			}
+		}
+		if len(vs) == 0 {
+			delete(c.slots, view)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/client"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// execReplyWindow bounds the per-client reply cache; it must exceed the
+// maximum outstanding requests per client (40 in the paper's batched
+// configuration).
+const execReplyWindow = 128
+
+// execClient is the per-client exactly-once bookkeeping inside the
+// Execution enclave. A window of recent replies is cached per timestamp:
+// with many outstanding requests per client, batches execute a client's
+// timestamps out of order, so a single highest-timestamp check would
+// silently drop requests.
+type execClient struct {
+	maxExecuted uint64
+	replies     map[uint64]*messages.Reply
+}
+
+// executed reports whether ts was already executed, returning the cached
+// reply when still held.
+func (e *execClient) executed(ts uint64) (*messages.Reply, bool) {
+	if rep, ok := e.replies[ts]; ok {
+		return rep, true
+	}
+	if e.maxExecuted >= execReplyWindow && ts <= e.maxExecuted-execReplyWindow {
+		return nil, true
+	}
+	return nil, false
+}
+
+// record stores a reply and prunes the cache window.
+func (e *execClient) record(ts uint64, rep *messages.Reply) {
+	if e.replies == nil {
+		e.replies = make(map[uint64]*messages.Reply)
+	}
+	e.replies[ts] = rep
+	if ts > e.maxExecuted {
+		e.maxExecuted = ts
+	}
+	if len(e.replies) > 2*execReplyWindow {
+		for old := range e.replies {
+			if e.maxExecuted >= execReplyWindow && old <= e.maxExecuted-execReplyWindow {
+				delete(e.replies, old)
+			}
+		}
+	}
+}
+
+// execution is the Execution compartment (§3.2): it collects a quorum of
+// Commits (event handler 4), executes authenticated requests against the
+// application state it hosts, replies to clients, and originates
+// Checkpoints (8). In confidential mode it is the only component that ever
+// sees request/reply plaintext: payloads are decrypted after the commit
+// certificate is verified and results are encrypted before they leave the
+// enclave (opportunity o3).
+type execution struct {
+	comState
+	macs         *crypto.MACStore
+	confidential bool
+	ckptInterval uint64
+	app          app.Application
+
+	// batches caches request bodies by batch digest: PrePrepares are
+	// duplicated into this compartment precisely because Commits carry
+	// only hashes (§3.2). batchSeq records the highest sequence a digest
+	// was proposed at, for watermark-based eviction.
+	batches  map[crypto.Digest]*messages.Batch
+	batchSeq map[crypto.Digest]uint64
+	commits  map[uint64]map[uint64]map[uint32]*messages.Commit // view → seq → sender
+	// committed maps a sequence number to its decided digest (first valid
+	// commit certificate wins; safety guarantees uniqueness).
+	committed map[uint64]crypto.Digest
+	lastExec  uint64
+
+	clients    map[uint32]*execClient
+	sessions   map[uint32]*crypto.Session
+	clientPubs map[uint32][32]byte
+
+	snapshots map[uint64][]byte
+}
+
+func newExecution(cfg Config, ver *messages.Verifier) *execution {
+	e := &execution{
+		comState: newComState(cfg.N, cfg.F, cfg.ID, cfg.WatermarkWindow, ver),
+		macs: crypto.NewMACStore(cfg.MACSecret,
+			crypto.Identity{ReplicaID: cfg.ID, Role: crypto.RoleExecution}),
+		confidential: cfg.Confidential,
+		ckptInterval: cfg.CheckpointInterval,
+		app:          cfg.App,
+		batches:      make(map[crypto.Digest]*messages.Batch),
+		batchSeq:     make(map[crypto.Digest]uint64),
+		commits:      make(map[uint64]map[uint64]map[uint32]*messages.Commit),
+		committed:    make(map[uint64]crypto.Digest),
+		clients:      make(map[uint32]*execClient),
+		sessions:     make(map[uint32]*crypto.Session),
+		clientPubs:   make(map[uint32][32]byte),
+		snapshots:    make(map[uint64][]byte),
+	}
+	e.snapshots[0] = cfg.App.Snapshot()
+	return e
+}
+
+// Measurement implements tee.Code.
+func (e *execution) Measurement() crypto.Digest { return measExecution }
+
+// HandleECall implements tee.Code.
+func (e *execution) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
+	if len(raw) == 0 || raw[0] != ecallMessage {
+		return nil
+	}
+	m, err := messages.Unmarshal(raw[1:])
+	if err != nil {
+		return nil
+	}
+	switch msg := m.(type) {
+	case *messages.PrePrepare:
+		return e.onPrePrepare(host, msg)
+	case *messages.Commit:
+		return e.onCommit(host, msg)
+	case *messages.Checkpoint:
+		return e.onCheckpointMsg(host, msg)
+	case *messages.NewView:
+		return e.onNewView(host, msg)
+	case *messages.AttestRequest:
+		return e.onAttestRequest(host, msg)
+	case *messages.ProvisionKey:
+		e.onProvisionKey(host, msg)
+	case *messages.StateRequest:
+		return e.onStateRequest(msg)
+	case *messages.StateReply:
+		return e.onStateReply(host, msg)
+	}
+	return nil
+}
+
+// onPrePrepare caches the full request bodies for later execution.
+func (e *execution) onPrePrepare(host tee.Host, pp *messages.PrePrepare) []tee.OutMsg {
+	if !e.inWindow(pp.Seq) {
+		return nil
+	}
+	if err := e.ver.VerifyPrePrepare(pp, true); err != nil {
+		return nil
+	}
+	if _, dup := e.batches[pp.Digest]; !dup {
+		b := pp.Batch
+		e.batches[pp.Digest] = &b
+	}
+	if pp.Seq > e.batchSeq[pp.Digest] {
+		e.batchSeq[pp.Digest] = pp.Seq
+	}
+	return e.tryExecute(host)
+}
+
+// onCommit is event handler (4): collect 2f+1 matching Commits from
+// distinct Confirmation enclaves (P5), then execute in order.
+func (e *execution) onCommit(host tee.Host, c *messages.Commit) []tee.OutMsg {
+	if !e.inWindow(c.Seq) || c.Seq <= e.lastExec {
+		return nil
+	}
+	if _, done := e.committed[c.Seq]; done {
+		return nil
+	}
+	if err := e.ver.VerifyCommit(c); err != nil {
+		return nil
+	}
+	vs, ok := e.commits[c.View]
+	if !ok {
+		vs = make(map[uint64]map[uint32]*messages.Commit)
+		e.commits[c.View] = vs
+	}
+	set, ok := vs[c.Seq]
+	if !ok {
+		set = make(map[uint32]*messages.Commit)
+		vs[c.Seq] = set
+	}
+	if _, dup := set[c.Replica]; dup {
+		return nil
+	}
+	set[c.Replica] = c
+	matching := 0
+	for _, cm := range set {
+		if cm.Digest == c.Digest {
+			matching++
+		}
+	}
+	if matching < e.quorum() {
+		return nil
+	}
+	e.committed[c.Seq] = c.Digest
+	delete(vs, c.Seq)
+	return e.tryExecute(host)
+}
+
+// tryExecute executes committed batches strictly in sequence order,
+// producing replies and periodic checkpoints.
+func (e *execution) tryExecute(host tee.Host) []tee.OutMsg {
+	var out []tee.OutMsg
+	for {
+		next := e.lastExec + 1
+		if next <= e.lowWatermark {
+			return out // covered by a stable checkpoint; state transfer
+		}
+		digest, ok := e.committed[next]
+		if !ok {
+			return out
+		}
+		if digest.IsZero() {
+			// Null request from a view change: advance without effect.
+			delete(e.committed, next)
+			e.lastExec = next
+			out = append(out, e.maybeCheckpoint(host, next)...)
+			continue
+		}
+		batch, ok := e.batches[digest]
+		if !ok {
+			return out // body missing; wait for state transfer
+		}
+		delete(e.committed, next)
+		e.lastExec = next
+		out = append(out, e.executeBatch(host, batch)...)
+		out = append(out, e.maybeCheckpoint(host, next)...)
+	}
+}
+
+// executeBatch authenticates, decrypts, executes and answers every request
+// in a batch.
+func (e *execution) executeBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg {
+	out := make([]tee.OutMsg, 0, len(batch.Requests))
+	for i := range batch.Requests {
+		req := &batch.Requests[i]
+		entry, ok := e.clients[req.ClientID]
+		if !ok {
+			entry = &execClient{}
+			e.clients[req.ClientID] = entry
+		}
+		if rep, done := entry.executed(req.Timestamp); done {
+			if rep != nil {
+				out = append(out, clientOut(req.ClientID, rep))
+			}
+			continue
+		}
+		result := e.executeOne(req)
+		rep := &messages.Reply{
+			View:      e.view,
+			ClientID:  req.ClientID,
+			Timestamp: req.Timestamp,
+			Replica:   e.id,
+			Result:    result,
+		}
+		rep.MAC = e.macs.MAC(rep.AuthenticatedBytes(),
+			crypto.Identity{ReplicaID: req.ClientID, Role: crypto.RoleClient})
+		entry.record(req.Timestamp, rep)
+		out = append(out, clientOut(req.ClientID, rep))
+	}
+	_ = host
+	return out
+}
+
+// executeOne runs a single request: MAC check, decryption, application
+// execution, and reply encryption. Every failure path degrades to a no-op
+// result (§4.1) — ordering already happened, so the slot must advance.
+func (e *execution) executeOne(req *messages.Request) []byte {
+	clientID := crypto.Identity{ReplicaID: req.ClientID, Role: crypto.RoleClient}
+	slot := e.n + int(e.id) // Execution MACs follow the Preparation block
+	if err := e.macs.VerifyIndexed(req.AuthenticatedBytes(), req.Auth, slot, clientID); err != nil {
+		return app.NoOpResult
+	}
+	op := req.Payload
+	var sess *crypto.Session
+	if e.confidential {
+		var ok bool
+		sess, ok = e.sessions[req.ClientID]
+		if !ok {
+			return app.NoOpResult // no session: cannot decrypt, no-op
+		}
+		pt, err := sess.Open(req.Payload, client.RequestAD(req.ClientID, req.Timestamp))
+		if err != nil {
+			return app.NoOpResult // corrupted ciphertext: no-op
+		}
+		op = pt
+	}
+	result := e.app.Execute(req.ClientID, op)
+	if e.confidential {
+		result = sess.Seal(result, client.ReplyAD(req.ClientID, req.Timestamp))
+	}
+	return result
+}
+
+// maybeCheckpoint originates a Checkpoint at interval boundaries (event
+// handler 8): the Execution compartment holds the application state, so it
+// is the source of checkpoints (§3.2).
+func (e *execution) maybeCheckpoint(host tee.Host, seq uint64) []tee.OutMsg {
+	if seq%e.ckptInterval != 0 {
+		return nil
+	}
+	snap := e.app.Snapshot()
+	e.snapshots[seq] = snap
+	cp := &messages.Checkpoint{Seq: seq, StateDigest: crypto.HashData(snap), Replica: e.id}
+	cp.Sig = host.Sign(cp.SigningBytes())
+	out := []tee.OutMsg{
+		broadcastOut(cp),
+		localOut(crypto.RolePreparation, cp),
+		localOut(crypto.RoleConfirmation, cp),
+	}
+	// Count our own checkpoint towards stability.
+	out = append(out, e.onCheckpointMsg(host, cp)...)
+	return out
+}
+
+// onCheckpointMsg collects checkpoint votes and garbage-collects once
+// stable.
+func (e *execution) onCheckpointMsg(host tee.Host, c *messages.Checkpoint) []tee.OutMsg {
+	cert := e.onCheckpoint(c)
+	if cert == nil {
+		return nil
+	}
+	return e.installStable(host, *cert)
+}
+
+func (e *execution) installStable(_ tee.Host, cert messages.CheckpointCert) []tee.OutMsg {
+	if !e.advanceStable(cert) {
+		return nil
+	}
+	e.gc()
+	if e.lastExec < cert.Seq {
+		// Fell behind the group: fetch the snapshot from a replica that
+		// signed the certificate.
+		for i := range cert.Proof {
+			if cert.Proof[i].Replica != e.id {
+				return []tee.OutMsg{replicaOut(cert.Proof[i].Replica,
+					&messages.StateRequest{Seq: cert.Seq, Replica: e.id})}
+			}
+		}
+	}
+	return nil
+}
+
+// onNewView applies the view and checkpoint (handler 7'), and records the
+// re-issued proposal digests so commits in the new view can execute. The
+// embedded PrePrepares are not validated here (only Preparation does), but
+// execution still requires a commit certificate per slot, so a forged
+// NewView cannot make this compartment execute anything (§4).
+func (e *execution) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMsg {
+	if !e.applyNewViewCheckpoint(nv) {
+		return nil
+	}
+	e.gc()
+	return e.tryExecute(host)
+}
+
+// onAttestRequest answers a client attestation challenge with this
+// enclave's quote and remembers the client's ECDH key for provisioning.
+func (e *execution) onAttestRequest(host tee.Host, ar *messages.AttestRequest) []tee.OutMsg {
+	e.clientPubs[ar.ClientID] = ar.ClientPub
+	return []tee.OutMsg{clientOut(ar.ClientID, host.Quote(ar.Nonce))}
+}
+
+// onProvisionKey unwraps the client's session key s_enc (§4.1) under the
+// X25519-derived pairwise key and installs the session.
+func (e *execution) onProvisionKey(host tee.Host, pk *messages.ProvisionKey) {
+	pub, ok := e.clientPubs[pk.ClientID]
+	if !ok {
+		return
+	}
+	wrapKey, err := host.DeriveSession(pub)
+	if err != nil {
+		return
+	}
+	wrapSess, err := crypto.NewSession(wrapKey, 0)
+	if err != nil {
+		return
+	}
+	keyBytes, err := wrapSess.Open(pk.WrappedKey, client.ProvisionAD(pk.ClientID))
+	if err != nil || len(keyBytes) != crypto.SessionKeySize {
+		return
+	}
+	var sk crypto.SessionKey
+	copy(sk[:], keyBytes)
+	// Direction 10+id keeps reply nonces disjoint across the n Execution
+	// enclaves sharing s_enc.
+	sess, err := crypto.NewSession(sk, byte(10+e.id))
+	if err != nil {
+		return
+	}
+	e.sessions[pk.ClientID] = sess
+}
+
+// onStateRequest serves the stable snapshot to a lagging peer.
+func (e *execution) onStateRequest(req *messages.StateRequest) []tee.OutMsg {
+	snap, ok := e.snapshots[req.Seq]
+	if !ok || e.stableCert.Seq != req.Seq || int(req.Replica) >= e.n || req.Replica == e.id {
+		return nil
+	}
+	return []tee.OutMsg{replicaOut(req.Replica,
+		&messages.StateReply{Cert: e.stableCert, Snapshot: snap, Replica: e.id})}
+}
+
+// onStateReply installs a verified snapshot and resumes execution.
+func (e *execution) onStateReply(host tee.Host, rep *messages.StateReply) []tee.OutMsg {
+	if rep.Cert.Seq <= e.lastExec {
+		return nil
+	}
+	if err := e.ver.VerifyCheckpointCert(&rep.Cert); err != nil {
+		return nil
+	}
+	if crypto.HashData(rep.Snapshot) != rep.Cert.StateDigest {
+		return nil
+	}
+	if err := e.app.Restore(rep.Snapshot); err != nil {
+		return nil
+	}
+	e.snapshots[rep.Cert.Seq] = rep.Snapshot
+	e.lastExec = rep.Cert.Seq
+	e.advanceStable(rep.Cert)
+	e.gc()
+	return e.tryExecute(host)
+}
+
+// gc prunes execution bookkeeping below the watermark.
+func (e *execution) gc() {
+	for view, vs := range e.commits {
+		for seq := range vs {
+			if seq <= e.lowWatermark {
+				delete(vs, seq)
+			}
+		}
+		if len(vs) == 0 {
+			delete(e.commits, view)
+		}
+	}
+	for seq := range e.committed {
+		if seq <= e.lowWatermark {
+			delete(e.committed, seq)
+		}
+	}
+	for seq := range e.snapshots {
+		if seq < e.lowWatermark {
+			delete(e.snapshots, seq)
+		}
+	}
+	// Batch bodies below the watermark can no longer be executed; drop
+	// them to bound the cache.
+	for d, seq := range e.batchSeq {
+		if seq <= e.lowWatermark {
+			delete(e.batchSeq, d)
+			delete(e.batches, d)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// enclaveKeyStream derives the entropy stream for one enclave's keys from
+// the deployment seed. The same (seed, replica, role) always yields the
+// same stream; NewEnclaveWithRand reads the identity key from it first.
+func enclaveKeyStream(seed []byte, replica uint32, role crypto.Role) io.Reader {
+	return crypto.NewKeyStream(seed, "enclave", fmt.Sprintf("%d", replica), role.String())
+}
+
+// RegisterDeterministicKeys registers the public identity keys of every
+// enclave of an n-replica deployment whose Config.KeySeed is seed. It is
+// how separate processes (cmd/splitbft-replica, cmd/splitbft-client) agree
+// on the key registry without a live attestation exchange: the shared seed
+// plays the role of the attestation ceremony's trust root.
+func RegisterDeterministicKeys(reg *crypto.Registry, seed []byte, n int) error {
+	roles := []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
+	for id := 0; id < n; id++ {
+		for _, role := range roles {
+			stream := enclaveKeyStream(seed, uint32(id), role)
+			pub, _, err := ed25519.GenerateKey(stream)
+			if err != nil {
+				return fmt.Errorf("derive key for replica %d %v: %w", id, role, err)
+			}
+			reg.Register(crypto.Identity{ReplicaID: uint32(id), Role: role}, pub)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+func TestDeterministicKeysMatchEnclaves(t *testing.T) {
+	seed := []byte("deployment-seed")
+	reg1 := crypto.NewRegistry()
+	r, err := NewReplica(Config{
+		N: 4, F: 1, ID: 2,
+		Registry: reg1, MACSecret: []byte("s"), KeySeed: seed,
+		App: app.NewKVS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	reg2 := crypto.NewRegistry()
+	if err := RegisterDeterministicKeys(reg2, seed, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, role := range []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution} {
+		id := crypto.Identity{ReplicaID: 2, Role: role}
+		k1, err := reg1.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := reg2.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(k1, k2) {
+			t.Fatalf("derived key mismatch for %v", role)
+		}
+	}
+	// Different replicas and roles must get distinct keys.
+	kA, _ := reg2.Lookup(crypto.Identity{ReplicaID: 0, Role: crypto.RolePreparation})
+	kB, _ := reg2.Lookup(crypto.Identity{ReplicaID: 1, Role: crypto.RolePreparation})
+	kC, _ := reg2.Lookup(crypto.Identity{ReplicaID: 0, Role: crypto.RoleExecution})
+	if bytes.Equal(kA, kB) || bytes.Equal(kA, kC) {
+		t.Fatal("derived keys must differ per identity")
+	}
+}

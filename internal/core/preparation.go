@@ -1,0 +1,289 @@
+package core
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// preparation is the Preparation compartment (§3.2): it starts the ordering
+// of client batches. On the primary it authenticates client requests,
+// assigns sequence numbers and emits PrePrepares (event handler 1); on
+// backups it validates PrePrepares and emits Prepares (2). It also handles
+// ViewChanges (6) and creates/validates NewViews (7), plus the duplicated
+// checkpoint handlers (9, 7').
+type preparation struct {
+	comState
+	macs *crypto.MACStore
+
+	nextSeq uint64
+	// proposals records the accepted proposal digest per (view, seq): the
+	// compartment's slice of the input log. Its presence also marks that a
+	// Prepare was already sent for the slot.
+	proposals map[uint64]map[uint64]crypto.Digest
+	// viewChanges collects ViewChange votes for the new-primary duty.
+	viewChanges map[uint64]map[uint32]*messages.ViewChange
+	// lastNewView is the NewView this compartment emitted as the new
+	// primary, kept for retransmission to stragglers.
+	lastNewView *messages.NewView
+}
+
+func newPreparation(cfg Config, ver *messages.Verifier) *preparation {
+	return &preparation{
+		comState: newComState(cfg.N, cfg.F, cfg.ID, cfg.WatermarkWindow, ver),
+		macs: crypto.NewMACStore(cfg.MACSecret,
+			crypto.Identity{ReplicaID: cfg.ID, Role: crypto.RolePreparation}),
+		proposals:   make(map[uint64]map[uint64]crypto.Digest),
+		viewChanges: make(map[uint64]map[uint32]*messages.ViewChange),
+	}
+}
+
+// Measurement implements tee.Code.
+func (p *preparation) Measurement() crypto.Digest { return measPreparation }
+
+// HandleECall implements tee.Code.
+func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
+	if len(raw) == 0 {
+		return nil
+	}
+	switch raw[0] {
+	case ecallBatch:
+		batch, err := messages.UnmarshalBatch(raw[1:])
+		if err != nil {
+			return nil
+		}
+		return p.onBatch(host, batch)
+	case ecallMessage:
+		m, err := messages.Unmarshal(raw[1:])
+		if err != nil {
+			return nil
+		}
+		switch msg := m.(type) {
+		case *messages.PrePrepare:
+			return p.onPrePrepare(host, msg)
+		case *messages.ViewChange:
+			return p.onViewChange(host, msg)
+		case *messages.NewView:
+			return p.onNewView(host, msg)
+		case *messages.Checkpoint:
+			p.onCheckpointGC(msg)
+			return nil
+		}
+	}
+	return nil
+}
+
+// record stores an accepted proposal digest, reporting false on conflict
+// (equivocation) or duplication.
+func (p *preparation) record(view, seq uint64, d crypto.Digest) bool {
+	vs, ok := p.proposals[view]
+	if !ok {
+		vs = make(map[uint64]crypto.Digest)
+		p.proposals[view] = vs
+	}
+	if _, exists := vs[seq]; exists {
+		return false
+	}
+	vs[seq] = d
+	return true
+}
+
+// onBatch is event handler (1): the primary authenticates a client batch
+// from the environment, assigns the next sequence number and emits the
+// PrePrepare — to the network and into the local Confirmation and Execution
+// compartments (the duplicated input logs of §3.2).
+func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg {
+	if p.primary(p.view) != p.id {
+		return nil // the environment misjudged the view; liveness only
+	}
+	valid := batch.Requests[:0]
+	for i := range batch.Requests {
+		req := &batch.Requests[i]
+		client := crypto.Identity{ReplicaID: req.ClientID, Role: crypto.RoleClient}
+		if err := p.macs.VerifyIndexed(req.AuthenticatedBytes(), req.Auth, int(p.id), client); err != nil {
+			continue // unauthenticated request: drop from the batch
+		}
+		valid = append(valid, *req)
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+	if !p.inWindow(p.nextSeq + 1) {
+		return nil // window exhausted; the environment will resubmit
+	}
+	p.nextSeq++
+	b := messages.Batch{Requests: valid}
+	pp := &messages.PrePrepare{
+		View:    p.view,
+		Seq:     p.nextSeq,
+		Digest:  b.Digest(),
+		Replica: p.id,
+		Batch:   b,
+	}
+	pp.Sig = host.Sign(pp.SigningBytes())
+	p.record(pp.View, pp.Seq, pp.Digest)
+	return []tee.OutMsg{
+		broadcastOut(pp),
+		localOut(crypto.RoleConfirmation, pp),
+		localOut(crypto.RoleExecution, pp),
+	}
+}
+
+// onPrePrepare is event handler (2): a backup validates the primary's
+// proposal and emits its Prepare.
+func (p *preparation) onPrePrepare(host tee.Host, pp *messages.PrePrepare) []tee.OutMsg {
+	if pp.View != p.view || !p.inWindow(pp.Seq) {
+		return nil
+	}
+	if p.primary(p.view) == p.id {
+		return nil // the primary ignores foreign proposals in its view
+	}
+	if err := p.ver.VerifyPrePrepare(pp, true); err != nil {
+		return nil
+	}
+	if !p.record(pp.View, pp.Seq, pp.Digest) {
+		return nil // duplicate or equivocation: prepare only once
+	}
+	prep := &messages.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: p.id}
+	prep.Sig = host.Sign(prep.SigningBytes())
+	return []tee.OutMsg{
+		broadcastOut(prep),
+		localOut(crypto.RoleConfirmation, prep),
+	}
+}
+
+// onViewChange is event handler (6): the Preparation compartment of the new
+// primary collects 2f+1 ViewChanges and emits the NewView.
+func (p *preparation) onViewChange(host tee.Host, vc *messages.ViewChange) []tee.OutMsg {
+	if vc.NewViewNum <= p.view {
+		// A straggler still asking for a view we installed: if we are its
+		// primary, retransmit the NewView (it may have been lost).
+		if p.primary(p.view) == p.id && p.lastNewView != nil &&
+			p.lastNewView.View == p.view && int(vc.Replica) < p.n && vc.Replica != p.id {
+			return []tee.OutMsg{replicaOut(vc.Replica, p.lastNewView)}
+		}
+		return nil
+	}
+	if err := p.ver.VerifyViewChange(vc); err != nil {
+		return nil
+	}
+	set, ok := p.viewChanges[vc.NewViewNum]
+	if !ok {
+		set = make(map[uint32]*messages.ViewChange)
+		p.viewChanges[vc.NewViewNum] = set
+	}
+	if _, dup := set[vc.Replica]; dup {
+		return nil
+	}
+	set[vc.Replica] = vc
+	if p.primary(vc.NewViewNum) != p.id || len(set) < p.quorum() {
+		return nil
+	}
+	// Become the primary of the new view.
+	vcs := make([]messages.ViewChange, 0, p.quorum())
+	for _, v := range set {
+		vcs = append(vcs, *v)
+		if len(vcs) == p.quorum() {
+			break
+		}
+	}
+	stable, pps := messages.ComputeNewViewPrePrepares(vc.NewViewNum, p.id, vcs, host.Sign)
+	nv := &messages.NewView{
+		View:        vc.NewViewNum,
+		ViewChanges: vcs,
+		Stable:      stable,
+		PrePrepares: pps,
+		Replica:     p.id,
+	}
+	nv.Sig = host.Sign(nv.SigningBytes())
+	p.lastNewView = nv
+	p.installView(nv.View, stable, pps)
+	delete(p.viewChanges, vc.NewViewNum)
+	return []tee.OutMsg{
+		broadcastOut(nv),
+		localOut(crypto.RoleConfirmation, nv),
+		localOut(crypto.RoleExecution, nv),
+	}
+}
+
+// onNewView is event handler (7): backups fully validate the NewView —
+// including recomputing the re-issued PrePrepares from the embedded
+// ViewChanges, the complex logic the paper notes is repeated here — and
+// prepare the re-issued slots.
+func (p *preparation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMsg {
+	if nv.View < p.view {
+		return nil
+	}
+	if err := p.ver.VerifyNewView(nv); err != nil {
+		return nil
+	}
+	p.installView(nv.View, nv.Stable, nv.PrePrepares)
+	var out []tee.OutMsg
+	if p.primary(nv.View) != p.id {
+		for i := range nv.PrePrepares {
+			pp := &nv.PrePrepares[i]
+			if pp.Seq <= p.lowWatermark || !p.record(pp.View, pp.Seq, pp.Digest) {
+				continue
+			}
+			prep := &messages.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: p.id}
+			prep.Sig = host.Sign(prep.SigningBytes())
+			out = append(out, broadcastOut(prep), localOut(crypto.RoleConfirmation, prep))
+		}
+	}
+	return out
+}
+
+// installView moves the compartment into a new view.
+func (p *preparation) installView(view uint64, stable messages.CheckpointCert, pps []messages.PrePrepare) {
+	p.view = view
+	p.advanceStable(stable)
+	maxSeq := p.lowWatermark
+	for i := range pps {
+		if pps[i].Seq > maxSeq {
+			maxSeq = pps[i].Seq
+		}
+		if p.primary(view) == p.id {
+			p.record(pps[i].View, pps[i].Seq, pps[i].Digest)
+		}
+	}
+	if maxSeq > p.nextSeq {
+		p.nextSeq = maxSeq
+	}
+	if p.nextSeq < p.lowWatermark {
+		p.nextSeq = p.lowWatermark
+	}
+	p.gc()
+	for target := range p.viewChanges {
+		if target <= view {
+			delete(p.viewChanges, target)
+		}
+	}
+}
+
+// onCheckpointGC is the duplicated checkpoint handler (9).
+func (p *preparation) onCheckpointGC(c *messages.Checkpoint) {
+	cert := p.onCheckpoint(c)
+	if cert == nil {
+		return
+	}
+	if p.advanceStable(*cert) {
+		if p.nextSeq < p.lowWatermark {
+			p.nextSeq = p.lowWatermark
+		}
+		p.gc()
+	}
+}
+
+// gc prunes proposals at or below the watermark.
+func (p *preparation) gc() {
+	for view, vs := range p.proposals {
+		for seq := range vs {
+			if seq <= p.lowWatermark {
+				delete(vs, seq)
+			}
+		}
+		if len(vs) == 0 {
+			delete(p.proposals, view)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// Replica is one SplitBFT replica: three enclaves (Preparation,
+// Confirmation, Execution) plus the untrusted broker. Create all replicas
+// of a group with the same Registry before starting any of them — NewReplica
+// registers this replica's enclave public keys (the deployment-time
+// attestation step).
+type Replica struct {
+	cfg    Config
+	prep   *tee.Enclave
+	conf   *tee.Enclave
+	exec   *tee.Enclave
+	broker *broker
+}
+
+// NewReplica launches the three compartment enclaves and wires the broker.
+func NewReplica(cfg Config) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ver, err := messages.NewVerifier(cfg.N, cfg.F, cfg.Registry, messages.SplitScheme())
+	if err != nil {
+		return nil, err
+	}
+	prepCode := newPreparation(cfg, ver)
+	confCode := newConfirmation(cfg, ver)
+	execCode := newExecution(cfg, ver)
+
+	rng := func(role crypto.Role) io.Reader {
+		if len(cfg.KeySeed) == 0 {
+			return nil
+		}
+		return enclaveKeyStream(cfg.KeySeed, cfg.ID, role)
+	}
+	prep, err := tee.NewEnclaveWithRand(cfg.ID, crypto.RolePreparation, prepCode, cfg.Cost, rng(crypto.RolePreparation))
+	if err != nil {
+		return nil, fmt.Errorf("launch preparation enclave: %w", err)
+	}
+	conf, err := tee.NewEnclaveWithRand(cfg.ID, crypto.RoleConfirmation, confCode, cfg.Cost, rng(crypto.RoleConfirmation))
+	if err != nil {
+		return nil, fmt.Errorf("launch confirmation enclave: %w", err)
+	}
+	exec, err := tee.NewEnclaveWithRand(cfg.ID, crypto.RoleExecution, execCode, cfg.Cost, rng(crypto.RoleExecution))
+	if err != nil {
+		return nil, fmt.Errorf("launch execution enclave: %w", err)
+	}
+
+	// Register the enclaves' identity keys: in a real deployment the
+	// operators verify attestation quotes and exchange these out of band.
+	cfg.Registry.Register(prep.Identity(), prep.PublicKey())
+	cfg.Registry.Register(conf.Identity(), conf.PublicKey())
+	cfg.Registry.Register(exec.Identity(), exec.PublicKey())
+
+	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec}
+	r.broker = newBroker(cfg, prep, conf, exec)
+
+	// Blockchain applications persist sealed blocks through an ocall (§6:
+	// one ocall per block written encrypted to untrusted storage).
+	if bc, ok := cfg.App.(*app.Blockchain); ok {
+		exec.RegisterOcall("fs.write", r.broker.persistBlock)
+		bc.SetPersist(func(block []byte) error {
+			sealed, err := exec.Seal(block)
+			if err != nil {
+				return err
+			}
+			_, err = exec.Ocall("fs.write", sealed)
+			return err
+		})
+	}
+	return r, nil
+}
+
+// Handler returns the transport handler for this replica's endpoint.
+func (r *Replica) Handler() transport.Handler { return r.broker.handler }
+
+// Start begins processing with the given connection.
+func (r *Replica) Start(conn transport.Conn) { r.broker.start(conn) }
+
+// Stop terminates the broker threads. Enclaves are passive after that.
+func (r *Replica) Stop() { r.broker.stopAll() }
+
+// ExecutedOps returns the number of client operations this replica has
+// replied to.
+func (r *Replica) ExecutedOps() uint64 { return r.broker.mReplies.Load() }
+
+// Batches returns the number of batches the environment submitted for
+// ordering.
+func (r *Replica) Batches() uint64 { return r.broker.mBatches.Load() }
+
+// Suspects returns how many times the failure detector fired.
+func (r *Replica) Suspects() uint64 { return r.broker.mSuspects.Load() }
+
+// PersistedBlocks returns the number of sealed blockchain blocks the
+// environment stored (zero for non-blockchain applications).
+func (r *Replica) PersistedBlocks() int { return r.broker.persistedBlocks() }
+
+// EnclaveStats returns per-compartment ecall statistics (the Figure 4
+// instrumentation).
+func (r *Replica) EnclaveStats() map[crypto.Role]tee.ECallSnapshot {
+	return map[crypto.Role]tee.ECallSnapshot{
+		crypto.RolePreparation:  r.prep.Stats(),
+		crypto.RoleConfirmation: r.conf.Stats(),
+		crypto.RoleExecution:    r.exec.Stats(),
+	}
+}
+
+// ResetEnclaveStats zeroes the per-compartment ecall statistics.
+func (r *Replica) ResetEnclaveStats() {
+	r.prep.ResetStats()
+	r.conf.ResetStats()
+	r.exec.ResetStats()
+}
+
+// CrashEnclave kills one compartment (fault injection: the environment can
+// crash an enclave at any time). Role must be one of the three compartment
+// roles.
+func (r *Replica) CrashEnclave(role crypto.Role) {
+	switch role {
+	case crypto.RolePreparation:
+		r.prep.Crash()
+	case crypto.RoleConfirmation:
+		r.conf.Crash()
+	case crypto.RoleExecution:
+		r.exec.Crash()
+	}
+}
+
+// Enclave exposes a compartment's enclave for tests and fault injection.
+func (r *Replica) Enclave(role crypto.Role) *tee.Enclave {
+	switch role {
+	case crypto.RolePreparation:
+		return r.prep
+	case crypto.RoleConfirmation:
+		return r.conf
+	case crypto.RoleExecution:
+		return r.exec
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// Additional view-change scenarios beyond the basic primary-failure test.
+
+func TestSplitTwoSuccessiveViewChanges(t *testing.T) {
+	c := newCluster(t, false, func(cfg *Config) {
+		cfg.RequestTimeout = 150 * time.Millisecond
+	})
+	cl := c.client(100)
+	if _, err := cl.Invoke(app.EncodePut("v0", []byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the view-0 primary; the cluster moves to view 1.
+	c.net.Isolate(transport.ReplicaEndpoint(0))
+	if _, err := cl.Invoke(app.EncodePut("v1", []byte("b"))); err != nil {
+		t.Fatalf("first view change: %v", err)
+	}
+	// Kill the view-1 primary too. Only replicas 2 and 3 remain — that is
+	// below the liveness quorum (2f+1 = 3), so instead of isolating we
+	// crash replica 1's enclaves while keeping its broker routable, which
+	// still forces a view change but... no: with 2 connected correct
+	// replicas no quorum forms. Bring replica 0 back first.
+	for i := 0; i < c.n; i++ {
+		c.net.Unblock(transport.ReplicaEndpoint(0), transport.ReplicaEndpoint(uint32(i)))
+	}
+	c.net.Unblock(transport.ReplicaEndpoint(0), transport.ClientEndpoint(100))
+	c.net.Isolate(transport.ReplicaEndpoint(1))
+	if _, err := cl.Invoke(app.EncodePut("v2", []byte("c"))); err != nil {
+		t.Fatalf("second view change: %v", err)
+	}
+	// All three writes survive.
+	for key, want := range map[string]string{"v0": "a", "v1": "b", "v2": "c"} {
+		res, err := cl.Invoke(app.EncodeGet(key))
+		if err != nil {
+			t.Fatalf("GET %s: %v", key, err)
+		}
+		if !bytes.Equal(res, []byte(want)) {
+			t.Fatalf("GET %s = %q, want %q", key, res, want)
+		}
+	}
+}
+
+func TestSplitViewChangeWithBatching(t *testing.T) {
+	c := newCluster(t, false, func(cfg *Config) {
+		cfg.BatchSize = 8
+		cfg.BatchTimeout = 5 * time.Millisecond
+		cfg.RequestTimeout = 150 * time.Millisecond
+	})
+	cl := c.client(100)
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Invoke(app.EncodePut(fmt.Sprintf("pre%d", i), []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Isolate(transport.ReplicaEndpoint(0))
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Invoke(app.EncodePut(fmt.Sprintf("post%d", i), []byte("y"))); err != nil {
+			t.Fatalf("post-VC op %d: %v", i, err)
+		}
+	}
+	res, err := cl.Invoke(app.EncodeGet("pre5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res, []byte("x")) {
+		t.Fatalf("lost batched pre-view-change write: %q", res)
+	}
+}
+
+func TestSplitCrashedExecEnclaveDoesNotBlockQuorum(t *testing.T) {
+	// With one Execution enclave down, replies come from the other three;
+	// clients still reach their f+1 quorum, repeatedly.
+	c := newCluster(t, false)
+	c.replicas[2].CrashEnclave(crypto.RoleExecution)
+	cl := c.client(100)
+	for i := 0; i < 10; i++ {
+		res, err := cl.Invoke(app.EncodePut(fmt.Sprintf("k%d", i), []byte("v")))
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if !bytes.Equal(res, []byte("OK")) {
+			t.Fatalf("op %d = %q", i, res)
+		}
+	}
+	if got := c.replicas[2].ExecutedOps(); got != 0 {
+		t.Fatalf("crashed execution enclave produced %d replies", got)
+	}
+}
+
+func TestSplitSuspectCounterAdvances(t *testing.T) {
+	// With the primary partitioned, brokers must fire their failure
+	// detectors (observable via the Suspects metric).
+	c := newCluster(t, false, func(cfg *Config) {
+		cfg.RequestTimeout = 200 * time.Millisecond
+	})
+	cl := c.client(100)
+	if _, err := cl.Invoke(app.EncodePut("a", []byte("1"))); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Isolate(transport.ReplicaEndpoint(0))
+	if _, err := cl.Invoke(app.EncodePut("b", []byte("2"))); err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, r := range c.replicas[1:] {
+		total += r.Suspects()
+	}
+	if total == 0 {
+		t.Fatal("no broker ever suspected the dead primary")
+	}
+}

@@ -1,0 +1,55 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+)
+
+// KeyStream is a deterministic random stream derived from a seed and a
+// label chain via HMAC-SHA256 in counter mode. It exists so multi-process
+// deployments can derive identical enclave key pairs from a shared
+// deployment secret — standing in for the attestation-plus-key-exchange
+// ceremony a real SGX deployment performs (see cmd/splitbft-replica).
+// It must never be used where unpredictability matters beyond the secrecy
+// of the seed.
+type KeyStream struct {
+	key     []byte
+	counter uint64
+	buf     []byte
+}
+
+var _ io.Reader = (*KeyStream)(nil)
+
+// NewKeyStream derives a stream from seed and labels. Distinct label
+// chains yield independent streams.
+func NewKeyStream(seed []byte, labels ...string) *KeyStream {
+	h := hmac.New(sha256.New, seed)
+	for _, l := range labels {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(l)))
+		h.Write(n[:])
+		h.Write([]byte(l))
+	}
+	return &KeyStream{key: h.Sum(nil)}
+}
+
+// Read implements io.Reader; it never fails.
+func (s *KeyStream) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(s.buf) == 0 {
+			h := hmac.New(sha256.New, s.key)
+			var c [8]byte
+			binary.LittleEndian.PutUint64(c[:], s.counter)
+			s.counter++
+			h.Write(c[:])
+			s.buf = h.Sum(nil)
+		}
+		copied := copy(p[n:], s.buf)
+		s.buf = s.buf[copied:]
+		n += copied
+	}
+	return n, nil
+}

@@ -1,0 +1,87 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// SessionKeySize is the size of an AES-256-GCM session key in bytes.
+const SessionKeySize = 32
+
+// ErrDecrypt is returned when a ciphertext fails authentication or
+// decryption.
+var ErrDecrypt = errors.New("crypto: session decryption failed")
+
+// SessionKey is a symmetric key a client provisions into the Execution
+// enclave after attestation. All request payloads and replies between that
+// client and the Execution compartments are encrypted under it, so the
+// untrusted environment, the network, and the other compartments only ever
+// see ciphertext (opportunity o3 in the paper).
+type SessionKey [SessionKeySize]byte
+
+// NewSessionKey draws a fresh random session key.
+func NewSessionKey() (SessionKey, error) {
+	var k SessionKey
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return SessionKey{}, fmt.Errorf("generate session key: %w", err)
+	}
+	return k, nil
+}
+
+// Session encrypts and decrypts payloads under a session key using
+// AES-256-GCM with a counter nonce. A Session is safe for concurrent
+// encryption because the nonce counter is atomic; decryption is stateless.
+type Session struct {
+	aead    cipher.AEAD
+	nonceHi uint32 // random per-session salt to avoid cross-session reuse
+	counter atomic.Uint64
+}
+
+// NewSession builds a Session from key. The direction byte separates client
+// and enclave nonce spaces: both sides hold the same key, so they must never
+// use overlapping nonces. Use distinct direction values on the two ends.
+func NewSession(key SessionKey, direction byte) (*Session, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("session cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("session GCM: %w", err)
+	}
+	return &Session{aead: aead, nonceHi: uint32(direction)}, nil
+}
+
+// Seal encrypts plaintext with associated data ad and returns
+// nonce||ciphertext.
+func (s *Session) Seal(plaintext, ad []byte) []byte {
+	n := s.counter.Add(1)
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.LittleEndian.PutUint32(nonce[0:4], s.nonceHi)
+	binary.LittleEndian.PutUint64(nonce[4:12], n)
+	out := make([]byte, 0, len(nonce)+len(plaintext)+s.aead.Overhead())
+	out = append(out, nonce...)
+	return s.aead.Seal(out, nonce, plaintext, ad)
+}
+
+// Open decrypts a Seal output, verifying the associated data.
+func (s *Session) Open(sealed, ad []byte) ([]byte, error) {
+	ns := s.aead.NonceSize()
+	if len(sealed) < ns+s.aead.Overhead() {
+		return nil, fmt.Errorf("%w: ciphertext too short (%d bytes)", ErrDecrypt, len(sealed))
+	}
+	pt, err := s.aead.Open(nil, sealed[:ns], sealed[ns:], ad)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
+	}
+	return pt, nil
+}
+
+// Overhead returns the total ciphertext expansion of Seal (nonce + tag).
+func (s *Session) Overhead() int { return s.aead.NonceSize() + s.aead.Overhead() }

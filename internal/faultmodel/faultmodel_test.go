@@ -1,0 +1,158 @@
+package faultmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func spec(t *testing.T, p Protocol) Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Protocol == p {
+			return s
+		}
+	}
+	t.Fatalf("no spec for %v", p)
+	return Spec{}
+}
+
+func TestPBFTToleratesUpToF(t *testing.T) {
+	s := spec(t, PBFT)
+	for f := 1; f <= 3; f++ {
+		for hosts := 0; hosts <= f; hosts++ {
+			out := Evaluate(s, f, Scenario{FaultyHosts: hosts})
+			if !out.Live || !out.Safe {
+				t.Fatalf("PBFT f=%d hosts=%d should be live+safe", f, hosts)
+			}
+			if out.Confidential {
+				t.Fatal("PBFT must never be confidential")
+			}
+		}
+		out := Evaluate(s, f, Scenario{FaultyHosts: f + 1})
+		if out.Live || out.Safe {
+			t.Fatalf("PBFT f=%d must fail with %d faulty hosts", f, f+1)
+		}
+	}
+}
+
+func TestHybridBreaksOnOneByzantineTEE(t *testing.T) {
+	s := spec(t, Hybrid)
+	ok := Evaluate(s, 1, Scenario{FaultyHosts: 1})
+	if !ok.Live || !ok.Safe {
+		t.Fatal("hybrid with f faulty hosts and correct TEEs should work")
+	}
+	bad := Evaluate(s, 1, Scenario{FaultyEnclaves: map[string]int{"tee": 1}})
+	if bad.Safe {
+		t.Fatal("hybrid must lose safety with a single Byzantine TEE")
+	}
+}
+
+func TestSplitBFTSafetyWithAllHostsCompromised(t *testing.T) {
+	s := spec(t, SplitBFT)
+	for f := 1; f <= 3; f++ {
+		n := s.Replicas(f)
+		out := Evaluate(s, f, Scenario{FaultyHosts: n})
+		if !out.Safe {
+			t.Fatalf("SplitBFT f=%d must stay safe with all %d hosts compromised", f, n)
+		}
+		if out.Live {
+			t.Fatalf("SplitBFT f=%d cannot be live with all hosts compromised", f)
+		}
+	}
+}
+
+func TestSplitBFTToleratesFEnclavesPerCompartment(t *testing.T) {
+	s := spec(t, SplitBFT)
+	f := 1
+	// One faulty enclave of each type (the Figure 1 scenario): 3 total
+	// faults, more than f replicas, yet safe.
+	sc := Scenario{FaultyEnclaves: map[string]int{"prep": 1, "conf": 1, "exec": 1}}
+	out := Evaluate(s, f, sc)
+	if !out.Safe {
+		t.Fatal("SplitBFT must stay safe with f faulty enclaves per compartment type")
+	}
+	if out.Confidential {
+		t.Fatal("confidentiality requires all execution enclaves correct")
+	}
+	// Exceed f in one compartment: safety is gone.
+	sc2 := Scenario{FaultyEnclaves: map[string]int{"prep": 2}}
+	if Evaluate(s, f, sc2).Safe {
+		t.Fatal("SplitBFT must lose safety with f+1 faulty enclaves of one type")
+	}
+}
+
+func TestSplitBFTConfidentialityOnlyNeedsExecEnclaves(t *testing.T) {
+	s := spec(t, SplitBFT)
+	out := Evaluate(s, 1, Scenario{
+		FaultyHosts:    4,
+		FaultyEnclaves: map[string]int{"prep": 1, "conf": 1},
+	})
+	if !out.Confidential {
+		t.Fatal("confidentiality must survive host + prep/conf enclave faults")
+	}
+	out = Evaluate(s, 1, Scenario{FaultyEnclaves: map[string]int{"exec": 1}})
+	if out.Confidential {
+		t.Fatal("one faulty execution enclave must break confidentiality")
+	}
+	if !out.Safe {
+		t.Fatal("one faulty execution enclave must not break integrity")
+	}
+}
+
+func TestQuickSplitBFTSafetyIndependentOfHosts(t *testing.T) {
+	s := spec(t, SplitBFT)
+	f := 2
+	fn := func(hosts uint8, prep, conf, exec uint8) bool {
+		sc := Scenario{
+			FaultyHosts: int(hosts % 8),
+			FaultyEnclaves: map[string]int{
+				"prep": int(prep % 3), "conf": int(conf % 3), "exec": int(exec % 3),
+			},
+		}
+		out := Evaluate(s, f, sc)
+		// Safety must be exactly "≤ f faults per compartment type".
+		wantSafe := sc.FaultyEnclaves["prep"] <= f &&
+			sc.FaultyEnclaves["conf"] <= f && sc.FaultyEnclaves["exec"] <= f
+		return out.Safe == wantSafe
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(1)
+	if len(rows) != 3 {
+		t.Fatalf("Table 1 has %d rows, want 3", len(rows))
+	}
+	pbft, hybrid, split := rows[0], rows[1], rows[2]
+	if pbft.Replicas != "3f+1" || hybrid.Replicas != "2f+1" || split.Replicas != "3f+1" {
+		t.Fatalf("replica columns wrong: %v %v %v", pbft.Replicas, hybrid.Replicas, split.Replicas)
+	}
+	if pbft.LivenessHost != "1" || hybrid.LivenessHost != "1" || split.LivenessHost != "1" {
+		t.Fatal("all protocols tolerate f host faults for liveness")
+	}
+	// SplitBFT integrity survives all n hosts; PBFT/hybrid only f.
+	if split.IntegrityHost != "4" {
+		t.Fatalf("SplitBFT integrity hosts = %s, want 4 (=n)", split.IntegrityHost)
+	}
+	if pbft.IntegrityHost != "1" || hybrid.IntegrityHost != "1" {
+		t.Fatal("PBFT/hybrid integrity must cap at f hosts")
+	}
+	if hybrid.IntegrityEnc != "0" {
+		t.Fatal("hybrid tolerates zero Byzantine enclaves")
+	}
+	if split.ConfidentialHst != "4" {
+		t.Fatalf("SplitBFT confidentiality hosts = %s, want 4", split.ConfidentialHst)
+	}
+	if pbft.ConfidentialHst != "0" {
+		t.Fatal("PBFT offers no confidentiality")
+	}
+	text := FormatTable(rows)
+	for _, want := range []string{"PBFT", "Hybrid", "SplitBFT", "f_prep"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, text)
+		}
+	}
+}

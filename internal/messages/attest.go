@@ -1,0 +1,109 @@
+package messages
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// AttestRequest starts the client attestation handshake with an enclave
+// (§4.1): the client challenges the enclave with a fresh nonce and supplies
+// its X25519 public key for the session-key agreement.
+type AttestRequest struct {
+	ClientID  uint32
+	Nonce     [32]byte
+	ClientPub [32]byte // client's X25519 public key
+}
+
+// MsgType implements Message.
+func (*AttestRequest) MsgType() Type { return TAttestRequest }
+
+func (a *AttestRequest) encodeBody(e *Encoder) {
+	e.U32(a.ClientID)
+	e.buf = append(e.buf, a.Nonce[:]...)
+	e.buf = append(e.buf, a.ClientPub[:]...)
+}
+
+func (a *AttestRequest) decodeBody(d *Decoder) {
+	a.ClientID = d.U32()
+	if b := d.take(32); b != nil {
+		copy(a.Nonce[:], b)
+	}
+	if b := d.take(32); b != nil {
+		copy(a.ClientPub[:], b)
+	}
+}
+
+// AttestQuote is the enclave's attestation evidence: its measurement, its
+// X25519 public key and the echoed nonce, signed by the enclave's identity
+// key. It stands in for an SGX DCAP quote; verifying it against the expected
+// measurement plays the role of quote verification.
+type AttestQuote struct {
+	Replica     uint32
+	Role        uint8 // crypto.Role of the quoting enclave
+	Measurement crypto.Digest
+	EnclavePub  [32]byte // enclave's X25519 public key
+	Nonce       [32]byte
+	Sig         []byte
+}
+
+// MsgType implements Message.
+func (*AttestQuote) MsgType() Type { return TAttestQuote }
+
+// SigningBytes returns the bytes the quote signature covers.
+func (a *AttestQuote) SigningBytes() []byte {
+	e := NewEncoder(128)
+	e.U8(uint8(TAttestQuote))
+	e.U32(a.Replica)
+	e.U8(a.Role)
+	e.Digest(a.Measurement)
+	e.buf = append(e.buf, a.EnclavePub[:]...)
+	e.buf = append(e.buf, a.Nonce[:]...)
+	return e.Bytes()
+}
+
+func (a *AttestQuote) encodeBody(e *Encoder) {
+	e.U32(a.Replica)
+	e.U8(a.Role)
+	e.Digest(a.Measurement)
+	e.buf = append(e.buf, a.EnclavePub[:]...)
+	e.buf = append(e.buf, a.Nonce[:]...)
+	e.VarBytes(a.Sig)
+}
+
+func (a *AttestQuote) decodeBody(d *Decoder) {
+	a.Replica = d.U32()
+	a.Role = d.U8()
+	a.Measurement = d.Digest()
+	if b := d.take(32); b != nil {
+		copy(a.EnclavePub[:], b)
+	}
+	if b := d.take(32); b != nil {
+		copy(a.Nonce[:], b)
+	}
+	a.Sig = d.VarBytes()
+}
+
+// ProvisionKey finalizes session setup (§4.1: "the client provides the
+// execution enclave with a session key s_enc"). The client's service-wide
+// session key is wrapped (AES-GCM) under the pairwise key derived from the
+// X25519 handshake with this specific enclave, so only that enclave can
+// unwrap it — the environment relays ciphertext.
+type ProvisionKey struct {
+	ClientID   uint32
+	Replica    uint32
+	WrappedKey []byte // Seal_{ECDH(client, enclave)}(s_enc)
+}
+
+// MsgType implements Message.
+func (*ProvisionKey) MsgType() Type { return TProvisionKey }
+
+func (p *ProvisionKey) encodeBody(e *Encoder) {
+	e.U32(p.ClientID)
+	e.U32(p.Replica)
+	e.VarBytes(p.WrappedKey)
+}
+
+func (p *ProvisionKey) decodeBody(d *Decoder) {
+	p.ClientID = d.U32()
+	p.Replica = d.U32()
+	p.WrappedKey = d.VarBytes()
+}

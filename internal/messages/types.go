@@ -1,0 +1,389 @@
+package messages
+
+import (
+	"fmt"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// Type identifies a wire message kind in the envelope header.
+type Type uint8
+
+// Wire message types. The numeric values are part of the wire format.
+const (
+	TRequest Type = iota + 1
+	TPrePrepare
+	TPrepare
+	TCommit
+	TReply
+	TCheckpoint
+	TViewChange
+	TNewView
+	TAttestRequest
+	TAttestQuote
+	TProvisionKey
+	TStateRequest
+	TStateReply
+	TSuspect
+)
+
+// String returns the conventional protocol name for the message type.
+func (t Type) String() string {
+	switch t {
+	case TRequest:
+		return "Request"
+	case TPrePrepare:
+		return "PrePrepare"
+	case TPrepare:
+		return "Prepare"
+	case TCommit:
+		return "Commit"
+	case TReply:
+		return "Reply"
+	case TCheckpoint:
+		return "Checkpoint"
+	case TViewChange:
+		return "ViewChange"
+	case TNewView:
+		return "NewView"
+	case TAttestRequest:
+		return "AttestRequest"
+	case TAttestQuote:
+		return "AttestQuote"
+	case TProvisionKey:
+		return "ProvisionKey"
+	case TStateRequest:
+		return "StateRequest"
+	case TStateReply:
+		return "StateReply"
+	case TSuspect:
+		return "Suspect"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// MsgType returns the envelope type tag.
+	MsgType() Type
+	// encodeBody appends the message body (everything after the type tag).
+	encodeBody(e *Encoder)
+	// decodeBody parses the message body.
+	decodeBody(d *Decoder)
+}
+
+// Request is a client operation submitted for ordering. The Payload is
+// opaque to the ordering compartments: for confidential applications it is
+// an AES-GCM ciphertext only the Execution enclaves can open.
+type Request struct {
+	ClientID  uint32
+	Timestamp uint64 // client-local sequence number, provides exactly-once
+	Payload   []byte
+	// Auth carries one MAC per receiver; the receiver layout is fixed per
+	// system (see RequestAuthReceivers and BaselineAuthReceivers).
+	Auth crypto.Authenticator
+}
+
+// MsgType implements Message.
+func (*Request) MsgType() Type { return TRequest }
+
+// Digest returns the request digest covering the authenticated fields
+// (client, timestamp, payload) but not the MAC vector, which differs per
+// receiver set.
+func (r *Request) Digest() crypto.Digest {
+	e := NewEncoder(16 + len(r.Payload))
+	r.encodeAuthenticated(e)
+	return crypto.HashData(e.Bytes())
+}
+
+// encodeAuthenticated encodes the fields covered by MACs and digests.
+func (r *Request) encodeAuthenticated(e *Encoder) {
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.VarBytes(r.Payload)
+}
+
+// AuthenticatedBytes returns the bytes the client MACs are computed over.
+func (r *Request) AuthenticatedBytes() []byte {
+	e := NewEncoder(16 + len(r.Payload))
+	r.encodeAuthenticated(e)
+	return e.Bytes()
+}
+
+func (r *Request) encodeBody(e *Encoder) {
+	r.encodeAuthenticated(e)
+	e.U32(uint32(len(r.Auth.MACs)))
+	for _, m := range r.Auth.MACs {
+		e.MAC(m)
+	}
+}
+
+func (r *Request) decodeBody(d *Decoder) {
+	r.ClientID = d.U32()
+	r.Timestamp = d.U64()
+	r.Payload = d.VarBytes()
+	n := d.Count(4096)
+	if n == 0 {
+		return
+	}
+	r.Auth.MACs = make([][crypto.MACSize]byte, n)
+	for i := 0; i < n; i++ {
+		r.Auth.MACs[i] = d.MAC()
+	}
+}
+
+// Batch groups client requests ordered under one sequence number. Batching
+// happens in the untrusted environment (paper §3.2) and the batch digest is
+// what the agreement protocol orders.
+type Batch struct {
+	Requests []Request
+}
+
+// Digest returns the batch digest: the hash over the ordered request
+// digests. Ordering is significant.
+func (b *Batch) Digest() crypto.Digest {
+	e := NewEncoder(len(b.Requests) * crypto.DigestSize)
+	for i := range b.Requests {
+		d := b.Requests[i].Digest()
+		e.Digest(d)
+	}
+	return crypto.HashData(e.Bytes())
+}
+
+func (b *Batch) encode(e *Encoder) {
+	e.U32(uint32(len(b.Requests)))
+	for i := range b.Requests {
+		b.Requests[i].encodeBody(e)
+	}
+}
+
+// MarshalBatch encodes a standalone batch, used for the environment's
+// NewBatch ecall into the Preparation compartment (batching happens in the
+// untrusted environment, §3.2).
+func MarshalBatch(b *Batch) []byte {
+	e := NewEncoder(256)
+	b.encode(e)
+	return e.Bytes()
+}
+
+// UnmarshalBatch reverses MarshalBatch.
+func UnmarshalBatch(data []byte) (*Batch, error) {
+	d := NewDecoder(data)
+	var b Batch
+	b.decode(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+func (b *Batch) decode(d *Decoder) {
+	n := d.Count(1 << 16)
+	if n == 0 {
+		return
+	}
+	b.Requests = make([]Request, n)
+	for i := 0; i < n; i++ {
+		b.Requests[i].decodeBody(d)
+	}
+}
+
+// PrePrepare is the primary's ordering proposal for one sequence number in
+// one view. The signature covers (view, seq, digest, replica); the batch
+// body is bound transitively through the digest.
+type PrePrepare struct {
+	View    uint64
+	Seq     uint64
+	Digest  crypto.Digest // batch digest
+	Replica uint32        // proposing replica (primary of View)
+	Batch   Batch         // full requests; may be empty in certificates
+	Sig     []byte
+}
+
+// MsgType implements Message.
+func (*PrePrepare) MsgType() Type { return TPrePrepare }
+
+// SigningBytes returns the bytes the signature covers.
+func (p *PrePrepare) SigningBytes() []byte {
+	e := NewEncoder(64)
+	e.U8(uint8(TPrePrepare))
+	e.U64(p.View)
+	e.U64(p.Seq)
+	e.Digest(p.Digest)
+	e.U32(p.Replica)
+	return e.Bytes()
+}
+
+// StripBatch returns a copy of p without the request bodies, as embedded in
+// prepare certificates and ViewChange messages.
+func (p *PrePrepare) StripBatch() *PrePrepare {
+	cp := *p
+	cp.Batch = Batch{}
+	return &cp
+}
+
+func (p *PrePrepare) encodeBody(e *Encoder) {
+	e.U64(p.View)
+	e.U64(p.Seq)
+	e.Digest(p.Digest)
+	e.U32(p.Replica)
+	p.Batch.encode(e)
+	e.VarBytes(p.Sig)
+}
+
+func (p *PrePrepare) decodeBody(d *Decoder) {
+	p.View = d.U64()
+	p.Seq = d.U64()
+	p.Digest = d.Digest()
+	p.Replica = d.U32()
+	p.Batch.decode(d)
+	p.Sig = d.VarBytes()
+}
+
+// Prepare is a backup's vote that it received the primary's PrePrepare for
+// (View, Seq, Digest).
+type Prepare struct {
+	View    uint64
+	Seq     uint64
+	Digest  crypto.Digest
+	Replica uint32
+	Sig     []byte
+}
+
+// MsgType implements Message.
+func (*Prepare) MsgType() Type { return TPrepare }
+
+// SigningBytes returns the bytes the signature covers.
+func (p *Prepare) SigningBytes() []byte {
+	e := NewEncoder(64)
+	e.U8(uint8(TPrepare))
+	e.U64(p.View)
+	e.U64(p.Seq)
+	e.Digest(p.Digest)
+	e.U32(p.Replica)
+	return e.Bytes()
+}
+
+func (p *Prepare) encodeBody(e *Encoder) {
+	e.U64(p.View)
+	e.U64(p.Seq)
+	e.Digest(p.Digest)
+	e.U32(p.Replica)
+	e.VarBytes(p.Sig)
+}
+
+func (p *Prepare) decodeBody(d *Decoder) {
+	p.View = d.U64()
+	p.Seq = d.U64()
+	p.Digest = d.Digest()
+	p.Replica = d.U32()
+	p.Sig = d.VarBytes()
+}
+
+// Commit is a replica's vote that a prepare certificate exists for
+// (View, Seq, Digest).
+type Commit struct {
+	View    uint64
+	Seq     uint64
+	Digest  crypto.Digest
+	Replica uint32
+	Sig     []byte
+}
+
+// MsgType implements Message.
+func (*Commit) MsgType() Type { return TCommit }
+
+// SigningBytes returns the bytes the signature covers.
+func (c *Commit) SigningBytes() []byte {
+	e := NewEncoder(64)
+	e.U8(uint8(TCommit))
+	e.U64(c.View)
+	e.U64(c.Seq)
+	e.Digest(c.Digest)
+	e.U32(c.Replica)
+	return e.Bytes()
+}
+
+func (c *Commit) encodeBody(e *Encoder) {
+	e.U64(c.View)
+	e.U64(c.Seq)
+	e.Digest(c.Digest)
+	e.U32(c.Replica)
+	e.VarBytes(c.Sig)
+}
+
+func (c *Commit) decodeBody(d *Decoder) {
+	c.View = d.U64()
+	c.Seq = d.U64()
+	c.Digest = d.Digest()
+	c.Replica = d.U32()
+	c.Sig = d.VarBytes()
+}
+
+// Reply carries an execution result back to the client. For confidential
+// applications Result is ciphertext under the client's session key. The MAC
+// authenticates the reply from the executing enclave to the client.
+type Reply struct {
+	View      uint64
+	ClientID  uint32
+	Timestamp uint64
+	Replica   uint32
+	Result    []byte
+	MAC       [crypto.MACSize]byte
+}
+
+// MsgType implements Message.
+func (*Reply) MsgType() Type { return TReply }
+
+// AuthenticatedBytes returns the bytes the reply MAC covers.
+func (r *Reply) AuthenticatedBytes() []byte {
+	e := NewEncoder(32 + len(r.Result))
+	e.U8(uint8(TReply))
+	e.U64(r.View)
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.U32(r.Replica)
+	e.VarBytes(r.Result)
+	return e.Bytes()
+}
+
+func (r *Reply) encodeBody(e *Encoder) {
+	e.U64(r.View)
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.U32(r.Replica)
+	e.VarBytes(r.Result)
+	e.MAC(r.MAC)
+}
+
+func (r *Reply) decodeBody(d *Decoder) {
+	r.View = d.U64()
+	r.ClientID = d.U32()
+	r.Timestamp = d.U64()
+	r.Replica = d.U32()
+	r.Result = d.VarBytes()
+	r.MAC = d.MAC()
+}
+
+// Suspect is an environment-level notification that the request timer
+// expired, prompting the Confirmation compartment to start a view change.
+// It is local to a replica (environment → enclave) and unauthenticated: a
+// forged Suspect can only cost liveness, never safety (paper P1).
+type Suspect struct {
+	Replica uint32
+	View    uint64 // the view being suspected
+}
+
+// MsgType implements Message.
+func (*Suspect) MsgType() Type { return TSuspect }
+
+func (s *Suspect) encodeBody(e *Encoder) {
+	e.U32(s.Replica)
+	e.U64(s.View)
+}
+
+func (s *Suspect) decodeBody(d *Decoder) {
+	s.Replica = d.U32()
+	s.View = d.U64()
+}

@@ -1,0 +1,363 @@
+package messages
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// ErrInvalid wraps all semantic validation failures (bad signatures, wrong
+// senders, malformed certificates).
+var ErrInvalid = errors.New("messages: invalid")
+
+// SignerScheme maps each protocol message kind to the role whose key signs
+// it. SplitBFT assigns different compartments to different messages; the
+// PBFT baseline signs everything with the single replica key.
+type SignerScheme struct {
+	PrePrepare crypto.Role
+	Prepare    crypto.Role
+	Commit     crypto.Role
+	Checkpoint crypto.Role
+	ViewChange crypto.Role
+	NewView    crypto.Role
+}
+
+// SplitScheme is the SplitBFT signer assignment (§3.2): Preparation signs
+// PrePrepare/Prepare/NewView, Confirmation signs Commit/ViewChange, and
+// Execution signs Checkpoints.
+func SplitScheme() SignerScheme {
+	return SignerScheme{
+		PrePrepare: crypto.RolePreparation,
+		Prepare:    crypto.RolePreparation,
+		Commit:     crypto.RoleConfirmation,
+		Checkpoint: crypto.RoleExecution,
+		ViewChange: crypto.RoleConfirmation,
+		NewView:    crypto.RolePreparation,
+	}
+}
+
+// BaselineScheme is the plain-PBFT signer assignment: one key per replica.
+func BaselineScheme() SignerScheme {
+	return SignerScheme{
+		PrePrepare: crypto.RoleReplica,
+		Prepare:    crypto.RoleReplica,
+		Commit:     crypto.RoleReplica,
+		Checkpoint: crypto.RoleReplica,
+		ViewChange: crypto.RoleReplica,
+		NewView:    crypto.RoleReplica,
+	}
+}
+
+// Verifier validates protocol messages and quorum certificates for a system
+// of N = 3F+1 replicas under a signer scheme.
+type Verifier struct {
+	N      int
+	F      int
+	Reg    *crypto.Registry
+	Scheme SignerScheme
+}
+
+// NewVerifier builds a Verifier. N must be 3F+1 with F >= 0.
+func NewVerifier(n, f int, reg *crypto.Registry, scheme SignerScheme) (*Verifier, error) {
+	if n != 3*f+1 || f < 0 {
+		return nil, fmt.Errorf("%w: n=%d must equal 3f+1 (f=%d)", ErrInvalid, n, f)
+	}
+	return &Verifier{N: n, F: f, Reg: reg, Scheme: scheme}, nil
+}
+
+// Primary returns the primary replica for a view.
+func (v *Verifier) Primary(view uint64) uint32 {
+	return uint32(view % uint64(v.N))
+}
+
+// Quorum returns the certificate size 2f+1.
+func (v *Verifier) Quorum() int { return 2*v.F + 1 }
+
+func (v *Verifier) validReplica(id uint32) error {
+	if int(id) >= v.N {
+		return fmt.Errorf("%w: replica id %d out of range (n=%d)", ErrInvalid, id, v.N)
+	}
+	return nil
+}
+
+// VerifyPrePrepare checks the PrePrepare signature, that the proposer is
+// the primary of its view, and that an included batch matches the digest.
+// Empty-batch PrePrepares (as found in certificates or null requests) skip
+// the batch check when the digest is also zero or when stripped for certs.
+func (v *Verifier) VerifyPrePrepare(pp *PrePrepare, requireBatch bool) error {
+	if err := v.validReplica(pp.Replica); err != nil {
+		return err
+	}
+	if pp.Replica != v.Primary(pp.View) {
+		return fmt.Errorf("%w: PrePrepare view %d from %d, primary is %d",
+			ErrInvalid, pp.View, pp.Replica, v.Primary(pp.View))
+	}
+	signer := crypto.Identity{ReplicaID: pp.Replica, Role: v.Scheme.PrePrepare}
+	if err := v.Reg.VerifyFrom(signer, pp.SigningBytes(), pp.Sig); err != nil {
+		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d): %v", ErrInvalid, pp.View, pp.Seq, err)
+	}
+	hasBatch := len(pp.Batch.Requests) > 0
+	if hasBatch {
+		if got := pp.Batch.Digest(); got != pp.Digest {
+			return fmt.Errorf("%w: PrePrepare batch digest %v != header digest %v",
+				ErrInvalid, got, pp.Digest)
+		}
+	} else if requireBatch && !pp.Digest.IsZero() {
+		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d) missing batch body", ErrInvalid, pp.View, pp.Seq)
+	}
+	return nil
+}
+
+// VerifyPrepare checks a Prepare signature and sender validity. Prepares
+// must come from backups, not the view's primary.
+func (v *Verifier) VerifyPrepare(p *Prepare) error {
+	if err := v.validReplica(p.Replica); err != nil {
+		return err
+	}
+	if p.Replica == v.Primary(p.View) {
+		return fmt.Errorf("%w: Prepare from primary %d of view %d", ErrInvalid, p.Replica, p.View)
+	}
+	signer := crypto.Identity{ReplicaID: p.Replica, Role: v.Scheme.Prepare}
+	if err := v.Reg.VerifyFrom(signer, p.SigningBytes(), p.Sig); err != nil {
+		return fmt.Errorf("%w: Prepare(v=%d,n=%d,r=%d): %v", ErrInvalid, p.View, p.Seq, p.Replica, err)
+	}
+	return nil
+}
+
+// VerifyCommit checks a Commit signature and sender validity.
+func (v *Verifier) VerifyCommit(c *Commit) error {
+	if err := v.validReplica(c.Replica); err != nil {
+		return err
+	}
+	signer := crypto.Identity{ReplicaID: c.Replica, Role: v.Scheme.Commit}
+	if err := v.Reg.VerifyFrom(signer, c.SigningBytes(), c.Sig); err != nil {
+		return fmt.Errorf("%w: Commit(v=%d,n=%d,r=%d): %v", ErrInvalid, c.View, c.Seq, c.Replica, err)
+	}
+	return nil
+}
+
+// VerifyCheckpoint checks a Checkpoint signature.
+func (v *Verifier) VerifyCheckpoint(c *Checkpoint) error {
+	if err := v.validReplica(c.Replica); err != nil {
+		return err
+	}
+	signer := crypto.Identity{ReplicaID: c.Replica, Role: v.Scheme.Checkpoint}
+	if err := v.Reg.VerifyFrom(signer, c.SigningBytes(), c.Sig); err != nil {
+		return fmt.Errorf("%w: Checkpoint(n=%d,r=%d): %v", ErrInvalid, c.Seq, c.Replica, err)
+	}
+	return nil
+}
+
+// VerifyPrepareCert checks a full prepare certificate: a valid PrePrepare
+// plus 2f valid matching Prepares from distinct backups.
+func (v *Verifier) VerifyPrepareCert(pc *PrepareCert) error {
+	if err := v.VerifyPrePrepare(&pc.PrePrepare, false); err != nil {
+		return fmt.Errorf("prepare cert: %w", err)
+	}
+	if len(pc.Prepares) < 2*v.F {
+		return fmt.Errorf("%w: prepare cert has %d prepares, need %d", ErrInvalid, len(pc.Prepares), 2*v.F)
+	}
+	seen := make(map[uint32]bool, len(pc.Prepares))
+	for i := range pc.Prepares {
+		p := &pc.Prepares[i]
+		if p.View != pc.PrePrepare.View || p.Seq != pc.PrePrepare.Seq || p.Digest != pc.PrePrepare.Digest {
+			return fmt.Errorf("%w: prepare cert contains non-matching Prepare(v=%d,n=%d)",
+				ErrInvalid, p.View, p.Seq)
+		}
+		if seen[p.Replica] {
+			return fmt.Errorf("%w: prepare cert has duplicate Prepare from %d", ErrInvalid, p.Replica)
+		}
+		seen[p.Replica] = true
+		if err := v.VerifyPrepare(p); err != nil {
+			return fmt.Errorf("prepare cert: %w", err)
+		}
+	}
+	return nil
+}
+
+// VerifyCheckpointCert checks a stable checkpoint certificate: 2f+1 valid
+// matching Checkpoints from distinct replicas. The zero certificate (the
+// genesis checkpoint at sequence 0) is always valid.
+func (v *Verifier) VerifyCheckpointCert(cc *CheckpointCert) error {
+	if cc.Seq == 0 && len(cc.Proof) == 0 {
+		return nil // genesis
+	}
+	if len(cc.Proof) < v.Quorum() {
+		return fmt.Errorf("%w: checkpoint cert has %d proofs, need %d", ErrInvalid, len(cc.Proof), v.Quorum())
+	}
+	seen := make(map[uint32]bool, len(cc.Proof))
+	for i := range cc.Proof {
+		c := &cc.Proof[i]
+		if c.Seq != cc.Seq || c.StateDigest != cc.StateDigest {
+			return fmt.Errorf("%w: checkpoint cert contains non-matching Checkpoint(n=%d)", ErrInvalid, c.Seq)
+		}
+		if seen[c.Replica] {
+			return fmt.Errorf("%w: checkpoint cert has duplicate Checkpoint from %d", ErrInvalid, c.Replica)
+		}
+		seen[c.Replica] = true
+		if err := v.VerifyCheckpoint(c); err != nil {
+			return fmt.Errorf("checkpoint cert: %w", err)
+		}
+	}
+	return nil
+}
+
+// VerifyViewChange checks a ViewChange signature and its embedded
+// certificates. Every prepared certificate must be above the stable
+// checkpoint and from a view below the requested one.
+func (v *Verifier) VerifyViewChange(vc *ViewChange) error {
+	if err := v.validReplica(vc.Replica); err != nil {
+		return err
+	}
+	signer := crypto.Identity{ReplicaID: vc.Replica, Role: v.Scheme.ViewChange}
+	if err := v.Reg.VerifyFrom(signer, vc.SigningBytes(), vc.Sig); err != nil {
+		return fmt.Errorf("%w: ViewChange(v=%d,r=%d): %v", ErrInvalid, vc.NewViewNum, vc.Replica, err)
+	}
+	if err := v.VerifyCheckpointCert(&vc.Stable); err != nil {
+		return fmt.Errorf("ViewChange stable cert: %w", err)
+	}
+	for i := range vc.Prepared {
+		pc := &vc.Prepared[i]
+		if pc.Seq() <= vc.Stable.Seq {
+			return fmt.Errorf("%w: ViewChange prepare cert at seq %d below stable %d",
+				ErrInvalid, pc.Seq(), vc.Stable.Seq)
+		}
+		if pc.View() >= vc.NewViewNum {
+			return fmt.Errorf("%w: ViewChange prepare cert from view %d >= new view %d",
+				ErrInvalid, pc.View(), vc.NewViewNum)
+		}
+		if err := v.VerifyPrepareCert(pc); err != nil {
+			return fmt.Errorf("ViewChange: %w", err)
+		}
+	}
+	return nil
+}
+
+// NewViewSigner signs the re-issued PrePrepares and the NewView itself; it
+// is provided by the new primary's Preparation compartment (or replica).
+type NewViewSigner func(signingBytes []byte) []byte
+
+// ComputeNewViewPrePrepares derives the PrePrepares a new primary must
+// re-issue from a set of ViewChanges, per the PBFT view-change rules: for
+// every sequence number between the highest stable checkpoint (min-s) and
+// the highest prepared sequence (max-s), re-propose the digest from the
+// prepare certificate with the highest view, or a null request if no
+// certificate covers that slot.
+//
+// The returned slice is sorted by sequence number. sign may be nil, in which
+// case the PrePrepares carry no signature (used during validation, where
+// only digests are compared).
+func ComputeNewViewPrePrepares(view uint64, primary uint32, vcs []ViewChange, sign NewViewSigner) (stable CheckpointCert, pps []PrePrepare) {
+	// min-s: the highest stable checkpoint among the view changes.
+	for i := range vcs {
+		if vcs[i].Stable.Seq >= stable.Seq {
+			stable = vcs[i].Stable
+		}
+	}
+	// max-s: the highest sequence in any prepare certificate.
+	maxS := stable.Seq
+	best := make(map[uint64]*PrepareCert)
+	for i := range vcs {
+		for j := range vcs[i].Prepared {
+			pc := &vcs[i].Prepared[j]
+			if pc.Seq() <= stable.Seq {
+				continue
+			}
+			if pc.Seq() > maxS {
+				maxS = pc.Seq()
+			}
+			cur, ok := best[pc.Seq()]
+			if !ok || pc.View() > cur.View() {
+				best[pc.Seq()] = pc
+			}
+		}
+	}
+	for seq := stable.Seq + 1; seq <= maxS; seq++ {
+		pp := PrePrepare{View: view, Seq: seq, Replica: primary}
+		if pc, ok := best[seq]; ok {
+			pp.Digest = pc.Digest()
+		} // else: null request, zero digest
+		if sign != nil {
+			pp.Sig = sign(pp.SigningBytes())
+		}
+		pps = append(pps, pp)
+	}
+	return stable, pps
+}
+
+// VerifyNewView checks a NewView message: the signature, that the sender is
+// the primary of the new view, that it carries 2f+1 valid ViewChanges for
+// that view from distinct replicas, and that the re-issued PrePrepares and
+// stable checkpoint match an independent recomputation from the ViewChanges.
+func (v *Verifier) VerifyNewView(nv *NewView) error {
+	if err := v.validReplica(nv.Replica); err != nil {
+		return err
+	}
+	if nv.Replica != v.Primary(nv.View) {
+		return fmt.Errorf("%w: NewView(v=%d) from %d, primary is %d",
+			ErrInvalid, nv.View, nv.Replica, v.Primary(nv.View))
+	}
+	signer := crypto.Identity{ReplicaID: nv.Replica, Role: v.Scheme.NewView}
+	if err := v.Reg.VerifyFrom(signer, nv.SigningBytes(), nv.Sig); err != nil {
+		return fmt.Errorf("%w: NewView(v=%d): %v", ErrInvalid, nv.View, err)
+	}
+	if len(nv.ViewChanges) < v.Quorum() {
+		return fmt.Errorf("%w: NewView has %d ViewChanges, need %d",
+			ErrInvalid, len(nv.ViewChanges), v.Quorum())
+	}
+	seen := make(map[uint32]bool, len(nv.ViewChanges))
+	for i := range nv.ViewChanges {
+		vc := &nv.ViewChanges[i]
+		if vc.NewViewNum != nv.View {
+			return fmt.Errorf("%w: NewView(v=%d) contains ViewChange for view %d",
+				ErrInvalid, nv.View, vc.NewViewNum)
+		}
+		if seen[vc.Replica] {
+			return fmt.Errorf("%w: NewView has duplicate ViewChange from %d", ErrInvalid, vc.Replica)
+		}
+		seen[vc.Replica] = true
+		if err := v.VerifyViewChange(vc); err != nil {
+			return fmt.Errorf("NewView: %w", err)
+		}
+	}
+	wantStable, wantPPs := ComputeNewViewPrePrepares(nv.View, nv.Replica, nv.ViewChanges, nil)
+	if nv.Stable.Seq != wantStable.Seq || nv.Stable.StateDigest != wantStable.StateDigest {
+		return fmt.Errorf("%w: NewView stable checkpoint (n=%d) does not match recomputation (n=%d)",
+			ErrInvalid, nv.Stable.Seq, wantStable.Seq)
+	}
+	if len(nv.PrePrepares) != len(wantPPs) {
+		return fmt.Errorf("%w: NewView re-issues %d PrePrepares, recomputation yields %d",
+			ErrInvalid, len(nv.PrePrepares), len(wantPPs))
+	}
+	for i := range wantPPs {
+		got, want := &nv.PrePrepares[i], &wantPPs[i]
+		if got.View != want.View || got.Seq != want.Seq || got.Digest != want.Digest || got.Replica != want.Replica {
+			return fmt.Errorf("%w: NewView PrePrepare[%d] (n=%d,d=%v) mismatches recomputation (n=%d,d=%v)",
+				ErrInvalid, i, got.Seq, got.Digest, want.Seq, want.Digest)
+		}
+		if err := v.VerifyPrePrepare(got, false); err != nil {
+			return fmt.Errorf("NewView: %w", err)
+		}
+	}
+	return nil
+}
+
+// VerifyQuote checks an attestation quote signature against the registered
+// identity key and the expected enclave measurement.
+func (v *Verifier) VerifyQuote(q *AttestQuote, wantMeasurement crypto.Digest, wantNonce [32]byte) error {
+	if err := v.validReplica(q.Replica); err != nil {
+		return err
+	}
+	signer := crypto.Identity{ReplicaID: q.Replica, Role: crypto.Role(q.Role)}
+	if err := v.Reg.VerifyFrom(signer, q.SigningBytes(), q.Sig); err != nil {
+		return fmt.Errorf("%w: quote: %v", ErrInvalid, err)
+	}
+	if q.Measurement != wantMeasurement {
+		return fmt.Errorf("%w: quote measurement %v != expected %v", ErrInvalid, q.Measurement, wantMeasurement)
+	}
+	if q.Nonce != wantNonce {
+		return fmt.Errorf("%w: quote nonce mismatch (replay?)", ErrInvalid)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package messages
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// Checkpoint attests that the sender's application state at sequence number
+// Seq has digest StateDigest. A quorum of 2f+1 matching Checkpoints forms a
+// stable checkpoint certificate that allows garbage collection (§4.3).
+type Checkpoint struct {
+	Seq         uint64
+	StateDigest crypto.Digest
+	Replica     uint32
+	Sig         []byte
+}
+
+// MsgType implements Message.
+func (*Checkpoint) MsgType() Type { return TCheckpoint }
+
+// SigningBytes returns the bytes the signature covers.
+func (c *Checkpoint) SigningBytes() []byte {
+	e := NewEncoder(64)
+	e.U8(uint8(TCheckpoint))
+	e.U64(c.Seq)
+	e.Digest(c.StateDigest)
+	e.U32(c.Replica)
+	return e.Bytes()
+}
+
+func (c *Checkpoint) encodeBody(e *Encoder) {
+	e.U64(c.Seq)
+	e.Digest(c.StateDigest)
+	e.U32(c.Replica)
+	e.VarBytes(c.Sig)
+}
+
+func (c *Checkpoint) decodeBody(d *Decoder) {
+	c.Seq = d.U64()
+	c.StateDigest = d.Digest()
+	c.Replica = d.U32()
+	c.Sig = d.VarBytes()
+}
+
+// PrepareCert is a prepare certificate: one PrePrepare (request bodies
+// stripped) plus 2f matching Prepares from distinct replicas. It proves a
+// batch was prepared at (View, Seq) and is the unit carried by ViewChange
+// messages.
+type PrepareCert struct {
+	PrePrepare PrePrepare
+	Prepares   []Prepare
+}
+
+// View returns the certificate's view.
+func (pc *PrepareCert) View() uint64 { return pc.PrePrepare.View }
+
+// Seq returns the certificate's sequence number.
+func (pc *PrepareCert) Seq() uint64 { return pc.PrePrepare.Seq }
+
+// Digest returns the certified batch digest.
+func (pc *PrepareCert) Digest() crypto.Digest { return pc.PrePrepare.Digest }
+
+func (pc *PrepareCert) encode(e *Encoder) {
+	pc.PrePrepare.encodeBody(e)
+	e.U32(uint32(len(pc.Prepares)))
+	for i := range pc.Prepares {
+		pc.Prepares[i].encodeBody(e)
+	}
+}
+
+func (pc *PrepareCert) decode(d *Decoder) {
+	pc.PrePrepare.decodeBody(d)
+	n := d.Count(4096)
+	if n == 0 {
+		return
+	}
+	pc.Prepares = make([]Prepare, n)
+	for i := 0; i < n; i++ {
+		pc.Prepares[i].decodeBody(d)
+	}
+}
+
+// CheckpointCert is a stable-checkpoint certificate: 2f+1 matching
+// Checkpoints from distinct replicas.
+type CheckpointCert struct {
+	Seq         uint64
+	StateDigest crypto.Digest
+	Proof       []Checkpoint
+}
+
+func (cc *CheckpointCert) encode(e *Encoder) {
+	e.U64(cc.Seq)
+	e.Digest(cc.StateDigest)
+	e.U32(uint32(len(cc.Proof)))
+	for i := range cc.Proof {
+		cc.Proof[i].encodeBody(e)
+	}
+}
+
+func (cc *CheckpointCert) decode(d *Decoder) {
+	cc.Seq = d.U64()
+	cc.StateDigest = d.Digest()
+	n := d.Count(4096)
+	if n == 0 {
+		return
+	}
+	cc.Proof = make([]Checkpoint, n)
+	for i := 0; i < n; i++ {
+		cc.Proof[i].decodeBody(d)
+	}
+}
+
+// ViewChange announces that the sender wants to move to view NewViewNum. It
+// carries the sender's latest stable checkpoint certificate and every
+// prepare certificate above it, so the new primary can re-propose prepared
+// batches (§4.4). In SplitBFT the Confirmation compartment sends it.
+type ViewChange struct {
+	NewViewNum uint64
+	Stable     CheckpointCert
+	Prepared   []PrepareCert
+	Replica    uint32
+	Sig        []byte
+}
+
+// MsgType implements Message.
+func (*ViewChange) MsgType() Type { return TViewChange }
+
+// SigningBytes returns the bytes the signature covers: everything except
+// the signature itself.
+func (v *ViewChange) SigningBytes() []byte {
+	e := NewEncoder(256)
+	e.U8(uint8(TViewChange))
+	v.encodeUnsigned(e)
+	return e.Bytes()
+}
+
+func (v *ViewChange) encodeUnsigned(e *Encoder) {
+	e.U64(v.NewViewNum)
+	v.Stable.encode(e)
+	e.U32(uint32(len(v.Prepared)))
+	for i := range v.Prepared {
+		v.Prepared[i].encode(e)
+	}
+	e.U32(v.Replica)
+}
+
+func (v *ViewChange) encodeBody(e *Encoder) {
+	v.encodeUnsigned(e)
+	e.VarBytes(v.Sig)
+}
+
+func (v *ViewChange) decodeBody(d *Decoder) {
+	v.NewViewNum = d.U64()
+	v.Stable.decode(d)
+	n := d.Count(1 << 16)
+	if n > 0 {
+		v.Prepared = make([]PrepareCert, n)
+		for i := 0; i < n; i++ {
+			v.Prepared[i].decode(d)
+		}
+	}
+	v.Replica = d.U32()
+	v.Sig = d.VarBytes()
+}
+
+// NewView is the new primary's view installation message. It proves the
+// view change with 2f+1 ViewChanges, distributes the highest stable
+// checkpoint, and re-issues PrePrepares for every prepared-but-unexecuted
+// batch.
+type NewView struct {
+	View        uint64
+	ViewChanges []ViewChange
+	Stable      CheckpointCert
+	PrePrepares []PrePrepare
+	Replica     uint32
+	Sig         []byte
+}
+
+// MsgType implements Message.
+func (*NewView) MsgType() Type { return TNewView }
+
+// SigningBytes returns the bytes the signature covers.
+func (nv *NewView) SigningBytes() []byte {
+	e := NewEncoder(512)
+	e.U8(uint8(TNewView))
+	nv.encodeUnsigned(e)
+	return e.Bytes()
+}
+
+func (nv *NewView) encodeUnsigned(e *Encoder) {
+	e.U64(nv.View)
+	e.U32(uint32(len(nv.ViewChanges)))
+	for i := range nv.ViewChanges {
+		nv.ViewChanges[i].encodeBody(e)
+	}
+	nv.Stable.encode(e)
+	e.U32(uint32(len(nv.PrePrepares)))
+	for i := range nv.PrePrepares {
+		nv.PrePrepares[i].encodeBody(e)
+	}
+	e.U32(nv.Replica)
+}
+
+func (nv *NewView) encodeBody(e *Encoder) {
+	nv.encodeUnsigned(e)
+	e.VarBytes(nv.Sig)
+}
+
+func (nv *NewView) decodeBody(d *Decoder) {
+	nv.View = d.U64()
+	n := d.Count(4096)
+	if n > 0 {
+		nv.ViewChanges = make([]ViewChange, n)
+		for i := 0; i < n; i++ {
+			nv.ViewChanges[i].decodeBody(d)
+		}
+	}
+	nv.Stable.decode(d)
+	m := d.Count(1 << 16)
+	if m > 0 {
+		nv.PrePrepares = make([]PrePrepare, m)
+		for i := 0; i < m; i++ {
+			nv.PrePrepares[i].decodeBody(d)
+		}
+	}
+	nv.Replica = d.U32()
+	nv.Sig = d.VarBytes()
+}
+
+// StateRequest asks a peer for an application snapshot at or above Seq, used
+// by lagging replicas after missing a stable checkpoint.
+type StateRequest struct {
+	Seq     uint64
+	Replica uint32
+}
+
+// MsgType implements Message.
+func (*StateRequest) MsgType() Type { return TStateRequest }
+
+func (s *StateRequest) encodeBody(e *Encoder) {
+	e.U64(s.Seq)
+	e.U32(s.Replica)
+}
+
+func (s *StateRequest) decodeBody(d *Decoder) {
+	s.Seq = d.U64()
+	s.Replica = d.U32()
+}
+
+// StateReply carries an application snapshot together with the checkpoint
+// certificate proving its digest; the receiver verifies the snapshot hash
+// against the certificate before installing it.
+type StateReply struct {
+	Cert     CheckpointCert
+	Snapshot []byte
+	Replica  uint32
+}
+
+// MsgType implements Message.
+func (*StateReply) MsgType() Type { return TStateReply }
+
+func (s *StateReply) encodeBody(e *Encoder) {
+	s.Cert.encode(e)
+	e.VarBytes(s.Snapshot)
+	e.U32(s.Replica)
+}
+
+func (s *StateReply) decodeBody(d *Decoder) {
+	s.Cert.decode(d)
+	s.Snapshot = d.VarBytes()
+	s.Replica = d.U32()
+}

@@ -1,0 +1,474 @@
+// Package model is a randomized model-checking harness for SplitBFT's
+// safety argument, standing in for the paper's Ivy proof (§4, DESIGN.md
+// §2). It models each compartment as an abstract node — exactly how the
+// Ivy proof treats enclaves, "as individual nodes", since a faulty
+// environment removes any synchronization between co-located enclaves —
+// and lets an adversary:
+//
+//   - control message delivery completely (drop, reorder, duplicate),
+//   - corrupt up to f enclaves of each compartment type, which may then
+//     send arbitrary protocol messages (equivocation, forged votes),
+//
+// while asserting the safety invariants of DESIGN.md §5: no two correct
+// Execution enclaves decide different digests for the same sequence
+// number, and no two conflicting prepare certificates form in the same
+// view.
+//
+// Signatures are modeled as unforgeable: the adversary can make corrupted
+// enclaves say anything, but cannot fabricate messages from correct ones —
+// matching the system assumption that correct enclaves' keys do not leak.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind is a compartment type.
+type Kind int
+
+// The three compartment kinds.
+const (
+	Prep Kind = iota
+	Conf
+	Exec
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Prep:
+		return "prep"
+	case Conf:
+		return "conf"
+	case Exec:
+		return "exec"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Digest abstracts a batch digest; 0 is "no digest".
+type Digest int
+
+// MsgType is an abstract protocol message type.
+type MsgType int
+
+// Abstract message types of the normal-operation subprotocol.
+const (
+	MPrePrepare MsgType = iota
+	MPrepare
+	MCommit
+)
+
+// Msg is an abstract protocol message: type, slot coordinates, digest, and
+// the sending enclave (replica + kind implied by the type).
+type Msg struct {
+	Type   MsgType
+	View   int
+	Seq    int
+	Digest Digest
+	Sender int // replica index of the sending enclave
+}
+
+// Config parameterizes the model.
+type Config struct {
+	N, F int
+	// Seqs and Digests bound the adversary's choice space. Views bounds
+	// how many views the model explores; the default of 1 models normal
+	// operation in a single view. Higher view numbers would require
+	// modeling the NewView validation rules (a correct new primary only
+	// re-proposes prepared digests); cross-view safety is exercised by the
+	// messages-package NewView validation tests and the core integration
+	// tests instead.
+	Seqs    int
+	Digests int
+	Views   int
+	// Byzantine[k] lists the replicas whose enclave of kind k is corrupt.
+	Byzantine map[Kind][]int
+	// Steps bounds the schedule length.
+	Steps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.F == 0 {
+		c.F = (c.N - 1) / 3
+	}
+	if c.Seqs == 0 {
+		c.Seqs = 3
+	}
+	if c.Digests == 0 {
+		c.Digests = 3
+	}
+	if c.Views == 0 {
+		c.Views = 1
+	}
+	if c.Steps == 0 {
+		c.Steps = 4000
+	}
+	return c
+}
+
+// prepNode models a correct Preparation enclave: the primary proposes at
+// most one digest per (view, seq); backups prepare the first PrePrepare
+// they receive per (view, seq).
+type prepNode struct {
+	id       int
+	accepted map[[2]int]Digest // (view,seq) -> digest proposed/prepared
+}
+
+// confNode models a correct Confirmation enclave: it commits (view, seq,
+// digest) only on a full prepare certificate — one PrePrepare plus 2f
+// Prepares from distinct Preparation enclaves.
+type confNode struct {
+	id         int
+	prePrepare map[[2]int]Digest
+	prepares   map[[3]int]map[int]bool // (view,seq,digest) -> senders
+	committed  map[[2]int]Digest
+}
+
+// execNode models a correct Execution enclave: it decides a digest for a
+// sequence number on 2f+1 matching Commits from distinct Confirmation
+// enclaves.
+type execNode struct {
+	id      int
+	commits map[[3]int]map[int]bool // (view,seq,digest) -> senders
+	decided map[int]Digest          // seq -> digest
+}
+
+// World is one model instance: all correct nodes plus the record of every
+// message correct nodes have sent (the adversary's delivery pool).
+type World struct {
+	cfg Config
+	rng *rand.Rand
+
+	preps []*prepNode
+	confs []*confNode
+	execs []*execNode
+
+	// pool is every message available for delivery: everything sent by a
+	// correct enclave plus everything the adversary forged from corrupt
+	// ones.
+	pool []Msg
+	// sentByCorrect marks messages genuinely produced by correct enclaves
+	// (for invariant I2's certificate accounting).
+	byzantine map[Kind]map[int]bool
+}
+
+// NewWorld builds a model instance.
+func NewWorld(cfg Config, seed int64) *World {
+	cfg = cfg.withDefaults()
+	w := &World{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		byzantine: map[Kind]map[int]bool{Prep: {}, Conf: {}, Exec: {}},
+	}
+	for kind, ids := range cfg.Byzantine {
+		for _, id := range ids {
+			w.byzantine[kind][id] = true
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		w.preps = append(w.preps, &prepNode{id: i, accepted: make(map[[2]int]Digest)})
+		w.confs = append(w.confs, &confNode{
+			id:         i,
+			prePrepare: make(map[[2]int]Digest),
+			prepares:   make(map[[3]int]map[int]bool),
+			committed:  make(map[[2]int]Digest),
+		})
+		w.execs = append(w.execs, &execNode{
+			id:      i,
+			commits: make(map[[3]int]map[int]bool),
+			decided: make(map[int]Digest),
+		})
+	}
+	return w
+}
+
+func (w *World) isByz(k Kind, id int) bool { return w.byzantine[k][id] }
+
+func (w *World) primary(view int) int { return view % w.cfg.N }
+
+// send appends a message to the delivery pool.
+func (w *World) send(m Msg) { w.pool = append(w.pool, m) }
+
+// Step performs one adversary-chosen action: inject a client proposal,
+// deliver a pooled message to some node, or let a Byzantine enclave forge
+// a message. Returns an invariant violation, or nil.
+func (w *World) Step() error {
+	switch w.rng.Intn(6) {
+	case 0:
+		w.adversaryPropose()
+	case 1:
+		w.adversaryForge()
+	default:
+		w.deliverRandom()
+	}
+	return w.CheckInvariants()
+}
+
+// Run executes the configured number of steps, stopping at the first
+// violation.
+func (w *World) Run() error {
+	for i := 0; i < w.cfg.Steps; i++ {
+		if err := w.Step(); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// adversaryPropose makes a primary propose: correct primaries propose a
+// fresh digest once per slot; Byzantine primaries equivocate freely (the
+// forge action also covers them).
+func (w *World) adversaryPropose() {
+	view := w.rng.Intn(w.cfg.Views)
+	seq := 1 + w.rng.Intn(w.cfg.Seqs)
+	p := w.primary(view)
+	digest := Digest(1 + w.rng.Intn(w.cfg.Digests))
+	if w.isByz(Prep, p) {
+		// Equivocation: propose any digest, even conflicting ones.
+		w.send(Msg{Type: MPrePrepare, View: view, Seq: seq, Digest: digest, Sender: p})
+		return
+	}
+	node := w.preps[p]
+	key := [2]int{view, seq}
+	if d, ok := node.accepted[key]; ok {
+		digest = d // a correct primary never equivocates
+	} else {
+		node.accepted[key] = digest
+	}
+	w.send(Msg{Type: MPrePrepare, View: view, Seq: seq, Digest: digest, Sender: p})
+}
+
+// adversaryForge lets a Byzantine enclave emit an arbitrary protocol
+// message of its compartment's type.
+func (w *World) adversaryForge() {
+	kind := Kind(w.rng.Intn(3))
+	ids := w.cfg.Byzantine[kind]
+	if len(ids) == 0 {
+		return
+	}
+	id := ids[w.rng.Intn(len(ids))]
+	m := Msg{
+		View:   w.rng.Intn(w.cfg.Views),
+		Seq:    1 + w.rng.Intn(w.cfg.Seqs),
+		Digest: Digest(1 + w.rng.Intn(w.cfg.Digests)),
+		Sender: id,
+	}
+	switch kind {
+	case Prep:
+		if w.rng.Intn(2) == 0 {
+			m.Type = MPrePrepare
+			// Only the primary's PrePrepares are accepted by correct
+			// receivers; forging from a backup is wasted effort but the
+			// adversary may try.
+		} else {
+			m.Type = MPrepare
+		}
+	case Conf:
+		m.Type = MCommit
+	case Exec:
+		return // Execution enclaves send no agreement messages in this subprotocol
+	}
+	w.send(m)
+}
+
+// deliverRandom delivers one pooled message (possibly again — duplication
+// is free) to one random correct node of the appropriate compartment.
+func (w *World) deliverRandom() {
+	if len(w.pool) == 0 {
+		return
+	}
+	m := w.pool[w.rng.Intn(len(w.pool))]
+	target := w.rng.Intn(w.cfg.N)
+	switch m.Type {
+	case MPrePrepare:
+		// PrePrepares are duplicated to Preparation (backup), Confirmation
+		// and Execution logs; deliver to one of them.
+		switch w.rng.Intn(2) {
+		case 0:
+			w.deliverPrePrepareToPrep(target, m)
+		case 1:
+			w.deliverPrePrepareToConf(target, m)
+		}
+	case MPrepare:
+		w.deliverPrepareToConf(target, m)
+	case MCommit:
+		w.deliverCommitToExec(target, m)
+	}
+}
+
+func (w *World) deliverPrePrepareToPrep(target int, m Msg) {
+	if w.isByz(Prep, target) || m.Sender != w.primary(m.View) || target == m.Sender {
+		return
+	}
+	node := w.preps[target]
+	key := [2]int{m.View, m.Seq}
+	if _, ok := node.accepted[key]; ok {
+		return // first proposal wins; equivocation is ignored
+	}
+	node.accepted[key] = m.Digest
+	w.send(Msg{Type: MPrepare, View: m.View, Seq: m.Seq, Digest: m.Digest, Sender: target})
+}
+
+func (w *World) deliverPrePrepareToConf(target int, m Msg) {
+	if w.isByz(Conf, target) || m.Sender != w.primary(m.View) {
+		return
+	}
+	node := w.confs[target]
+	key := [2]int{m.View, m.Seq}
+	if _, ok := node.prePrepare[key]; ok {
+		return
+	}
+	node.prePrepare[key] = m.Digest
+	w.maybeCommit(node, m.View, m.Seq)
+}
+
+func (w *World) deliverPrepareToConf(target int, m Msg) {
+	if w.isByz(Conf, target) || m.Sender == w.primary(m.View) {
+		return
+	}
+	node := w.confs[target]
+	key := [3]int{m.View, m.Seq, int(m.Digest)}
+	set, ok := node.prepares[key]
+	if !ok {
+		set = make(map[int]bool)
+		node.prepares[key] = set
+	}
+	set[m.Sender] = true
+	w.maybeCommit(node, m.View, m.Seq)
+}
+
+// maybeCommit fires a correct Confirmation enclave's quorum rule.
+func (w *World) maybeCommit(node *confNode, view, seq int) {
+	slotKey := [2]int{view, seq}
+	if _, done := node.committed[slotKey]; done {
+		return
+	}
+	d, ok := node.prePrepare[slotKey]
+	if !ok {
+		return
+	}
+	set := node.prepares[[3]int{view, seq, int(d)}]
+	if len(set) < 2*w.cfg.F {
+		return
+	}
+	node.committed[slotKey] = d
+	w.send(Msg{Type: MCommit, View: view, Seq: seq, Digest: d, Sender: node.id})
+}
+
+func (w *World) deliverCommitToExec(target int, m Msg) {
+	if w.isByz(Exec, target) {
+		return
+	}
+	node := w.execs[target]
+	if _, done := node.decided[m.Seq]; done {
+		return
+	}
+	key := [3]int{m.View, m.Seq, int(m.Digest)}
+	set, ok := node.commits[key]
+	if !ok {
+		set = make(map[int]bool)
+		node.commits[key] = set
+	}
+	set[m.Sender] = true
+	if len(set) >= 2*w.cfg.F+1 {
+		node.decided[m.Seq] = m.Digest
+	}
+}
+
+// CheckInvariants asserts the safety properties over the current state.
+func (w *World) CheckInvariants() error {
+	// I1 — Agreement: no two correct Execution enclaves decide different
+	// digests for the same sequence number.
+	for seq := 0; seq <= w.cfg.Seqs; seq++ {
+		var first Digest
+		firstID := -1
+		for _, e := range w.execs {
+			if w.isByz(Exec, e.id) {
+				continue
+			}
+			d, ok := e.decided[seq]
+			if !ok {
+				continue
+			}
+			if firstID == -1 {
+				first, firstID = d, e.id
+			} else if d != first {
+				return fmt.Errorf("I1 violated: execs %d and %d decided digests %d and %d at seq %d",
+					firstID, e.id, first, d, seq)
+			}
+		}
+	}
+	// I2 — Certificate uniqueness: for each (view, seq) there must not be
+	// two conflicting prepare certificates, counting correct Preparation
+	// enclaves' real Prepares plus up to f forged ones per certificate.
+	for view := 0; view < w.cfg.Views; view++ {
+		for seq := 1; seq <= w.cfg.Seqs; seq++ {
+			certs := w.possibleCerts(view, seq)
+			if len(certs) > 1 {
+				return fmt.Errorf("I2 violated: conflicting prepare certificates %v at (v=%d,n=%d)",
+					certs, view, seq)
+			}
+		}
+	}
+	return nil
+}
+
+// possibleCerts returns the set of digests for which a prepare certificate
+// of (view, seq) could be assembled: PrePrepare from the primary (real or
+// forged if the primary's prep is Byzantine) plus 2f Prepares, counting
+// correct enclaves' actual sent Prepares and every Byzantine prep as a
+// universal voter.
+func (w *World) possibleCerts(view, seq int) []Digest {
+	// Collect correct prepares per digest from the accepted maps (a
+	// correct prep sends exactly its accepted digest for the slot).
+	votes := make(map[Digest]map[int]bool)
+	addVote := func(d Digest, id int) {
+		set, ok := votes[d]
+		if !ok {
+			set = make(map[int]bool)
+			votes[d] = set
+		}
+		set[id] = true
+	}
+	primary := w.primary(view)
+	for _, p := range w.preps {
+		if w.isByz(Prep, p.id) || p.id == primary {
+			continue
+		}
+		if d, ok := p.accepted[[2]int{view, seq}]; ok {
+			addVote(d, p.id)
+		}
+	}
+	byzPreps := 0
+	for id := range w.byzantine[Prep] {
+		if id != primary {
+			byzPreps++
+		}
+	}
+	// A digest is certifiable if some PrePrepare for it could exist
+	// (correct primary: only its accepted digest; Byzantine primary: any)
+	// and correct votes + Byzantine votes reach 2f.
+	proposable := func(d Digest) bool {
+		if w.isByz(Prep, primary) {
+			return true
+		}
+		acc, ok := w.preps[primary].accepted[[2]int{view, seq}]
+		return ok && acc == d
+	}
+	var out []Digest
+	for d := Digest(1); d <= Digest(w.cfg.Digests); d++ {
+		if !proposable(d) {
+			continue
+		}
+		if len(votes[d])+byzPreps >= 2*w.cfg.F {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestNoFaultsManySchedules(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		w := NewWorld(Config{}, seed)
+		if err := w.Run(); err != nil {
+			t.Fatalf("seed %d: fault-free run violated safety: %v", seed, err)
+		}
+	}
+}
+
+func TestByzantinePrimaryPreparation(t *testing.T) {
+	// The paper's key scenario: the primary's Preparation enclave is
+	// Byzantine and equivocates. Safety must hold across many adversarial
+	// schedules.
+	cfg := Config{Byzantine: map[Kind][]int{Prep: {0}}}
+	for seed := int64(0); seed < 200; seed++ {
+		w := NewWorld(cfg, seed)
+		if err := w.Run(); err != nil {
+			t.Fatalf("seed %d: equivocating primary broke safety: %v", seed, err)
+		}
+	}
+}
+
+func TestOneByzantineEnclavePerType(t *testing.T) {
+	// Figure 1: one faulty enclave of each type on different replicas —
+	// three total faults with f=1 — must preserve safety.
+	cfg := Config{Byzantine: map[Kind][]int{Prep: {1}, Conf: {2}, Exec: {3}}}
+	for seed := int64(0); seed < 200; seed++ {
+		w := NewWorld(cfg, seed)
+		if err := w.Run(); err != nil {
+			t.Fatalf("seed %d: per-type faults broke safety: %v", seed, err)
+		}
+	}
+}
+
+func TestByzantinePrimaryPlusConfAndExec(t *testing.T) {
+	// Worst tolerated case: Byzantine primary prep, plus one Byzantine
+	// conf and exec elsewhere.
+	cfg := Config{Byzantine: map[Kind][]int{Prep: {0}, Conf: {1}, Exec: {2}}}
+	for seed := int64(0); seed < 200; seed++ {
+		w := NewWorld(cfg, seed)
+		if err := w.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCheckerHasTeeth(t *testing.T) {
+	// Sanity check on the checker itself: with f+1 = 2 Byzantine
+	// Preparation enclaves (beyond the fault model), conflicting prepare
+	// certificates must become constructible and the invariant must trip
+	// on at least one schedule.
+	cfg := Config{Byzantine: map[Kind][]int{Prep: {0, 1}}}
+	violated := false
+	for seed := int64(0); seed < 300 && !violated; seed++ {
+		w := NewWorld(cfg, seed)
+		if err := w.Run(); err != nil {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("checker failed to detect a violation with f+1 Byzantine Preparation enclaves")
+	}
+}
+
+func TestByzantineConfCannotForgeDecision(t *testing.T) {
+	// A single Byzantine Confirmation enclave can send arbitrary commits,
+	// but a correct Execution enclave needs 2f+1 = 3 matching commits from
+	// distinct senders — one forger plus two correct confs that themselves
+	// required prepare certificates. Divergence must be impossible.
+	cfg := Config{Byzantine: map[Kind][]int{Conf: {0}}}
+	for seed := int64(0); seed < 200; seed++ {
+		w := NewWorld(cfg, seed)
+		if err := w.Run(); err != nil {
+			t.Fatalf("seed %d: one Byzantine conf broke agreement: %v", seed, err)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Prep.String() != "prep" || Conf.String() != "conf" || Exec.String() != "exec" {
+		t.Fatal("kind labels wrong")
+	}
+}
+
+func BenchmarkScheduleExploration(b *testing.B) {
+	cfg := Config{Byzantine: map[Kind][]int{Prep: {0}, Conf: {1}, Exec: {2}}, Steps: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWorld(cfg, int64(i))
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pbft
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+)
+
+// makeCheckpoint snapshots the application, stores the snapshot, and
+// broadcasts a signed Checkpoint for seq.
+func (r *Replica) makeCheckpoint(seq uint64) {
+	snap := r.cfg.App.Snapshot()
+	r.snapshots[seq] = snap
+	c := &messages.Checkpoint{Seq: seq, StateDigest: crypto.HashData(snap), Replica: r.cfg.ID}
+	c.Sig = r.sign(c.SigningBytes())
+	set := r.log.addCheckpoint(c)
+	r.broadcast(c)
+	r.maybeStable(seq, set)
+}
+
+// onCheckpoint collects checkpoint votes from peers.
+func (r *Replica) onCheckpoint(c *messages.Checkpoint) {
+	if c.Seq <= r.lowWatermark {
+		return
+	}
+	set := r.log.addCheckpoint(c)
+	r.maybeStable(c.Seq, set)
+}
+
+// maybeStable fires when 2f+1 matching Checkpoints exist for seq: the
+// checkpoint becomes stable, the watermark advances, and the log is
+// garbage collected.
+func (r *Replica) maybeStable(seq uint64, set map[uint32]*messages.Checkpoint) {
+	if seq <= r.lowWatermark {
+		return
+	}
+	byDigest := make(map[crypto.Digest][]*messages.Checkpoint)
+	for _, c := range set {
+		byDigest[c.StateDigest] = append(byDigest[c.StateDigest], c)
+	}
+	for digest, cs := range byDigest {
+		if len(cs) < r.cfg.quorum() {
+			continue
+		}
+		cert := messages.CheckpointCert{Seq: seq, StateDigest: digest}
+		for _, c := range cs[:r.cfg.quorum()] {
+			cert.Proof = append(cert.Proof, *c)
+		}
+		r.installStable(cert)
+		return
+	}
+}
+
+// installStable advances the stable checkpoint to cert, garbage-collecting
+// everything at or below it. If this replica has not executed up to the
+// stable point it starts state transfer.
+func (r *Replica) installStable(cert messages.CheckpointCert) {
+	if cert.Seq <= r.lowWatermark {
+		return
+	}
+	r.lowWatermark = cert.Seq
+	r.stableCert = cert
+	r.mStable.Store(cert.Seq)
+	r.log.gc(cert.Seq)
+	for seq := range r.snapshots {
+		if seq < cert.Seq {
+			delete(r.snapshots, seq)
+		}
+	}
+	for seq := range r.committedBatches {
+		if seq <= cert.Seq {
+			delete(r.committedBatches, seq)
+		}
+	}
+	for seq := range r.committedNull {
+		if seq <= cert.Seq {
+			delete(r.committedNull, seq)
+		}
+	}
+	if r.lastExec < cert.Seq {
+		// We fell behind: our own snapshot cannot exist, fetch state.
+		r.requestState(cert)
+	}
+}
+
+// requestState asks a replica that contributed to the stable certificate
+// for the snapshot.
+func (r *Replica) requestState(cert messages.CheckpointCert) {
+	req := &messages.StateRequest{Seq: cert.Seq, Replica: r.cfg.ID}
+	for i := range cert.Proof {
+		if cert.Proof[i].Replica != r.cfg.ID {
+			r.sendReplica(cert.Proof[i].Replica, req)
+			return
+		}
+	}
+}
+
+// onStateRequest serves a snapshot to a lagging peer.
+func (r *Replica) onStateRequest(req *messages.StateRequest) {
+	snap, ok := r.snapshots[req.Seq]
+	if !ok || r.stableCert.Seq != req.Seq {
+		return
+	}
+	rep := &messages.StateReply{Cert: r.stableCert, Snapshot: snap, Replica: r.cfg.ID}
+	r.sendReplica(req.Replica, rep)
+}
+
+// onStateReply installs a verified snapshot: the certificate was already
+// signature-checked; here the snapshot hash is matched against it.
+func (r *Replica) onStateReply(rep *messages.StateReply) {
+	if rep.Cert.Seq <= r.lastExec {
+		return // no longer behind
+	}
+	if crypto.HashData(rep.Snapshot) != rep.Cert.StateDigest {
+		r.mDropped.Add(1)
+		return
+	}
+	if err := r.cfg.App.Restore(rep.Snapshot); err != nil {
+		r.mDropped.Add(1)
+		return
+	}
+	r.snapshots[rep.Cert.Seq] = rep.Snapshot
+	r.lastExec = rep.Cert.Seq
+	r.mLastExec.Store(rep.Cert.Seq)
+	if rep.Cert.Seq > r.lowWatermark {
+		r.lowWatermark = rep.Cert.Seq
+		r.stableCert = rep.Cert
+		r.log.gc(rep.Cert.Seq)
+	}
+	r.progressMade()
+	r.tryExecute()
+}

@@ -1,0 +1,213 @@
+package pbft
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+)
+
+// slot tracks the agreement progress of one sequence number in one view.
+// It is part of the input log 𝑖𝑛 from the PBFT I/O-automaton model.
+type slot struct {
+	prePrepare *messages.PrePrepare
+	prepares   map[uint32]*messages.Prepare
+	commits    map[uint32]*messages.Commit
+	prepared   bool
+	committed  bool
+	executed   bool
+}
+
+func newSlot() *slot {
+	return &slot{
+		prepares: make(map[uint32]*messages.Prepare),
+		commits:  make(map[uint32]*messages.Commit),
+	}
+}
+
+// inLog is the message log of a replica, keyed by (view, seq). It also
+// tracks checkpoints. GC discards entries at or below the stable sequence
+// number.
+type inLog struct {
+	slots map[uint64]map[uint64]*slot // view -> seq -> slot
+	// checkpoints collects Checkpoint messages per sequence number.
+	checkpoints map[uint64]map[uint32]*messages.Checkpoint
+}
+
+func newInLog() *inLog {
+	return &inLog{
+		slots:       make(map[uint64]map[uint64]*slot),
+		checkpoints: make(map[uint64]map[uint32]*messages.Checkpoint),
+	}
+}
+
+// slot returns (creating) the slot for (view, seq).
+func (l *inLog) slot(view, seq uint64) *slot {
+	vs, ok := l.slots[view]
+	if !ok {
+		vs = make(map[uint64]*slot)
+		l.slots[view] = vs
+	}
+	s, ok := vs[seq]
+	if !ok {
+		s = newSlot()
+		vs[seq] = s
+	}
+	return s
+}
+
+// peek returns the slot for (view, seq) if it exists.
+func (l *inLog) peek(view, seq uint64) (*slot, bool) {
+	vs, ok := l.slots[view]
+	if !ok {
+		return nil, false
+	}
+	s, ok := vs[seq]
+	return s, ok
+}
+
+// addCheckpoint records a Checkpoint message, returning the set collected
+// for its sequence number.
+func (l *inLog) addCheckpoint(c *messages.Checkpoint) map[uint32]*messages.Checkpoint {
+	m, ok := l.checkpoints[c.Seq]
+	if !ok {
+		m = make(map[uint32]*messages.Checkpoint)
+		l.checkpoints[c.Seq] = m
+	}
+	if _, dup := m[c.Replica]; !dup {
+		m[c.Replica] = c
+	}
+	return m
+}
+
+// gc discards all slots and checkpoint sets at or below stableSeq.
+// Checkpoint messages for stableSeq itself are retained (they form the
+// stable certificate carried in ViewChanges).
+func (l *inLog) gc(stableSeq uint64) {
+	for view, vs := range l.slots {
+		for seq := range vs {
+			if seq <= stableSeq {
+				delete(vs, seq)
+			}
+		}
+		if len(vs) == 0 {
+			delete(l.slots, view)
+		}
+	}
+	for seq := range l.checkpoints {
+		if seq < stableSeq {
+			delete(l.checkpoints, seq)
+		}
+	}
+}
+
+// prepareCertsAbove extracts a prepare certificate for every prepared slot
+// with seq > stableSeq in any view, keeping the certificate from the
+// highest view per sequence number. Used to build ViewChange messages.
+func (l *inLog) prepareCertsAbove(stableSeq uint64, twoF int) []messages.PrepareCert {
+	best := make(map[uint64]*messages.PrepareCert)
+	for _, vs := range l.slots {
+		for seq, s := range vs {
+			if seq <= stableSeq || !s.prepared || s.prePrepare == nil {
+				continue
+			}
+			pc := buildPrepareCert(s, twoF)
+			if pc == nil {
+				continue
+			}
+			if cur, ok := best[seq]; !ok || pc.View() > cur.View() {
+				best[seq] = pc
+			}
+		}
+	}
+	out := make([]messages.PrepareCert, 0, len(best))
+	for _, pc := range best {
+		out = append(out, *pc)
+	}
+	sortPrepareCerts(out)
+	return out
+}
+
+// buildPrepareCert assembles a certificate from a prepared slot, selecting
+// exactly twoF matching prepares.
+func buildPrepareCert(s *slot, twoF int) *messages.PrepareCert {
+	pc := &messages.PrepareCert{PrePrepare: *s.prePrepare.StripBatch()}
+	for _, p := range s.prepares {
+		if p.Digest == s.prePrepare.Digest && len(pc.Prepares) < twoF {
+			pc.Prepares = append(pc.Prepares, *p)
+		}
+	}
+	if len(pc.Prepares) < twoF {
+		return nil
+	}
+	return pc
+}
+
+func sortPrepareCerts(pcs []messages.PrepareCert) {
+	// Insertion sort by sequence: certificate counts are small.
+	for i := 1; i < len(pcs); i++ {
+		for j := i; j > 0 && pcs[j].Seq() < pcs[j-1].Seq(); j-- {
+			pcs[j], pcs[j-1] = pcs[j-1], pcs[j]
+		}
+	}
+}
+
+// clientReplyWindow bounds how many recent replies are cached per client.
+// It must exceed the maximum number of outstanding requests per client
+// (the paper's batched configuration uses 40).
+const clientReplyWindow = 128
+
+// clientEntry records exactly-once execution state per client. Because the
+// batched configuration allows many outstanding requests per client,
+// batches can execute a client's timestamps out of order; a single
+// "highest timestamp" check would drop the lower ones. Instead a window of
+// recent replies is cached, keyed by timestamp.
+type clientEntry struct {
+	maxExecuted uint64
+	replies     map[uint64]*messages.Reply
+}
+
+// executed reports whether ts was already executed, returning the cached
+// reply when still in the window.
+func (e *clientEntry) executed(ts uint64) (*messages.Reply, bool) {
+	if rep, ok := e.replies[ts]; ok {
+		return rep, true
+	}
+	// Below the cache window: executed long ago (or never — either way it
+	// is too old to order again without risking duplicate execution).
+	if e.maxExecuted >= clientReplyWindow && ts <= e.maxExecuted-clientReplyWindow {
+		return nil, true
+	}
+	return nil, false
+}
+
+// record stores a reply and prunes the window.
+func (e *clientEntry) record(ts uint64, rep *messages.Reply) {
+	if e.replies == nil {
+		e.replies = make(map[uint64]*messages.Reply)
+	}
+	e.replies[ts] = rep
+	if ts > e.maxExecuted {
+		e.maxExecuted = ts
+	}
+	if len(e.replies) > 2*clientReplyWindow {
+		for old := range e.replies {
+			if e.maxExecuted >= clientReplyWindow && old <= e.maxExecuted-clientReplyWindow {
+				delete(e.replies, old)
+			}
+		}
+	}
+}
+
+// clientTable is the per-client execution bookkeeping.
+type clientTable map[uint32]*clientEntry
+
+func (t clientTable) entry(clientID uint32) *clientEntry {
+	e, ok := t[clientID]
+	if !ok {
+		e = &clientEntry{}
+		t[clientID] = e
+	}
+	return e
+}
+
+// digestKey keys pending-request bookkeeping by request digest.
+type digestKey = crypto.Digest

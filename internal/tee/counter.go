@@ -1,0 +1,75 @@
+package tee
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// TrustedCounter is the minimal trusted subsystem used by hybrid BFT
+// protocols (MinBFT, CheapBFT, Hybster): a monotonic counter whose
+// attestations bind a unique, gap-free counter value to each message,
+// preventing equivocation. It is included here as the comparison point of
+// Table 1/Table 2 — SplitBFT explicitly does not rely on it for safety,
+// since it assumes enclaves themselves may fail.
+type TrustedCounter struct {
+	mu   sync.Mutex
+	id   crypto.Identity
+	key  *crypto.KeyPair
+	next uint64
+}
+
+// NewTrustedCounter creates a trusted counter owned by id.
+func NewTrustedCounter(id crypto.Identity) (*TrustedCounter, error) {
+	kp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &TrustedCounter{id: id, key: kp}, nil
+}
+
+// PublicKey returns the counter's attestation verification key.
+func (t *TrustedCounter) PublicKey() []byte { return t.key.Public }
+
+// CounterAttestation binds a counter value to a message digest.
+type CounterAttestation struct {
+	Replica uint32
+	Value   uint64
+	Digest  crypto.Digest
+	Sig     []byte
+}
+
+func counterSigningBytes(replica uint32, value uint64, digest crypto.Digest) []byte {
+	buf := make([]byte, 0, 4+8+crypto.DigestSize)
+	buf = binary.LittleEndian.AppendUint32(buf, replica)
+	buf = binary.LittleEndian.AppendUint64(buf, value)
+	buf = append(buf, digest[:]...)
+	return buf
+}
+
+// CreateAttestation assigns the next counter value to digest and returns a
+// signed attestation. Values are strictly increasing with no gaps, so a
+// verifier that tracks the last value per replica detects both equivocation
+// (same value, two digests — impossible to produce) and suppression (gaps).
+func (t *TrustedCounter) CreateAttestation(digest crypto.Digest) CounterAttestation {
+	t.mu.Lock()
+	t.next++
+	v := t.next
+	t.mu.Unlock()
+	att := CounterAttestation{Replica: t.id.ReplicaID, Value: v, Digest: digest}
+	att.Sig = t.key.Sign(counterSigningBytes(att.Replica, att.Value, att.Digest))
+	return att
+}
+
+// Value returns the last assigned counter value.
+func (t *TrustedCounter) Value() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// VerifyAttestation checks an attestation under the counter's public key.
+func VerifyAttestation(pub []byte, att CounterAttestation) bool {
+	return crypto.Verify(pub, counterSigningBytes(att.Replica, att.Value, att.Digest), att.Sig)
+}

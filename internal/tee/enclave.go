@@ -1,0 +1,291 @@
+package tee
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+)
+
+// DestKind says where an enclave output message must be routed by the
+// untrusted broker.
+type DestKind uint8
+
+// Destinations for enclave output messages.
+const (
+	// DestBroadcast sends to every replica (including looping back into the
+	// local compartments, per the broker's routing table).
+	DestBroadcast DestKind = iota
+	// DestReplica sends to one replica's broker.
+	DestReplica
+	// DestClient sends to a client connection.
+	DestClient
+	// DestLocal delivers to another enclave on the same replica.
+	DestLocal
+)
+
+// OutMsg is a serialized message leaving an enclave. The payload has
+// already been copied out of the enclave (and charged for) by the runtime.
+type OutMsg struct {
+	Kind    DestKind
+	ID      uint32      // replica ID (DestReplica) or client ID (DestClient)
+	Local   crypto.Role // target compartment for DestLocal
+	Payload []byte
+}
+
+// Host is the view of the runtime available to code running inside an
+// enclave: signing with the enclave identity key, sealing, monotonic
+// counters, and explicit ocalls into the untrusted environment.
+type Host interface {
+	// ReplicaID returns the hosting replica's ID.
+	ReplicaID() uint32
+	// Identity returns the enclave's identity (replica, role).
+	Identity() crypto.Identity
+	// Sign signs with the enclave's private identity key. The key never
+	// leaves the enclave.
+	Sign(msg []byte) []byte
+	// Ocall invokes a named untrusted function, paying a transition plus
+	// copy costs in both directions.
+	Ocall(name string, data []byte) ([]byte, error)
+	// Seal encrypts data under the enclave's sealing key (SGX sealing).
+	Seal(data []byte) ([]byte, error)
+	// Unseal reverses Seal.
+	Unseal(sealed []byte) ([]byte, error)
+	// MonotonicInc increments and returns the named monotonic counter.
+	MonotonicInc(name string) uint64
+	// MonotonicGet returns the named monotonic counter without changing it.
+	MonotonicGet(name string) uint64
+	// Quote produces attestation evidence bound to nonce (see attest.go).
+	Quote(nonce [32]byte) *messages.AttestQuote
+	// DeriveSession computes the key shared with a client's X25519 public
+	// key; the enclave's ECDH private key never leaves the runtime.
+	DeriveSession(clientPub [32]byte) (crypto.SessionKey, error)
+}
+
+// Code is the logic loaded into an enclave: a deserialize-handle-serialize
+// event handler (P2: event handlers run to completion inside one
+// compartment). Implementations must not retain the input slice.
+type Code interface {
+	// Measurement identifies the code for attestation (MRENCLAVE analog).
+	Measurement() crypto.Digest
+	// HandleECall processes one serialized message and returns any output
+	// messages. It always runs single-threaded.
+	HandleECall(host Host, msg []byte) []OutMsg
+}
+
+// ErrNoOcall is returned by Host.Ocall for unregistered ocall names.
+var ErrNoOcall = errors.New("tee: unregistered ocall")
+
+// OcallFunc is an untrusted function the environment registers with an
+// enclave.
+type OcallFunc func(data []byte) ([]byte, error)
+
+// Enclave is one simulated SGX enclave: identity keys, sealing key,
+// monotonic counters, cost accounting, and the single-thread execution
+// guarantee. Create with NewEnclave; drive with Invoke.
+type Enclave struct {
+	replicaID uint32
+	role      crypto.Role
+	code      Code
+	cost      CostModel
+
+	identityKey *crypto.KeyPair
+	ecdhKey     *ecdh.PrivateKey
+	sealKey     crypto.SessionKey
+
+	execMu   sync.Mutex // enforces single-threaded enclave execution
+	stats    ECallStats
+	crashed  bool
+	counters sync.Map // string -> *counterCell
+	ocallsMu sync.RWMutex
+	ocalls   map[string]OcallFunc
+}
+
+type counterCell struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// NewEnclave creates and "launches" an enclave running code on the given
+// replica. The identity key pair is generated inside; the public half is
+// what gets registered after attestation.
+func NewEnclave(replicaID uint32, role crypto.Role, code Code, cost CostModel) (*Enclave, error) {
+	return NewEnclaveWithRand(replicaID, role, code, cost, nil)
+}
+
+// NewEnclaveWithRand is NewEnclave with an explicit entropy source for the
+// enclave's keys. Multi-process deployments pass a crypto.KeyStream
+// derived from a shared deployment secret so every process derives the
+// same public keys (the stand-in for real attestation-based key exchange);
+// nil uses crypto/rand.
+func NewEnclaveWithRand(replicaID uint32, role crypto.Role, code Code, cost CostModel, rng io.Reader) (*Enclave, error) {
+	if code == nil {
+		return nil, errors.New("tee: nil enclave code")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	// Read order is part of the derivation contract: identity key first
+	// (32 bytes), then ECDH key, then sealing key. RegistryKeys in the
+	// core package depends on it.
+	idKey, err := crypto.GenerateKeyPair(rng)
+	if err != nil {
+		return nil, fmt.Errorf("enclave identity key: %w", err)
+	}
+	ek, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("enclave ECDH key: %w", err)
+	}
+	var sealKey crypto.SessionKey
+	if _, err := io.ReadFull(rng, sealKey[:]); err != nil {
+		return nil, fmt.Errorf("enclave sealing key: %w", err)
+	}
+	return &Enclave{
+		replicaID:   replicaID,
+		role:        role,
+		code:        code,
+		cost:        cost,
+		identityKey: idKey,
+		ecdhKey:     ek,
+		sealKey:     sealKey,
+		ocalls:      make(map[string]OcallFunc),
+	}, nil
+}
+
+// ReplicaID implements Host.
+func (e *Enclave) ReplicaID() uint32 { return e.replicaID }
+
+// Identity implements Host.
+func (e *Enclave) Identity() crypto.Identity {
+	return crypto.Identity{ReplicaID: e.replicaID, Role: e.role}
+}
+
+// PublicKey returns the enclave's identity public key for registration.
+func (e *Enclave) PublicKey() []byte { return e.identityKey.Public }
+
+// Measurement returns the loaded code's measurement.
+func (e *Enclave) Measurement() crypto.Digest { return e.code.Measurement() }
+
+// Sign implements Host.
+func (e *Enclave) Sign(msg []byte) []byte { return e.identityKey.Sign(msg) }
+
+// RegisterOcall installs an untrusted handler callable from enclave code.
+// It is part of broker setup, before traffic flows.
+func (e *Enclave) RegisterOcall(name string, fn OcallFunc) {
+	e.ocallsMu.Lock()
+	defer e.ocallsMu.Unlock()
+	e.ocalls[name] = fn
+}
+
+// Ocall implements Host: it pays a transition plus copies in both
+// directions, then runs the untrusted function.
+func (e *Enclave) Ocall(name string, data []byte) ([]byte, error) {
+	e.ocallsMu.RLock()
+	fn, ok := e.ocalls[name]
+	e.ocallsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoOcall, name)
+	}
+	e.cost.chargeTransition()
+	e.cost.chargeCopy(len(data))
+	out, err := fn(copyBytes(data))
+	if err != nil {
+		return nil, err
+	}
+	e.cost.chargeCopy(len(out))
+	return out, nil
+}
+
+// Seal implements Host using AES-GCM under the enclave-local sealing key.
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	s, err := crypto.NewSession(e.sealKey, 2)
+	if err != nil {
+		return nil, err
+	}
+	return s.Seal(data, nil), nil
+}
+
+// Unseal implements Host.
+func (e *Enclave) Unseal(sealed []byte) ([]byte, error) {
+	s, err := crypto.NewSession(e.sealKey, 2)
+	if err != nil {
+		return nil, err
+	}
+	return s.Open(sealed, nil)
+}
+
+// MonotonicInc implements Host.
+func (e *Enclave) MonotonicInc(name string) uint64 {
+	cell, _ := e.counters.LoadOrStore(name, &counterCell{})
+	c := cell.(*counterCell)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v++
+	return c.v
+}
+
+// MonotonicGet implements Host.
+func (e *Enclave) MonotonicGet(name string) uint64 {
+	cell, ok := e.counters.Load(name)
+	if !ok {
+		return 0
+	}
+	c := cell.(*counterCell)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// ErrCrashed is returned by Invoke after Crash was called: the environment
+// can kill an enclave at any time (fail-stop from the enclave's view).
+var ErrCrashed = errors.New("tee: enclave crashed")
+
+// Crash marks the enclave as crashed; all further Invokes fail. It models
+// the environment killing the enclave process (§2.1: an environment fault
+// may render its compartments unavailable).
+func (e *Enclave) Crash() {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	e.crashed = true
+}
+
+// Invoke performs one ecall: it serializes the caller behind the enclave's
+// single execution thread, charges the transition and copy costs, runs the
+// handler, and charges copy-out for the results. The returned messages'
+// payloads are fresh copies owned by the caller.
+func (e *Enclave) Invoke(msg []byte) ([]OutMsg, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	stop := e.stats.start()
+	e.cost.chargeTransition()
+	e.cost.chargeCopy(len(msg))
+	out := e.code.HandleECall(e, copyBytes(msg))
+	for i := range out {
+		e.cost.chargeCopy(len(out[i].Payload))
+	}
+	stop()
+	return out, nil
+}
+
+// Stats returns a snapshot of the enclave's ecall statistics.
+func (e *Enclave) Stats() ECallSnapshot { return e.stats.snapshot() }
+
+// ResetStats zeroes the ecall statistics (used between benchmark phases).
+func (e *Enclave) ResetStats() { e.stats.reset() }
+
+func copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,56 @@
+package tee
+
+import (
+	"sync"
+	"time"
+)
+
+// ECallStats accumulates per-enclave ecall timing, the instrumentation
+// behind Figure 4 (average ecall latency per compartment).
+type ECallStats struct {
+	mu    sync.Mutex
+	count uint64
+	total time.Duration
+	max   time.Duration
+}
+
+// start records the beginning of an ecall and returns the function that
+// completes the measurement. The caller holds the enclave execution lock,
+// but stats have their own lock so snapshots don't block execution.
+func (s *ECallStats) start() func() {
+	begin := time.Now()
+	return func() {
+		d := time.Since(begin)
+		s.mu.Lock()
+		s.count++
+		s.total += d
+		if d > s.max {
+			s.max = d
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *ECallStats) snapshot() ECallSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := ECallSnapshot{Count: s.count, Total: s.total, Max: s.max}
+	if s.count > 0 {
+		snap.Mean = s.total / time.Duration(s.count)
+	}
+	return snap
+}
+
+func (s *ECallStats) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count, s.total, s.max = 0, 0, 0
+}
+
+// ECallSnapshot is a point-in-time copy of an enclave's ecall statistics.
+type ECallSnapshot struct {
+	Count uint64
+	Total time.Duration
+	Mean  time.Duration
+	Max   time.Duration
+}

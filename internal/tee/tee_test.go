@@ -1,0 +1,360 @@
+package tee
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// echoCode is a trivial enclave program for runtime tests: it echoes its
+// input back as a broadcast message and optionally performs an ocall.
+type echoCode struct {
+	meas      crypto.Digest
+	doOcall   bool
+	ocallName string
+}
+
+func (c *echoCode) Measurement() crypto.Digest { return c.meas }
+
+func (c *echoCode) HandleECall(host Host, msg []byte) []OutMsg {
+	if c.doOcall {
+		if _, err := host.Ocall(c.ocallName, msg); err != nil {
+			return nil
+		}
+	}
+	return []OutMsg{{Kind: DestBroadcast, Payload: msg}}
+}
+
+func newTestEnclave(t *testing.T, code Code) *Enclave {
+	t.Helper()
+	e, err := NewEnclave(1, crypto.RoleExecution, code, ZeroCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnclaveInvokeEcho(t *testing.T) {
+	e := newTestEnclave(t, &echoCode{})
+	out, err := e.Invoke([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !bytes.Equal(out[0].Payload, []byte("ping")) {
+		t.Fatalf("echo = %+v", out)
+	}
+	snap := e.Stats()
+	if snap.Count != 1 || snap.Mean <= 0 {
+		t.Fatalf("stats = %+v, want one timed call", snap)
+	}
+}
+
+func TestEnclaveInvokeCopiesInput(t *testing.T) {
+	// The handler must not observe caller mutations after Invoke returns
+	// (copy-in semantics of the enclave boundary).
+	var captured []byte
+	code := &captureCode{capture: &captured}
+	e := newTestEnclave(t, code)
+	in := []byte("original")
+	if _, err := e.Invoke(in); err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 'X'
+	if !bytes.Equal(captured, []byte("original")) {
+		t.Fatal("enclave saw caller mutation: boundary must copy")
+	}
+}
+
+type captureCode struct{ capture *[]byte }
+
+func (c *captureCode) Measurement() crypto.Digest { return crypto.Digest{} }
+func (c *captureCode) HandleECall(_ Host, msg []byte) []OutMsg {
+	*c.capture = msg
+	return nil
+}
+
+func TestEnclaveSingleThreaded(t *testing.T) {
+	// Concurrent Invokes must serialize: max in-flight == 1.
+	code := &concurrencyProbe{}
+	e := newTestEnclave(t, code)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Invoke([]byte("x")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if code.maxSeen > 1 {
+		t.Fatalf("enclave ran %d handlers concurrently, want 1", code.maxSeen)
+	}
+	if e.Stats().Count != 16 {
+		t.Fatalf("count = %d, want 16", e.Stats().Count)
+	}
+}
+
+type concurrencyProbe struct {
+	mu      sync.Mutex
+	cur     int
+	maxSeen int
+}
+
+func (c *concurrencyProbe) Measurement() crypto.Digest { return crypto.Digest{} }
+func (c *concurrencyProbe) HandleECall(_ Host, _ []byte) []OutMsg {
+	c.mu.Lock()
+	c.cur++
+	if c.cur > c.maxSeen {
+		c.maxSeen = c.cur
+	}
+	c.mu.Unlock()
+	time.Sleep(100 * time.Microsecond)
+	c.mu.Lock()
+	c.cur--
+	c.mu.Unlock()
+	return nil
+}
+
+func TestEnclaveCrash(t *testing.T) {
+	e := newTestEnclave(t, &echoCode{})
+	e.Crash()
+	if _, err := e.Invoke([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Invoke after Crash = %v, want ErrCrashed", err)
+	}
+}
+
+func TestOcallRegistryAndErrors(t *testing.T) {
+	code := &echoCode{doOcall: true, ocallName: "fs.write"}
+	e := newTestEnclave(t, code)
+	// Unregistered ocall: handler swallows the error and emits nothing.
+	out, err := e.Invoke([]byte("x"))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("expected empty output on failed ocall, got %v/%v", out, err)
+	}
+	var got []byte
+	e.RegisterOcall("fs.write", func(data []byte) ([]byte, error) {
+		got = data
+		return []byte("ack"), nil
+	})
+	if _, err := e.Invoke([]byte("block-7")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("block-7")) {
+		t.Fatalf("ocall payload = %q", got)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e := newTestEnclave(t, &echoCode{})
+	sealed, err := e.Seal([]byte("application state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, []byte("application state")) {
+		t.Fatal("sealed data leaks plaintext")
+	}
+	pt, err := e.Unseal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("application state")) {
+		t.Fatal("unseal round trip failed")
+	}
+	// A different enclave cannot unseal (sealing keys are per-enclave).
+	other := newTestEnclave(t, &echoCode{})
+	if _, err := other.Unseal(sealed); err == nil {
+		t.Fatal("foreign enclave unsealed the data")
+	}
+}
+
+func TestMonotonicCounters(t *testing.T) {
+	e := newTestEnclave(t, &echoCode{})
+	if got := e.MonotonicGet("view"); got != 0 {
+		t.Fatalf("fresh counter = %d", got)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if got := e.MonotonicInc("view"); got != i {
+			t.Fatalf("inc %d = %d", i, got)
+		}
+	}
+	if got := e.MonotonicInc("other"); got != 1 {
+		t.Fatalf("independent counter = %d", got)
+	}
+	if got := e.MonotonicGet("view"); got != 5 {
+		t.Fatalf("get = %d", got)
+	}
+}
+
+func TestQuoteAndSessionDerivation(t *testing.T) {
+	meas := crypto.HashData([]byte("exec-code"))
+	e := newTestEnclave(t, &echoCode{meas: meas})
+	var nonce [32]byte
+	nonce[3] = 9
+	q := e.Quote(nonce)
+	if q.Measurement != meas || q.Nonce != nonce {
+		t.Fatal("quote fields wrong")
+	}
+	if !crypto.Verify(e.PublicKey(), q.SigningBytes(), q.Sig) {
+		t.Fatal("quote signature invalid")
+	}
+
+	// Client side of the handshake.
+	clientKey, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clientPub [32]byte
+	copy(clientPub[:], clientKey.PublicKey().Bytes())
+
+	enclaveSession, err := e.DeriveSession(clientPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(q.EnclavePub[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := clientKey.ECDH(peerPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientSession := DeriveSessionKey(shared)
+	if enclaveSession != clientSession {
+		t.Fatal("client and enclave derived different session keys")
+	}
+}
+
+func TestCostModelArithmetic(t *testing.T) {
+	m := DefaultCostModel()
+	tc := m.TransitionCost()
+	// 8640 cycles at 3.7 GHz ≈ 2335 ns.
+	if tc < 2*time.Microsecond || tc > 3*time.Microsecond {
+		t.Fatalf("transition cost = %v, want ≈2.3µs", tc)
+	}
+	if m.CopyCost(0) != 0 {
+		t.Fatal("zero-byte copy should cost nothing")
+	}
+	if m.CopyCost(1<<20) <= m.CopyCost(1<<10) {
+		t.Fatal("copy cost must grow with size")
+	}
+	sim := SimulationCostModel()
+	if sim.TransitionCost() != 0 {
+		t.Fatal("simulation mode must zero transition cost")
+	}
+	if sim.CopyCost(1024) != m.CopyCost(1024) {
+		t.Fatal("simulation mode must keep copy costs")
+	}
+	var zero CostModel
+	if zero.TransitionCost() != 0 || zero.CopyCost(100) != 0 {
+		t.Fatal("zero model must charge nothing")
+	}
+}
+
+func TestCostModelChargesWallClock(t *testing.T) {
+	m := CostModel{TransitionCycles: 370_000, CPUGHz: DefaultCPUGHz} // 100µs
+	e, err := NewEnclave(0, crypto.RoleExecution, &echoCode{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := e.Invoke([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 90*time.Microsecond {
+		t.Fatalf("ecall took %v, expected ≥ ~100µs transition charge", d)
+	}
+}
+
+func TestTrustedCounter(t *testing.T) {
+	tc, err := NewTrustedCounter(crypto.Identity{ReplicaID: 2, Role: crypto.RoleReplica})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := crypto.HashData([]byte("m1"))
+	d2 := crypto.HashData([]byte("m2"))
+	a1 := tc.CreateAttestation(d1)
+	a2 := tc.CreateAttestation(d2)
+	if a1.Value != 1 || a2.Value != 2 {
+		t.Fatalf("counter values = %d,%d, want 1,2", a1.Value, a2.Value)
+	}
+	if !VerifyAttestation(tc.PublicKey(), a1) || !VerifyAttestation(tc.PublicKey(), a2) {
+		t.Fatal("valid attestation rejected")
+	}
+	forged := a1
+	forged.Digest = d2
+	if VerifyAttestation(tc.PublicKey(), forged) {
+		t.Fatal("forged attestation accepted: equivocation possible")
+	}
+	if tc.Value() != 2 {
+		t.Fatalf("Value = %d", tc.Value())
+	}
+}
+
+func TestQuickTrustedCounterMonotonic(t *testing.T) {
+	tc, err := NewTrustedCounter(crypto.Identity{ReplicaID: 0, Role: crypto.RoleReplica})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	f := func(msg []byte) bool {
+		att := tc.CreateAttestation(crypto.HashData(msg))
+		ok := att.Value == last+1 && VerifyAttestation(tc.PublicKey(), att)
+		last = att.Value
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSealRoundTrip(t *testing.T) {
+	e := newTestEnclave(t, &echoCode{})
+	f := func(data []byte) bool {
+		sealed, err := e.Seal(data)
+		if err != nil {
+			return false
+		}
+		pt, err := e.Unseal(sealed)
+		return err == nil && bytes.Equal(pt, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEcallRoundTrip(b *testing.B) {
+	e, err := NewEnclave(0, crypto.RoleExecution, &echoCode{}, DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Invoke(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEcallRoundTripSimulation(b *testing.B) {
+	e, err := NewEnclave(0, crypto.RoleExecution, &echoCode{}, SimulationCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Invoke(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Faults configures probabilistic link faults on a SimNet. Probabilities
+// are in [0,1]. The zero value is a perfect network.
+type Faults struct {
+	// DropProb drops a message entirely.
+	DropProb float64
+	// DupProb delivers a message twice.
+	DupProb float64
+	// ReorderProb delays a message by a random extra jitter, letting later
+	// messages overtake it.
+	ReorderProb float64
+	// Delay is the base one-way latency applied to every message.
+	Delay time.Duration
+	// Jitter is the maximum extra latency for reordered messages.
+	Jitter time.Duration
+}
+
+// Observer sees every message accepted for delivery, before faults are
+// applied. Used by confidentiality tests to assert that no plaintext ever
+// crosses the wire. It must not retain or mutate data.
+type Observer func(from, to Endpoint, data []byte)
+
+// SimNet is an in-process message network connecting replicas and clients.
+// Delivery to each endpoint is sequential (one dispatcher goroutine per
+// endpoint); cross-endpoint ordering is unspecified, and fault injection
+// can drop, duplicate, delay and reorder individual messages.
+type SimNet struct {
+	mu        sync.RWMutex
+	nodes     map[Endpoint]*simConn
+	replicas  map[uint32]*simConn
+	faults    Faults
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	observers []Observer
+	blocked   map[[2]Endpoint]bool
+	closed    bool
+}
+
+// NewSimNet creates an empty simulated network. The seed drives all fault
+// randomness, making fault schedules reproducible.
+func NewSimNet(seed int64) *SimNet {
+	return &SimNet{
+		nodes:    make(map[Endpoint]*simConn),
+		replicas: make(map[uint32]*simConn),
+		rng:      rand.New(rand.NewSource(seed)),
+		blocked:  make(map[[2]Endpoint]bool),
+	}
+}
+
+// SetFaults installs the fault configuration for all links.
+func (n *SimNet) SetFaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// AddObserver registers an observer for all traffic.
+func (n *SimNet) AddObserver(o Observer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observers = append(n.observers, o)
+}
+
+// Block cuts the link between a and b in both directions until Unblock.
+func (n *SimNet) Block(a, b Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]Endpoint{a, b}] = true
+	n.blocked[[2]Endpoint{b, a}] = true
+}
+
+// Unblock heals the link between a and b.
+func (n *SimNet) Unblock(a, b Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]Endpoint{a, b})
+	delete(n.blocked, [2]Endpoint{b, a})
+}
+
+// Isolate blocks all links to and from e (a crashed or partitioned node).
+func (n *SimNet) Isolate(e Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.nodes {
+		if other != e {
+			n.blocked[[2]Endpoint{e, other}] = true
+			n.blocked[[2]Endpoint{other, e}] = true
+		}
+	}
+}
+
+// Join attaches an endpoint with its inbound handler and returns its Conn.
+func (n *SimNet) Join(self Endpoint, h Handler) (Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	c := &simConn{
+		net:   n,
+		self:  self,
+		h:     h,
+		inbox: make(chan inboundMsg, 4096),
+		done:  make(chan struct{}),
+	}
+	n.nodes[self] = c
+	if self.Kind == KindReplica {
+		n.replicas[self.ID] = c
+	}
+	go c.dispatch()
+	return c, nil
+}
+
+// Close shuts down the network and all attached endpoints.
+func (n *SimNet) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, c := range n.nodes {
+		c.closeLocked()
+	}
+}
+
+func (n *SimNet) random() *rand.Rand { return n.rng }
+
+type inboundMsg struct {
+	from Endpoint
+	data []byte
+}
+
+type simConn struct {
+	net   *SimNet
+	self  Endpoint
+	h     Handler
+	inbox chan inboundMsg
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (c *simConn) dispatch() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case m := <-c.inbox:
+			c.h(m.from, m.data)
+		}
+	}
+}
+
+// Send implements Conn.
+func (c *simConn) Send(to Endpoint, data []byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	return c.net.deliver(c.self, to, data)
+}
+
+// BroadcastReplicas implements Conn.
+func (c *simConn) BroadcastReplicas(data []byte) error {
+	c.net.mu.RLock()
+	ids := make([]uint32, 0, len(c.net.replicas))
+	for id := range c.net.replicas {
+		if !(c.self.Kind == KindReplica && c.self.ID == id) {
+			ids = append(ids, id)
+		}
+	}
+	c.net.mu.RUnlock()
+	for _, id := range ids {
+		if err := c.Send(ReplicaEndpoint(id), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Conn.
+func (c *simConn) Close() error {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	c.closeLocked()
+	delete(c.net.nodes, c.self)
+	if c.self.Kind == KindReplica {
+		delete(c.net.replicas, c.self.ID)
+	}
+	return nil
+}
+
+func (c *simConn) closeLocked() {
+	c.closeOnce.Do(func() { close(c.done) })
+}
+
+// deliver applies observers and faults, then enqueues the message at the
+// destination. Data is copied once on acceptance so senders may reuse
+// buffers.
+func (n *SimNet) deliver(from, to Endpoint, data []byte) error {
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	blocked := n.blocked[[2]Endpoint{from, to}]
+	faults := n.faults
+	observers := n.observers
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	for _, o := range observers {
+		o(from, to, data)
+	}
+	if !ok {
+		return ErrUnknownEndpoint
+	}
+	if blocked {
+		return nil // silently dropped, like a partition
+	}
+
+	n.rngMu.Lock()
+	drop := faults.DropProb > 0 && n.random().Float64() < faults.DropProb
+	dup := faults.DupProb > 0 && n.random().Float64() < faults.DupProb
+	extra := time.Duration(0)
+	if faults.ReorderProb > 0 && n.random().Float64() < faults.ReorderProb && faults.Jitter > 0 {
+		extra = time.Duration(n.random().Int63n(int64(faults.Jitter)))
+	}
+	n.rngMu.Unlock()
+
+	if drop {
+		return nil
+	}
+	msg := inboundMsg{from: from, data: append([]byte(nil), data...)}
+	copies := 1
+	if dup {
+		copies = 2
+	}
+	delay := faults.Delay + extra
+	for i := 0; i < copies; i++ {
+		if delay > 0 {
+			time.AfterFunc(delay, func() { dst.enqueue(msg) })
+		} else {
+			dst.enqueue(msg)
+		}
+	}
+	return nil
+}
+
+func (c *simConn) enqueue(m inboundMsg) {
+	select {
+	case <-c.done:
+	case c.inbox <- m:
+	}
+}

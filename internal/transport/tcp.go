@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single TCP frame; larger frames indicate corruption or
+// attack and kill the connection.
+const maxFrame = 1 << 26
+
+// TCPNode is a Conn over real TCP sockets with 4-byte length-prefixed
+// framing. Replicas listen and dial each other using a static address book;
+// clients dial replicas and receive replies over their outbound connection.
+type TCPNode struct {
+	self  Endpoint
+	h     Handler
+	ln    net.Listener
+	addrs map[uint32]string // replica ID -> address
+
+	mu     sync.Mutex
+	conns  map[Endpoint]*tcpPeer
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpPeer struct {
+	c  net.Conn
+	w  *bufio.Writer
+	mu sync.Mutex // serializes frame writes
+}
+
+// ListenTCP starts a listening node (used by replicas). addrs maps every
+// replica ID to its dialable address; handler receives inbound messages.
+func ListenTCP(self Endpoint, listenAddr string, addrs map[uint32]string, h Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	n := newTCPNode(self, addrs, h)
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// DialTCP creates a non-listening node (used by clients).
+func DialTCP(self Endpoint, addrs map[uint32]string, h Handler) *TCPNode {
+	return newTCPNode(self, addrs, h)
+}
+
+func newTCPNode(self Endpoint, addrs map[uint32]string, h Handler) *TCPNode {
+	book := make(map[uint32]string, len(addrs))
+	for id, a := range addrs {
+		book[id] = a
+	}
+	return &TCPNode{self: self, h: h, addrs: book, conns: make(map[Endpoint]*tcpPeer)}
+}
+
+// Addr returns the listener address, or "" for non-listening nodes.
+func (n *TCPNode) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(c)
+		}()
+	}
+}
+
+// serveConn reads the peer's handshake then pumps frames to the handler.
+func (n *TCPNode) serveConn(c net.Conn) {
+	r := bufio.NewReader(c)
+	peer, err := readHandshake(r)
+	if err != nil {
+		c.Close()
+		return
+	}
+	p := &tcpPeer{c: c, w: bufio.NewWriter(c)}
+	n.mu.Lock()
+	if old, ok := n.conns[peer]; ok {
+		old.c.Close()
+	}
+	n.conns[peer] = p
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		c.Close()
+		return
+	}
+	n.readLoop(peer, r, c)
+}
+
+func (n *TCPNode) readLoop(peer Endpoint, r *bufio.Reader, c net.Conn) {
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		if cur, ok := n.conns[peer]; ok && cur.c == c {
+			delete(n.conns, peer)
+		}
+		n.mu.Unlock()
+	}()
+	for {
+		data, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		n.h(peer, data)
+	}
+}
+
+// dial establishes an outbound connection to a replica in the address book.
+func (n *TCPNode) dial(to Endpoint) (*tcpPeer, error) {
+	if to.Kind != KindReplica {
+		return nil, fmt.Errorf("%w: cannot dial %v (no address)", ErrUnknownEndpoint, to)
+	}
+	addr, ok := n.addrs[to.ID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownEndpoint, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v at %s: %w", to, addr, err)
+	}
+	if err := writeHandshake(c, n.self); err != nil {
+		c.Close()
+		return nil, err
+	}
+	p := &tcpPeer{c: c, w: bufio.NewWriter(c)}
+	n.mu.Lock()
+	n.conns[to] = p
+	n.mu.Unlock()
+	// Replies and pushed messages arrive over this same connection.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(to, bufio.NewReader(c), c)
+	}()
+	return p, nil
+}
+
+// Send implements Conn.
+func (n *TCPNode) Send(to Endpoint, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	p, ok := n.conns[to]
+	n.mu.Unlock()
+	if !ok {
+		var err error
+		if p, err = n.dial(to); err != nil {
+			return err
+		}
+	}
+	if err := p.writeFrame(data); err != nil {
+		n.mu.Lock()
+		if cur, found := n.conns[to]; found && cur == p {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		p.c.Close()
+		return err
+	}
+	return nil
+}
+
+// BroadcastReplicas implements Conn.
+func (n *TCPNode) BroadcastReplicas(data []byte) error {
+	var firstErr error
+	for id := range n.addrs {
+		if n.self.Kind == KindReplica && n.self.ID == id {
+			continue
+		}
+		if err := n.Send(ReplicaEndpoint(id), data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Conn.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*tcpPeer, 0, len(n.conns))
+	for _, p := range n.conns {
+		conns = append(conns, p)
+	}
+	n.conns = make(map[Endpoint]*tcpPeer)
+	n.mu.Unlock()
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, p := range conns {
+		p.c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+func (p *tcpPeer) writeFrame(data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(data))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := p.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := p.w.Write(data); err != nil {
+		return err
+	}
+	return p.w.Flush()
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("transport: inbound frame of %d bytes exceeds limit", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func writeHandshake(c net.Conn, self Endpoint) error {
+	var hdr [5]byte
+	hdr[0] = byte(self.Kind)
+	binary.LittleEndian.PutUint32(hdr[1:], self.ID)
+	_, err := c.Write(hdr[:])
+	return err
+}
+
+func readHandshake(r *bufio.Reader) (Endpoint, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Endpoint{}, err
+	}
+	return Endpoint{Kind: EndpointKind(hdr[0]), ID: binary.LittleEndian.Uint32(hdr[1:])}, nil
+}

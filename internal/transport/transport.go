@@ -1,0 +1,68 @@
+// Package transport provides message delivery between replicas and clients:
+// an in-process simulated network with fault injection (drop, delay,
+// reorder, duplicate, partition) for tests and benchmarks, and a TCP
+// transport with length-prefixed framing for distributed deployments.
+//
+// The network model matches the paper (§2.1): unreliable, may discard,
+// reorder and delay messages, but not indefinitely — so the simnet's fault
+// injectors are probabilistic, never permanent unless a partition is
+// explicitly installed.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EndpointKind distinguishes replica and client endpoints.
+type EndpointKind uint8
+
+// Endpoint kinds.
+const (
+	KindReplica EndpointKind = iota
+	KindClient
+)
+
+// Endpoint names a network participant.
+type Endpoint struct {
+	Kind EndpointKind
+	ID   uint32
+}
+
+// ReplicaEndpoint returns the endpoint for replica id.
+func ReplicaEndpoint(id uint32) Endpoint { return Endpoint{Kind: KindReplica, ID: id} }
+
+// ClientEndpoint returns the endpoint for client id.
+func ClientEndpoint(id uint32) Endpoint { return Endpoint{Kind: KindClient, ID: id} }
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string {
+	if e.Kind == KindReplica {
+		return fmt.Sprintf("replica-%d", e.ID)
+	}
+	return fmt.Sprintf("client-%d", e.ID)
+}
+
+// Handler receives inbound messages. Handlers for one endpoint are invoked
+// sequentially in delivery order; implementations that need concurrency
+// hand off internally.
+type Handler func(from Endpoint, data []byte)
+
+// Conn is one endpoint's attachment to a network.
+type Conn interface {
+	// Send delivers data to one endpoint. Delivery is best-effort:
+	// a nil error means the message was accepted for delivery, not that it
+	// arrived.
+	Send(to Endpoint, data []byte) error
+	// BroadcastReplicas sends to every replica except the sender itself.
+	BroadcastReplicas(data []byte) error
+	// Close detaches the endpoint. Further Sends fail.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed Conn or network.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownEndpoint is returned when sending to an endpoint that never
+// joined the network.
+var ErrUnknownEndpoint = errors.New("transport: unknown endpoint")

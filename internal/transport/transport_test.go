@@ -1,0 +1,384 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector is a thread-safe message sink used as a Handler in tests.
+type collector struct {
+	mu   sync.Mutex
+	msgs []string
+	ch   chan string
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan string, 1024)}
+}
+
+func (c *collector) handle(from Endpoint, data []byte) {
+	s := fmt.Sprintf("%v:%s", from, data)
+	c.mu.Lock()
+	c.msgs = append(c.msgs, s)
+	c.mu.Unlock()
+	c.ch <- s
+}
+
+func (c *collector) wait(t *testing.T, want string) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case got := <-c.ch:
+			if got == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q; have %v", want, c.snapshot())
+		}
+	}
+}
+
+func (c *collector) snapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.msgs...)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func TestSimNetPointToPoint(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	c0 := newCollector()
+	c1 := newCollector()
+	conn0, err := net.Join(ReplicaEndpoint(0), c0.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(ReplicaEndpoint(1), c1.handle); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn0.Send(ReplicaEndpoint(1), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	c1.wait(t, "replica-0:hello")
+	if c0.count() != 0 {
+		t.Fatal("sender received its own point-to-point message")
+	}
+}
+
+func TestSimNetBroadcastExcludesSelf(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	cols := make([]*collector, 4)
+	conns := make([]Conn, 4)
+	for i := 0; i < 4; i++ {
+		cols[i] = newCollector()
+		c, err := net.Join(ReplicaEndpoint(uint32(i)), cols[i].handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	if err := conns[2].BroadcastReplicas([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			continue
+		}
+		cols[i].wait(t, "replica-2:b")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if cols[2].count() != 0 {
+		t.Fatal("broadcast delivered to sender")
+	}
+}
+
+func TestSimNetUnknownEndpoint(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(ReplicaEndpoint(9), []byte("x")); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestSimNetSenderBufferReuse(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	col := newCollector()
+	if _, err := net.Join(ReplicaEndpoint(1), col.handle); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("aaaa")
+	if err := conn.Send(ReplicaEndpoint(1), buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "bbbb") // mutate after send
+	col.wait(t, "replica-0:aaaa")
+}
+
+func TestSimNetBlockAndUnblock(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	col := newCollector()
+	if _, err := net.Join(ReplicaEndpoint(1), col.handle); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Block(ReplicaEndpoint(0), ReplicaEndpoint(1))
+	if err := conn.Send(ReplicaEndpoint(1), []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if col.count() != 0 {
+		t.Fatal("blocked link delivered a message")
+	}
+	net.Unblock(ReplicaEndpoint(0), ReplicaEndpoint(1))
+	if err := conn.Send(ReplicaEndpoint(1), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, "replica-0:ok")
+}
+
+func TestSimNetIsolate(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	col := newCollector()
+	if _, err := net.Join(ReplicaEndpoint(1), col.handle); err != nil {
+		t.Fatal(err)
+	}
+	conn0, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, err := net.Join(ReplicaEndpoint(2), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Isolate(ReplicaEndpoint(0))
+	if err := conn0.Send(ReplicaEndpoint(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn2.Send(ReplicaEndpoint(1), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, "replica-2:y")
+	for _, m := range col.snapshot() {
+		if m == "replica-0:x" {
+			t.Fatal("isolated node's message delivered")
+		}
+	}
+}
+
+func TestSimNetDropFaults(t *testing.T) {
+	net := NewSimNet(42)
+	defer net.Close()
+	var received atomic.Int64
+	if _, err := net.Join(ReplicaEndpoint(1), func(Endpoint, []byte) { received.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaults(Faults{DropProb: 0.5})
+	const total = 400
+	for i := 0; i < total; i++ {
+		if err := conn.Send(ReplicaEndpoint(1), []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	got := received.Load()
+	if got < total/4 || got > total*3/4 {
+		t.Fatalf("with 50%% drop, delivered %d/%d — outside sanity band", got, total)
+	}
+}
+
+func TestSimNetDuplicates(t *testing.T) {
+	net := NewSimNet(7)
+	defer net.Close()
+	var received atomic.Int64
+	if _, err := net.Join(ReplicaEndpoint(1), func(Endpoint, []byte) { received.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaults(Faults{DupProb: 1.0})
+	for i := 0; i < 10; i++ {
+		if err := conn.Send(ReplicaEndpoint(1), []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := received.Load(); got != 20 {
+		t.Fatalf("with DupProb=1, delivered %d, want 20", got)
+	}
+}
+
+func TestSimNetObserverSeesTraffic(t *testing.T) {
+	net := NewSimNet(1)
+	defer net.Close()
+	var seen atomic.Int64
+	net.AddObserver(func(from, to Endpoint, data []byte) {
+		if bytes.Contains(data, []byte("secret")) {
+			seen.Add(1)
+		}
+	})
+	if _, err := net.Join(ReplicaEndpoint(1), func(Endpoint, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(ReplicaEndpoint(1), []byte("a secret message")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if seen.Load() != 1 {
+		t.Fatal("observer did not see the message")
+	}
+}
+
+func TestSimNetCloseRejectsSends(t *testing.T) {
+	net := NewSimNet(1)
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	if err := conn.Send(ReplicaEndpoint(0), []byte("x")); err == nil {
+		t.Fatal("send on closed network succeeded")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	colServer := newCollector()
+	server, err := ListenTCP(ReplicaEndpoint(0), "127.0.0.1:0", nil, colServer.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	addrs := map[uint32]string{0: server.Addr()}
+	colClient := newCollector()
+	client := DialTCP(ClientEndpoint(5), addrs, colClient.handle)
+	defer client.Close()
+
+	if err := client.Send(ReplicaEndpoint(0), []byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	colServer.wait(t, "client-5:request")
+
+	// The server replies over the client's inbound connection.
+	if err := server.Send(ClientEndpoint(5), []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	colClient.wait(t, "replica-0:reply")
+}
+
+func TestTCPReplicaMesh(t *testing.T) {
+	const n = 3
+	cols := make([]*collector, n)
+	nodes := make([]*TCPNode, n)
+	addrs := make(map[uint32]string, n)
+	for i := 0; i < n; i++ {
+		cols[i] = newCollector()
+		node, err := ListenTCP(ReplicaEndpoint(uint32(i)), "127.0.0.1:0", nil, cols[i].handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+		addrs[uint32(i)] = node.Addr()
+	}
+	for i := 0; i < n; i++ {
+		nodes[i].addrs = addrs
+	}
+	if err := nodes[0].BroadcastReplicas([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	cols[1].wait(t, "replica-0:hi")
+	cols[2].wait(t, "replica-0:hi")
+	if cols[0].count() != 0 {
+		t.Fatal("broadcast reached the sender")
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	col := newCollector()
+	server, err := ListenTCP(ReplicaEndpoint(0), "127.0.0.1:0", nil, func(from Endpoint, data []byte) {
+		col.handle(from, []byte(fmt.Sprintf("%d", len(data))))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client := DialTCP(ClientEndpoint(1), map[uint32]string{0: server.Addr()}, func(Endpoint, []byte) {})
+	defer client.Close()
+	big := make([]byte, 1<<20)
+	if err := client.Send(ReplicaEndpoint(0), big); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, fmt.Sprintf("client-1:%d", 1<<20))
+}
+
+func TestTCPSendToUnknown(t *testing.T) {
+	client := DialTCP(ClientEndpoint(1), nil, func(Endpoint, []byte) {})
+	defer client.Close()
+	if err := client.Send(ReplicaEndpoint(3), []byte("x")); err == nil {
+		t.Fatal("send without address book entry succeeded")
+	}
+	if err := client.Send(ClientEndpoint(2), []byte("x")); err == nil {
+		t.Fatal("client-to-client send succeeded")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	server, err := ListenTCP(ReplicaEndpoint(0), "127.0.0.1:0", nil, func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(ReplicaEndpoint(1), []byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	if got := ReplicaEndpoint(3).String(); got != "replica-3" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := ClientEndpoint(9).String(); got != "client-9" {
+		t.Fatalf("String = %q", got)
+	}
+}
