@@ -1,0 +1,93 @@
+package splitbft
+
+import (
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// Application is the deterministic state machine replicated by the
+// protocol. It executes inside the Execution enclave: its state never
+// leaves the trusted boundary unencrypted.
+type Application = app.Application
+
+// Persister is implemented by applications (like the Blockchain) that
+// durably persist state; the Execution compartment seals their writes and
+// routes them through an ocall to untrusted storage.
+type Persister = app.Persister
+
+// PersistFunc writes one sealed state blob to untrusted storage.
+type PersistFunc = app.PersistFunc
+
+// KVStore is the key-value store application from the paper's evaluation.
+type KVStore = app.KVS
+
+// Blockchain is the distributed-ledger application from the paper's second
+// use case (§6): ordered operations accumulate into hash-linked blocks,
+// sealed inside the Execution enclave before persistence.
+type Blockchain = app.Blockchain
+
+// BlockHeader summarizes one committed block for chain verification.
+type BlockHeader = app.BlockHeader
+
+// DefaultBlockSize is the paper's blockchain block size (five operations).
+const DefaultBlockSize = app.DefaultBlockSize
+
+// NewKVStore creates an empty key-value store application.
+func NewKVStore() *KVStore { return app.NewKVS() }
+
+// NewBlockchain creates a ledger application producing blocks of blockSize
+// transactions (blockSize <= 0 means DefaultBlockSize). persist may be nil:
+// replicas built by this package wire sealed persistence automatically.
+func NewBlockchain(blockSize int, persist PersistFunc) *Blockchain {
+	return app.NewBlockchain(blockSize, persist)
+}
+
+// VerifyChain checks the hash linkage of a blockchain header sequence and
+// reports the first broken link, or nil for a valid chain.
+func VerifyChain(headers []BlockHeader) error { return app.VerifyChain(headers) }
+
+// EncodePut encodes a key-value store PUT operation for Client.Invoke.
+func EncodePut(key string, value []byte) []byte { return app.EncodePut(key, value) }
+
+// EncodeGet encodes a key-value store GET operation.
+func EncodeGet(key string) []byte { return app.EncodeGet(key) }
+
+// EncodeDelete encodes a key-value store DELETE operation.
+func EncodeDelete(key string) []byte { return app.EncodeDelete(key) }
+
+// Digest is a SHA-256 state digest, as returned by Application.Digest.
+type Digest = crypto.Digest
+
+// Role identifies a protocol participant class; the three compartment
+// roles name the enclaves of one replica for fault injection and
+// statistics.
+type Role = crypto.Role
+
+// The three compartment roles of a SplitBFT replica.
+const (
+	RolePreparation  = crypto.RolePreparation
+	RoleConfirmation = crypto.RoleConfirmation
+	RoleExecution    = crypto.RoleExecution
+)
+
+// CompartmentRoles returns the three compartment roles in pipeline order
+// (Preparation, Confirmation, Execution).
+func CompartmentRoles() []Role {
+	return []Role{RolePreparation, RoleConfirmation, RoleExecution}
+}
+
+// CostModel prices the simulated SGX substrate: enclave transition and
+// memory-copy costs charged per ecall/ocall.
+type CostModel = tee.CostModel
+
+// DefaultCostModel returns the hardware cost model measured in the paper
+// (enclave transitions cost ~8640 cycles).
+func DefaultCostModel() CostModel { return tee.DefaultCostModel() }
+
+// SimulationCostModel returns the SGX simulation-mode model: no transition
+// cost, matching the paper's "Simulation" series.
+func SimulationCostModel() CostModel { return tee.SimulationCostModel() }
+
+// ZeroCostModel disables all cost charging.
+func ZeroCostModel() CostModel { return tee.ZeroCostModel() }

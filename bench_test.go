@@ -5,9 +5,9 @@ import (
 	"testing"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/bench"
-	"github.com/splitbft/splitbft/internal/faultmodel"
-	"github.com/splitbft/splitbft/internal/loc"
+	"github.com/splitbft/splitbft/experiments/bench"
+	"github.com/splitbft/splitbft/experiments/faultmodel"
+	"github.com/splitbft/splitbft/experiments/loc"
 )
 
 // This file holds one benchmark per table and figure of the paper's

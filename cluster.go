@@ -1,0 +1,193 @@
+package splitbft
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// defaultClusterSecret seeds pairwise MAC keys for in-process clusters
+// when no WithKeySeed is given. Sharing a compile-time constant is fine
+// there: all parties live in one address space anyway.
+var defaultClusterSecret = []byte("splitbft-cluster-secret")
+
+// Cluster is an in-process N-replica deployment over a simulated network —
+// the harness behind the examples, the public-API tests and the benchmark
+// suite. All nodes share one key registry (the stand-in for the
+// deployment-time attestation ceremony) and are started on return from
+// NewCluster.
+type Cluster struct {
+	n, f     int
+	net      *transport.SimNet
+	registry *crypto.Registry
+	secret   []byte
+	baseOpts []Option
+	nodes    []*Node
+
+	mu        sync.Mutex
+	clients   []*Client
+	clientIDs map[uint32]bool
+	cut       [][2]transport.Endpoint
+	closed    bool
+}
+
+// NewCluster builds and starts an n-replica in-process deployment. Options
+// apply to every node; clients created with Cluster.NewClient inherit them
+// too, so e.g. WithConfidential configures both sides consistently.
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	o := buildOptions(opts)
+	o.n = n
+	o.tcpAddrs = nil
+	if err := o.resolveGroup(); err != nil {
+		return nil, err
+	}
+	secret := o.secret()
+	if len(secret) == 0 {
+		secret = defaultClusterSecret
+	}
+	c := &Cluster{
+		n: o.n, f: o.f,
+		net:       transport.NewSimNet(o.netSeed),
+		registry:  crypto.NewRegistry(),
+		secret:    secret,
+		baseOpts:  opts,
+		clientIDs: make(map[uint32]bool),
+	}
+	for i := 0; i < n; i++ {
+		node, err := NewNode(uint32(i), c.wire(opts)...)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("splitbft: cluster node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	// Start only after every node registered its enclave keys: replicas
+	// verify each other's messages against the shared registry.
+	for _, node := range c.nodes {
+		if err := node.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// wire appends the cluster's shared network, registry and secret to an
+// option list, after user options so the wiring always wins.
+func (c *Cluster) wire(opts []Option) []Option {
+	out := make([]Option, 0, len(opts)+1)
+	out = append(out, opts...)
+	return append(out, withClusterWiring(c.n, c.net, c.registry, c.secret))
+}
+
+// N returns the number of replicas.
+func (c *Cluster) N() int { return c.n }
+
+// F returns the fault threshold.
+func (c *Cluster) F() int { return c.f }
+
+// Node returns replica i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns all replicas in ID order.
+func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// NewClient attaches a new client to the cluster. It inherits the
+// cluster's options (confidentiality, fault threshold); per-client options
+// like WithInvokeTimeout may override them. Confidential clients must
+// still Attest before invoking — kept explicit so callers control when the
+// n attestation handshakes run (and can run them concurrently).
+func (c *Cluster) NewClient(id uint32, opts ...Option) (*Client, error) {
+	// Reserve the ID first: a duplicate would silently replace the first
+	// client's network endpoint and hijack its replies.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.clientIDs[id] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("splitbft: client ID %d already attached to this cluster", id)
+	}
+	c.clientIDs[id] = true
+	c.mu.Unlock()
+
+	all := make([]Option, 0, len(c.baseOpts)+len(opts))
+	all = append(all, c.baseOpts...)
+	all = append(all, opts...)
+	cl, err := NewClient(id, c.wire(all)...)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.clientIDs, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		cl.Close()
+		return nil, ErrClosed
+	}
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}
+
+// Partition cuts the listed replicas off from the rest of the deployment —
+// the other replicas and every client created so far — while links among
+// the listed replicas stay up. Messages across the cut are silently
+// dropped, like a network partition. Heal restores all links.
+func (c *Cluster) Partition(ids ...int) {
+	in := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	block := func(a, b transport.Endpoint) {
+		c.net.Block(a, b)
+		c.cut = append(c.cut, [2]transport.Endpoint{a, b})
+	}
+	for _, id := range ids {
+		ep := transport.ReplicaEndpoint(uint32(id))
+		for other := 0; other < c.n; other++ {
+			if !in[other] {
+				block(ep, transport.ReplicaEndpoint(uint32(other)))
+			}
+		}
+		for _, cl := range c.clients {
+			block(ep, transport.ClientEndpoint(cl.ID()))
+		}
+	}
+}
+
+// Heal restores every link cut by Partition.
+func (c *Cluster) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pair := range c.cut {
+		c.net.Unblock(pair[0], pair[1])
+	}
+	c.cut = nil
+}
+
+// Close stops all clients, nodes and the network.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	for _, node := range c.nodes {
+		node.Stop()
+	}
+	c.net.Close()
+}

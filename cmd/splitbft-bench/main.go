@@ -18,9 +18,9 @@ import (
 	"os"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/bench"
-	"github.com/splitbft/splitbft/internal/faultmodel"
-	"github.com/splitbft/splitbft/internal/loc"
+	"github.com/splitbft/splitbft/experiments/bench"
+	"github.com/splitbft/splitbft/experiments/faultmodel"
+	"github.com/splitbft/splitbft/experiments/loc"
 )
 
 func main() {

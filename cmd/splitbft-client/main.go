@@ -11,16 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/app"
-	"github.com/splitbft/splitbft/internal/client"
-	"github.com/splitbft/splitbft/internal/core"
-	"github.com/splitbft/splitbft/internal/crypto"
-	"github.com/splitbft/splitbft/internal/transport"
+	"github.com/splitbft/splitbft"
 )
 
 func main() {
@@ -33,35 +28,25 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	flag.Parse()
 
-	addrList := strings.Split(*replicas, ",")
-	if len(addrList) != *n {
-		fatalf("need exactly %d -replicas entries, got %d", *n, len(addrList))
-	}
-	addrs := make(map[uint32]string, *n)
-	for i, a := range addrList {
-		addrs[uint32(i)] = strings.TrimSpace(a)
+	addrs := splitbft.SplitAddrs(*replicas)
+	if len(addrs) != *n {
+		fatalf("need exactly %d -replicas entries, got %d", *n, len(addrs))
 	}
 
-	reg := crypto.NewRegistry()
-	if err := core.RegisterDeterministicKeys(reg, []byte(*secret), *n); err != nil {
-		fatalf("derive deployment keys: %v", err)
+	opts := []splitbft.Option{
+		splitbft.WithTransportTCP(addrs...),
+		splitbft.WithFaults(*f),
+		splitbft.WithKeySeed([]byte(*secret)),
+		splitbft.WithInvokeTimeout(*timeout),
 	}
-	cl, err := client.New(client.Config{
-		ID: uint32(*id), N: *n, F: *f,
-		MACs:            crypto.NewMACStore([]byte(*secret), crypto.Identity{ReplicaID: uint32(*id), Role: crypto.RoleClient}),
-		AuthReceivers:   core.RequestAuthReceivers(*n),
-		ReplyRole:       crypto.RoleExecution,
-		Confidential:    *confidential,
-		Registry:        reg,
-		ExecMeasurement: core.ExecutionMeasurement(),
-		Timeout:         *timeout,
-	})
+	if *confidential {
+		opts = append(opts, splitbft.WithConfidential())
+	}
+	cl, err := splitbft.NewClient(uint32(*id), opts...)
 	if err != nil {
 		fatalf("create client: %v", err)
 	}
-	node := transport.DialTCP(transport.ClientEndpoint(uint32(*id)), addrs, cl.Handler())
-	defer node.Close()
-	cl.Start(node)
+	defer cl.Close()
 	if err := cl.Attest(); err != nil {
 		fatalf("attestation: %v", err)
 	}
@@ -75,17 +60,17 @@ func main() {
 		if len(args) != 3 {
 			fatalf("usage: put <key> <value>")
 		}
-		invoke(cl, app.EncodePut(args[1], []byte(args[2])))
+		timed(func() ([]byte, error) { return cl.Put(args[1], []byte(args[2])) })
 	case "get":
 		if len(args) != 2 {
 			fatalf("usage: get <key>")
 		}
-		invoke(cl, app.EncodeGet(args[1]))
+		timed(func() ([]byte, error) { return cl.Get(args[1]) })
 	case "del":
 		if len(args) != 2 {
 			fatalf("usage: del <key>")
 		}
-		invoke(cl, app.EncodeDelete(args[1]))
+		timed(func() ([]byte, error) { return cl.Delete(args[1]) })
 	case "bench":
 		runBench(cl, *timeout)
 	default:
@@ -93,9 +78,9 @@ func main() {
 	}
 }
 
-func invoke(cl *client.Client, op []byte) {
+func timed(invoke func() ([]byte, error)) {
 	start := time.Now()
-	res, err := cl.Invoke(op)
+	res, err := invoke()
 	if err != nil {
 		fatalf("invoke: %v", err)
 	}
@@ -104,7 +89,7 @@ func invoke(cl *client.Client, op []byte) {
 
 // runBench drives closed-loop PUTs for the timeout duration and reports
 // throughput and latency.
-func runBench(cl *client.Client, d time.Duration) {
+func runBench(cl *splitbft.Client, d time.Duration) {
 	const workers = 8
 	var ops atomic.Uint64
 	var stop atomic.Bool
@@ -114,7 +99,7 @@ func runBench(cl *client.Client, d time.Duration) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			op := app.EncodePut(fmt.Sprintf("bench-%d", w), []byte("0123456789"))
+			op := splitbft.EncodePut(fmt.Sprintf("bench-%d", w), []byte("0123456789"))
 			for !stop.Load() {
 				if _, err := cl.Invoke(op); err != nil {
 					return

@@ -17,78 +17,66 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/app"
-	"github.com/splitbft/splitbft/internal/core"
-	"github.com/splitbft/splitbft/internal/crypto"
-	"github.com/splitbft/splitbft/internal/tee"
-	"github.com/splitbft/splitbft/internal/transport"
+	"github.com/splitbft/splitbft"
 )
 
 func main() {
 	id := flag.Uint("id", 0, "replica ID in [0, n)")
 	n := flag.Int("n", 4, "number of replicas (3f+1)")
 	f := flag.Int("f", 1, "fault threshold")
-	listen := flag.String("listen", ":7000", "listen address")
+	listen := flag.String("listen", "", "listen address (default: own entry in -peers)")
 	peers := flag.String("peers", "", "comma-separated replica addresses, indexed by ID")
 	secret := flag.String("secret", "splitbft-dev-secret", "shared deployment secret")
 	appName := flag.String("app", "kvs", "application: kvs or blockchain")
 	confidential := flag.Bool("confidential", true, "end-to-end encrypt client payloads")
 	simulation := flag.Bool("simulation", false, "SGX simulation mode (no transition cost)")
 	singleThread := flag.Bool("single-thread", false, "serialize all ecalls through one thread")
-	batch := flag.Int("batch", core.DefaultBatchSize, "batch size (1 disables batching)")
+	batch := flag.Int("batch", splitbft.DefaultBatchSize, "batch size (1 disables batching)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.Parse()
 
-	addrList := strings.Split(*peers, ",")
-	if len(addrList) != *n {
-		fatalf("need exactly %d -peers entries, got %d", *n, len(addrList))
-	}
-	addrs := make(map[uint32]string, *n)
-	for i, a := range addrList {
-		addrs[uint32(i)] = strings.TrimSpace(a)
+	addrs := splitbft.SplitAddrs(*peers)
+	if len(addrs) != *n {
+		fatalf("need exactly %d -peers entries, got %d", *n, len(addrs))
 	}
 
-	var application app.Application
+	opts := []splitbft.Option{
+		splitbft.WithTransportTCP(addrs...),
+		splitbft.WithFaults(*f),
+		splitbft.WithKeySeed([]byte(*secret)),
+		splitbft.WithBatchSize(*batch),
+	}
 	switch *appName {
 	case "kvs":
-		application = app.NewKVS()
+		opts = append(opts, splitbft.WithKVStore())
 	case "blockchain":
-		application = app.NewBlockchain(app.DefaultBlockSize, nil)
+		opts = append(opts, splitbft.WithBlockchain(splitbft.DefaultBlockSize))
 	default:
 		fatalf("unknown app %q", *appName)
 	}
-
-	reg := crypto.NewRegistry()
-	if err := core.RegisterDeterministicKeys(reg, []byte(*secret), *n); err != nil {
-		fatalf("derive deployment keys: %v", err)
+	if *confidential {
+		opts = append(opts, splitbft.WithConfidential())
 	}
-	cost := tee.DefaultCostModel()
 	if *simulation {
-		cost = tee.SimulationCostModel()
+		opts = append(opts, splitbft.WithCostModel(splitbft.SimulationCostModel()))
 	}
-	replica, err := core.NewReplica(core.Config{
-		N: *n, F: *f, ID: uint32(*id),
-		Registry:     reg,
-		MACSecret:    []byte(*secret),
-		KeySeed:      []byte(*secret),
-		App:          application,
-		Confidential: *confidential,
-		Cost:         cost,
-		SingleThread: *singleThread,
-		BatchSize:    *batch,
-	})
+	if *singleThread {
+		opts = append(opts, splitbft.WithSingleThread())
+	}
+	if *listen != "" {
+		opts = append(opts, splitbft.WithListenAddr(*listen))
+	}
+
+	node, err := splitbft.NewNode(uint32(*id), opts...)
 	if err != nil {
 		fatalf("create replica: %v", err)
 	}
-	node, err := transport.ListenTCP(transport.ReplicaEndpoint(uint32(*id)), *listen, addrs, replica.Handler())
-	if err != nil {
-		fatalf("listen: %v", err)
+	if err := node.Start(); err != nil {
+		fatalf("start: %v", err)
 	}
-	replica.Start(node)
 	fmt.Printf("splitbft-replica %d listening on %s (app=%s, confidential=%v)\n",
 		*id, node.Addr(), *appName, *confidential)
 
@@ -100,30 +88,27 @@ func main() {
 		for {
 			select {
 			case <-stop:
-				shutdown(replica, node)
+				shutdown(node)
 				return
 			case <-ticker.C:
-				printStats(replica)
+				printStats(node)
 			}
 		}
 	}
 	<-stop
-	shutdown(replica, node)
+	shutdown(node)
 }
 
-func printStats(r *core.Replica) {
-	es := r.EnclaveStats()
+func printStats(node *splitbft.Node) {
+	es := node.EnclaveStats()
 	fmt.Printf("ops=%d batches=%d suspects=%d ecalls[prep=%d conf=%d exec=%d]\n",
-		r.ExecutedOps(), r.Batches(), r.Suspects(),
-		es[crypto.RolePreparation].Count,
-		es[crypto.RoleConfirmation].Count,
-		es[crypto.RoleExecution].Count)
+		node.ExecutedOps(), node.Batches(), node.Suspects(),
+		es[0].Count, es[1].Count, es[2].Count)
 }
 
-func shutdown(r *core.Replica, node *transport.TCPNode) {
+func shutdown(node *splitbft.Node) {
 	fmt.Println("shutting down")
-	r.Stop()
-	node.Close()
+	node.Stop()
 }
 
 func fatalf(format string, args ...any) {

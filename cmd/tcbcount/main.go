@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/splitbft/splitbft/internal/loc"
+	"github.com/splitbft/splitbft/experiments/loc"
 )
 
 func main() {

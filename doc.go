@@ -1,13 +1,51 @@
 // Package splitbft is a from-scratch Go reproduction of "SplitBFT:
 // Improving Byzantine Fault Tolerance Safety Using Trusted Compartments"
-// (Messadi et al., MIDDLEWARE 2022).
+// (Messadi et al., MIDDLEWARE 2022), packaged as a usable library.
 //
-// The implementation lives under internal/: the SplitBFT core
-// (internal/core) compartmentalizes PBFT into Preparation, Confirmation
-// and Execution enclaves running on a simulated SGX substrate
-// (internal/tee); internal/pbft is the non-compartmentalized baseline the
-// paper compares against. See README.md for the architecture overview,
-// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-// reproduced tables and figures. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation.
+// SplitBFT compartmentalizes PBFT into three independently-failing trusted
+// compartments per replica — Preparation, Confirmation and Execution —
+// each running in its own (simulated) SGX enclave with its own keys, log
+// and view state. Compartments change state only on quorum certificates,
+// so a compromise of one compartment type cannot undo agreement reached by
+// the others; the untrusted broker handles networking, batching and timers
+// and can only hurt liveness, never safety.
+//
+// # Public API
+//
+// Three entry points cover every deployment shape, all configured through
+// functional options. Cluster is an in-process N-replica deployment over a
+// simulated network, for tests, examples and benchmarks:
+//
+//	cluster, err := splitbft.NewCluster(4, splitbft.WithConfidential())
+//	defer cluster.Close()
+//	cl, err := cluster.NewClient(100)
+//	err = cl.Attest() // verify enclaves, provision the session key
+//	res, err := cl.Put("balance", []byte("42"))
+//
+// Node is one replica over TCP, for distributed deployments
+// (cmd/splitbft-replica is a thin wrapper):
+//
+//	node, err := splitbft.NewNode(0,
+//		splitbft.WithTransportTCP(":7000", ":7001", ":7002", ":7003"),
+//		splitbft.WithKeySeed(secret))
+//	err = node.Start()
+//
+// Client talks to a deployment from anywhere (cmd/splitbft-client wraps
+// it):
+//
+//	cl, err := splitbft.NewClient(100,
+//		splitbft.WithTransportTCP(":7000", ":7001", ":7002", ":7003"),
+//		splitbft.WithKeySeed(secret))
+//
+// Fault-injection handles live on the same surface: Node.CrashEnclave
+// kills one compartment (the paper's Figure 1 scenario — one faulty
+// enclave of each type on three different replicas, tolerated where
+// classical BFT tolerates only f faulty replicas), and Cluster.Partition
+// cuts replicas off to drive view changes.
+//
+// The protocol engine lives under internal/ (internal/core is the
+// compartmentalized replica, internal/pbft the monolithic baseline the
+// paper compares against); the experiment harness reproducing the paper's
+// tables and figures is public under experiments/ and is driven by
+// cmd/splitbft-bench. See README.md for the full architecture overview.
 package splitbft

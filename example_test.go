@@ -1,0 +1,48 @@
+package splitbft_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/splitbft/splitbft"
+)
+
+// Example is the library quickstart: a four-replica confidential SplitBFT
+// deployment in one process. Each replica runs three compartment enclaves
+// (Preparation, Confirmation, Execution); the client attests every
+// Execution enclave, provisions a session key, and invokes end-to-end
+// encrypted operations.
+func Example() {
+	cluster, err := splitbft.NewCluster(4,
+		splitbft.WithConfidential(),
+		splitbft.WithBatchSize(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Attest(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := client.Put("balance", []byte("42"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PUT -> %s\n", res)
+
+	res, err = client.Get("balance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET -> %s\n", res)
+
+	// Output:
+	// PUT -> OK
+	// GET -> 42
+}

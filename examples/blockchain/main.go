@@ -17,80 +17,39 @@ import (
 	"sync"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/app"
-	"github.com/splitbft/splitbft/internal/client"
-	"github.com/splitbft/splitbft/internal/core"
-	"github.com/splitbft/splitbft/internal/crypto"
-	"github.com/splitbft/splitbft/internal/tee"
-	"github.com/splitbft/splitbft/internal/transport"
+	"github.com/splitbft/splitbft"
 )
 
 const (
-	n      = 4
-	f      = 1
-	secret = "ledger-deployment-secret"
+	n       = 4
+	clients = 3
 )
 
 func main() {
-	net := transport.NewSimNet(7)
-	defer net.Close()
-	registry := crypto.NewRegistry()
-
-	chains := make([]*app.Blockchain, n)
-	replicas := make([]*core.Replica, n)
-	for i := 0; i < n; i++ {
-		chains[i] = app.NewBlockchain(app.DefaultBlockSize, nil)
-		r, err := core.NewReplica(core.Config{
-			N: n, F: f, ID: uint32(i),
-			Registry:     registry,
-			MACSecret:    []byte(secret),
-			App:          chains[i],
-			Confidential: true,
-			Cost:         tee.DefaultCostModel(),
-			BatchSize:    1,
-		})
-		if err != nil {
-			log.Fatalf("replica %d: %v", i, err)
-		}
-		replicas[i] = r
+	cluster, err := splitbft.NewCluster(n,
+		splitbft.WithBlockchain(splitbft.DefaultBlockSize),
+		splitbft.WithConfidential(),
+		splitbft.WithBatchSize(1),
+		splitbft.WithNetworkSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i, r := range replicas {
-		conn, err := net.Join(transport.ReplicaEndpoint(uint32(i)), r.Handler())
-		if err != nil {
-			log.Fatal(err)
-		}
-		r.Start(conn)
-		defer r.Stop()
-	}
+	defer cluster.Close()
 
 	// Three concurrent clients submit 10 transactions each.
-	const clients, txPerClient = 3, 10
+	const txPerClient = 10
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
-		id := uint32(200 + c)
-		cl, err := client.New(client.Config{
-			ID: id, N: n, F: f,
-			MACs:            crypto.NewMACStore([]byte(secret), crypto.Identity{ReplicaID: id, Role: crypto.RoleClient}),
-			AuthReceivers:   core.RequestAuthReceivers(n),
-			ReplyRole:       crypto.RoleExecution,
-			Confidential:    true,
-			Registry:        registry,
-			ExecMeasurement: core.ExecutionMeasurement(),
-		})
+		cl, err := cluster.NewClient(uint32(200 + c))
 		if err != nil {
 			log.Fatal(err)
 		}
-		conn, err := net.Join(transport.ClientEndpoint(id), cl.Handler())
-		if err != nil {
-			log.Fatal(err)
-		}
-		cl.Start(conn)
-		defer cl.Close()
 		if err := cl.Attest(); err != nil {
-			log.Fatalf("client %d attestation: %v", id, err)
+			log.Fatalf("client %d attestation: %v", cl.ID(), err)
 		}
 		wg.Add(1)
-		go func(cl *client.Client, c int) {
+		go func(cl *splitbft.Client, c int) {
 			defer wg.Done()
 			for t := 0; t < txPerClient; t++ {
 				tx := fmt.Sprintf("transfer{from:acct%d, to:acct%d, amount:%d}", c, (c+1)%clients, t+1)
@@ -102,19 +61,36 @@ func main() {
 	}
 	wg.Wait()
 
-	// 30 transactions at block size 5 → 6 sealed blocks.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if chains[0].Height() >= (clients*txPerClient)/app.DefaultBlockSize {
-			break
+	// Every node's application is the ledger it built.
+	chains := make([]*splitbft.Blockchain, n)
+	for i := 0; i < n; i++ {
+		chains[i] = cluster.Node(i).App().(*splitbft.Blockchain)
+	}
+
+	// 30 transactions at block size 5 → 6 sealed blocks. Replicas commit
+	// (and thus execute) at slightly different times, so wait until every
+	// chain reaches the target height and all digests agree.
+	converged := func() bool {
+		if chains[0].Height() < (clients*txPerClient)/splitbft.DefaultBlockSize {
+			return false
 		}
+		d := chains[0].Digest()
+		for i := 1; i < n; i++ {
+			if chains[i].Digest() != d {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !converged() {
 		time.Sleep(10 * time.Millisecond)
 	}
 
 	fmt.Println("per-replica chains:")
 	for i, bc := range chains {
 		headers := bc.Headers()
-		if err := app.VerifyChain(headers); err != nil {
+		if err := splitbft.VerifyChain(headers); err != nil {
 			log.Fatalf("replica %d chain invalid: %v", i, err)
 		}
 		tip := "genesis"
@@ -122,7 +98,7 @@ func main() {
 			tip = headers[len(headers)-1].Hash.String()
 		}
 		fmt.Printf("  replica %d: height=%d tip=%s persisted=%d sealed blocks\n",
-			i, bc.Height(), tip, replicas[i].PersistedBlocks())
+			i, bc.Height(), tip, cluster.Node(i).PersistedBlocks())
 	}
 	for i := 1; i < n; i++ {
 		if chains[i].Digest() != chains[0].Digest() {

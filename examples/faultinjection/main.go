@@ -21,89 +21,49 @@ import (
 	"log"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/app"
-	"github.com/splitbft/splitbft/internal/client"
-	"github.com/splitbft/splitbft/internal/core"
-	"github.com/splitbft/splitbft/internal/crypto"
-	"github.com/splitbft/splitbft/internal/transport"
+	"github.com/splitbft/splitbft"
 )
 
-const (
-	n      = 4
-	f      = 1
-	secret = "faultinjection-secret"
-)
+const n = 4
 
-// cluster bundles one running deployment.
-type cluster struct {
-	net      *transport.SimNet
-	kvs      []*app.KVS
-	replicas []*core.Replica
-	client   *client.Client
+// harness bundles one running deployment.
+type harness struct {
+	cluster *splitbft.Cluster
+	client  *splitbft.Client
 }
 
-func newCluster(seed int64) *cluster {
-	c := &cluster{net: transport.NewSimNet(seed)}
-	registry := crypto.NewRegistry()
-	for i := 0; i < n; i++ {
-		kvs := app.NewKVS()
-		c.kvs = append(c.kvs, kvs)
-		r, err := core.NewReplica(core.Config{
-			N: n, F: f, ID: uint32(i),
-			Registry:       registry,
-			MACSecret:      []byte(secret),
-			App:            kvs,
-			BatchSize:      1,
-			RequestTimeout: 300 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatalf("replica %d: %v", i, err)
-		}
-		c.replicas = append(c.replicas, r)
-	}
-	for i, r := range c.replicas {
-		conn, err := c.net.Join(transport.ReplicaEndpoint(uint32(i)), r.Handler())
-		if err != nil {
-			log.Fatal(err)
-		}
-		r.Start(conn)
-	}
-	cl, err := client.New(client.Config{
-		ID: 100, N: n, F: f,
-		MACs:          crypto.NewMACStore([]byte(secret), crypto.Identity{ReplicaID: 100, Role: crypto.RoleClient}),
-		AuthReceivers: core.RequestAuthReceivers(n),
-		ReplyRole:     crypto.RoleExecution,
-		Timeout:       15 * time.Second,
-	})
+func newHarness(seed int64) *harness {
+	cluster, err := splitbft.NewCluster(n,
+		splitbft.WithBatchSize(1),
+		splitbft.WithRequestTimeout(300*time.Millisecond), // fast failure detection
+		splitbft.WithNetworkSeed(seed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	conn, err := c.net.Join(transport.ClientEndpoint(100), cl.Handler())
+	cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(15*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl.Start(conn)
-	c.client = cl
-	return c
+	return &harness{cluster: cluster, client: cl}
 }
 
-func (c *cluster) close() {
-	c.client.Close()
-	for _, r := range c.replicas {
-		r.Stop()
-	}
-	c.net.Close()
+func (h *harness) close() { h.cluster.Close() }
+
+// kvs returns replica i's key-value store state.
+func (h *harness) kvs(i int) *splitbft.KVStore {
+	return h.cluster.Node(i).App().(*splitbft.KVStore)
 }
 
-func (c *cluster) mustPut(key, val string) {
-	if _, err := c.client.Invoke(app.EncodePut(key, []byte(val))); err != nil {
+func (h *harness) mustPut(key, val string) {
+	if _, err := h.client.Put(key, []byte(val)); err != nil {
 		log.Fatalf("PUT %s: %v", key, err)
 	}
 	fmt.Printf("  PUT %s=%s ok\n", key, val)
 }
 
-func (c *cluster) mustGet(key, want string) {
-	res, err := c.client.Invoke(app.EncodeGet(key))
+func (h *harness) mustGet(key, want string) {
+	res, err := h.client.Get(key)
 	if err != nil {
 		log.Fatalf("GET %s: %v", key, err)
 	}
@@ -115,23 +75,23 @@ func (c *cluster) mustGet(key, want string) {
 
 func scenarioEnclaveFaults() {
 	fmt.Println("scenario 1 — one faulty enclave per compartment type (Figure 1)")
-	c := newCluster(1)
-	defer c.close()
+	h := newHarness(1)
+	defer h.close()
 
-	c.mustPut("account", "100")
+	h.mustPut("account", "100")
 	fmt.Println("  crashing Preparation@replica1, Confirmation@replica2, Execution@replica3")
-	c.replicas[1].CrashEnclave(crypto.RolePreparation)
-	c.replicas[2].CrashEnclave(crypto.RoleConfirmation)
-	c.replicas[3].CrashEnclave(crypto.RoleExecution)
+	h.cluster.Node(1).CrashEnclave(splitbft.RolePreparation)
+	h.cluster.Node(2).CrashEnclave(splitbft.RoleConfirmation)
+	h.cluster.Node(3).CrashEnclave(splitbft.RoleExecution)
 
-	c.mustPut("account", "200")
-	c.mustGet("account", "200")
+	h.mustPut("account", "200")
+	h.mustGet("account", "200")
 	fmt.Println("  3 enclave faults across 3 replicas tolerated — classical BFT tolerates only f=1 faulty replica")
 
 	// Replicas with healthy Execution enclaves must agree.
 	time.Sleep(200 * time.Millisecond)
-	d := c.kvs[0].Digest()
-	if c.kvs[1].Digest() != d || c.kvs[2].Digest() != d {
+	d := h.kvs(0).Digest()
+	if h.kvs(1).Digest() != d || h.kvs(2).Digest() != d {
 		log.Fatal("healthy replicas diverged — SAFETY VIOLATION")
 	}
 	fmt.Println("  replicas with healthy Execution enclaves hold identical state ✓")
@@ -139,20 +99,20 @@ func scenarioEnclaveFaults() {
 
 func scenarioViewChange() {
 	fmt.Println("\nscenario 2 — primary failure and view change")
-	c := newCluster(2)
-	defer c.close()
+	h := newHarness(2)
+	defer h.close()
 
-	c.mustPut("account", "100")
+	h.mustPut("account", "100")
 	fmt.Println("  partitioning replica 0 (the view-0 primary) away")
-	c.net.Isolate(transport.ReplicaEndpoint(0))
+	h.cluster.Partition(0)
 
 	start := time.Now()
-	c.mustPut("account", "300")
+	h.mustPut("account", "300")
 	fmt.Printf("  recovered via view change in %v\n", time.Since(start).Round(time.Millisecond))
-	c.mustGet("account", "300")
+	h.mustGet("account", "300")
 
 	time.Sleep(200 * time.Millisecond)
-	if c.kvs[1].Digest() != c.kvs[2].Digest() || c.kvs[2].Digest() != c.kvs[3].Digest() {
+	if h.kvs(1).Digest() != h.kvs(2).Digest() || h.kvs(2).Digest() != h.kvs(3).Digest() {
 		log.Fatal("replicas diverged across view change — SAFETY VIOLATION")
 	}
 	fmt.Println("  committed state survived the view change on all connected replicas ✓")

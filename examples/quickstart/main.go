@@ -5,7 +5,8 @@
 //
 // It starts the replicas over the in-process simulated network, attests a
 // client against the Execution enclaves, provisions a session key, and
-// performs encrypted PUT/GET/DELETE round trips.
+// performs encrypted PUT/GET/DELETE round trips — using only the public
+// splitbft package.
 package main
 
 import (
@@ -13,72 +14,30 @@ import (
 	"log"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/app"
-	"github.com/splitbft/splitbft/internal/client"
-	"github.com/splitbft/splitbft/internal/core"
-	"github.com/splitbft/splitbft/internal/crypto"
-	"github.com/splitbft/splitbft/internal/tee"
-	"github.com/splitbft/splitbft/internal/transport"
-)
-
-const (
-	n      = 4
-	f      = 1
-	secret = "quickstart-deployment-secret"
+	"github.com/splitbft/splitbft"
 )
 
 func main() {
-	net := transport.NewSimNet(1)
-	defer net.Close()
-	registry := crypto.NewRegistry()
-
 	// 1. Launch four replicas. Each hosts three enclaves (Preparation,
-	//    Confirmation, Execution) plus an untrusted broker.
-	var replicas []*core.Replica
-	for i := 0; i < n; i++ {
-		r, err := core.NewReplica(core.Config{
-			N: n, F: f, ID: uint32(i),
-			Registry:     registry,
-			MACSecret:    []byte(secret),
-			App:          app.NewKVS(),
-			Confidential: true,
-			Cost:         tee.DefaultCostModel(), // charge real enclave-transition costs
-			BatchSize:    1,                      // order every request individually
-		})
-		if err != nil {
-			log.Fatalf("replica %d: %v", i, err)
-		}
-		replicas = append(replicas, r)
+	//    Confirmation, Execution) plus an untrusted broker; the cluster
+	//    wires them to a shared in-process network and key registry.
+	cluster, err := splitbft.NewCluster(4,
+		splitbft.WithConfidential(),                         // end-to-end encrypt payloads
+		splitbft.WithCostModel(splitbft.DefaultCostModel()), // charge real enclave-transition costs
+		splitbft.WithBatchSize(1),                           // order every request individually
+		splitbft.WithNetworkSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i, r := range replicas {
-		conn, err := net.Join(transport.ReplicaEndpoint(uint32(i)), r.Handler())
-		if err != nil {
-			log.Fatal(err)
-		}
-		r.Start(conn)
-		defer r.Stop()
-	}
+	defer cluster.Close()
 
 	// 2. Create a client and run the attestation + key-provisioning
 	//    handshake with every Execution enclave.
-	cl, err := client.New(client.Config{
-		ID: 100, N: n, F: f,
-		MACs:            crypto.NewMACStore([]byte(secret), crypto.Identity{ReplicaID: 100, Role: crypto.RoleClient}),
-		AuthReceivers:   core.RequestAuthReceivers(n),
-		ReplyRole:       crypto.RoleExecution,
-		Confidential:    true,
-		Registry:        registry,
-		ExecMeasurement: core.ExecutionMeasurement(),
-	})
+	cl, err := cluster.NewClient(100)
 	if err != nil {
 		log.Fatal(err)
 	}
-	conn, err := net.Join(transport.ClientEndpoint(100), cl.Handler())
-	if err != nil {
-		log.Fatal(err)
-	}
-	cl.Start(conn)
-	defer cl.Close()
 	if err := cl.Attest(); err != nil {
 		log.Fatalf("attestation: %v", err)
 	}
@@ -88,18 +47,18 @@ func main() {
 	//    and the network only ever see ciphertext.
 	ops := []struct {
 		name string
-		op   []byte
+		op   func() ([]byte, error)
 	}{
-		{`PUT balance=42`, app.EncodePut("balance", []byte("42"))},
-		{`GET balance`, app.EncodeGet("balance")},
-		{`PUT balance=43`, app.EncodePut("balance", []byte("43"))},
-		{`GET balance`, app.EncodeGet("balance")},
-		{`DEL balance`, app.EncodeDelete("balance")},
-		{`GET balance`, app.EncodeGet("balance")},
+		{`PUT balance=42`, func() ([]byte, error) { return cl.Put("balance", []byte("42")) }},
+		{`GET balance`, func() ([]byte, error) { return cl.Get("balance") }},
+		{`PUT balance=43`, func() ([]byte, error) { return cl.Put("balance", []byte("43")) }},
+		{`GET balance`, func() ([]byte, error) { return cl.Get("balance") }},
+		{`DEL balance`, func() ([]byte, error) { return cl.Delete("balance") }},
+		{`GET balance`, func() ([]byte, error) { return cl.Get("balance") }},
 	}
 	for _, o := range ops {
 		start := time.Now()
-		res, err := cl.Invoke(o.op)
+		res, err := o.op()
 		if err != nil {
 			log.Fatalf("%s: %v", o.name, err)
 		}
@@ -109,10 +68,8 @@ func main() {
 
 	// 4. Show the per-compartment ecall profile on the leader (the data
 	//    behind Figure 4).
-	stats := replicas[0].EnclaveStats()
 	fmt.Println("\nleader enclave ecall profile:")
-	for _, role := range []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution} {
-		s := stats[role]
-		fmt.Printf("  %-5s %4d ecalls, mean %8v\n", role, s.Count, s.Mean.Round(time.Microsecond))
+	for _, s := range cluster.Node(0).EnclaveStats() {
+		fmt.Printf("  %-5s %4d ecalls, mean %8v\n", s.Role, s.Count, s.Mean.Round(time.Microsecond))
 	}
 }

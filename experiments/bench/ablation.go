@@ -5,7 +5,7 @@ import (
 	"strings"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft"
 )
 
 // Ablations isolate the contribution of individual design parameters:
@@ -26,7 +26,7 @@ type TransitionCostPoint struct {
 func TransitionCostAblation(cycles []uint64, clients int, measure time.Duration) ([]TransitionCostPoint, error) {
 	out := make([]TransitionCostPoint, 0, len(cycles))
 	for _, c := range cycles {
-		cost := tee.DefaultCostModel()
+		cost := splitbft.DefaultCostModel()
 		cost.TransitionCycles = c
 		res, err := Run(RunConfig{
 			System:       SplitKVS,

@@ -12,7 +12,7 @@ import (
 	"sync"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft"
 )
 
 // System enumerates the evaluated configurations — exactly the series of
@@ -75,7 +75,7 @@ type RunConfig struct {
 	Measure time.Duration
 	// CostOverride replaces the system's default enclave cost model
 	// (ablations only; nil keeps the per-system default).
-	CostOverride *tee.CostModel
+	CostOverride *splitbft.CostModel
 	// BatchSizeOverride replaces the batched-mode batch size of 200
 	// (ablations only; 0 keeps the default).
 	BatchSizeOverride int

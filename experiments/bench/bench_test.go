@@ -81,15 +81,21 @@ func TestSimulationModeFasterThanHardware(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison")
 	}
-	hw := shortRun(t, SplitKVS, 8, false)
-	sim := shortRun(t, SplitKVSSimulation, 8, false)
 	// Simulation mode omits transition costs; it must not be slower by
 	// more than noise. (The paper attributes ~20% of overhead to
-	// transitions.)
-	if sim.Throughput < hw.Throughput*0.8 {
-		t.Fatalf("simulation mode slower than hardware mode: %.0f vs %.0f",
-			sim.Throughput, hw.Throughput)
+	// transitions.) Timing comparisons on a shared machine are noisy, so
+	// allow a couple of retries before declaring the invariant broken.
+	var hw, sim Result
+	for attempt := 0; attempt < 3; attempt++ {
+		hw = shortRun(t, SplitKVS, 8, false)
+		sim = shortRun(t, SplitKVSSimulation, 8, false)
+		if sim.Throughput >= hw.Throughput*0.8 {
+			return
+		}
+		t.Logf("attempt %d: simulation %.0f vs hardware %.0f ops/s, retrying", attempt, sim.Throughput, hw.Throughput)
 	}
+	t.Fatalf("simulation mode consistently slower than hardware mode: %.0f vs %.0f",
+		sim.Throughput, hw.Throughput)
 }
 
 func TestSingleThreadModeWorks(t *testing.T) {

@@ -6,9 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/splitbft/splitbft/internal/app"
-	"github.com/splitbft/splitbft/internal/client"
-	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft"
 )
 
 // Run executes one experiment point: it builds the cluster, drives
@@ -40,14 +38,14 @@ func Run(cfg RunConfig) (Result, error) {
 	for ci, cl := range h.clients {
 		for w := 0; w < cfg.Outstanding(); w++ {
 			wg.Add(1)
-			go func(cl *client.Client, ci, w int) {
+			go func(cl benchClient, ci, w int) {
 				defer wg.Done()
 				key := fmt.Sprintf("key-%d-%d", ci, w)
 				var op []byte
 				if cfg.System.IsBlockchain() {
 					op = payload
 				} else {
-					op = app.EncodePut(key, payload)
+					op = splitbft.EncodePut(key, payload)
 				}
 				for !stop.Load() {
 					start := time.Now()
@@ -66,8 +64,8 @@ func Run(cfg RunConfig) (Result, error) {
 
 	time.Sleep(cfg.Warmup)
 	// Reset the leader's enclave stats so Figure 4 reflects steady state.
-	if len(h.splitReplicas) > 0 {
-		h.splitReplicas[0].ResetEnclaveStats()
+	if len(h.splitNodes) > 0 {
+		h.splitNodes[0].ResetEnclaveStats()
 	}
 	measuring.Store(true)
 	begin := time.Now()
@@ -82,12 +80,10 @@ func Run(cfg RunConfig) (Result, error) {
 	wg.Wait()
 
 	rec.summarize(&res, elapsed)
-	if len(h.splitReplicas) > 0 {
-		stats := h.splitReplicas[0].EnclaveStats()
-		for _, role := range []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution} {
-			s := stats[role]
+	if len(h.splitNodes) > 0 {
+		for _, s := range h.splitNodes[0].EnclaveStats() {
 			res.Compartments = append(res.Compartments, CompartmentStat{
-				Name:  role.String(),
+				Name:  s.Role.String(),
 				Calls: s.Count,
 				Mean:  s.Mean,
 				Total: s.Total,

@@ -1,0 +1,3 @@
+module github.com/splitbft/splitbft
+
+go 1.22

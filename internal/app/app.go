@@ -32,3 +32,17 @@ type Application interface {
 
 // NoOpResult is the reply payload returned for corrupted operations.
 var NoOpResult = []byte("ERR no-op")
+
+// Persister is implemented by applications that durably persist state to
+// untrusted storage. The Execution compartment detects it at replica
+// construction and installs a PersistFunc that seals (encrypts) the data
+// under the enclave sealing key and writes it through an ocall — the §6
+// "one ocall per block" path. Applications that don't implement Persister
+// keep all state in enclave memory.
+type Persister interface {
+	Application
+	// SetPersist installs the sealed-write callback. It is called once,
+	// before the replica starts processing; a nil func disables
+	// persistence.
+	SetPersist(PersistFunc)
+}

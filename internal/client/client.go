@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/defaults"
 	"github.com/splitbft/splitbft/internal/messages"
 	"github.com/splitbft/splitbft/internal/tee"
 	"github.com/splitbft/splitbft/internal/transport"
@@ -51,18 +52,21 @@ type Config struct {
 	Registry        *crypto.Registry
 	ExecMeasurement crypto.Digest
 	// RetransmitInterval is how long to wait for a reply quorum before
-	// resending the request to all replicas. Default 500ms.
+	// resending the request to all replicas. Default
+	// defaults.RetransmitInterval, aligned with the replica failure
+	// detector's request timeout.
 	RetransmitInterval time.Duration
-	// Timeout bounds one Invoke end-to-end. Default 10s.
+	// Timeout bounds one Invoke end-to-end. Default
+	// defaults.InvokeTimeout.
 	Timeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.RetransmitInterval == 0 {
-		c.RetransmitInterval = 500 * time.Millisecond
+		c.RetransmitInterval = defaults.RetransmitInterval
 	}
 	if c.Timeout == 0 {
-		c.Timeout = 10 * time.Second
+		c.Timeout = defaults.InvokeTimeout
 	}
 	return c
 }

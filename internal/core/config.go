@@ -24,17 +24,19 @@ import (
 
 	"github.com/splitbft/splitbft/internal/app"
 	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/defaults"
 	"github.com/splitbft/splitbft/internal/messages"
 	"github.com/splitbft/splitbft/internal/tee"
 )
 
-// Defaults for Config fields left zero.
+// Defaults for Config fields left zero, shared with the client library and
+// the public facade through internal/defaults.
 const (
-	DefaultCheckpointInterval = 128
-	DefaultWatermarkWindow    = 2 * DefaultCheckpointInterval
-	DefaultBatchSize          = 200
-	DefaultBatchTimeout       = 10 * time.Millisecond
-	DefaultRequestTimeout     = 500 * time.Millisecond
+	DefaultCheckpointInterval = defaults.CheckpointInterval
+	DefaultWatermarkWindow    = defaults.WatermarkWindow
+	DefaultBatchSize          = defaults.BatchSize
+	DefaultBatchTimeout       = defaults.BatchTimeout
+	DefaultRequestTimeout     = defaults.RequestTimeout
 )
 
 // Config parameterizes one SplitBFT replica (three enclaves plus broker).

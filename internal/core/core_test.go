@@ -108,7 +108,10 @@ func (c *cluster) client(id uint32) *client.Client {
 		Registry:           c.reg,
 		ExecMeasurement:    ExecutionMeasurement(),
 		RetransmitInterval: 300 * time.Millisecond,
-		Timeout:            8 * time.Second,
+		// Generous: view-change tests share the machine with CPU-heavy
+		// benchmark packages under `go test ./...`, and the simulated
+		// enclave-transition costs spin-wait.
+		Timeout: 30 * time.Second,
 	})
 	if err != nil {
 		c.t.Fatal(err)

@@ -66,11 +66,12 @@ func NewReplica(cfg Config) (*Replica, error) {
 	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec}
 	r.broker = newBroker(cfg, prep, conf, exec)
 
-	// Blockchain applications persist sealed blocks through an ocall (§6:
-	// one ocall per block written encrypted to untrusted storage).
-	if bc, ok := cfg.App.(*app.Blockchain); ok {
+	// Persisting applications (app.Persister) write sealed state through an
+	// ocall (§6: one ocall per block written encrypted to untrusted
+	// storage).
+	if p, ok := cfg.App.(app.Persister); ok {
 		exec.RegisterOcall("fs.write", r.broker.persistBlock)
-		bc.SetPersist(func(block []byte) error {
+		p.SetPersist(func(block []byte) error {
 			sealed, err := exec.Seal(block)
 			if err != nil {
 				return err

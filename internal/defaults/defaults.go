@@ -1,0 +1,39 @@
+// Package defaults holds the protocol and client timing defaults shared
+// by the replica side (internal/core), the client library
+// (internal/client), and the public splitbft facade. Keeping them in one
+// leaf package guarantees the replica's failure-detector timeout and the
+// client's retransmission interval cannot silently drift apart: a client
+// that retransmits faster than replicas suspect the primary would turn
+// every network hiccup into duplicate ordering work, and one that
+// retransmits slower would stall liveness probes.
+package defaults
+
+import "time"
+
+// Agreement-layer defaults (replica side).
+const (
+	// CheckpointInterval is the sequence-number distance between
+	// checkpoints.
+	CheckpointInterval uint64 = 128
+	// WatermarkWindow is the width of the active sequence-number window.
+	WatermarkWindow uint64 = 2 * CheckpointInterval
+	// BatchSize is the paper's batched-mode batch size (§6).
+	BatchSize = 200
+	// BatchTimeout bounds how long the broker waits to fill a batch.
+	BatchTimeout = 10 * time.Millisecond
+	// RequestTimeout is the replica failure-detector timeout: how long an
+	// ordered request may stay unexecuted before the primary is suspected.
+	RequestTimeout = 500 * time.Millisecond
+)
+
+// Client-side defaults. RetransmitInterval deliberately equals
+// RequestTimeout so one client resend per failure-detector period reaches
+// the backup replicas that drive a view change.
+const (
+	// RetransmitInterval is how long a client waits for a reply quorum
+	// before resending a request to all replicas.
+	RetransmitInterval = RequestTimeout
+	// InvokeTimeout bounds one client invocation end-to-end, across
+	// retransmissions and view changes.
+	InvokeTimeout = 10 * time.Second
+)

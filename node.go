@@ -1,0 +1,185 @@
+package splitbft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/core"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// Node is one SplitBFT replica: three compartment enclaves (Preparation,
+// Confirmation, Execution) plus the untrusted broker, bound to a
+// transport. Build standalone TCP nodes with NewNode; in-process groups
+// with NewCluster.
+type Node struct {
+	id      uint32
+	opts    options
+	app     Application
+	replica *core.Replica
+
+	started bool
+	stopped bool
+	tcp     *transport.TCPNode
+	conn    transport.Conn
+}
+
+// EnclaveStat is one compartment's ecall profile (the Figure 4
+// instrumentation).
+type EnclaveStat struct {
+	Role  Role
+	Count uint64
+	Mean  time.Duration
+	Total time.Duration
+}
+
+// NewNode builds replica id of a deployment. The transport comes from
+// WithTransportTCP (standalone processes; requires WithKeySeed so separate
+// processes agree on enclave keys). For in-process groups use NewCluster,
+// which wires nodes to a shared simulated network instead.
+//
+// The node is inert until Start.
+func NewNode(id uint32, opts ...Option) (*Node, error) {
+	o := buildOptions(opts)
+	if o.simnet == nil && len(o.tcpAddrs) == 0 {
+		return nil, errors.New("splitbft: NewNode requires WithTransportTCP (or construction through NewCluster)")
+	}
+	if len(o.tcpAddrs) > 0 && len(o.keySeed) == 0 {
+		return nil, errors.New("splitbft: the TCP transport requires WithKeySeed — separate processes cannot otherwise agree on enclave keys")
+	}
+	if err := o.resolveGroup(); err != nil {
+		return nil, err
+	}
+	if int(id) >= o.n {
+		return nil, fmt.Errorf("splitbft: node id %d out of range [0, %d)", id, o.n)
+	}
+	reg := o.registry
+	if reg == nil {
+		reg = crypto.NewRegistry()
+		if len(o.keySeed) > 0 {
+			if err := core.RegisterDeterministicKeys(reg, o.keySeed, o.n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	application := o.application()
+	replica, err := core.NewReplica(core.Config{
+		N: o.n, F: o.f, ID: id,
+		Registry:           reg,
+		MACSecret:          o.secret(),
+		KeySeed:            o.keySeed,
+		App:                application,
+		Confidential:       o.confidential,
+		Cost:               o.costModel(),
+		SingleThread:       o.singleThread,
+		CheckpointInterval: o.checkpointInterval,
+		BatchSize:          o.batchSize,
+		BatchTimeout:       o.batchTimeout,
+		RequestTimeout:     o.requestTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{id: id, opts: o, app: application, replica: replica}, nil
+}
+
+// Start attaches the node to its transport and begins processing. It is
+// idempotent while running; a node cannot restart after Stop (the broker
+// threads terminate permanently — build a fresh Node instead).
+func (n *Node) Start() error {
+	if n.stopped {
+		return errors.New("splitbft: node cannot restart after Stop — create a new Node")
+	}
+	if n.started {
+		return nil
+	}
+	if n.opts.simnet != nil {
+		conn, err := n.opts.simnet.Join(transport.ReplicaEndpoint(n.id), n.replica.Handler())
+		if err != nil {
+			return err
+		}
+		n.conn = conn
+	} else {
+		addrs := make(map[uint32]string, n.opts.n)
+		for i, a := range n.opts.tcpAddrs {
+			addrs[uint32(i)] = a
+		}
+		listen := n.opts.listenAddr
+		if listen == "" {
+			listen = addrs[n.id]
+		}
+		tcp, err := transport.ListenTCP(transport.ReplicaEndpoint(n.id), listen, addrs, n.replica.Handler())
+		if err != nil {
+			return fmt.Errorf("splitbft: node %d listen on %q: %w (use WithListenAddr when the advertised address is not locally bindable)", n.id, listen, err)
+		}
+		n.tcp = tcp
+		n.conn = tcp
+	}
+	n.replica.Start(n.conn)
+	n.started = true
+	return nil
+}
+
+// Stop terminates the node's broker threads and detaches its transport.
+// Stopping is permanent: a stopped node cannot be restarted.
+func (n *Node) Stop() {
+	if n.started {
+		n.replica.Stop()
+		_ = n.conn.Close()
+		n.started = false
+	}
+	n.stopped = true
+}
+
+// ID returns the node's replica ID.
+func (n *Node) ID() uint32 { return n.id }
+
+// Addr returns the TCP listen address ("" for in-process nodes), useful
+// when listening on an ephemeral port.
+func (n *Node) Addr() string {
+	if n.tcp == nil {
+		return ""
+	}
+	return n.tcp.Addr()
+}
+
+// App returns this node's application instance, for state inspection in
+// tests and examples (e.g. asserting replica digests agree).
+func (n *Node) App() Application { return n.app }
+
+// CrashEnclave kills one compartment enclave — the fault-injection handle
+// behind the paper's Figure 1 scenario: SplitBFT stays safe with one
+// faulty enclave of each type on different replicas, more faults than
+// classical BFT's f whole replicas.
+func (n *Node) CrashEnclave(role Role) { n.replica.CrashEnclave(role) }
+
+// ExecutedOps returns the number of client operations this node replied
+// to.
+func (n *Node) ExecutedOps() uint64 { return n.replica.ExecutedOps() }
+
+// Batches returns the number of batches submitted for ordering.
+func (n *Node) Batches() uint64 { return n.replica.Batches() }
+
+// Suspects returns how many times the failure detector fired.
+func (n *Node) Suspects() uint64 { return n.replica.Suspects() }
+
+// PersistedBlocks returns the number of sealed blocks written through the
+// persistence ocall (zero for non-persisting applications).
+func (n *Node) PersistedBlocks() int { return n.replica.PersistedBlocks() }
+
+// EnclaveStats returns the per-compartment ecall profile in pipeline order
+// (Preparation, Confirmation, Execution).
+func (n *Node) EnclaveStats() []EnclaveStat {
+	snap := n.replica.EnclaveStats()
+	out := make([]EnclaveStat, 0, 3)
+	for _, role := range CompartmentRoles() {
+		s := snap[role]
+		out = append(out, EnclaveStat{Role: role, Count: s.Count, Mean: s.Mean, Total: s.Total})
+	}
+	return out
+}
+
+// ResetEnclaveStats zeroes the per-compartment ecall statistics.
+func (n *Node) ResetEnclaveStats() { n.replica.ResetEnclaveStats() }

@@ -1,0 +1,275 @@
+package splitbft
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/defaults"
+	"github.com/splitbft/splitbft/internal/tee"
+	"github.com/splitbft/splitbft/internal/transport"
+)
+
+// Defaults applied when the corresponding option is not given. They are
+// shared with the internal replica and client packages, so the public
+// surface and the protocol engine cannot drift apart.
+const (
+	// DefaultBatchSize is the batched-mode batch size (paper §6).
+	DefaultBatchSize = defaults.BatchSize
+	// DefaultBatchTimeout bounds how long a primary waits to fill a batch.
+	DefaultBatchTimeout = defaults.BatchTimeout
+	// DefaultRequestTimeout is the replica failure-detector timeout.
+	DefaultRequestTimeout = defaults.RequestTimeout
+	// DefaultRetransmitInterval is the client resend period, aligned with
+	// DefaultRequestTimeout so one resend reaches the backups per
+	// failure-detector period.
+	DefaultRetransmitInterval = defaults.RetransmitInterval
+	// DefaultInvokeTimeout bounds one client invocation end-to-end.
+	DefaultInvokeTimeout = defaults.InvokeTimeout
+	// DefaultCheckpointInterval is the distance between checkpoints.
+	DefaultCheckpointInterval = defaults.CheckpointInterval
+)
+
+// Option configures a Node, Client or Cluster. Options that don't apply to
+// the entity being built are ignored, so one option list can parameterize a
+// whole deployment (NewCluster forwards its options to every Node and to
+// clients created through Cluster.NewClient).
+type Option func(*options)
+
+// options is the resolved configuration shared by the three constructors.
+type options struct {
+	n, f int
+	fSet bool
+
+	newApp       func() Application
+	confidential bool
+	cost         CostModel
+	costSet      bool
+	singleThread bool
+
+	batchSize          int
+	batchTimeout       time.Duration
+	requestTimeout     time.Duration
+	checkpointInterval uint64
+
+	keySeed []byte
+
+	tcpAddrs   []string
+	listenAddr string
+
+	invokeTimeout time.Duration
+	retransmit    time.Duration
+
+	netSeed int64
+
+	// Wiring installed by NewCluster: in-process deployments share one
+	// simulated network, key registry and MAC secret.
+	simnet    *transport.SimNet
+	registry  *crypto.Registry
+	macSecret []byte
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// resolveGroup derives and validates the replica-group shape (n, f). When n
+// was not fixed by a cluster it comes from the TCP address list; f defaults
+// to the largest tolerable threshold, (n-1)/3.
+func (o *options) resolveGroup() error {
+	if o.n == 0 {
+		o.n = len(o.tcpAddrs)
+	}
+	if o.n == 0 {
+		return errors.New("splitbft: group size unknown — use WithTransportTCP or build through NewCluster")
+	}
+	if !o.fSet {
+		o.f = (o.n - 1) / 3
+	}
+	if o.n != 3*o.f+1 || o.f < 0 {
+		return fmt.Errorf("splitbft: n must equal 3f+1 (n=%d, f=%d)", o.n, o.f)
+	}
+	if len(o.tcpAddrs) > 0 && len(o.tcpAddrs) != o.n {
+		return fmt.Errorf("splitbft: WithTransportTCP needs one address per replica (%d addresses, n=%d)", len(o.tcpAddrs), o.n)
+	}
+	return nil
+}
+
+// secret returns the shared MAC secret for this deployment.
+func (o *options) secret() []byte {
+	if len(o.macSecret) > 0 {
+		return o.macSecret
+	}
+	return o.keySeed
+}
+
+// costModel returns the enclave cost model, defaulting to the hardware
+// model (real enclave-transition costs).
+func (o *options) costModel() CostModel {
+	if o.costSet {
+		return o.cost
+	}
+	return tee.DefaultCostModel()
+}
+
+// application instantiates this replica's application, defaulting to a
+// fresh key-value store.
+func (o *options) application() Application {
+	if o.newApp != nil {
+		return o.newApp()
+	}
+	return NewKVStore()
+}
+
+// WithFaults fixes the fault threshold f. The group size must equal 3f+1.
+// Default: the largest threshold the group tolerates, (n-1)/3.
+func WithFaults(f int) Option {
+	return func(o *options) { o.f = f; o.fSet = true }
+}
+
+// WithApp installs the replicated application. The factory runs once per
+// replica: every replica needs its own state-machine instance. Default:
+// NewKVStore.
+func WithApp(newApp func() Application) Option {
+	return func(o *options) { o.newApp = newApp }
+}
+
+// WithKVStore selects the key-value store application (the default),
+// readable in option lists that spell out the workload.
+func WithKVStore() Option {
+	return func(o *options) { o.newApp = func() Application { return NewKVStore() } }
+}
+
+// WithBlockchain selects the blockchain (distributed ledger) application
+// with the given block size; blockSize <= 0 means DefaultBlockSize. Blocks
+// are sealed inside the Execution enclave and persisted through an ocall.
+func WithBlockchain(blockSize int) Option {
+	return func(o *options) {
+		o.newApp = func() Application { return NewBlockchain(blockSize, nil) }
+	}
+}
+
+// WithConfidential enables end-to-end encrypted requests and replies
+// (paper §4.1). Clients must Attest before invoking: the attestation
+// handshake verifies every Execution enclave and provisions the session
+// key.
+func WithConfidential() Option {
+	return func(o *options) { o.confidential = true }
+}
+
+// WithCostModel replaces the enclave cost model. Default:
+// DefaultCostModel (hardware transition costs); SimulationCostModel
+// removes them; ZeroCostModel disables all charging.
+func WithCostModel(m CostModel) Option {
+	return func(o *options) { o.cost = m; o.costSet = true }
+}
+
+// WithBatchSize sets how many requests are ordered per batch; 1 disables
+// batching. Default DefaultBatchSize.
+func WithBatchSize(n int) Option {
+	return func(o *options) { o.batchSize = n }
+}
+
+// WithBatchTimeout bounds how long the primary waits to fill a batch.
+// Default DefaultBatchTimeout.
+func WithBatchTimeout(d time.Duration) Option {
+	return func(o *options) { o.batchTimeout = d }
+}
+
+// WithRequestTimeout sets the replica failure-detector timeout: how long an
+// ordered request may stay unexecuted before the primary is suspected and a
+// view change begins. Default DefaultRequestTimeout.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(o *options) { o.requestTimeout = d }
+}
+
+// WithCheckpointInterval sets the distance between checkpoints. Default
+// DefaultCheckpointInterval.
+func WithCheckpointInterval(n uint64) Option {
+	return func(o *options) { o.checkpointInterval = n }
+}
+
+// WithSingleThread serializes all ecalls of a replica through one
+// dispatcher thread (the paper's single-threaded configuration,
+// Figure 3a).
+func WithSingleThread() Option {
+	return func(o *options) { o.singleThread = true }
+}
+
+// WithKeySeed derives all enclave keys and client MAC keys
+// deterministically from seed, standing in for the attestation-based
+// key-exchange ceremony of a real SGX deployment. Every node and client of
+// one deployment must share the seed. Required for the TCP transport
+// (separate processes cannot otherwise agree on keys); in-process clusters
+// may omit it to get fresh random keys.
+func WithKeySeed(seed []byte) Option {
+	return func(o *options) { o.keySeed = append([]byte(nil), seed...) }
+}
+
+// WithTransportTCP deploys over TCP: addrs lists every replica's address,
+// indexed by replica ID. A Node listens on the address at its own ID
+// (override with WithListenAddr); a Client dials all of them. The group
+// size n is taken from len(addrs); surrounding whitespace per address is
+// ignored. Requires WithKeySeed.
+func WithTransportTCP(addrs ...string) Option {
+	return func(o *options) {
+		o.tcpAddrs = make([]string, 0, len(addrs))
+		for _, a := range addrs {
+			o.tcpAddrs = append(o.tcpAddrs, strings.TrimSpace(a))
+		}
+	}
+}
+
+// SplitAddrs splits a comma-separated replica address list into the form
+// WithTransportTCP takes — a convenience for CLI wrappers taking the list
+// as one flag. An empty string yields nil.
+func SplitAddrs(list string) []string {
+	if list == "" {
+		return nil
+	}
+	return strings.Split(list, ",")
+}
+
+// WithListenAddr overrides the address a TCP Node binds, when it differs
+// from the advertised address in the WithTransportTCP list (e.g. binding
+// ":7000" while peers dial "host:7000").
+func WithListenAddr(addr string) Option {
+	return func(o *options) { o.listenAddr = addr }
+}
+
+// WithInvokeTimeout bounds one client invocation end-to-end, across
+// retransmissions and view changes. Default DefaultInvokeTimeout.
+func WithInvokeTimeout(d time.Duration) Option {
+	return func(o *options) { o.invokeTimeout = d }
+}
+
+// WithRetransmitInterval sets how long a client waits for a reply quorum
+// before resending to all replicas. Default DefaultRetransmitInterval.
+func WithRetransmitInterval(d time.Duration) Option {
+	return func(o *options) { o.retransmit = d }
+}
+
+// WithNetworkSeed seeds the in-process simulated network's fault
+// randomness (NewCluster only), making fault schedules reproducible.
+func WithNetworkSeed(seed int64) Option {
+	return func(o *options) { o.netSeed = seed }
+}
+
+// withClusterWiring is how NewCluster shares its network, registry and MAC
+// secret with the nodes and clients it builds. Appended after user options
+// so it always wins.
+func withClusterWiring(n int, netw *transport.SimNet, reg *crypto.Registry, secret []byte) Option {
+	return func(o *options) {
+		o.n = n
+		o.simnet = netw
+		o.registry = reg
+		o.macSecret = secret
+		o.tcpAddrs = nil
+	}
+}
