@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, all")
 	quick := flag.Bool("quick", false, "fast smoke run (fewer clients, shorter windows)")
 	f := flag.Int("f", 1, "fault threshold for table1")
 	root := flag.String("root", ".", "repository root for table2")
@@ -93,6 +93,17 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatBatchAblation(bs))
+			return nil
+		})
+	}
+	if all || *exp == "pipeline" {
+		run("Ablation — staged agreement pipeline", func() error {
+			pts, err := bench.PipelineAblation(
+				[][2]int{{0, 0}, {16, 1}, {16, 8}, {64, 8}}, 40, *measure)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatPipelineAblation(pts))
 			return nil
 		})
 	}

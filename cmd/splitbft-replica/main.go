@@ -35,6 +35,8 @@ func main() {
 	simulation := flag.Bool("simulation", false, "SGX simulation mode (no transition cost)")
 	singleThread := flag.Bool("single-thread", false, "serialize all ecalls through one thread")
 	batch := flag.Int("batch", splitbft.DefaultBatchSize, "batch size (1 disables batching)")
+	ecallBatch := flag.Int("ecall-batch", 1, "messages delivered per enclave crossing (1 disables batching)")
+	verifyWorkers := flag.Int("verify-workers", 1, "enclave-side parallel signature-verification workers (1 = inline)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.Parse()
 
@@ -65,6 +67,12 @@ func main() {
 	}
 	if *singleThread {
 		opts = append(opts, splitbft.WithSingleThread())
+	}
+	if *ecallBatch > 1 {
+		opts = append(opts, splitbft.WithEcallBatch(*ecallBatch))
+	}
+	if *verifyWorkers > 1 {
+		opts = append(opts, splitbft.WithVerifyWorkers(*verifyWorkers))
 	}
 	if *listen != "" {
 		opts = append(opts, splitbft.WithListenAddr(*listen))

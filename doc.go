@@ -43,6 +43,41 @@
 // classical BFT tolerates only f faulty replicas), and Cluster.Partition
 // cuts replicas off to drive view changes.
 //
+// # The staged agreement pipeline
+//
+// Each replica's hot path is a four-stage pipeline between the untrusted
+// broker and its three enclaves:
+//
+//	classify → batch ecall → parallel verify → serial apply
+//
+// Classify runs on the transport threads, in the untrusted environment:
+// every inbound message is fully decoded there — malformed input never
+// pays for an enclave crossing — and byte-identical retransmits of
+// agreement messages are dropped by a bounded, time-rotated filter. Both
+// can only cost liveness (a wrong drop is indistinguishable from a network
+// drop), never safety. Surviving messages are framed into pooled,
+// reference-counted buffers shared across the compartments' duplicated
+// input logs (§3.2) and recycled as soon as the enclave runtime has copied
+// them in.
+//
+// Batch ecall amortizes the enclave-transition cost the paper identifies
+// as the dominant overhead: with WithEcallBatch(n), a dispatcher drains up
+// to n queued messages and delivers them through one trusted-boundary
+// crossing.
+//
+// Parallel verify runs inside the enclave: with WithVerifyWorkers(n), the
+// stateless share of validation — decoding plus Ed25519 signature checks,
+// which are independent across distinct messages — fans out to a bounded
+// worker pool, warming a per-compartment verification cache that also
+// makes retransmits and view-change replays (the same certificates
+// verified over and over) nearly free.
+//
+// Serial apply preserves the paper's execution model: handlers run to
+// completion one at a time in submission order on the enclave's single
+// logical protocol thread, so every ledger and checkpoint digest is
+// byte-identical whether the pipeline is on, off, or fully serialized with
+// WithSingleThread.
+//
 // The protocol engine lives under internal/ (internal/core is the
 // compartmentalized replica, internal/pbft the monolithic baseline the
 // paper compares against); the experiment harness reproducing the paper's

@@ -92,6 +92,12 @@ func startSplitCluster(cfg RunConfig, batchSize int, batchTimeout, requestTimeou
 	if cfg.System == SplitKVSSingleThread {
 		opts = append(opts, splitbft.WithSingleThread())
 	}
+	if cfg.EcallBatch > 0 {
+		opts = append(opts, splitbft.WithEcallBatch(cfg.EcallBatch))
+	}
+	if cfg.VerifyWorkers > 0 {
+		opts = append(opts, splitbft.WithVerifyWorkers(cfg.VerifyWorkers))
+	}
 	cluster, err := splitbft.NewCluster(benchN, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: cluster: %w", err)

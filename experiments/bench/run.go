@@ -81,14 +81,22 @@ func Run(cfg RunConfig) (Result, error) {
 
 	rec.summarize(&res, elapsed)
 	if len(h.splitNodes) > 0 {
+		var calls, msgs uint64
 		for _, s := range h.splitNodes[0].EnclaveStats() {
 			res.Compartments = append(res.Compartments, CompartmentStat{
 				Name:  s.Role.String(),
 				Calls: s.Count,
+				Msgs:  s.Msgs,
 				Mean:  s.Mean,
 				Total: s.Total,
 			})
+			calls += s.Count
+			msgs += s.Msgs
 		}
+		if calls > 0 {
+			res.MsgsPerEcall = float64(msgs) / float64(calls)
+		}
+		res.VerifyCacheHitRate = h.splitNodes[0].VerifyCacheStats().HitRate()
 	}
 	return res, nil
 }

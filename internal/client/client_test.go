@@ -223,8 +223,18 @@ func TestClientRetransmits(t *testing.T) {
 	if time.Since(start) < 150*time.Millisecond {
 		t.Fatal("success came before any retransmission was possible")
 	}
-	if g.requests(0) < 3 {
-		t.Fatalf("replica 0 saw %d requests, want >= 3 (retransmissions)", g.requests(0))
+	// A "late" reply implies its replica had already seen 3 deliveries, so
+	// at least one replica must be at >= 3. (Asserting on one specific
+	// replica would race: Invoke returns on a reply quorum while the last
+	// retransmission round may still be in flight to the others.)
+	maxSeen := 0
+	for id := uint32(0); id < 4; id++ {
+		if n := g.requests(id); n > maxSeen {
+			maxSeen = n
+		}
+	}
+	if maxSeen < 3 {
+		t.Fatalf("max requests seen by any replica = %d, want >= 3 (retransmissions)", maxSeen)
 	}
 }
 

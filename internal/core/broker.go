@@ -6,25 +6,103 @@ import (
 	"time"
 
 	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/genset"
 	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/ring"
 	"github.com/splitbft/splitbft/internal/tee"
 	"github.com/splitbft/splitbft/internal/transport"
 )
+
+// pooledBuf is a reference-counted ecall payload buffer recycled through a
+// sync.Pool. Messages duplicated into several compartments' input logs
+// (§3.2) share one buffer with one reference per queue; the enclave
+// runtime copies payloads across the trusted boundary (and charges for
+// it), so the untrusted-side buffer is dead as soon as its last ecall has
+// been invoked and can be reused without another allocation — the pooled
+// zero-copy path of the staged pipeline.
+type pooledBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var bufPool = sync.Pool{New: func() any { return new(pooledBuf) }}
+
+// newPooledBuf takes a buffer from the pool with refs references and at
+// least sizeHint capacity, length zero.
+func newPooledBuf(refs int32, sizeHint int) *pooledBuf {
+	pb := bufPool.Get().(*pooledBuf)
+	pb.refs.Store(refs)
+	if cap(pb.buf) < sizeHint {
+		pb.buf = make([]byte, 0, sizeHint)
+	} else {
+		pb.buf = pb.buf[:0]
+	}
+	return pb
+}
+
+// release drops one reference, returning the buffer to the pool when the
+// last holder is done. Oversized one-off buffers (state snapshots) are let
+// go to the GC instead so the pool's steady-state footprint stays small.
+func (pb *pooledBuf) release() {
+	if pb.refs.Add(-1) == 0 {
+		if cap(pb.buf) <= 1<<16 {
+			bufPool.Put(pb)
+		}
+	}
+}
+
+// frameMessage frames encoded wire-message bytes as an ecallMessage
+// payload in a pooled buffer carrying refs references (one per
+// destination queue). wrapMessage in config.go is the unpooled sibling
+// with the same byte layout, kept for compartment-level tests.
+func frameMessage(data []byte, refs int32) *pooledBuf {
+	pb := newPooledBuf(refs, len(data)+1)
+	pb.buf = append(pb.buf, ecallMessage)
+	pb.buf = append(pb.buf, data...)
+	return pb
+}
+
+// frameMsg is frameMessage for a not-yet-encoded message: it marshals
+// straight into the pooled buffer.
+func frameMsg(m messages.Message, refs int32) *pooledBuf {
+	pb := newPooledBuf(refs, 64)
+	pb.buf = append(pb.buf, ecallMessage)
+	pb.buf = messages.AppendMessage(pb.buf, m)
+	return pb
+}
+
+// frameBatch frames a request batch as an ecallBatch payload (single
+// destination: the Preparation compartment).
+func frameBatch(b *messages.Batch) *pooledBuf {
+	pb := newPooledBuf(1, 64)
+	pb.buf = append(pb.buf, ecallBatch)
+	pb.buf = messages.AppendBatch(pb.buf, b)
+	return pb
+}
 
 // ecall is one queued invocation of a local enclave.
 type ecall struct {
 	role    crypto.Role
 	payload []byte
+	pb      *pooledBuf // non-nil when payload is pooled; released post-ecall
 }
 
-// queue is an unbounded FIFO of ecalls. Unboundedness removes any
-// possibility of routing deadlock between enclave dispatchers (local
-// outputs always enqueue without blocking); memory stays bounded by the
-// protocol's watermark window in practice.
+// release returns a pooled payload to its pool once all sharers are done.
+func (e *ecall) release() {
+	if e.pb != nil {
+		e.pb.release()
+	}
+}
+
+// queue is an unbounded FIFO of ecalls over a ring buffer (O(1) push and
+// pop, backing array reused at the high-water depth). Unboundedness
+// removes any possibility of routing deadlock between enclave dispatchers
+// (local outputs always enqueue without blocking); memory stays bounded by
+// the protocol's watermark window in practice.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []ecall
+	items  ring.Buffer[ecall]
 	closed bool
 }
 
@@ -38,25 +116,48 @@ func (q *queue) push(e ecall) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		e.release()
 		return
 	}
-	q.items = append(q.items, e)
+	q.items.Push(e)
 	q.cond.Signal()
 }
 
-// pop blocks until an item is available or the queue closes.
+// pop blocks until an item is available or the queue closes (a closed
+// queue still drains its backlog).
 func (q *queue) pop() (ecall, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.items.Len() == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
-		return ecall{}, false
+	return q.items.Pop()
+}
+
+// drain blocks like pop, then removes up to max items, appending them to
+// dst so the dispatcher reuses one scratch slice across rounds.
+func (q *queue) drain(dst []ecall, max int) ([]ecall, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
 	}
-	e := q.items[0]
-	q.items = q.items[1:]
-	return e, true
+	if q.items.Len() == 0 {
+		return dst, false
+	}
+	return q.items.PopN(dst, max), true
+}
+
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+func (q *queue) reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items.Reset()
 }
 
 func (q *queue) close() {
@@ -64,6 +165,44 @@ func (q *queue) close() {
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+}
+
+// dedup is a bounded generational filter over raw inbound message bytes:
+// byte-identical retransmits of agreement messages are dropped in the
+// untrusted environment before they pay for an enclave crossing. It is
+// untrusted-side, so a wrong drop is indistinguishable from a network drop
+// (liveness only, never safety); rotation — on fill or on the failure
+// detector's clock — guarantees a deliberate retransmission (e.g. a stuck
+// replica re-sending its ViewChange) passes through again after at most
+// two detection periods (an untouched entry survives one rotation in the
+// older generation).
+type dedup struct {
+	mu  sync.Mutex
+	set *genset.Set[crypto.Digest]
+}
+
+func newDedup(entries int) *dedup {
+	return &dedup{set: genset.New[crypto.Digest](entries)}
+}
+
+// seen reports whether sum was recently submitted, recording it if not.
+// Found entries are deliberately not re-armed: a suppressed resend must
+// not extend its own suppression window.
+func (d *dedup) seen(sum crypto.Digest) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.set.Contains(sum) {
+		return true
+	}
+	d.set.Add(sum)
+	return false
+}
+
+// rotate ages the filter (called from the broker's tick).
+func (d *dedup) rotate() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.set.Rotate()
 }
 
 // reqKey identifies a pending client request for failure detection.
@@ -77,20 +216,29 @@ type reqKey struct {
 // network sends, the ecall queues, request batching, and timers. It is
 // untrusted: a compromised broker can drop, delay or misroute, costing
 // liveness or availability, but never integrity or confidentiality.
+//
+// The inbound hot path is a staged pipeline: classify (decode + dedup on
+// the transport threads, so garbage and retransmits never pay for an
+// enclave crossing) → batch ecall (dispatchers drain their queues and
+// deliver up to EcallBatch messages per trusted-boundary crossing) →
+// parallel verify (the enclave fans signature checks out to its worker
+// pool) → serial apply (handlers run one at a time in submission order).
 type broker struct {
 	cfg  Config
 	conn transport.Conn
 
 	enclaves map[crypto.Role]*tee.Enclave
 	queues   []*queue // one per enclave, or a single shared queue
+	dedup    *dedup
 
 	mu           sync.Mutex
-	pendingReqs  []messages.Request
+	pendingReqs  ring.Buffer[messages.Request]
 	pendingKeys  map[reqKey]bool
 	batchSince   time.Time
 	viewEstimate uint64
 	reqTimers    map[reqKey]time.Time
 	lastSuspect  time.Time
+	lastRotate   time.Time
 
 	blocksMu sync.Mutex
 	blocks   [][]byte // sealed blockchain blocks persisted via ocall
@@ -99,10 +247,16 @@ type broker struct {
 	once sync.Once
 	wg   sync.WaitGroup
 
-	mReplies  atomic.Uint64
-	mBatches  atomic.Uint64
+	mReplies atomic.Uint64
+	mBatches atomic.Uint64
+
 	mSuspects atomic.Uint64
+	mGarbage  atomic.Uint64 // malformed inbound messages dropped pre-ecall
+	mDeduped  atomic.Uint64 // retransmits dropped pre-ecall
 }
+
+// dedupEntries bounds each generation of the broker's retransmit filter.
+const dedupEntries = 1 << 13
 
 func newBroker(cfg Config, prep, conf, exec *tee.Enclave) *broker {
 	b := &broker{
@@ -112,6 +266,7 @@ func newBroker(cfg Config, prep, conf, exec *tee.Enclave) *broker {
 			crypto.RoleConfirmation: conf,
 			crypto.RoleExecution:    exec,
 		},
+		dedup:       newDedup(dedupEntries),
 		pendingKeys: make(map[reqKey]bool),
 		reqTimers:   make(map[reqKey]time.Time),
 		stop:        make(chan struct{}),
@@ -139,9 +294,19 @@ func (b *broker) queueFor(role crypto.Role) *queue {
 	}
 }
 
-// submit enqueues an ecall for a compartment.
-func (b *broker) submit(role crypto.Role, payload []byte) {
-	b.queueFor(role).push(ecall{role: role, payload: payload})
+// submit enqueues an ecall for a compartment. pb may be nil for
+// caller-owned payloads.
+func (b *broker) submit(role crypto.Role, payload []byte, pb *pooledBuf) {
+	b.queueFor(role).push(ecall{role: role, payload: payload, pb: pb})
+}
+
+// submitShared frames data once and enqueues it for several compartments,
+// sharing the pooled buffer across their input logs.
+func (b *broker) submitShared(data []byte, roles ...crypto.Role) {
+	pb := frameMessage(data, int32(len(roles)))
+	for _, role := range roles {
+		b.submit(role, pb.buf, pb)
+	}
 }
 
 // start launches the dispatcher threads (one per enclave, matching the
@@ -167,20 +332,50 @@ func (b *broker) stopAll() {
 	b.wg.Wait()
 }
 
-// dispatch pops ecalls and drives the enclave, routing its outputs.
+// dispatch drains ecalls in batches and drives the enclave, routing its
+// outputs. Consecutive same-role runs within a drained batch are delivered
+// through one InvokeBatch, amortizing the trusted-boundary transition.
 func (b *broker) dispatch(q *queue) {
 	defer b.wg.Done()
+	maxBatch := b.cfg.EcallBatch
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	var drained []ecall
+	var payloads [][]byte
 	for {
-		e, ok := q.pop()
+		var ok bool
+		drained, ok = q.drain(drained[:0], maxBatch)
 		if !ok {
 			return
 		}
-		enc := b.enclaves[e.role]
-		out, err := enc.Invoke(e.payload)
-		if err != nil {
-			continue // crashed enclave: drop (availability loss only)
+		for i := 0; i < len(drained); {
+			role := drained[i].role
+			j := i + 1
+			for j < len(drained) && drained[j].role == role {
+				j++
+			}
+			run := drained[i:j]
+			enc := b.enclaves[role]
+			var out []tee.OutMsg
+			var err error
+			if len(run) == 1 {
+				out, err = enc.Invoke(run[0].payload)
+			} else {
+				payloads = payloads[:0]
+				for k := range run {
+					payloads = append(payloads, run[k].payload)
+				}
+				out, err = enc.InvokeBatch(payloads)
+			}
+			for k := range run {
+				run[k].release() // payloads were copied into the enclave
+			}
+			if err == nil {
+				b.route(out)
+			} // else crashed enclave: drop (availability loss only)
+			i = j
 		}
-		b.route(out)
 	}
 }
 
@@ -203,7 +398,8 @@ func (b *broker) route(out []tee.OutMsg) {
 				_ = b.conn.Send(transport.ClientEndpoint(m.ID), m.Payload)
 			}
 		case tee.DestLocal:
-			b.submit(m.Local, wrapMessage(m.Payload))
+			pb := frameMessage(m.Payload, 1)
+			b.submit(m.Local, pb.buf, pb)
 		}
 	}
 }
@@ -226,46 +422,65 @@ func (b *broker) noteClientBound(data []byte) {
 	b.mu.Unlock()
 }
 
-// handler is the transport inbound path: route by envelope type to the
+// handler is the transport inbound path — the classify stage of the
+// pipeline. It fully decodes every message in the untrusted environment
+// (on the transport threads, off the dispatcher hot path) so malformed
+// input never pays for an enclave crossing, drops byte-identical
+// retransmits of agreement messages, then routes by type to the
 // compartments' input logs, duplicating messages exactly as §3.2
 // prescribes.
 func (b *broker) handler(from transport.Endpoint, data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	switch messages.Type(data[0]) {
-	case messages.TRequest:
+	t := messages.Type(data[0])
+	if t == messages.TRequest {
 		b.onClientRequest(data)
+		return
+	}
+	switch t {
+	case messages.TPrePrepare, messages.TPrepare, messages.TCommit,
+		messages.TCheckpoint, messages.TViewChange, messages.TNewView,
+		messages.TAttestRequest, messages.TProvisionKey,
+		messages.TStateRequest, messages.TStateReply:
+	default:
+		return // unknown type
+	}
+	m, err := messages.Unmarshal(data)
+	if err != nil {
+		b.mGarbage.Add(1)
+		return
+	}
+	switch t {
+	case messages.TPrePrepare, messages.TPrepare, messages.TCommit,
+		messages.TCheckpoint, messages.TViewChange, messages.TNewView:
+		// Agreement traffic is deduplicated; the attest/state-transfer
+		// family below is not — those exchanges rely on identical re-asks
+		// getting through, and they are rare enough not to matter.
+		if b.dedup.seen(crypto.HashData(data)) {
+			b.mDeduped.Add(1)
+			return
+		}
+	}
+	switch t {
 	case messages.TPrePrepare:
 		// Duplicated into all three input logs (Preparation prepares it,
 		// Confirmation matches it against Prepares, Execution needs the
 		// request bodies).
-		w := wrapMessage(data)
-		b.submit(crypto.RolePreparation, w)
-		b.submit(crypto.RoleConfirmation, w)
-		b.submit(crypto.RoleExecution, w)
+		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution)
 	case messages.TPrepare:
-		b.submit(crypto.RoleConfirmation, wrapMessage(data))
+		b.submitShared(data, crypto.RoleConfirmation)
 	case messages.TCommit:
-		b.submit(crypto.RoleExecution, wrapMessage(data))
+		b.submitShared(data, crypto.RoleExecution)
 	case messages.TCheckpoint:
-		w := wrapMessage(data)
-		b.submit(crypto.RolePreparation, w)
-		b.submit(crypto.RoleConfirmation, w)
-		b.submit(crypto.RoleExecution, w)
+		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution)
 	case messages.TViewChange:
-		w := wrapMessage(data)
-		b.submit(crypto.RolePreparation, w)
-		b.submit(crypto.RoleConfirmation, w)
+		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation)
 	case messages.TNewView:
-		b.observeNewView(data)
-		w := wrapMessage(data)
-		b.submit(crypto.RolePreparation, w)
-		b.submit(crypto.RoleConfirmation, w)
-		b.submit(crypto.RoleExecution, w)
-	case messages.TAttestRequest, messages.TProvisionKey,
-		messages.TStateRequest, messages.TStateReply:
-		b.submit(crypto.RoleExecution, wrapMessage(data))
+		b.observeNewView(m.(*messages.NewView))
+		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution)
+	default: // attest/provision/state-transfer family
+		b.submitShared(data, crypto.RoleExecution)
 	}
 	_ = from
 }
@@ -273,12 +488,7 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 // observeNewView updates the broker's view estimate so batching
 // responsibility follows the primary. The estimate is untrusted and only
 // affects liveness.
-func (b *broker) observeNewView(data []byte) {
-	m, err := messages.Unmarshal(data)
-	if err != nil {
-		return
-	}
-	nv := m.(*messages.NewView)
+func (b *broker) observeNewView(nv *messages.NewView) {
 	b.mu.Lock()
 	if nv.View > b.viewEstimate {
 		b.viewEstimate = nv.View
@@ -298,6 +508,7 @@ func (b *broker) believesPrimaryLocked() bool {
 func (b *broker) onClientRequest(data []byte) {
 	m, err := messages.Unmarshal(data)
 	if err != nil {
+		b.mGarbage.Add(1)
 		return
 	}
 	req := m.(*messages.Request)
@@ -308,12 +519,12 @@ func (b *broker) onClientRequest(data []byte) {
 		b.reqTimers[key] = time.Now()
 	}
 	if b.believesPrimaryLocked() && !b.pendingKeys[key] {
-		if len(b.pendingReqs) == 0 {
+		if b.pendingReqs.Len() == 0 {
 			b.batchSince = time.Now()
 		}
 		b.pendingKeys[key] = true
-		b.pendingReqs = append(b.pendingReqs, *req)
-		if len(b.pendingReqs) >= b.cfg.BatchSize {
+		b.pendingReqs.Push(*req)
+		if b.pendingReqs.Len() >= b.cfg.BatchSize {
 			submitNow = b.takeBatchLocked()
 		}
 	}
@@ -325,15 +536,16 @@ func (b *broker) onClientRequest(data []byte) {
 
 // takeBatchLocked removes up to BatchSize requests from the buffer.
 func (b *broker) takeBatchLocked() *messages.Batch {
-	if len(b.pendingReqs) == 0 {
+	if b.pendingReqs.Len() == 0 {
 		return nil
 	}
-	take := len(b.pendingReqs)
+	take := b.pendingReqs.Len()
 	if take > b.cfg.BatchSize {
 		take = b.cfg.BatchSize
 	}
-	batch := &messages.Batch{Requests: b.pendingReqs[:take:take]}
-	b.pendingReqs = append([]messages.Request(nil), b.pendingReqs[take:]...)
+	batch := &messages.Batch{
+		Requests: b.pendingReqs.PopN(make([]messages.Request, 0, take), take),
+	}
 	for i := range batch.Requests {
 		delete(b.pendingKeys, reqKey{
 			client: batch.Requests[i].ClientID,
@@ -346,7 +558,8 @@ func (b *broker) takeBatchLocked() *messages.Batch {
 
 func (b *broker) submitBatch(batch *messages.Batch) {
 	b.mBatches.Add(1)
-	b.submit(crypto.RolePreparation, wrapBatch(batch))
+	pb := frameBatch(batch)
+	b.submit(crypto.RolePreparation, pb.buf, pb)
 }
 
 // eventLoop drives batch timeouts and the request-timer failure detector.
@@ -373,8 +586,15 @@ func (b *broker) onTick(now time.Time) {
 	suspect := false
 	var suspectView uint64
 	b.mu.Lock()
-	if len(b.pendingReqs) > 0 && now.Sub(b.batchSince) >= b.cfg.BatchTimeout {
+	if b.pendingReqs.Len() > 0 && now.Sub(b.batchSince) >= b.cfg.BatchTimeout {
 		batch = b.takeBatchLocked()
+	}
+	// Age the retransmit filter on the failure detector's clock so
+	// deliberate resends (ViewChange rebroadcasts, NewView retransmits to
+	// stragglers) are suppressed for at most two detection periods.
+	if now.Sub(b.lastRotate) > b.cfg.RequestTimeout {
+		b.lastRotate = now
+		b.dedup.rotate()
 	}
 	// Failure detection: any request pending longer than the timeout.
 	if now.Sub(b.lastSuspect) > b.cfg.RequestTimeout {
@@ -400,8 +620,8 @@ func (b *broker) onTick(now time.Time) {
 	}
 	if suspect {
 		b.mSuspects.Add(1)
-		s := &messages.Suspect{Replica: b.cfg.ID, View: suspectView}
-		b.submit(crypto.RoleConfirmation, wrapMessage(messages.Marshal(s)))
+		pb := frameMsg(&messages.Suspect{Replica: b.cfg.ID, View: suspectView}, 1)
+		b.submit(crypto.RoleConfirmation, pb.buf, pb)
 	}
 }
 

@@ -91,13 +91,7 @@ func TestQueueConcurrentProducers(t *testing.T) {
 	}
 	wg.Wait()
 	count := 0
-	for {
-		q.mu.Lock()
-		n := len(q.items)
-		q.mu.Unlock()
-		if n == 0 {
-			break
-		}
+	for q.len() > 0 {
 		if _, ok := q.pop(); !ok {
 			break
 		}
@@ -106,6 +100,86 @@ func TestQueueConcurrentProducers(t *testing.T) {
 	if count != producers*per {
 		t.Fatalf("drained %d items, want %d", count, producers*per)
 	}
+}
+
+// TestQueueSteadyStateNoGrowth is the regression test for the O(n)
+// slice-pop and its memory pinning: a queue cycled through 100k items at a
+// small steady-state depth must neither slow down quadratically (the test
+// would blow its deadline) nor grow its backing ring beyond the high-water
+// depth.
+func TestQueueSteadyStateNoGrowth(t *testing.T) {
+	q := newQueue()
+	const total, depth = 100_000, 32
+	payload := []byte{ecallMessage}
+	for i := 0; i < total; i++ {
+		q.push(ecall{payload: payload})
+		if i >= depth {
+			if _, ok := q.pop(); !ok {
+				t.Fatal("queue closed unexpectedly")
+			}
+		}
+	}
+	for q.len() > 0 {
+		q.pop()
+	}
+	q.mu.Lock()
+	capNow := q.items.Cap()
+	q.mu.Unlock()
+	if capNow > 4*depth {
+		t.Fatalf("ring grew to cap %d at steady-state depth %d", capNow, depth)
+	}
+}
+
+// TestQueueDrainBatches covers the batch-dispatch path: drain returns up
+// to max items in FIFO order and keeps the remainder.
+func TestQueueDrainBatches(t *testing.T) {
+	q := newQueue()
+	for i := byte(0); i < 10; i++ {
+		q.push(ecall{payload: []byte{i}})
+	}
+	got, ok := q.drain(nil, 4)
+	if !ok || len(got) != 4 {
+		t.Fatalf("drain(4) = %d items, ok=%v", len(got), ok)
+	}
+	for i := byte(0); i < 4; i++ {
+		if got[i].payload[0] != i {
+			t.Fatalf("drained out of order: %v", got)
+		}
+	}
+	got, ok = q.drain(got[:0], 100)
+	if !ok || len(got) != 6 || got[0].payload[0] != 4 {
+		t.Fatalf("second drain = %d items (ok=%v)", len(got), ok)
+	}
+	// A closed queue still hands out its backlog, then reports closure.
+	q.push(ecall{payload: []byte{99}})
+	q.close()
+	if got, ok = q.drain(nil, 10); !ok || len(got) != 1 {
+		t.Fatalf("drain after close = %d items, ok=%v", len(got), ok)
+	}
+	if _, ok = q.drain(nil, 10); ok {
+		t.Fatal("empty closed queue reported items")
+	}
+}
+
+func BenchmarkBrokerQueue(b *testing.B) {
+	q := newQueue()
+	payload := []byte{ecallMessage}
+	b.Run("PushPop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.push(ecall{payload: payload})
+			q.pop()
+		}
+	})
+	b.Run("PushDrain64", func(b *testing.B) {
+		var scratch []ecall
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 64; j++ {
+				q.push(ecall{payload: payload})
+			}
+			scratch, _ = q.drain(scratch[:0], 64)
+		}
+		_ = scratch
+	})
 }
 
 // newTestBroker builds a broker with live enclaves but no network.
@@ -158,16 +232,10 @@ func TestBrokerQueueTopology(t *testing.T) {
 func TestBrokerRoutingTable(t *testing.T) {
 	b, _ := newTestBroker(t, false)
 	// Count what lands in each queue for each inbound message type.
-	depth := func(q *queue) int {
-		q.mu.Lock()
-		defer q.mu.Unlock()
-		return len(q.items)
-	}
+	depth := func(q *queue) int { return q.len() }
 	drain := func() {
 		for _, q := range b.queues {
-			q.mu.Lock()
-			q.items = nil
-			q.mu.Unlock()
+			q.reset()
 		}
 	}
 	cases := []struct {
@@ -205,7 +273,7 @@ func TestBrokerBatchesOnlyWhenPrimary(t *testing.T) {
 	req := testRequest(cfg.MACSecret, cfg.N, 9, 1, []byte("op"))
 	b.onClientRequest(messages.Marshal(&req))
 	b.mu.Lock()
-	pending := len(b.pendingReqs)
+	pending := b.pendingReqs.Len()
 	b.mu.Unlock()
 	if pending != 1 {
 		t.Fatalf("primary broker buffered %d requests, want 1", pending)
@@ -214,13 +282,13 @@ func TestBrokerBatchesOnlyWhenPrimary(t *testing.T) {
 	// primary, so it only tracks timers.
 	b.mu.Lock()
 	b.viewEstimate = 1
-	b.pendingReqs = nil
+	b.pendingReqs.Reset()
 	b.pendingKeys = map[reqKey]bool{}
 	b.mu.Unlock()
 	req2 := testRequest(cfg.MACSecret, cfg.N, 9, 2, []byte("op2"))
 	b.onClientRequest(messages.Marshal(&req2))
 	b.mu.Lock()
-	pending = len(b.pendingReqs)
+	pending = b.pendingReqs.Len()
 	timers := len(b.reqTimers)
 	b.mu.Unlock()
 	if pending != 0 {
@@ -255,7 +323,7 @@ func TestBrokerBatchCutOnSize(t *testing.T) {
 		t.Fatalf("batch has %d requests", len(batch.Requests))
 	}
 	b.mu.Lock()
-	if len(b.pendingReqs) != 0 || len(b.pendingKeys) != 0 {
+	if b.pendingReqs.Len() != 0 || len(b.pendingKeys) != 0 {
 		t.Fatal("buffer not drained after the cut")
 	}
 	b.mu.Unlock()
@@ -269,8 +337,8 @@ func TestBrokerDuplicateRequestNotDoubleBatched(t *testing.T) {
 	b.onClientRequest(raw)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.pendingReqs) != 1 {
-		t.Fatalf("duplicate buffered: %d pending", len(b.pendingReqs))
+	if b.pendingReqs.Len() != 1 {
+		t.Fatalf("duplicate buffered: %d pending", b.pendingReqs.Len())
 	}
 }
 

@@ -73,6 +73,18 @@ type Config struct {
 	// one dispatcher per enclave plus the broker event loop.
 	SingleThread bool
 
+	// EcallBatch caps how many queued ecalls one trusted-boundary crossing
+	// may deliver (Enclave.InvokeBatch): the dispatcher drains up to this
+	// many messages per transition, amortizing the per-transition cost.
+	// 0 or 1 delivers one message per crossing (the paper's baseline).
+	EcallBatch int
+	// VerifyWorkers bounds the enclave-side pool that signature
+	// verifications of a batch are fanned out to before the serial handler
+	// pass. 0 or 1 verifies inline on the protocol thread. Parallelism
+	// never reorders state updates: handlers always apply serially in
+	// submission order.
+	VerifyWorkers int
+
 	// Agreement parameters; see the pbft package for semantics.
 	CheckpointInterval uint64
 	WatermarkWindow    uint64
@@ -96,6 +108,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.EcallBatch < 1 {
+		c.EcallBatch = 1
+	}
+	if c.VerifyWorkers < 1 {
+		c.VerifyWorkers = 1
 	}
 	return c
 }

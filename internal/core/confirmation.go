@@ -53,6 +53,9 @@ func newConfirmation(cfg Config, ver *messages.Verifier) *confirmation {
 // Measurement implements tee.Code.
 func (c *confirmation) Measurement() crypto.Digest { return measConfirmation }
 
+// Preprocess implements tee.Preprocessor (see preparation.Preprocess).
+func (c *confirmation) Preprocess(_ tee.Host, raw []byte) { prevalidate(c.ver, raw) }
+
 // HandleECall implements tee.Code.
 func (c *confirmation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 	if len(raw) == 0 || raw[0] != ecallMessage {
@@ -116,11 +119,15 @@ func (c *confirmation) onPrepare(host tee.Host, p *messages.Prepare) []tee.OutMs
 	if p.View != c.view || c.inViewChange || !c.inWindow(p.Seq) {
 		return nil
 	}
-	if err := c.ver.VerifyPrepare(p); err != nil {
+	s := c.slot(p.View, p.Seq)
+	// Cheap redundancy checks before the expensive signature verification:
+	// a sender slot is only ever occupied by a previously verified Prepare,
+	// and a committed slot already holds a full certificate (prepareCerts
+	// caps at 2f Prepares, so late extras can never be needed again).
+	if _, dup := s.prepares[p.Replica]; dup || s.committed {
 		return nil
 	}
-	s := c.slot(p.View, p.Seq)
-	if _, dup := s.prepares[p.Replica]; dup {
+	if err := c.ver.VerifyPrepare(p); err != nil {
 		return nil
 	}
 	s.prepares[p.Replica] = p

@@ -110,6 +110,9 @@ func newExecution(cfg Config, ver *messages.Verifier) *execution {
 // Measurement implements tee.Code.
 func (e *execution) Measurement() crypto.Digest { return measExecution }
 
+// Preprocess implements tee.Preprocessor (see preparation.Preprocess).
+func (e *execution) Preprocess(_ tee.Host, raw []byte) { prevalidate(e.ver, raw) }
+
 // HandleECall implements tee.Code.
 func (e *execution) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 	if len(raw) == 0 || raw[0] != ecallMessage {
@@ -269,7 +272,11 @@ func (e *execution) executeBatch(host tee.Host, batch *messages.Batch) []tee.Out
 func (e *execution) executeOne(req *messages.Request) []byte {
 	clientID := crypto.Identity{ReplicaID: req.ClientID, Role: crypto.RoleClient}
 	slot := e.n + int(e.id) // Execution MACs follow the Preparation block
-	if err := e.macs.VerifyIndexed(req.AuthenticatedBytes(), req.Auth, slot, clientID); err != nil {
+	enc := messages.GetEncoder()
+	req.AppendAuthenticated(enc)
+	err := e.macs.VerifyIndexed(enc.Bytes(), req.Auth, slot, clientID)
+	messages.PutEncoder(enc)
+	if err != nil {
 		return app.NoOpResult
 	}
 	op := req.Payload

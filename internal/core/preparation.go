@@ -41,6 +41,11 @@ func newPreparation(cfg Config, ver *messages.Verifier) *preparation {
 // Measurement implements tee.Code.
 func (p *preparation) Measurement() crypto.Digest { return measPreparation }
 
+// Preprocess implements tee.Preprocessor: signature verification for a
+// batched ecall runs on the worker pool, warming the verify cache the
+// serial handlers then hit.
+func (p *preparation) Preprocess(_ tee.Host, raw []byte) { prevalidate(p.ver, raw) }
+
 // HandleECall implements tee.Code.
 func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 	if len(raw) == 0 {
@@ -97,14 +102,18 @@ func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg
 		return nil // the environment misjudged the view; liveness only
 	}
 	valid := batch.Requests[:0]
+	enc := messages.GetEncoder()
 	for i := range batch.Requests {
 		req := &batch.Requests[i]
 		client := crypto.Identity{ReplicaID: req.ClientID, Role: crypto.RoleClient}
-		if err := p.macs.VerifyIndexed(req.AuthenticatedBytes(), req.Auth, int(p.id), client); err != nil {
+		enc.Reset()
+		req.AppendAuthenticated(enc)
+		if err := p.macs.VerifyIndexed(enc.Bytes(), req.Auth, int(p.id), client); err != nil {
 			continue // unauthenticated request: drop from the batch
 		}
 		valid = append(valid, *req)
 	}
+	messages.PutEncoder(enc)
 	if len(valid) == 0 {
 		return nil
 	}

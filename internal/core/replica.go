@@ -11,6 +11,10 @@ import (
 	"github.com/splitbft/splitbft/internal/transport"
 )
 
+// verifyCacheEntries sizes each compartment's signature-verification
+// cache; it comfortably covers a watermark window of in-flight messages.
+const verifyCacheEntries = 1 << 13
+
 // Replica is one SplitBFT replica: three enclaves (Preparation,
 // Confirmation, Execution) plus the untrusted broker. Create all replicas
 // of a group with the same Registry before starting any of them — NewReplica
@@ -22,6 +26,10 @@ type Replica struct {
 	conf   *tee.Enclave
 	exec   *tee.Enclave
 	broker *broker
+	// caches are the per-compartment verification caches, for stats. Each
+	// compartment owns its own cache — compartments share no state (§3.2),
+	// so a cache is enclave-local, warmed by that enclave's verify pool.
+	caches []*messages.VerifyCache
 }
 
 // NewReplica launches the three compartment enclaves and wires the broker.
@@ -30,13 +38,22 @@ func NewReplica(cfg Config) (*Replica, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ver, err := messages.NewVerifier(cfg.N, cfg.F, cfg.Registry, messages.SplitScheme())
-	if err != nil {
-		return nil, err
+	// One verifier per compartment: each carries its own
+	// signature-verification cache so the compartments stay share-nothing.
+	var vers [3]*messages.Verifier
+	var caches []*messages.VerifyCache
+	for i := range vers {
+		ver, err := messages.NewVerifier(cfg.N, cfg.F, cfg.Registry, messages.SplitScheme())
+		if err != nil {
+			return nil, err
+		}
+		ver.Cache = messages.NewVerifyCache(verifyCacheEntries)
+		caches = append(caches, ver.Cache)
+		vers[i] = ver
 	}
-	prepCode := newPreparation(cfg, ver)
-	confCode := newConfirmation(cfg, ver)
-	execCode := newExecution(cfg, ver)
+	prepCode := newPreparation(cfg, vers[0])
+	confCode := newConfirmation(cfg, vers[1])
+	execCode := newExecution(cfg, vers[2])
 
 	rng := func(role crypto.Role) io.Reader {
 		if len(cfg.KeySeed) == 0 {
@@ -63,7 +80,12 @@ func NewReplica(cfg Config) (*Replica, error) {
 	cfg.Registry.Register(conf.Identity(), conf.PublicKey())
 	cfg.Registry.Register(exec.Identity(), exec.PublicKey())
 
-	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec}
+	// Enable the enclave-side parallel verification stage of the pipeline.
+	for _, enc := range []*tee.Enclave{prep, conf, exec} {
+		enc.SetVerifyWorkers(cfg.VerifyWorkers)
+	}
+
+	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches}
 	r.broker = newBroker(cfg, prep, conf, exec)
 
 	// Persisting applications (app.Persister) write sealed state through an
@@ -103,6 +125,27 @@ func (r *Replica) Batches() uint64 { return r.broker.mBatches.Load() }
 // Suspects returns how many times the failure detector fired.
 func (r *Replica) Suspects() uint64 { return r.broker.mSuspects.Load() }
 
+// DedupedMsgs returns how many byte-identical retransmits the untrusted
+// classify stage dropped before they paid for an enclave crossing.
+func (r *Replica) DedupedMsgs() uint64 { return r.broker.mDeduped.Load() }
+
+// DroppedGarbage returns how many malformed inbound messages the
+// untrusted classify stage dropped before they paid for an enclave
+// crossing.
+func (r *Replica) DroppedGarbage() uint64 { return r.broker.mGarbage.Load() }
+
+// VerifyCacheStats returns the summed signature-verification cache
+// counters across the three compartments.
+func (r *Replica) VerifyCacheStats() messages.VerifyCacheStats {
+	var out messages.VerifyCacheStats
+	for _, c := range r.caches {
+		s := c.Stats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+	}
+	return out
+}
+
 // PersistedBlocks returns the number of sealed blockchain blocks the
 // environment stored (zero for non-blockchain applications).
 func (r *Replica) PersistedBlocks() int { return r.broker.persistedBlocks() }
@@ -117,11 +160,15 @@ func (r *Replica) EnclaveStats() map[crypto.Role]tee.ECallSnapshot {
 	}
 }
 
-// ResetEnclaveStats zeroes the per-compartment ecall statistics.
+// ResetEnclaveStats zeroes the per-compartment ecall statistics and the
+// verify-cache counters (cached entries are kept).
 func (r *Replica) ResetEnclaveStats() {
 	r.prep.ResetStats()
 	r.conf.ResetStats()
 	r.exec.ResetStats()
+	for _, c := range r.caches {
+		c.Reset()
+	}
 }
 
 // CrashEnclave kills one compartment (fault injection: the environment can

@@ -1,0 +1,76 @@
+// Package genset provides a bounded two-generation set, the eviction
+// structure shared by the broker's retransmit filter and the
+// signature-verification cache: membership is checked against both
+// generations, inserts go to the newer one, and rotation — on fill or on a
+// caller's clock — discards the older generation wholesale. Eviction is
+// O(1) amortized with no per-entry bookkeeping, at the cost of a coarse
+// (generation-granular) recency notion, which is exactly right for caches
+// whose entries are pure performance hints.
+package genset
+
+// Set is a two-generation set. The zero value is not usable; construct
+// with New. It is not safe for concurrent use; callers synchronize.
+type Set[K comparable] struct {
+	cur, prev map[K]struct{}
+	perGen    int
+}
+
+// New returns a set holding roughly `entries` keys (two generations of
+// entries/2, minimum one each).
+func New[K comparable](entries int) *Set[K] {
+	perGen := entries / 2
+	if perGen < 1 {
+		perGen = 1
+	}
+	return &Set[K]{
+		cur:    make(map[K]struct{}, perGen),
+		prev:   map[K]struct{}{},
+		perGen: perGen,
+	}
+}
+
+// Contains reports whether k is in either generation.
+func (s *Set[K]) Contains(k K) bool {
+	if _, ok := s.cur[k]; ok {
+		return true
+	}
+	_, ok := s.prev[k]
+	return ok
+}
+
+// ContainsPromote is Contains, additionally promoting a key found only in
+// the older generation into the newer one so entries in active use survive
+// rotation.
+func (s *Set[K]) ContainsPromote(k K) bool {
+	if _, ok := s.cur[k]; ok {
+		return true
+	}
+	if _, ok := s.prev[k]; ok {
+		s.add(k)
+		return true
+	}
+	return false
+}
+
+// Add inserts k into the newer generation, rotating when it fills.
+func (s *Set[K]) Add(k K) { s.add(k) }
+
+func (s *Set[K]) add(k K) {
+	s.cur[k] = struct{}{}
+	if len(s.cur) >= s.perGen {
+		s.Rotate()
+	}
+}
+
+// Rotate ages the newer generation into the older slot, discarding the
+// previous older generation. A key inserted and never touched again
+// survives at most two rotations.
+func (s *Set[K]) Rotate() {
+	s.prev = s.cur
+	s.cur = make(map[K]struct{}, s.perGen)
+}
+
+// Len returns the number of keys currently held across both generations
+// (keys present in both are counted twice; it is a bound, not an exact
+// cardinality).
+func (s *Set[K]) Len() int { return len(s.cur) + len(s.prev) }

@@ -1,0 +1,56 @@
+package genset
+
+import "testing"
+
+func TestContainsAdd(t *testing.T) {
+	s := New[int](8)
+	if s.Contains(1) {
+		t.Fatal("empty set contains 1")
+	}
+	s.Add(1)
+	if !s.Contains(1) {
+		t.Fatal("added key missing")
+	}
+}
+
+func TestRotationEvictsOldest(t *testing.T) {
+	s := New[int](4) // generations of 2
+	for i := 0; i < 6; i++ {
+		s.Add(i)
+	}
+	if s.Len() > 4 {
+		t.Fatalf("set holds %d keys, cap 4", s.Len())
+	}
+	if !s.Contains(5) {
+		t.Fatal("most recent key evicted")
+	}
+	if s.Contains(0) {
+		t.Fatal("oldest key survived repeated rotation")
+	}
+}
+
+func TestTimedRotationBound(t *testing.T) {
+	s := New[int](100)
+	s.Add(1)
+	s.Rotate() // generation 1: key moves to prev
+	if !s.Contains(1) {
+		t.Fatal("key evicted after one rotation")
+	}
+	s.Rotate() // generation 2: key gone
+	if s.Contains(1) {
+		t.Fatal("untouched key survived two rotations")
+	}
+}
+
+func TestContainsPromoteSurvivesRotation(t *testing.T) {
+	s := New[int](100)
+	s.Add(1)
+	s.Rotate()
+	if !s.ContainsPromote(1) {
+		t.Fatal("promote lookup missed")
+	}
+	s.Rotate() // the promoted copy rides in the newer generation
+	if !s.Contains(1) {
+		t.Fatal("promoted key did not survive rotation")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/splitbft/splitbft/internal/crypto"
 )
@@ -33,6 +34,34 @@ type Encoder struct {
 func NewEncoder(sizeHint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, sizeHint)}
 }
+
+// encoderPool recycles Encoders for encode-hash-discard and
+// encode-verify-discard uses on the hot path (digests, signing bytes),
+// where the buffer never outlives the call. Roughly half of all protocol
+// encodes are of this shape.
+var encoderPool = sync.Pool{New: func() any { return NewEncoder(256) }}
+
+// GetEncoder returns a pooled Encoder, reset and ready for use. Callers
+// MUST NOT let the buffer escape: hand it back with PutEncoder once the
+// encoded bytes have been consumed (hashed, verified, copied). For buffers
+// whose ownership transfers to the caller, use NewEncoder instead.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns a pooled Encoder. The encoded bytes become invalid.
+func PutEncoder(e *Encoder) {
+	// Do not pool pathological buffers (e.g. a full state snapshot): keep
+	// the pool's steady-state footprint small.
+	if cap(e.buf) <= 1<<16 {
+		encoderPool.Put(e)
+	}
+}
+
+// Reset truncates the encoder to empty, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // Bytes returns the encoded buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }

@@ -21,6 +21,16 @@ func MarshalTo(e *Encoder, m Message) []byte {
 	return e.Bytes()
 }
 
+// AppendMessage appends the Marshal encoding of m to dst and returns the
+// extended slice — the allocation-free sibling of Marshal for pooled
+// buffers.
+func AppendMessage(dst []byte, m Message) []byte {
+	e := Encoder{buf: dst}
+	e.U8(uint8(m.MsgType()))
+	m.encodeBody(&e)
+	return e.buf
+}
+
 // Unmarshal decodes an envelope produced by Marshal. It returns a freshly
 // allocated message of the concrete type.
 func Unmarshal(data []byte) (Message, error) {

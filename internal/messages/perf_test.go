@@ -1,0 +1,182 @@
+package messages
+
+import (
+	"testing"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// benchPrePrepare builds a realistic PrePrepare with a small batch, the
+// workhorse message of the agreement hot path.
+func benchPrePrepare(reqs int) *PrePrepare {
+	b := Batch{Requests: make([]Request, reqs)}
+	for i := range b.Requests {
+		b.Requests[i] = Request{
+			ClientID:  uint32(1000 + i),
+			Timestamp: uint64(i + 1),
+			Payload:   []byte("0123456789"),
+			Auth:      crypto.Authenticator{MACs: make([][crypto.MACSize]byte, 8)},
+		}
+	}
+	return &PrePrepare{View: 3, Seq: 42, Digest: b.Digest(), Replica: 3, Batch: b, Sig: make([]byte, 64)}
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	pp := benchPrePrepare(10)
+	b.Run("Marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Marshal(pp)
+		}
+	})
+	b.Run("AppendMessage", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 4096)
+		for i := 0; i < b.N; i++ {
+			buf = AppendMessage(buf[:0], pp)
+		}
+	})
+	b.Run("BatchDigest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = pp.Batch.Digest()
+		}
+	})
+	b.Run("SigningBytes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = pp.SigningBytes()
+		}
+	})
+}
+
+// benchVerifier builds a verifier over a 4-replica registry plus a signed
+// Prepare from replica 1.
+func benchVerifier(b testing.TB, cached bool) (*Verifier, *Prepare) {
+	reg := crypto.NewRegistry()
+	keys := make([]*crypto.KeyPair, 4)
+	for i := range keys {
+		keys[i] = crypto.MustGenerateKeyPair()
+		reg.Register(crypto.Identity{ReplicaID: uint32(i), Role: crypto.RolePreparation}, keys[i].Public)
+	}
+	ver, err := NewVerifier(4, 1, reg, SplitScheme())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cached {
+		ver.Cache = NewVerifyCache(1024)
+	}
+	p := &Prepare{View: 0, Seq: 7, Digest: crypto.HashData([]byte("d")), Replica: 1}
+	p.Sig = keys[1].Sign(p.SigningBytes())
+	return ver, p
+}
+
+func BenchmarkVerifyCached(b *testing.B) {
+	b.Run("Cold", func(b *testing.B) {
+		// No cache: every verification pays the Ed25519 cost.
+		ver, p := benchVerifier(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ver.VerifyPrepare(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Hot", func(b *testing.B) {
+		// Cache on and warmed: retransmits skip the Ed25519 work.
+		ver, p := benchVerifier(b, true)
+		if err := ver.VerifyPrepare(p); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ver.VerifyPrepare(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := ver.Cache.Stats(); s.Hits == 0 {
+			b.Fatal("cache never hit")
+		}
+	})
+}
+
+func TestVerifyCacheHitsAndStats(t *testing.T) {
+	ver, p := benchVerifier(t, true)
+	for i := 0; i < 3; i++ {
+		if err := ver.VerifyPrepare(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := ver.Cache.Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss then 2 hits", s)
+	}
+	if got := s.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", got)
+	}
+	ver.Cache.Reset()
+	if s := ver.Cache.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	// Entries survive a counter reset: the next lookup is still a hit.
+	if err := ver.VerifyPrepare(p); err != nil {
+		t.Fatal(err)
+	}
+	if s := ver.Cache.Stats(); s.Hits != 1 {
+		t.Fatalf("stats after reset+verify = %+v, want a hit", s)
+	}
+}
+
+func TestVerifyCacheNeverCachesFailures(t *testing.T) {
+	ver, p := benchVerifier(t, true)
+	forged := *p
+	forged.Sig = make([]byte, 64) // invalid signature
+	for i := 0; i < 2; i++ {
+		if err := ver.VerifyPrepare(&forged); err == nil {
+			t.Fatal("forged Prepare verified")
+		}
+	}
+	// Both attempts were recomputed misses; nothing was cached for them.
+	if s := ver.Cache.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses", s)
+	}
+	// The genuine message still verifies.
+	if err := ver.VerifyPrepare(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCacheKeyBindsSignature(t *testing.T) {
+	// Two different valid signatures over the same bytes (Ed25519 is
+	// deterministic, so simulate by signer identity differences): a cache
+	// entry must never validate a different (signer, bytes, sig) triple.
+	ver, p := benchVerifier(t, true)
+	if err := ver.VerifyPrepare(p); err != nil {
+		t.Fatal(err)
+	}
+	tampered := *p
+	tampered.Seq = 8 // changes SigningBytes; old sig must not carry over
+	if err := ver.VerifyPrepare(&tampered); err == nil {
+		t.Fatal("tampered Prepare passed via cache")
+	}
+}
+
+func TestVerifyCacheEviction(t *testing.T) {
+	c := NewVerifyCache(4) // two generations of 2
+	keys := make([]verifyKey, 6)
+	for i := range keys {
+		keys[i] = verifyKey{signer: crypto.Identity{ReplicaID: uint32(i)}, sum: crypto.HashData([]byte{byte(i)})}
+		c.store(keys[i])
+	}
+	// The most recent entries survive; storing never grows beyond 2 gens.
+	if c.set.Len() > 4 {
+		t.Fatalf("cache holds %d entries, cap 4", c.set.Len())
+	}
+	if !c.lookup(keys[5]) {
+		t.Fatal("most recent entry evicted")
+	}
+	if c.lookup(keys[0]) {
+		t.Fatal("oldest entry survived two generations of churn")
+	}
+}

@@ -92,9 +92,11 @@ func (*Request) MsgType() Type { return TRequest }
 // (client, timestamp, payload) but not the MAC vector, which differs per
 // receiver set.
 func (r *Request) Digest() crypto.Digest {
-	e := NewEncoder(16 + len(r.Payload))
+	e := GetEncoder()
 	r.encodeAuthenticated(e)
-	return crypto.HashData(e.Bytes())
+	d := crypto.HashData(e.Bytes())
+	PutEncoder(e)
+	return d
 }
 
 // encodeAuthenticated encodes the fields covered by MACs and digests.
@@ -109,6 +111,13 @@ func (r *Request) AuthenticatedBytes() []byte {
 	e := NewEncoder(16 + len(r.Payload))
 	r.encodeAuthenticated(e)
 	return e.Bytes()
+}
+
+// AppendAuthenticated appends the MAC-covered bytes to a caller-provided
+// (typically pooled) encoder — the allocation-free sibling of
+// AuthenticatedBytes for per-request hot paths.
+func (r *Request) AppendAuthenticated(e *Encoder) {
+	r.encodeAuthenticated(e)
 }
 
 func (r *Request) encodeBody(e *Encoder) {
@@ -143,12 +152,14 @@ type Batch struct {
 // Digest returns the batch digest: the hash over the ordered request
 // digests. Ordering is significant.
 func (b *Batch) Digest() crypto.Digest {
-	e := NewEncoder(len(b.Requests) * crypto.DigestSize)
+	e := GetEncoder()
 	for i := range b.Requests {
 		d := b.Requests[i].Digest()
 		e.Digest(d)
 	}
-	return crypto.HashData(e.Bytes())
+	d := crypto.HashData(e.Bytes())
+	PutEncoder(e)
+	return d
 }
 
 func (b *Batch) encode(e *Encoder) {
@@ -165,6 +176,14 @@ func MarshalBatch(b *Batch) []byte {
 	e := NewEncoder(256)
 	b.encode(e)
 	return e.Bytes()
+}
+
+// AppendBatch appends the MarshalBatch encoding of b to dst and returns
+// the extended slice, for callers framing batches into pooled buffers.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	e := Encoder{buf: dst}
+	b.encode(&e)
+	return e.buf
 }
 
 // UnmarshalBatch reverses MarshalBatch.

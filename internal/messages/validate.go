@@ -56,6 +56,28 @@ type Verifier struct {
 	F      int
 	Reg    *crypto.Registry
 	Scheme SignerScheme
+	// Cache, when non-nil, memoizes successful signature verifications so
+	// retransmits and view-change replays skip redundant Ed25519 work. It
+	// never changes verification outcomes (only successes are cached).
+	Cache *VerifyCache
+}
+
+// VerifySig checks sig over msg under the key registered for signer,
+// consulting the verification cache when one is installed. All signature
+// checks in this package funnel through here.
+func (v *Verifier) VerifySig(signer crypto.Identity, msg, sig []byte) error {
+	if v.Cache == nil {
+		return v.Reg.VerifyFrom(signer, msg, sig)
+	}
+	k := verifyKey{signer: signer, sum: crypto.HashConcat(msg, sig)}
+	if v.Cache.lookup(k) {
+		return nil
+	}
+	if err := v.Reg.VerifyFrom(signer, msg, sig); err != nil {
+		return err
+	}
+	v.Cache.store(k)
+	return nil
 }
 
 // NewVerifier builds a Verifier. N must be 3F+1 with F >= 0.
@@ -94,7 +116,7 @@ func (v *Verifier) VerifyPrePrepare(pp *PrePrepare, requireBatch bool) error {
 			ErrInvalid, pp.View, pp.Replica, v.Primary(pp.View))
 	}
 	signer := crypto.Identity{ReplicaID: pp.Replica, Role: v.Scheme.PrePrepare}
-	if err := v.Reg.VerifyFrom(signer, pp.SigningBytes(), pp.Sig); err != nil {
+	if err := v.VerifySig(signer, pp.SigningBytes(), pp.Sig); err != nil {
 		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d): %v", ErrInvalid, pp.View, pp.Seq, err)
 	}
 	hasBatch := len(pp.Batch.Requests) > 0
@@ -119,7 +141,7 @@ func (v *Verifier) VerifyPrepare(p *Prepare) error {
 		return fmt.Errorf("%w: Prepare from primary %d of view %d", ErrInvalid, p.Replica, p.View)
 	}
 	signer := crypto.Identity{ReplicaID: p.Replica, Role: v.Scheme.Prepare}
-	if err := v.Reg.VerifyFrom(signer, p.SigningBytes(), p.Sig); err != nil {
+	if err := v.VerifySig(signer, p.SigningBytes(), p.Sig); err != nil {
 		return fmt.Errorf("%w: Prepare(v=%d,n=%d,r=%d): %v", ErrInvalid, p.View, p.Seq, p.Replica, err)
 	}
 	return nil
@@ -131,7 +153,7 @@ func (v *Verifier) VerifyCommit(c *Commit) error {
 		return err
 	}
 	signer := crypto.Identity{ReplicaID: c.Replica, Role: v.Scheme.Commit}
-	if err := v.Reg.VerifyFrom(signer, c.SigningBytes(), c.Sig); err != nil {
+	if err := v.VerifySig(signer, c.SigningBytes(), c.Sig); err != nil {
 		return fmt.Errorf("%w: Commit(v=%d,n=%d,r=%d): %v", ErrInvalid, c.View, c.Seq, c.Replica, err)
 	}
 	return nil
@@ -143,7 +165,7 @@ func (v *Verifier) VerifyCheckpoint(c *Checkpoint) error {
 		return err
 	}
 	signer := crypto.Identity{ReplicaID: c.Replica, Role: v.Scheme.Checkpoint}
-	if err := v.Reg.VerifyFrom(signer, c.SigningBytes(), c.Sig); err != nil {
+	if err := v.VerifySig(signer, c.SigningBytes(), c.Sig); err != nil {
 		return fmt.Errorf("%w: Checkpoint(n=%d,r=%d): %v", ErrInvalid, c.Seq, c.Replica, err)
 	}
 	return nil
@@ -211,7 +233,7 @@ func (v *Verifier) VerifyViewChange(vc *ViewChange) error {
 		return err
 	}
 	signer := crypto.Identity{ReplicaID: vc.Replica, Role: v.Scheme.ViewChange}
-	if err := v.Reg.VerifyFrom(signer, vc.SigningBytes(), vc.Sig); err != nil {
+	if err := v.VerifySig(signer, vc.SigningBytes(), vc.Sig); err != nil {
 		return fmt.Errorf("%w: ViewChange(v=%d,r=%d): %v", ErrInvalid, vc.NewViewNum, vc.Replica, err)
 	}
 	if err := v.VerifyCheckpointCert(&vc.Stable); err != nil {
@@ -299,7 +321,7 @@ func (v *Verifier) VerifyNewView(nv *NewView) error {
 			ErrInvalid, nv.View, nv.Replica, v.Primary(nv.View))
 	}
 	signer := crypto.Identity{ReplicaID: nv.Replica, Role: v.Scheme.NewView}
-	if err := v.Reg.VerifyFrom(signer, nv.SigningBytes(), nv.Sig); err != nil {
+	if err := v.VerifySig(signer, nv.SigningBytes(), nv.Sig); err != nil {
 		return fmt.Errorf("%w: NewView(v=%d): %v", ErrInvalid, nv.View, err)
 	}
 	if len(nv.ViewChanges) < v.Quorum() {

@@ -28,12 +28,12 @@ func (r *Replica) onRequest(req *messages.Request) {
 	// requests it previously only observed as a backup. The exactly-once
 	// client table makes re-proposals harmless.
 	if r.isPrimary(r.view) && !r.inViewChange && !r.pendingDigest[d] {
-		if len(r.pendingReqs) == 0 {
+		if r.pendingReqs.Len() == 0 {
 			r.batchSince = time.Now()
 		}
 		r.pendingDigest[d] = true
-		r.pendingReqs = append(r.pendingReqs, *req)
-		if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.pendingReqs.Push(*req)
+		if r.pendingReqs.Len() >= r.cfg.BatchSize {
 			r.cutBatch()
 		}
 	}
@@ -42,18 +42,17 @@ func (r *Replica) onRequest(req *messages.Request) {
 // cutBatch turns the buffered requests into a PrePrepare and starts
 // agreement for the next sequence number.
 func (r *Replica) cutBatch() {
-	if len(r.pendingReqs) == 0 {
+	if r.pendingReqs.Len() == 0 {
 		return
 	}
 	if !r.inWindow(r.nextSeq + 1) {
 		return // window full; wait for a checkpoint to advance
 	}
-	take := len(r.pendingReqs)
+	take := r.pendingReqs.Len()
 	if take > r.cfg.BatchSize {
 		take = r.cfg.BatchSize
 	}
-	batch := messages.Batch{Requests: r.pendingReqs[:take:take]}
-	r.pendingReqs = append([]messages.Request(nil), r.pendingReqs[take:]...)
+	batch := messages.Batch{Requests: r.pendingReqs.PopN(make([]messages.Request, 0, take), take)}
 	for i := range batch.Requests {
 		delete(r.pendingDigest, batch.Requests[i].Digest())
 	}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/ring"
 	"github.com/splitbft/splitbft/internal/transport"
 )
 
@@ -50,8 +51,10 @@ type Replica struct {
 	// stripped from certificates).
 	batchStore map[crypto.Digest]*messages.Batch
 
-	// Batching.
-	pendingReqs   []messages.Request
+	// Batching. pendingReqs is a ring so cutting a batch never re-copies
+	// the remainder (the old O(n) slice-shift pinned freed memory and went
+	// quadratic under load).
+	pendingReqs   ring.Buffer[messages.Request]
 	pendingDigest map[digestKey]bool
 	batchSince    time.Time
 
@@ -279,7 +282,7 @@ func (r *Replica) dispatch(ev event) {
 func (r *Replica) onTick() {
 	now := time.Now()
 	// Cut a batch on timeout.
-	if r.isPrimary(r.view) && !r.inViewChange && len(r.pendingReqs) > 0 &&
+	if r.isPrimary(r.view) && !r.inViewChange && r.pendingReqs.Len() > 0 &&
 		now.Sub(r.batchSince) >= r.cfg.BatchTimeout {
 		r.cutBatch()
 	}

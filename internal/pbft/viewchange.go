@@ -57,7 +57,7 @@ func (r *Replica) startViewChange(target uint64) {
 	r.progressMade()
 	// Drop the batching buffer: a new primary will re-order client
 	// requests on retransmission.
-	r.pendingReqs = nil
+	r.pendingReqs.Reset()
 	r.pendingDigest = make(map[digestKey]bool)
 
 	vc := &messages.ViewChange{

@@ -1,0 +1,97 @@
+// Package ring provides a growable circular buffer used on the replica hot
+// paths: the broker's ecall queues and the request batch buffers (both in
+// the SplitBFT broker and the PBFT baseline).
+//
+// It exists to fix two pathologies of the naive `items = items[1:]` /
+// `append(nil, items[take:]...)` idioms: popping from the front of a slice
+// is O(n) in the remaining elements, and slicing off the front pins the
+// popped elements' memory in the backing array until the next reallocation.
+// The ring pops in O(1), zeroes vacated slots so popped values are
+// collectable immediately, and reuses its backing array indefinitely once
+// it has grown to the high-water depth.
+package ring
+
+// Buffer is a growable FIFO ring buffer. The zero value is an empty buffer
+// ready for use. It is not safe for concurrent use; callers synchronize.
+type Buffer[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of elements
+}
+
+// Len returns the number of buffered elements.
+func (r *Buffer[T]) Len() int { return r.n }
+
+// Cap returns the current capacity of the backing array.
+func (r *Buffer[T]) Cap() int { return len(r.buf) }
+
+// Push appends v at the tail, growing the backing array if full.
+func (r *Buffer[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// Pop removes and returns the head element. The vacated slot is zeroed so
+// the popped value's referents become collectable.
+func (r *Buffer[T]) Pop() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// PopN removes up to max head elements, appending them to dst (which may
+// be nil) and returning the result. It lets callers drain in batches while
+// reusing one scratch slice across drains.
+func (r *Buffer[T]) PopN(dst []T, max int) []T {
+	if max > r.n {
+		max = r.n
+	}
+	for i := 0; i < max; i++ {
+		v, _ := r.Pop()
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Peek returns the head element without removing it.
+func (r *Buffer[T]) Peek() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// Reset drops all elements, zeroing the backing array so referents become
+// collectable, but keeps the capacity for reuse.
+func (r *Buffer[T]) Reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
+// grow doubles the backing array (minimum 16) and linearizes the elements
+// to the front.
+func (r *Buffer[T]) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < 16 {
+		newCap = 16
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,109 @@
+package ring
+
+import "testing"
+
+func TestPushPopFIFO(t *testing.T) {
+	var r Buffer[int]
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop from empty buffer succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var r Buffer[int]
+	// Interleave pushes and pops so head wraps around the backing array
+	// many times at a small steady-state depth.
+	next := 0
+	for i := 0; i < 1000; i++ {
+		for j := 0; j < 3; j++ {
+			r.Push(i*3 + j)
+		}
+		for j := 0; j < 3; j++ {
+			v, ok := r.Pop()
+			if !ok || v != next {
+				t.Fatalf("Pop = (%d, %v), want %d", v, ok, next)
+			}
+			next++
+		}
+	}
+	if r.Cap() > 16 {
+		t.Fatalf("steady-state depth 3 grew the buffer to cap %d", r.Cap())
+	}
+}
+
+func TestPopN(t *testing.T) {
+	var r Buffer[int]
+	for i := 0; i < 10; i++ {
+		r.Push(i)
+	}
+	got := r.PopN(nil, 4)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("PopN(4) = %v", got)
+	}
+	// Drain more than remain: returns what is there.
+	got = r.PopN(got[:0], 100)
+	if len(got) != 6 || got[0] != 4 || got[5] != 9 {
+		t.Fatalf("PopN(100) = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d", r.Len())
+	}
+}
+
+func TestPeekAndReset(t *testing.T) {
+	var r Buffer[string]
+	if _, ok := r.Peek(); ok {
+		t.Fatal("Peek on empty buffer succeeded")
+	}
+	r.Push("a")
+	r.Push("b")
+	if v, ok := r.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = (%q, %v)", v, ok)
+	}
+	if r.Len() != 2 {
+		t.Fatal("Peek consumed an element")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset left elements behind")
+	}
+	r.Push("c")
+	if v, _ := r.Pop(); v != "c" {
+		t.Fatal("push after Reset broken")
+	}
+}
+
+// TestPopZeroesSlot verifies popped slots do not pin their referents: the
+// memory-pinning half of the O(n) slice-pop bug this type replaces.
+func TestPopZeroesSlot(t *testing.T) {
+	var r Buffer[*int]
+	x := new(int)
+	r.Push(x)
+	r.Pop()
+	// The backing array must no longer hold the pointer.
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatal("popped slot still references the element")
+		}
+	}
+	r.Push(new(int))
+	r.Push(new(int))
+	r.PopN(nil, 2)
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatal("PopN left a referenced slot behind")
+		}
+	}
+}

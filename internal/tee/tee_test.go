@@ -5,6 +5,7 @@ import (
 	"crypto/ecdh"
 	"crypto/rand"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -356,5 +357,110 @@ func BenchmarkEcallRoundTripSimulation(b *testing.B) {
 		if _, err := e.Invoke(msg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// orderCode records the order messages reach the serial handler and which
+// goroutine-visible preprocessing happened, for InvokeBatch tests.
+type orderCode struct {
+	mu      sync.Mutex
+	handled [][]byte
+	pre     [][]byte
+}
+
+func (c *orderCode) Measurement() crypto.Digest { return crypto.Digest{} }
+
+func (c *orderCode) HandleECall(_ Host, msg []byte) []OutMsg {
+	c.mu.Lock()
+	c.handled = append(c.handled, msg)
+	c.mu.Unlock()
+	return []OutMsg{{Kind: DestBroadcast, Payload: msg}}
+}
+
+func (c *orderCode) Preprocess(_ Host, msg []byte) {
+	c.mu.Lock()
+	c.pre = append(c.pre, msg)
+	c.mu.Unlock()
+}
+
+func TestInvokeBatchOrderAndOutputs(t *testing.T) {
+	// The pool clamps to GOMAXPROCS (preprocessing is skipped without real
+	// parallelism); raise it so the parallel path runs even on small CI
+	// hosts — concurrency works fine with fewer physical cores.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	code := &orderCode{}
+	e := newTestEnclave(t, code)
+	e.SetVerifyWorkers(4)
+	msgs := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+	out, err := e.InvokeBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(msgs) {
+		t.Fatalf("outputs = %d, want %d", len(out), len(msgs))
+	}
+	// Handlers ran serially in submission order regardless of the parallel
+	// preprocessing pool: outputs and the handled log are both ordered.
+	for i, m := range msgs {
+		if !bytes.Equal(out[i].Payload, m) || !bytes.Equal(code.handled[i], m) {
+			t.Fatalf("order broken at %d: out=%q handled=%q", i, out[i].Payload, code.handled[i])
+		}
+	}
+	if len(code.pre) != len(msgs) {
+		t.Fatalf("preprocessed %d messages, want %d", len(code.pre), len(msgs))
+	}
+}
+
+func TestInvokeBatchChargesOneTransition(t *testing.T) {
+	// With a transition-only cost model (no copy cost), a batch of n
+	// messages must cost roughly one transition, not n.
+	cost := CostModel{TransitionCycles: 40_000_000, CPUGHz: 1} // 40 ms per transition
+	e, err := NewEnclave(1, crypto.RoleExecution, &echoCode{}, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 8)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i)}
+	}
+	begin := time.Now()
+	if _, err := e.InvokeBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	batched := time.Since(begin)
+	if batched > 3*cost.TransitionCost() {
+		t.Fatalf("batch of 8 cost %v, want ~1 transition (%v)", batched, cost.TransitionCost())
+	}
+	snap := e.Stats()
+	if snap.Count != 1 || snap.Msgs != 8 {
+		t.Fatalf("stats = %+v, want 1 crossing carrying 8 messages", snap)
+	}
+	if got := snap.MsgsPerCall(); got != 8 {
+		t.Fatalf("MsgsPerCall = %v, want 8", got)
+	}
+}
+
+func TestInvokeBatchCrashed(t *testing.T) {
+	e := newTestEnclave(t, &echoCode{})
+	e.Crash()
+	if _, err := e.InvokeBatch([][]byte{[]byte("x")}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if out, err := e.InvokeBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestInvokeBatchCopiesInputs(t *testing.T) {
+	var captured []byte
+	code := &captureCode{capture: &captured}
+	e := newTestEnclave(t, code)
+	in := [][]byte{[]byte("original")}
+	if _, err := e.InvokeBatch(in); err != nil {
+		t.Fatal(err)
+	}
+	in[0][0] = 'X'
+	if !bytes.Equal(captured, []byte("original")) {
+		t.Fatal("enclave saw caller mutation: boundary must copy")
 	}
 }

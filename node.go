@@ -27,12 +27,45 @@ type Node struct {
 }
 
 // EnclaveStat is one compartment's ecall profile (the Figure 4
-// instrumentation).
+// instrumentation). Count is the number of trusted-boundary crossings;
+// Msgs the messages they delivered — with WithEcallBatch one crossing may
+// carry many messages, and Msgs/Count is the achieved amortization.
 type EnclaveStat struct {
 	Role  Role
 	Count uint64
+	Msgs  uint64
 	Mean  time.Duration
 	Total time.Duration
+}
+
+// MsgsPerEcall returns the achieved ecall batch amortization factor (1.0
+// when batching is off, 0 before any traffic).
+func (s EnclaveStat) MsgsPerEcall() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Msgs) / float64(s.Count)
+}
+
+// VerifyCacheStats reports how effective a node's signature-verification
+// caches are: hits are signature checks whose Ed25519 cost was skipped
+// because an identical (message, signature, signer) triple had already
+// verified. With the pipeline off, hits come from retransmits and
+// view-change replays; with WithVerifyWorkers on, they additionally count
+// the serial handler pass consuming the parallel workers' warm pass, so a
+// pipelined node reads ~50% even without any retransmission.
+type VerifyCacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when nothing was looked up.
+func (s VerifyCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // NewNode builds replica id of a deployment. The transport comes from
@@ -74,6 +107,8 @@ func NewNode(id uint32, opts ...Option) (*Node, error) {
 		Confidential:       o.confidential,
 		Cost:               o.costModel(),
 		SingleThread:       o.singleThread,
+		EcallBatch:         o.ecallBatch,
+		VerifyWorkers:      o.verifyWorkers,
 		CheckpointInterval: o.checkpointInterval,
 		BatchSize:          o.batchSize,
 		BatchTimeout:       o.batchTimeout,
@@ -176,10 +211,26 @@ func (n *Node) EnclaveStats() []EnclaveStat {
 	out := make([]EnclaveStat, 0, 3)
 	for _, role := range CompartmentRoles() {
 		s := snap[role]
-		out = append(out, EnclaveStat{Role: role, Count: s.Count, Mean: s.Mean, Total: s.Total})
+		out = append(out, EnclaveStat{Role: role, Count: s.Count, Msgs: s.Msgs, Mean: s.Mean, Total: s.Total})
 	}
 	return out
 }
+
+// VerifyCacheStats returns the node's summed signature-verification cache
+// counters across its three compartments.
+func (n *Node) VerifyCacheStats() VerifyCacheStats {
+	s := n.replica.VerifyCacheStats()
+	return VerifyCacheStats{Hits: s.Hits, Misses: s.Misses}
+}
+
+// DedupedMsgs returns how many byte-identical retransmits the untrusted
+// classify stage dropped before they paid for an enclave crossing.
+func (n *Node) DedupedMsgs() uint64 { return n.replica.DedupedMsgs() }
+
+// DroppedGarbage returns how many malformed inbound messages the
+// untrusted classify stage dropped before they paid for an enclave
+// crossing.
+func (n *Node) DroppedGarbage() uint64 { return n.replica.DroppedGarbage() }
 
 // ResetEnclaveStats zeroes the per-compartment ecall statistics.
 func (n *Node) ResetEnclaveStats() { n.replica.ResetEnclaveStats() }

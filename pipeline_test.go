@@ -1,0 +1,106 @@
+package splitbft_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft"
+)
+
+// runLedgerScenario drives a seeded 4-replica blockchain cluster through a
+// fixed operation script — sequential transactions from one client with a
+// forced view change in the middle — and returns the surviving replicas'
+// final snapshots. The script is fully deterministic at the application
+// level: one client issues transactions back to back (each waits for its
+// reply quorum), and the view change is injected at a quiescent point, so
+// the committed transaction sequence — and therefore every ledger byte and
+// checkpoint (snapshot) digest — must be identical for any scheduling of
+// the replica internals.
+func runLedgerScenario(t *testing.T, opts ...splitbft.Option) [][]byte {
+	t.Helper()
+	base := []splitbft.Option{
+		splitbft.WithBlockchain(4), // small blocks: several seal during the run
+		splitbft.WithBatchSize(1),
+		splitbft.WithNetworkSeed(77),
+		splitbft.WithKeySeed([]byte("pipeline-determinism")),
+		splitbft.WithRequestTimeout(300 * time.Millisecond),
+	}
+	cluster, err := splitbft.NewCluster(4, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(500, splitbft.WithInvokeTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx := func(i int) []byte { return []byte(fmt.Sprintf("tx-%02d", i)) }
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Invoke(tx(i)); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	// Quiesce, then force a view change by partitioning the view-0
+	// primary. Injecting at a quiescent point keeps the scenario
+	// deterministic across schedulings: no slot is in flight, so the new
+	// view re-proposes nothing and sequence numbers stay aligned.
+	waitForAgreement(t, cluster, []int{0, 1, 2, 3})
+	cluster.Partition(0)
+	if _, err := cl.Invoke(tx(8)); err != nil {
+		t.Fatalf("tx across view change: %v", err)
+	}
+	for i := 9; i < 16; i++ {
+		if _, err := cl.Invoke(tx(i)); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	// Replica 0 missed slots while partitioned and (below the checkpoint
+	// interval) cannot state-transfer them back; compare the replicas that
+	// ran the whole scenario.
+	waitForAgreement(t, cluster, []int{1, 2, 3})
+	var snaps [][]byte
+	for _, id := range []int{1, 2, 3} {
+		bc := cluster.Node(id).App().(*splitbft.Blockchain)
+		if err := splitbft.VerifyChain(bc.Headers()); err != nil {
+			t.Fatalf("replica %d chain: %v", id, err)
+		}
+		if bc.Height() != 4 { // 16 transactions, block size 4
+			t.Fatalf("replica %d height = %d, want 4", id, bc.Height())
+		}
+		snaps = append(snaps, bc.Snapshot())
+	}
+	return snaps
+}
+
+// TestPipelineDeterminism is the safety check for the staged pipeline:
+// batched ecalls plus a parallel verification pool must not be able to
+// change any agreed byte. A pipelined run (WithEcallBatch + 8 verify
+// workers) and the paper's fully serialized single-thread configuration
+// replay the same seeded scenario — including a forced view change — and
+// every replica ledger snapshot must be byte-identical across replicas and
+// across the two configurations.
+func TestPipelineDeterminism(t *testing.T) {
+	// The verify pool clamps to GOMAXPROCS; raise it so the parallel
+	// preprocessing genuinely runs even on single-core CI hosts.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	pipelined := runLedgerScenario(t,
+		splitbft.WithEcallBatch(16),
+		splitbft.WithVerifyWorkers(8),
+	)
+	serial := runLedgerScenario(t, splitbft.WithSingleThread())
+
+	for i := 1; i < len(pipelined); i++ {
+		if !bytes.Equal(pipelined[i], pipelined[0]) {
+			t.Fatalf("pipelined replicas diverged: snapshot %d != snapshot 0", i)
+		}
+	}
+	if !bytes.Equal(pipelined[0], serial[0]) {
+		t.Fatal("pipelined ledger differs from the single-thread ledger: the parallel pipeline changed agreed state")
+	}
+}
