@@ -134,6 +134,18 @@ func (c *Cluster) NewClient(id uint32, opts ...Option) (*Client, error) {
 	return cl, nil
 }
 
+// CrashNode kills replica id abruptly (the SIGKILL analog): enclaves die,
+// the durability stores drop their un-fsynced tail, and the node leaves
+// the network. The rest of the cluster keeps running; bring the replica
+// back with RestartNode.
+func (c *Cluster) CrashNode(id int) { c.nodes[id].Crash() }
+
+// RestartNode restarts a stopped or crashed replica. With WithPersistence
+// it recovers from its sealed durability store (snapshot + WAL replay) and
+// then catches up with the group via state transfer; without persistence
+// it rejoins empty and state-transfers everything.
+func (c *Cluster) RestartNode(id int) error { return c.nodes[id].Restart() }
+
 // Partition cuts the listed replicas off from the rest of the deployment —
 // the other replicas and every client created so far — while links among
 // the listed replicas stay up. Messages across the cut are silently

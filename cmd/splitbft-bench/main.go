@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, all")
 	quick := flag.Bool("quick", false, "fast smoke run (fewer clients, shorter windows)")
 	f := flag.Int("f", 1, "fault threshold for table1")
 	root := flag.String("root", ".", "repository root for table2")
@@ -104,6 +104,25 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatPipelineAblation(pts))
+			return nil
+		})
+	}
+	if all || *exp == "recovery" {
+		run("Ablation — crash recovery (sealed WAL + snapshots)", func() error {
+			dir, err := os.MkdirTemp("", "splitbft-recovery-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			ops := 64
+			if *quick {
+				ops = 24
+			}
+			res, err := bench.RecoveryAblation(dir, ops)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRecovery(res))
 			return nil
 		})
 	}

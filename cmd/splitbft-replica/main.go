@@ -37,6 +37,7 @@ func main() {
 	batch := flag.Int("batch", splitbft.DefaultBatchSize, "batch size (1 disables batching)")
 	ecallBatch := flag.Int("ecall-batch", 1, "messages delivered per enclave crossing (1 disables batching)")
 	verifyWorkers := flag.Int("verify-workers", 1, "enclave-side parallel signature-verification workers (1 = inline)")
+	dataDir := flag.String("data-dir", "", "sealed durability directory: per-compartment WAL + snapshots; the replica recovers from it on start (empty = in-memory only)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.Parse()
 
@@ -74,6 +75,9 @@ func main() {
 	if *verifyWorkers > 1 {
 		opts = append(opts, splitbft.WithVerifyWorkers(*verifyWorkers))
 	}
+	if *dataDir != "" {
+		opts = append(opts, splitbft.WithPersistence(*dataDir))
+	}
 	if *listen != "" {
 		opts = append(opts, splitbft.WithListenAddr(*listen))
 	}
@@ -81,6 +85,10 @@ func main() {
 	node, err := splitbft.NewNode(uint32(*id), opts...)
 	if err != nil {
 		fatalf("create replica: %v", err)
+	}
+	if rs := node.RecoveryStats(); rs.Snapshots > 0 || rs.WALRecords > 0 {
+		fmt.Printf("splitbft-replica %d recovered: %d sealed snapshots, %d WAL records replayed in %v (%.0f ops/s)\n",
+			*id, rs.Snapshots, rs.WALRecords, rs.Total, rs.ReplayOpsPerSec())
 	}
 	if err := node.Start(); err != nil {
 		fatalf("start: %v", err)

@@ -78,6 +78,36 @@
 // byte-identical whether the pipeline is on, off, or fully serialized with
 // WithSingleThread.
 //
+// # Sealed durability and crash recovery
+//
+// WithPersistence(dir) gives every replica a per-compartment durable
+// store under dir/replica-<id>/: an append-only, segment-rotated
+// write-ahead log of the compartment's delivered input messages plus
+// sealed state snapshots, both AEAD-encrypted under keys derived from the
+// enclave identities (which is why WithPersistence requires WithKeySeed —
+// a restarted process must re-derive the same sealing keys). Appends are
+// group-committed (one fsync covers a burst of records) and the log is
+// garbage collected at stable checkpoints, when a fresh sealed snapshot
+// of the compartment state is written.
+//
+// What is sealed: every WAL record and every snapshot. What is replayed:
+// on Node.Restart — or NewNode over an existing directory — each
+// compartment restores the newest intact snapshot and re-invokes the
+// records after it; compartments are deterministic state machines, so the
+// replayed input log reconstructs the pre-crash state up to the last
+// durable record. What comes from peers: the un-fsynced tail a crash
+// loses and everything committed during the outage, closed through the
+// ordinary checkpoint/state-transfer path (plus targeted BatchFetch
+// retransmission of committed-but-missing request bodies) once the node
+// rejoins.
+//
+// Node.Crash is the SIGKILL-equivalent fault-injection handle (the
+// durability stores drop their unflushed tail), Cluster.CrashNode and
+// Cluster.RestartNode drive the scenario in-process, and
+// Node.RecoveryStats reports snapshots restored, WAL records replayed and
+// replay throughput. The recovery ablation is `splitbft-bench -exp
+// recovery`.
+//
 // The protocol engine lives under internal/ (internal/core is the
 // compartmentalized replica, internal/pbft the monolithic baseline the
 // paper compares against); the experiment harness reproducing the paper's

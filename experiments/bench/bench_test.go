@@ -43,6 +43,25 @@ func TestRunSplitKVSUnbatched(t *testing.T) {
 	}
 }
 
+func TestRecoveryAblation(t *testing.T) {
+	res, err := RecoveryAblation(t.TempDir(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots == 0 && res.WALRecords == 0 {
+		t.Fatal("restart recovered nothing from the durability store")
+	}
+	if res.Downtime <= 0 {
+		t.Fatalf("implausible downtime: %+v", res)
+	}
+	out := FormatRecovery(res)
+	for _, want := range []string{"WAL replay ops/s", "downtime"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunPBFTKVSUnbatched(t *testing.T) {
 	res := shortRun(t, PBFTKVS, 4, false)
 	if res.Ops == 0 || res.Errors > 0 {

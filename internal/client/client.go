@@ -113,11 +113,19 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Confidential && cfg.Registry == nil {
 		return nil, errors.New("client: confidential mode requires Registry")
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		pending: make(map[uint64]*call),
 		quoteCh: make(chan *messages.AttestQuote, 16),
-	}, nil
+	}
+	// Timestamps seed from the wall clock (as in PBFT) rather than zero:
+	// exactly-once execution is keyed by (client, timestamp), so a
+	// restarted client process reusing its ID must not collide with its
+	// predecessor's timestamps — it would be served stale cached replies
+	// instead of executing. Within one process the counter stays strictly
+	// monotonic regardless of clock behavior.
+	c.ts.Store(uint64(time.Now().UnixNano()))
+	return c, nil
 }
 
 // Handler returns the transport handler for this client's endpoint.
@@ -305,11 +313,25 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 		c.mu.Unlock()
 	}()
 
+	// A replica that cannot be reached (crashed, restarting, partitioned
+	// away) is a fault the protocol tolerates: a failed send must look
+	// like a lost message — the reply quorum and retransmission handle it
+	// — not abort the invocation. Only a totally unreachable group is an
+	// error.
 	send := func() error {
+		var firstErr error
+		sent := 0
 		for id := uint32(0); int(id) < c.cfg.N; id++ {
 			if err := c.conn.Send(transport.ReplicaEndpoint(id), data); err != nil {
-				return err
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
+			sent++
+		}
+		if sent == 0 {
+			return firstErr
 		}
 		return nil
 	}

@@ -9,9 +9,76 @@ import (
 	"github.com/splitbft/splitbft/internal/genset"
 	"github.com/splitbft/splitbft/internal/messages"
 	"github.com/splitbft/splitbft/internal/ring"
+	"github.com/splitbft/splitbft/internal/store"
 	"github.com/splitbft/splitbft/internal/tee"
 	"github.com/splitbft/splitbft/internal/transport"
 )
+
+// comStore pairs a compartment's durable store with its enclave and the
+// snapshot-generation bookkeeping. lastEpoch is touched only by the
+// dispatcher thread serving the compartment (or the single dispatcher in
+// SingleThread mode), so it needs no lock; snapBusy is shared with the
+// background snapshot writer.
+type comStore struct {
+	st  *store.Store
+	enc *tee.Enclave
+	// lastEpoch is the newest epoch whose snapshot durably landed; it is
+	// atomic because the background writer advances it on success while
+	// the dispatcher reads it.
+	lastEpoch atomic.Uint64
+	snapBusy  atomic.Bool
+	// wg joins the in-flight background snapshot write: a store handoff
+	// (Replica.Stop/Crash followed by a restart) must not leave the old
+	// writer racing the new store for the directory.
+	wg sync.WaitGroup
+}
+
+// drain waits for an in-flight background snapshot write to finish.
+func (cs *comStore) drain() { cs.wg.Wait() }
+
+// persistRun appends a run of same-compartment ecall payloads to the WAL
+// before they are delivered. Append errors need no handling here: the
+// store's failure is sticky, so the pre-route Sync in dispatch sees it
+// and suppresses the outputs — a record lost with no output escaping is
+// indistinguishable from a crash just before it, and the recovery path
+// closes any such gap through peer state transfer.
+func (cs *comStore) persistRun(run []ecall) {
+	for k := range run {
+		_, _ = cs.st.Append(run[k].payload)
+	}
+}
+
+// maybeSnapshot seals a state snapshot when the compartment's stable
+// checkpoint advanced since the last one — tying snapshot cadence (and
+// therefore WAL garbage collection) to the protocol's checkpoints. Only
+// the state export runs on the dispatcher; the file write and its fsyncs
+// happen on a background goroutine with the coverage index captured now,
+// so checkpoint-sized I/O never stalls agreement traffic. One write is in
+// flight at a time; a skipped epoch retries at the next advance.
+func (cs *comStore) maybeSnapshot() {
+	ep := cs.enc.StateEpoch()
+	if ep <= cs.lastEpoch.Load() || cs.snapBusy.Load() {
+		return
+	}
+	sealed, err := cs.enc.SealState()
+	if err != nil {
+		return // e.g. crashed enclave: no snapshot, WAL keeps growing
+	}
+	index := cs.st.Stats().NextIndex - 1
+	cs.snapBusy.Store(true)
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		// The epoch advances only when the snapshot durably landed, so a
+		// failed write is retried at the next checkpoint advance rather
+		// than silently skipped (which would leave the WAL growing
+		// without GC until the crash after next).
+		if cs.st.WriteSnapshotAt(sealed, index) == nil {
+			cs.lastEpoch.Store(ep)
+		}
+		cs.snapBusy.Store(false)
+	}()
+}
 
 // pooledBuf is a reference-counted ecall payload buffer recycled through a
 // sync.Pool. Messages duplicated into several compartments' input logs
@@ -230,6 +297,9 @@ type broker struct {
 	enclaves map[crypto.Role]*tee.Enclave
 	queues   []*queue // one per enclave, or a single shared queue
 	dedup    *dedup
+	// stores holds the per-compartment durability stores (nil map when
+	// persistence is off). The map itself is read-only after construction.
+	stores map[crypto.Role]*comStore
 
 	mu           sync.Mutex
 	pendingReqs  ring.Buffer[messages.Request]
@@ -239,6 +309,7 @@ type broker struct {
 	reqTimers    map[reqKey]time.Time
 	lastSuspect  time.Time
 	lastRotate   time.Time
+	fetchBudget  int // remaining BatchFetch forwards this period
 
 	blocksMu sync.Mutex
 	blocks   [][]byte // sealed blockchain blocks persisted via ocall
@@ -258,7 +329,16 @@ type broker struct {
 // dedupEntries bounds each generation of the broker's retransmit filter.
 const dedupEntries = 1 << 13
 
-func newBroker(cfg Config, prep, conf, exec *tee.Enclave) *broker {
+// fetchBudgetPerPeriod caps how many BatchFetch messages this replica
+// serves per failure-detector period. BatchFetch is unauthenticated and
+// its reply carries full request bodies addressed to the *claimed*
+// requester, so without a bound, forged fetches would make every honest
+// replica reflect amplified traffic at a victim. Genuine recovery needs a
+// handful per period; the cap is untrusted-side, so over-dropping costs
+// liveness only (the checkpoint state-transfer path remains).
+const fetchBudgetPerPeriod = 128
+
+func newBroker(cfg Config, prep, conf, exec *tee.Enclave, stores map[crypto.Role]*comStore) *broker {
 	b := &broker{
 		cfg: cfg,
 		enclaves: map[crypto.Role]*tee.Enclave{
@@ -266,9 +346,11 @@ func newBroker(cfg Config, prep, conf, exec *tee.Enclave) *broker {
 			crypto.RoleConfirmation: conf,
 			crypto.RoleExecution:    exec,
 		},
+		stores:      stores,
 		dedup:       newDedup(dedupEntries),
 		pendingKeys: make(map[reqKey]bool),
 		reqTimers:   make(map[reqKey]time.Time),
+		fetchBudget: fetchBudgetPerPeriod,
 		stop:        make(chan struct{}),
 	}
 	if cfg.SingleThread {
@@ -357,6 +439,12 @@ func (b *broker) dispatch(q *queue) {
 			}
 			run := drained[i:j]
 			enc := b.enclaves[role]
+			cs := b.stores[role]
+			if cs != nil {
+				// Write-ahead: the input log hits the WAL before the
+				// enclave sees it, so replay covers everything delivered.
+				cs.persistRun(run)
+			}
 			var out []tee.OutMsg
 			var err error
 			if len(run) == 1 {
@@ -372,7 +460,25 @@ func (b *broker) dispatch(q *queue) {
 				run[k].release() // payloads were copied into the enclave
 			}
 			if err == nil {
+				// Outputs must not escape before the inputs that caused
+				// them are durable: a signed PrePrepare surviving a crash
+				// that its WAL record did not would let the restarted
+				// (amnesiac) enclave sign a conflicting proposal for the
+				// same slot — the equivocation the proposal record exists
+				// to prevent. So when the log cannot confirm durability
+				// (its failure is sticky — a dead disk stays dead), the
+				// outputs are dropped: the compartment goes mute, an
+				// availability loss, never a safety one. Quiet
+				// invocations stay on the amortized group-commit path.
+				if cs != nil && len(out) > 0 {
+					if cs.st.Sync() != nil {
+						out = nil
+					}
+				}
 				b.route(out)
+				if cs != nil {
+					cs.maybeSnapshot()
+				}
 			} // else crashed enclave: drop (availability loss only)
 			i = j
 		}
@@ -442,7 +548,8 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 	case messages.TPrePrepare, messages.TPrepare, messages.TCommit,
 		messages.TCheckpoint, messages.TViewChange, messages.TNewView,
 		messages.TAttestRequest, messages.TProvisionKey,
-		messages.TStateRequest, messages.TStateReply:
+		messages.TStateRequest, messages.TStateReply,
+		messages.TBatchFetch, messages.TBatchReply:
 	default:
 		return // unknown type
 	}
@@ -479,6 +586,17 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 	case messages.TNewView:
 		b.observeNewView(m.(*messages.NewView))
 		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution)
+	case messages.TBatchFetch:
+		// Bounded per period — see fetchBudgetPerPeriod.
+		b.mu.Lock()
+		allowed := b.fetchBudget > 0
+		if allowed {
+			b.fetchBudget--
+		}
+		b.mu.Unlock()
+		if allowed {
+			b.submitShared(data, crypto.RoleExecution)
+		}
 	default: // attest/provision/state-transfer family
 		b.submitShared(data, crypto.RoleExecution)
 	}
@@ -595,6 +713,7 @@ func (b *broker) onTick(now time.Time) {
 	if now.Sub(b.lastRotate) > b.cfg.RequestTimeout {
 		b.lastRotate = now
 		b.dedup.rotate()
+		b.fetchBudget = fetchBudgetPerPeriod
 	}
 	// Failure detection: any request pending longer than the timeout.
 	if now.Sub(b.lastSuspect) > b.cfg.RequestTimeout {

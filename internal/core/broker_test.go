@@ -209,7 +209,7 @@ func newTestBroker(t *testing.T, singleThread bool) (*broker, Config) {
 	prep := mk(crypto.RolePreparation, newPreparation(cfg, ver))
 	conf := mk(crypto.RoleConfirmation, newConfirmation(cfg, ver))
 	exec := mk(crypto.RoleExecution, newExecution(cfg, ver))
-	return newBroker(cfg, prep, conf, exec), cfg
+	return newBroker(cfg, prep, conf, exec, nil), cfg
 }
 
 func TestBrokerQueueTopology(t *testing.T) {

@@ -291,7 +291,8 @@ func TestExecutionRequiresCommitQuorumAndBody(t *testing.T) {
 func TestExecutionStallsWithoutBody(t *testing.T) {
 	h := newHarness(t)
 	// Commits arrive for a digest whose batch body was never delivered:
-	// execution must not invent state; it stalls until state transfer.
+	// execution must not invent state; it requests retransmission of the
+	// gap and stalls until the body (or state transfer) arrives.
 	digest := crypto.HashData([]byte("unknown-batch"))
 	exec := h.enclave(3, crypto.RoleExecution)
 	for r := uint32(0); r < 3; r++ {
@@ -305,6 +306,179 @@ func TestExecutionStallsWithoutBody(t *testing.T) {
 	}
 	if h.apps[3].Len() != 0 {
 		t.Fatal("execution mutated state without the request body")
+	}
+}
+
+// TestExecutionFetchesMissingBody is the regression test for the stall at
+// tryExecute: a committed slot whose PrePrepare body is missing must
+// broadcast a BatchFetch (once), and a matching BatchReply must unblock
+// execution — without waiting for checkpoint-driven state transfer.
+func TestExecutionFetchesMissingBody(t *testing.T) {
+	h := newHarness(t)
+	secret := []byte("compartment-test")
+	req := testRequest(secret, h.n, 7, 1, app.EncodePut("k", []byte("v")))
+	b := messages.Batch{Requests: []messages.Request{req}}
+	digest := b.Digest()
+
+	exec := h.enclave(3, crypto.RoleExecution)
+	var fetches int
+	var lastCommit []byte
+	for r := uint32(0); r < 3; r++ {
+		byz := h.byzantineSigner(r, crypto.RoleConfirmation)
+		c := &messages.Commit{View: 0, Seq: 1, Digest: digest, Replica: r}
+		c.Sig = byz.Sign(c.SigningBytes())
+		lastCommit = wrapMessage(messages.Marshal(c))
+		out, _ := exec.Invoke(lastCommit)
+		if _, ok := findMsg[*messages.BatchFetch](t, out, tee.DestBroadcast); ok {
+			t.Fatal("fetch fired eagerly — transient reordering would flood peers")
+		}
+	}
+	// The slot stays blocked while traffic keeps flowing (duplicate
+	// commits stand in for it); each time the stall threshold is crossed,
+	// one fetch goes out — periodic, so a fetch lost to the network gets
+	// retried, but never a flood.
+	for i := 0; i < 2*missingBodyFetchAfter; i++ {
+		out, _ := exec.Invoke(lastCommit)
+		if f, ok := findMsg[*messages.BatchFetch](t, out, tee.DestBroadcast); ok {
+			fetches++
+			if f.Seq != 1 || f.Digest != digest || f.Replica != 3 {
+				t.Fatalf("BatchFetch = %+v", f)
+			}
+		}
+	}
+	if fetches != 2 {
+		t.Fatalf("execution broadcast %d BatchFetches over 2 stall periods, want 2", fetches)
+	}
+
+	// A forged reply (different batch content) must be refused.
+	bad := messages.Batch{Requests: []messages.Request{testRequest(secret, h.n, 8, 1, []byte("evil"))}}
+	forged := &messages.BatchReply{Seq: 1, Digest: digest, Batch: bad, Replica: 0}
+	if out, _ := exec.Invoke(wrapMessage(messages.Marshal(forged))); len(out) != 0 {
+		t.Fatal("execution acted on a forged BatchReply")
+	}
+	if h.apps[3].Len() != 0 {
+		t.Fatal("forged BatchReply mutated state")
+	}
+
+	// The genuine body unblocks the slot.
+	good := &messages.BatchReply{Seq: 1, Digest: digest, Batch: b, Replica: 0}
+	out, _ := exec.Invoke(wrapMessage(messages.Marshal(good)))
+	rep, ok := findMsg[*messages.Reply](t, out, tee.DestClient)
+	if !ok {
+		t.Fatal("execution did not execute after the body arrived")
+	}
+	if !bytes.Equal(rep.Result, []byte("OK")) {
+		t.Fatalf("result = %q", rep.Result)
+	}
+	if v, ok := h.apps[3].Get("k"); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatal("state not applied after batch retransmission")
+	}
+}
+
+// TestExecutionServesBatchFetch: a peer that holds the body answers a
+// fetch with a BatchReply addressed to the requester.
+func TestExecutionServesBatchFetch(t *testing.T) {
+	h := newHarness(t)
+	req := testRequest([]byte("compartment-test"), h.n, 7, 1, []byte("x"))
+	b := messages.Batch{Requests: []messages.Request{req}}
+	byzPrep := h.byzantineSigner(0, crypto.RolePreparation)
+	pp := &messages.PrePrepare{View: 0, Seq: 1, Digest: b.Digest(), Replica: 0, Batch: b}
+	pp.Sig = byzPrep.Sign(pp.SigningBytes())
+	exec := h.enclave(1, crypto.RoleExecution)
+	_, _ = exec.Invoke(wrapMessage(messages.Marshal(pp)))
+
+	fetch := &messages.BatchFetch{Seq: 1, Digest: pp.Digest, Replica: 3}
+	out, _ := exec.Invoke(wrapMessage(messages.Marshal(fetch)))
+	reply, ok := findMsg[*messages.BatchReply](t, out, tee.DestReplica)
+	if !ok {
+		t.Fatal("peer did not serve the batch body")
+	}
+	if reply.Digest != pp.Digest || reply.Batch.Digest() != pp.Digest {
+		t.Fatalf("served batch does not match: %+v", reply)
+	}
+	// Unknown digests and self-addressed fetches are ignored.
+	unknown := &messages.BatchFetch{Seq: 2, Digest: crypto.HashData([]byte("nope")), Replica: 3}
+	if out, _ := exec.Invoke(wrapMessage(messages.Marshal(unknown))); len(out) != 0 {
+		t.Fatal("peer answered a fetch for a digest it does not hold")
+	}
+	self := &messages.BatchFetch{Seq: 1, Digest: pp.Digest, Replica: 1}
+	if out, _ := exec.Invoke(wrapMessage(messages.Marshal(self))); len(out) != 0 {
+		t.Fatal("peer answered its own fetch")
+	}
+}
+
+// TestExecutionCatchesUpViaStateTransfer mirrors the pbft lagging-replica
+// test at compartment granularity: after stalling on missing bodies, a
+// verified StateReply (quorum checkpoint certificate + matching snapshot)
+// must install the state and resume execution — the recovery half the
+// stall test above never asserted.
+func TestExecutionCatchesUpViaStateTransfer(t *testing.T) {
+	h := newHarness(t)
+	secret := []byte("compartment-test")
+	exec := h.enclave(3, crypto.RoleExecution)
+
+	// Stall: commits for seq 1 whose body never arrives.
+	missing := crypto.HashData([]byte("lost-batch"))
+	confKeys := make(map[uint32]*crypto.KeyPair)
+	for r := uint32(0); r < 3; r++ {
+		confKeys[r] = h.byzantineSigner(r, crypto.RoleConfirmation)
+		c := &messages.Commit{View: 0, Seq: 1, Digest: missing, Replica: r}
+		c.Sig = confKeys[r].Sign(c.SigningBytes())
+		_, _ = exec.Invoke(wrapMessage(messages.Marshal(c)))
+	}
+
+	// Peers moved on to a stable checkpoint at seq 10; their state has two
+	// keys this replica never executed.
+	peerState := app.NewKVS()
+	peerState.Execute(7, app.EncodePut("a", []byte("1")))
+	peerState.Execute(7, app.EncodePut("b", []byte("2")))
+	snap := peerState.Snapshot()
+	cert := messages.CheckpointCert{Seq: 10, StateDigest: crypto.HashData(snap)}
+	for r := uint32(0); r < 3; r++ {
+		kp := h.byzantineSigner(r, crypto.RoleExecution)
+		cp := messages.Checkpoint{Seq: 10, StateDigest: cert.StateDigest, Replica: r}
+		cp.Sig = kp.Sign(cp.SigningBytes())
+		cert.Proof = append(cert.Proof, cp)
+	}
+	// A tampered snapshot must be refused.
+	if out, _ := exec.Invoke(wrapMessage(messages.Marshal(&messages.StateReply{
+		Cert: cert, Snapshot: append([]byte("tamper"), snap...), Replica: 0,
+	}))); len(out) != 0 {
+		t.Fatal("execution installed a snapshot that does not match the certificate")
+	}
+	if h.apps[3].Len() != 0 {
+		t.Fatal("tampered snapshot mutated state")
+	}
+	// The genuine transfer installs the state.
+	_, _ = exec.Invoke(wrapMessage(messages.Marshal(&messages.StateReply{
+		Cert: cert, Snapshot: snap, Replica: 0,
+	})))
+	if v, ok := h.apps[3].Get("a"); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatal("state transfer did not install the snapshot")
+	}
+
+	// And execution resumes past the transferred checkpoint: seq 11
+	// commits with a delivered body must execute.
+	req := testRequest(secret, h.n, 7, 1, app.EncodePut("c", []byte("3")))
+	b := messages.Batch{Requests: []messages.Request{req}}
+	byzPrep := h.byzantineSigner(0, crypto.RolePreparation)
+	pp := &messages.PrePrepare{View: 0, Seq: 11, Digest: b.Digest(), Replica: 0, Batch: b}
+	pp.Sig = byzPrep.Sign(pp.SigningBytes())
+	_, _ = exec.Invoke(wrapMessage(messages.Marshal(pp)))
+	var rep *messages.Reply
+	for r := uint32(0); r < 3; r++ {
+		c := &messages.Commit{View: 0, Seq: 11, Digest: pp.Digest, Replica: r}
+		c.Sig = confKeys[r].Sign(c.SigningBytes())
+		out, _ := exec.Invoke(wrapMessage(messages.Marshal(c)))
+		if got, ok := findMsg[*messages.Reply](t, out, tee.DestClient); ok {
+			rep = got
+		}
+	}
+	if rep == nil {
+		t.Fatal("execution did not resume after state transfer")
+	}
+	if v, ok := h.apps[3].Get("c"); !ok || !bytes.Equal(v, []byte("3")) {
+		t.Fatal("post-catch-up execution did not apply")
 	}
 }
 

@@ -85,6 +85,20 @@ type Config struct {
 	// submission order.
 	VerifyWorkers int
 
+	// DataDir enables the sealed durability subsystem: each compartment
+	// keeps a write-ahead log of its delivered ecalls plus sealed state
+	// snapshots under DataDir/<role>/, and NewReplica recovers compartment
+	// state from them before the broker starts. Requires KeySeed — the
+	// enclave sealing keys must be re-derivable after a restart, or nothing
+	// written before the crash could ever be unsealed. Empty disables
+	// persistence (all state is in enclave memory, as in the plain paper
+	// configuration).
+	DataDir string
+	// FsyncInterval is the WAL group-commit period; records appended
+	// within one interval share a single fsync. 0 means the store default
+	// (2ms); negative fsyncs on every append.
+	FsyncInterval time.Duration
+
 	// Agreement parameters; see the pbft package for semantics.
 	CheckpointInterval uint64
 	WatermarkWindow    uint64
@@ -133,6 +147,9 @@ func (c Config) validate() error {
 	}
 	if c.App == nil {
 		return errors.New("core: App is required")
+	}
+	if c.DataDir != "" && len(c.KeySeed) == 0 {
+		return errors.New("core: DataDir (persistence) requires KeySeed — sealed state must be recoverable under re-derived enclave keys")
 	}
 	return nil
 }

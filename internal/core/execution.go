@@ -82,9 +82,32 @@ type execution struct {
 	clients    map[uint32]*execClient
 	sessions   map[uint32]*crypto.Session
 	clientPubs map[uint32][32]byte
+	// sessionKeys mirrors sessions with the raw key material so sealed
+	// state exports can reconstruct the sessions after a restart (the
+	// AEAD inside crypto.Session is not serializable).
+	sessionKeys map[uint32]crypto.SessionKey
 
 	snapshots map[uint64][]byte
+	// stallSeq/stallTicks drive the missing-body retransmission trigger:
+	// when execution blocks on a committed slot whose body is absent,
+	// every further ecall ticks the counter, and a fetch goes out each
+	// time it crosses the threshold. Commits legitimately overtake their
+	// PrePrepare in the input queue all the time — eager fetching on
+	// first sight would flood peers with full-body replies for gaps that
+	// resolve by themselves a few queue positions later; and the periodic
+	// re-fetch (rather than a one-shot) means a request or reply lost to
+	// a partition is simply retried under the next burst of traffic.
+	stallSeq   uint64
+	stallTicks int
 }
+
+// missingBodyFetchAfter is how many subsequent ecalls a committed slot may
+// stay blocked on a missing body before a BatchFetch goes out (and between
+// re-sends while it stays blocked). Transient queue reordering resolves
+// well below it; a genuinely lost body (e.g. committed from a recovered
+// WAL whose PrePrepare fell in the un-fsynced tail) crosses it as soon as
+// any traffic flows.
+const missingBodyFetchAfter = 32
 
 func newExecution(cfg Config, ver *messages.Verifier) *execution {
 	e := &execution{
@@ -101,6 +124,7 @@ func newExecution(cfg Config, ver *messages.Verifier) *execution {
 		clients:      make(map[uint32]*execClient),
 		sessions:     make(map[uint32]*crypto.Session),
 		clientPubs:   make(map[uint32][32]byte),
+		sessionKeys:  make(map[uint32]crypto.SessionKey),
 		snapshots:    make(map[uint64][]byte),
 	}
 	e.snapshots[0] = cfg.App.Snapshot()
@@ -115,6 +139,14 @@ func (e *execution) Preprocess(_ tee.Host, raw []byte) { prevalidate(e.ver, raw)
 
 // HandleECall implements tee.Code.
 func (e *execution) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
+	out := e.handleMessage(host, raw)
+	if more := e.tickStall(); more != nil {
+		out = append(out, more...)
+	}
+	return out
+}
+
+func (e *execution) handleMessage(host tee.Host, raw []byte) []tee.OutMsg {
 	if len(raw) == 0 || raw[0] != ecallMessage {
 		return nil
 	}
@@ -139,6 +171,10 @@ func (e *execution) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 		return e.onStateRequest(msg)
 	case *messages.StateReply:
 		return e.onStateReply(host, msg)
+	case *messages.BatchFetch:
+		return e.onBatchFetch(msg)
+	case *messages.BatchReply:
+		return e.onBatchReply(host, msg)
 	}
 	return nil
 }
@@ -223,7 +259,16 @@ func (e *execution) tryExecute(host tee.Host) []tee.OutMsg {
 		}
 		batch, ok := e.batches[digest]
 		if !ok {
-			return out // body missing; wait for state transfer
+			// The body never arrived (lost PrePrepare, or it committed
+			// while this replica was down): arm the stall detector —
+			// tickStall asks peers to retransmit the gap if the slot
+			// stays blocked, instead of waiting for the next checkpoint
+			// to trigger state transfer.
+			if e.stallSeq != next {
+				e.stallSeq = next
+				e.stallTicks = 0
+			}
+			return out
 		}
 		delete(e.committed, next)
 		e.lastExec = next
@@ -298,6 +343,75 @@ func (e *execution) executeOne(req *messages.Request) []byte {
 		result = sess.Seal(result, client.ReplyAD(req.ClientID, req.Timestamp))
 	}
 	return result
+}
+
+// tickStall runs once per ecall: while execution is blocked on a
+// committed slot whose body is missing, the counter advances, and after
+// missingBodyFetchAfter messages a retransmission request goes out.
+func (e *execution) tickStall() []tee.OutMsg {
+	next := e.lastExec + 1
+	if e.stallSeq != next {
+		return nil // not armed, or execution moved past the stall
+	}
+	digest, committed := e.committed[next]
+	if !committed || digest.IsZero() {
+		e.stallSeq = 0
+		return nil
+	}
+	if _, have := e.batches[digest]; have {
+		e.stallSeq = 0 // body arrived; tryExecute will consume it
+		return nil
+	}
+	e.stallTicks++
+	if e.stallTicks < missingBodyFetchAfter {
+		return nil
+	}
+	e.stallTicks = 0 // periodic: re-fetch if the slot stays blocked
+	return e.fetchBody(next, digest)
+}
+
+// fetchBody broadcasts a BatchFetch for a committed sequence number whose
+// request bodies are missing. The checkpoint-driven state-transfer path
+// still covers the gap if every fetch is lost — this is the fast path,
+// not the only one.
+func (e *execution) fetchBody(seq uint64, digest crypto.Digest) []tee.OutMsg {
+	return []tee.OutMsg{broadcastOut(&messages.BatchFetch{Seq: seq, Digest: digest, Replica: e.id})}
+}
+
+// onBatchFetch serves a peer's missing-body request from the batch cache.
+func (e *execution) onBatchFetch(f *messages.BatchFetch) []tee.OutMsg {
+	if int(f.Replica) >= e.n || f.Replica == e.id {
+		return nil
+	}
+	b, ok := e.batches[f.Digest]
+	if !ok {
+		return nil
+	}
+	return []tee.OutMsg{replicaOut(f.Replica,
+		&messages.BatchReply{Seq: f.Seq, Digest: f.Digest, Batch: *b, Replica: e.id})}
+}
+
+// onBatchReply installs a retransmitted batch body. The reply needs no
+// signature: it is only accepted for a slot this compartment already holds
+// a commit certificate for, and the batch must hash to the certified
+// digest — a forged body cannot match.
+func (e *execution) onBatchReply(host tee.Host, r *messages.BatchReply) []tee.OutMsg {
+	want, committed := e.committed[r.Seq]
+	if !committed || want != r.Digest {
+		return nil // not waiting on this slot: refuse (bounds the cache)
+	}
+	if _, have := e.batches[r.Digest]; have {
+		return nil
+	}
+	if r.Batch.Digest() != r.Digest {
+		return nil // forged or corrupted body
+	}
+	b := r.Batch
+	e.batches[r.Digest] = &b
+	if r.Seq > e.batchSeq[r.Digest] {
+		e.batchSeq[r.Digest] = r.Seq
+	}
+	return e.tryExecute(host)
 }
 
 // maybeCheckpoint originates a Checkpoint at interval boundaries (event
@@ -390,6 +504,12 @@ func (e *execution) onProvisionKey(host tee.Host, pk *messages.ProvisionKey) {
 	}
 	var sk crypto.SessionKey
 	copy(sk[:], keyBytes)
+	// Re-provisioning the same key must not reset the nonce counter: a WAL
+	// replay of this ProvisionKey after a recovered snapshot would
+	// otherwise rewind the session below nonces already used on the wire.
+	if cur, ok := e.sessionKeys[pk.ClientID]; ok && cur == sk {
+		return
+	}
 	// Direction 10+id keeps reply nonces disjoint across the n Execution
 	// enclaves sharing s_enc.
 	sess, err := crypto.NewSession(sk, byte(10+e.id))
@@ -397,6 +517,7 @@ func (e *execution) onProvisionKey(host tee.Host, pk *messages.ProvisionKey) {
 		return
 	}
 	e.sessions[pk.ClientID] = sess
+	e.sessionKeys[pk.ClientID] = sk
 }
 
 // onStateRequest serves the stable snapshot to a lagging peer.

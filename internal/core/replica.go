@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"io"
+	"path/filepath"
+	"time"
 
 	"github.com/splitbft/splitbft/internal/app"
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/store"
 	"github.com/splitbft/splitbft/internal/tee"
 	"github.com/splitbft/splitbft/internal/transport"
 )
@@ -14,6 +17,10 @@ import (
 // verifyCacheEntries sizes each compartment's signature-verification
 // cache; it comfortably covers a watermark window of in-flight messages.
 const verifyCacheEntries = 1 << 13
+
+// replayChunk is how many recovered WAL records one trusted-boundary
+// crossing replays (the recovery analog of Config.EcallBatch).
+const replayChunk = 64
 
 // Replica is one SplitBFT replica: three enclaves (Preparation,
 // Confirmation, Execution) plus the untrusted broker. Create all replicas
@@ -30,6 +37,34 @@ type Replica struct {
 	// compartment owns its own cache — compartments share no state (§3.2),
 	// so a cache is enclave-local, warmed by that enclave's verify pool.
 	caches []*messages.VerifyCache
+	// stores are the per-compartment durability stores (nil without
+	// DataDir); recovery holds what NewReplica reconstructed from them.
+	stores   map[crypto.Role]*comStore
+	recovery RecoveryStats
+}
+
+// RecoveryStats describes what a replica reconstructed from its durability
+// stores at construction time.
+type RecoveryStats struct {
+	// Snapshots is how many compartments restored a sealed state snapshot
+	// (0–3).
+	Snapshots int
+	// WALRecords is the total number of write-ahead-log records replayed
+	// across the three compartments.
+	WALRecords uint64
+	// Replay is the time spent re-invoking the replayed records.
+	Replay time.Duration
+	// Total is the full recovery time: store opening, unsealing, state
+	// import and replay.
+	Total time.Duration
+}
+
+// ReplayOpsPerSec returns the WAL replay throughput (0 before any replay).
+func (r RecoveryStats) ReplayOpsPerSec() float64 {
+	if r.Replay <= 0 || r.WALRecords == 0 {
+		return 0
+	}
+	return float64(r.WALRecords) / r.Replay.Seconds()
 }
 
 // NewReplica launches the three compartment enclaves and wires the broker.
@@ -86,7 +121,57 @@ func NewReplica(cfg Config) (*Replica, error) {
 	}
 
 	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches}
-	r.broker = newBroker(cfg, prep, conf, exec)
+
+	// Durability: open the per-compartment stores and recover — sealed
+	// snapshot first, then WAL replay — before any broker thread runs.
+	// What the local log cannot cover (the un-fsynced tail) is closed
+	// later through the ordinary checkpoint/state-transfer path once the
+	// replica rejoins its peers.
+	if cfg.DataDir != "" {
+		begin := time.Now()
+		r.stores = make(map[crypto.Role]*comStore, 3)
+		for _, enc := range []*tee.Enclave{prep, conf, exec} {
+			role := enc.Identity().Role
+			st, recovered, err := store.Open(
+				filepath.Join(cfg.DataDir, role.String()),
+				store.Options{Sealer: enc, FsyncInterval: cfg.FsyncInterval},
+			)
+			if err != nil {
+				r.closeStores()
+				return nil, fmt.Errorf("core: open %v store: %w", role, err)
+			}
+			cs := &comStore{st: st, enc: enc}
+			r.stores[role] = cs
+			if recovered.Snapshot != nil {
+				if err := enc.UnsealState(recovered.Snapshot); err != nil {
+					r.closeStores()
+					return nil, fmt.Errorf("core: restore %v snapshot: %w", role, err)
+				}
+				r.recovery.Snapshots++
+				cs.lastEpoch.Store(enc.StateEpoch())
+			}
+			replayBegin := time.Now()
+			// Replay mirrors the live delivery path: records go through
+			// InvokeBatch so the per-crossing transition cost amortizes
+			// over replayChunk messages instead of being paid per record.
+			// Outputs are discarded: everything a replayed handler would
+			// emit was either already delivered before the crash or is
+			// retransmittable on demand.
+			for lo := 0; lo < len(recovered.Records); lo += replayChunk {
+				hi := lo + replayChunk
+				if hi > len(recovered.Records) {
+					hi = len(recovered.Records)
+				}
+				_, _ = enc.InvokeBatch(recovered.Records[lo:hi])
+			}
+			r.recovery.Replay += time.Since(replayBegin)
+			r.recovery.WALRecords += uint64(len(recovered.Records))
+		}
+		execCode.finishRecovery()
+		r.recovery.Total = time.Since(begin)
+	}
+
+	r.broker = newBroker(cfg, prep, conf, exec, r.stores)
 
 	// Persisting applications (app.Persister) write sealed state through an
 	// ocall (§6: one ocall per block written encrypted to untrusted
@@ -111,8 +196,58 @@ func (r *Replica) Handler() transport.Handler { return r.broker.handler }
 // Start begins processing with the given connection.
 func (r *Replica) Start(conn transport.Conn) { r.broker.start(conn) }
 
-// Stop terminates the broker threads. Enclaves are passive after that.
-func (r *Replica) Stop() { r.broker.stopAll() }
+// Stop terminates the broker threads, then flushes and closes the
+// durability stores (a graceful shutdown loses nothing). Enclaves are
+// passive after that.
+func (r *Replica) Stop() {
+	r.broker.stopAll()
+	r.closeStores()
+}
+
+// Crash kills the replica abruptly — the SIGKILL analog used by the
+// recovery scenarios: every enclave is crashed so drained backlog stops
+// mutating state, the stores drop their un-fsynced group-commit tail
+// (exactly what a real kill would lose), and the broker threads stop.
+func (r *Replica) Crash() {
+	r.prep.Crash()
+	r.conf.Crash()
+	r.exec.Crash()
+	for _, cs := range r.stores {
+		cs.st.Crash()
+	}
+	r.broker.stopAll()
+	// Join in-flight background snapshot writes: a restart must never
+	// find the old replica's writer still touching the directory the new
+	// store is about to own. (The write itself cannot be aborted; its
+	// result is simply ignored on a crashed store.)
+	for _, cs := range r.stores {
+		cs.drain()
+	}
+}
+
+func (r *Replica) closeStores() {
+	for _, cs := range r.stores {
+		cs.drain()
+		_ = cs.st.Close()
+	}
+}
+
+// Recovery reports what this replica reconstructed from its durability
+// stores at construction (zero value without persistence).
+func (r *Replica) Recovery() RecoveryStats { return r.recovery }
+
+// StoreStats returns the per-compartment durability store counters, nil
+// without persistence.
+func (r *Replica) StoreStats() map[crypto.Role]store.Stats {
+	if r.stores == nil {
+		return nil
+	}
+	out := make(map[crypto.Role]store.Stats, len(r.stores))
+	for role, cs := range r.stores {
+		out[role] = cs.st.Stats()
+	}
+	return out
+}
 
 // ExecutedOps returns the number of client operations this replica has
 // replied to.

@@ -70,6 +70,30 @@ func (s *Session) Seal(plaintext, ad []byte) []byte {
 	return s.aead.Seal(out, nonce, plaintext, ad)
 }
 
+// SealRandom encrypts like Seal but under a fresh random nonce instead of
+// the session counter. It is the sealing primitive for data that must stay
+// decryptable across process restarts (durable storage): a restarted
+// process would reset the counter to zero and reuse nonces, which
+// catastrophically breaks GCM. Open decrypts both forms.
+func (s *Session) SealRandom(plaintext, ad []byte) ([]byte, error) {
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("seal nonce: %w", err)
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+s.aead.Overhead())
+	out = append(out, nonce...)
+	return s.aead.Seal(out, nonce, plaintext, ad), nil
+}
+
+// Counter returns the number of counter-nonce seals performed so far. It
+// is exported so sealed state snapshots can persist the nonce position.
+func (s *Session) Counter() uint64 { return s.counter.Load() }
+
+// SetCounter moves the nonce counter, used when restoring a session from
+// sealed state: the restored counter must never fall below any value the
+// pre-crash session may have used.
+func (s *Session) SetCounter(v uint64) { s.counter.Store(v) }
+
 // Open decrypts a Seal output, verifying the associated data.
 func (s *Session) Open(sealed, ad []byte) ([]byte, error) {
 	ns := s.aead.NonceSize()

@@ -168,12 +168,30 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&ProvisionKey{ClientID: 9, Replica: 1, WrappedKey: []byte("wrapped")},
 		&StateRequest{Seq: 100, Replica: 3},
 		&StateReply{Cert: vc.Stable, Snapshot: []byte("snap"), Replica: 0},
+		&BatchFetch{Seq: 9, Digest: dg, Replica: 3},
+		&BatchReply{Seq: 9, Digest: dg, Batch: pp.Batch, Replica: 0},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
 		if !reflect.DeepEqual(m, got) {
 			t.Errorf("%T round trip mismatch:\n got %+v\nwant %+v", m, got, m)
 		}
+	}
+}
+
+func TestCheckpointCertStandaloneRoundTrip(t *testing.T) {
+	dg := crypto.HashData([]byte("state"))
+	cp := Checkpoint{Seq: 40, StateDigest: dg, Replica: 1, Sig: []byte("sig")}
+	cert := CheckpointCert{Seq: 40, StateDigest: dg, Proof: []Checkpoint{cp, cp, cp}}
+	got, err := UnmarshalCheckpointCert(cert.MarshalCert())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cert, got) {
+		t.Fatalf("cert round trip mismatch:\n got %+v\nwant %+v", got, cert)
+	}
+	if _, err := UnmarshalCheckpointCert(cert.MarshalCert()[:10]); err == nil {
+		t.Fatal("truncated certificate accepted")
 	}
 }
 

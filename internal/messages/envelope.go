@@ -80,6 +80,10 @@ func newMessage(t Type) (Message, error) {
 		return &StateReply{}, nil
 	case TSuspect:
 		return &Suspect{}, nil
+	case TBatchFetch:
+		return &BatchFetch{}, nil
+	case TBatchReply:
+		return &BatchReply{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrDecode, uint8(t))
 	}

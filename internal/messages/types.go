@@ -25,6 +25,8 @@ const (
 	TStateRequest
 	TStateReply
 	TSuspect
+	TBatchFetch
+	TBatchReply
 )
 
 // String returns the conventional protocol name for the message type.
@@ -58,6 +60,10 @@ func (t Type) String() string {
 		return "StateReply"
 	case TSuspect:
 		return "Suspect"
+	case TBatchFetch:
+		return "BatchFetch"
+	case TBatchReply:
+		return "BatchReply"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -405,4 +411,59 @@ func (s *Suspect) encodeBody(e *Encoder) {
 func (s *Suspect) decodeBody(d *Decoder) {
 	s.Replica = d.U32()
 	s.View = d.U64()
+}
+
+// BatchFetch asks peer Execution compartments for the request bodies of a
+// batch that committed here but whose PrePrepare never arrived (e.g. it
+// was lost while this replica was down). It is unauthenticated: answering
+// it leaks nothing (bodies are broadcast in PrePrepares anyway, and
+// confidential payloads inside are ciphertext), and a forged fetch can
+// only cost bandwidth.
+type BatchFetch struct {
+	Seq     uint64
+	Digest  crypto.Digest // the committed batch digest
+	Replica uint32        // requester
+}
+
+// MsgType implements Message.
+func (*BatchFetch) MsgType() Type { return TBatchFetch }
+
+func (f *BatchFetch) encodeBody(e *Encoder) {
+	e.U64(f.Seq)
+	e.Digest(f.Digest)
+	e.U32(f.Replica)
+}
+
+func (f *BatchFetch) decodeBody(d *Decoder) {
+	f.Seq = d.U64()
+	f.Digest = d.Digest()
+	f.Replica = d.U32()
+}
+
+// BatchReply answers a BatchFetch with the full request bodies. It needs
+// no signature: the requester holds a commit certificate binding Seq to
+// Digest, and verifies the carried batch hashes to exactly that digest —
+// the reply is self-certifying.
+type BatchReply struct {
+	Seq     uint64
+	Digest  crypto.Digest
+	Batch   Batch
+	Replica uint32 // responder
+}
+
+// MsgType implements Message.
+func (*BatchReply) MsgType() Type { return TBatchReply }
+
+func (r *BatchReply) encodeBody(e *Encoder) {
+	e.U64(r.Seq)
+	e.Digest(r.Digest)
+	r.Batch.encode(e)
+	e.U32(r.Replica)
+}
+
+func (r *BatchReply) decodeBody(d *Decoder) {
+	r.Seq = d.U64()
+	r.Digest = d.Digest()
+	r.Batch.decode(d)
+	r.Replica = d.U32()
 }

@@ -96,6 +96,26 @@ func (cc *CheckpointCert) encode(e *Encoder) {
 	}
 }
 
+// MarshalCert returns the standalone encoding of the certificate, used by
+// the compartment state export (internal/core's persist path). Certificates
+// embedded in wire messages are encoded inline instead.
+func (cc *CheckpointCert) MarshalCert() []byte {
+	e := NewEncoder(256)
+	cc.encode(e)
+	return e.Bytes()
+}
+
+// UnmarshalCheckpointCert reverses MarshalCert.
+func UnmarshalCheckpointCert(data []byte) (CheckpointCert, error) {
+	d := NewDecoder(data)
+	var cc CheckpointCert
+	cc.decode(d)
+	if err := d.Finish(); err != nil {
+		return CheckpointCert{}, err
+	}
+	return cc, nil
+}
+
 func (cc *CheckpointCert) decode(d *Decoder) {
 	cc.Seq = d.U64()
 	cc.StateDigest = d.Digest()

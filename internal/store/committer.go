@@ -1,0 +1,26 @@
+package store
+
+import "time"
+
+// committer is the group-commit loop: it flushes and fsyncs the pending
+// buffer once per interval, so a burst of appends shares one fsync. The
+// durability window this opens — records appended but not yet committed
+// when the process dies — is exactly what Crash simulates, and what the
+// recovery path closes through peer state transfer.
+func (s *Store) committer() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			if !s.closed && !s.crashed {
+				_ = s.flushLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}

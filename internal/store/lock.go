@@ -1,0 +1,27 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's LOCK file. Exactly one
+// live process may own a store directory: a second owner — an operator
+// starting the same replica twice, or a supervisor restart racing a stale
+// process — would interleave appends into one segment chain and corrupt
+// the WAL beyond what recovery can repair. The lock is released by closing
+// the file (Close/Crash) and by the OS when the process dies, so a crashed
+// owner never wedges its successor.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -2,7 +2,9 @@ package tee
 
 import (
 	"crypto/ecdh"
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -115,6 +117,19 @@ type Enclave struct {
 	identityKey *crypto.KeyPair
 	ecdhKey     *ecdh.PrivateKey
 	sealKey     crypto.SessionKey
+	// Sealing uses a per-boot subkey HMAC-derived from sealKey and a
+	// random boot ID that prefixes every sealed blob: random 96-bit GCM
+	// nonces are only safe for ~2^32 seals per key (NIST SP 800-38D), a
+	// budget a long-lived replica's per-record WAL sealing would exhaust
+	// under one never-rotated key. Each process lifetime gets a fresh
+	// subkey; unsealing derives the subkey of whatever boot wrote the
+	// blob from the embedded ID. sealSess is the cached AEAD for this
+	// boot (sealing sits on the per-message WAL hot path, so the AES key
+	// schedule is built once); unsealCache holds sessions for previously
+	// seen boot IDs.
+	bootID      [sealBootIDSize]byte
+	sealSess    *crypto.Session
+	unsealCache sync.Map // [sealBootIDSize]byte -> *crypto.Session
 
 	execMu   sync.Mutex // enforces single-threaded enclave execution
 	stats    ECallStats
@@ -154,19 +169,42 @@ func NewEnclaveWithRand(replicaID uint32, role crypto.Role, code Code, cost Cost
 		rng = rand.Reader
 	}
 	// Read order is part of the derivation contract: identity key first
-	// (32 bytes), then ECDH key, then sealing key. RegistryKeys in the
-	// core package depends on it.
+	// (32 bytes; RegisterDeterministicKeys in the core package depends on
+	// it), then the sealing key (32 bytes), then the ECDH key (32 bytes).
+	// All three must re-derive identically from the same stream after a
+	// restart: the sealing key so durable state can be unsealed, and the
+	// ECDH key so a replayed ProvisionKey unwraps under the same pairwise
+	// secret — a fresh ECDH key would silently drop every session
+	// provisioned after the last snapshot. The ECDH bytes are read
+	// directly and fed to NewPrivateKey because crypto/ecdh's GenerateKey
+	// nondeterministically consumes an extra byte (randutil.MaybeReadByte)
+	// and would break the contract.
 	idKey, err := crypto.GenerateKeyPair(rng)
 	if err != nil {
 		return nil, fmt.Errorf("enclave identity key: %w", err)
 	}
-	ek, err := ecdh.X25519().GenerateKey(rng)
-	if err != nil {
-		return nil, fmt.Errorf("enclave ECDH key: %w", err)
-	}
 	var sealKey crypto.SessionKey
 	if _, err := io.ReadFull(rng, sealKey[:]); err != nil {
 		return nil, fmt.Errorf("enclave sealing key: %w", err)
+	}
+	var ecdhSeed [32]byte
+	if _, err := io.ReadFull(rng, ecdhSeed[:]); err != nil {
+		return nil, fmt.Errorf("enclave ECDH entropy: %w", err)
+	}
+	ek, err := ecdh.X25519().NewPrivateKey(ecdhSeed[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave ECDH key: %w", err)
+	}
+	// The boot ID is always fresh randomness (never from the derivation
+	// stream): two boots from the same seed must seal under different
+	// subkeys, that is the whole point.
+	var bootID [sealBootIDSize]byte
+	if _, err := io.ReadFull(rand.Reader, bootID[:]); err != nil {
+		return nil, fmt.Errorf("enclave boot ID: %w", err)
+	}
+	sealSess, err := deriveSealSession(sealKey, bootID)
+	if err != nil {
+		return nil, fmt.Errorf("enclave sealing session: %w", err)
 	}
 	return &Enclave{
 		replicaID:   replicaID,
@@ -176,8 +214,24 @@ func NewEnclaveWithRand(replicaID uint32, role crypto.Role, code Code, cost Cost
 		identityKey: idKey,
 		ecdhKey:     ek,
 		sealKey:     sealKey,
+		bootID:      bootID,
+		sealSess:    sealSess,
 		ocalls:      make(map[string]OcallFunc),
 	}, nil
+}
+
+// sealBootIDSize is the length of the per-boot sealing salt prefixed to
+// every sealed blob.
+const sealBootIDSize = 16
+
+// deriveSealSession builds the AEAD for one boot's sealing subkey.
+func deriveSealSession(base crypto.SessionKey, bootID [sealBootIDSize]byte) (*crypto.Session, error) {
+	mac := hmac.New(sha256.New, base[:])
+	mac.Write([]byte("tee-seal-v1"))
+	mac.Write(bootID[:])
+	var sub crypto.SessionKey
+	copy(sub[:], mac.Sum(nil))
+	return crypto.NewSession(sub, 2)
 }
 
 // ReplicaID implements Host.
@@ -224,22 +278,114 @@ func (e *Enclave) Ocall(name string, data []byte) ([]byte, error) {
 	return out, nil
 }
 
-// Seal implements Host using AES-GCM under the enclave-local sealing key.
+// Seal implements Host: AES-GCM under this boot's sealing subkey, with
+// the boot ID prepended (and bound as associated data) so any later boot
+// of the same enclave identity can re-derive the right subkey. Nonces are
+// random, not counted — safe within one boot's ≤2^32 seal budget, and a
+// restart rotates the subkey before the budget matters.
 func (e *Enclave) Seal(data []byte) ([]byte, error) {
-	s, err := crypto.NewSession(e.sealKey, 2)
+	ct, err := e.sealSess.SealRandom(data, e.bootID[:])
 	if err != nil {
 		return nil, err
 	}
-	return s.Seal(data, nil), nil
+	out := make([]byte, 0, sealBootIDSize+len(ct))
+	out = append(out, e.bootID[:]...)
+	return append(out, ct...), nil
 }
 
-// Unseal implements Host.
+// Unseal implements Host: it derives (and caches) the sealing subkey of
+// whatever boot produced the blob. Only an enclave holding the same base
+// sealing key — the same identity key stream — derives a subkey that
+// opens it.
 func (e *Enclave) Unseal(sealed []byte) ([]byte, error) {
-	s, err := crypto.NewSession(e.sealKey, 2)
-	if err != nil {
-		return nil, err
+	if len(sealed) < sealBootIDSize {
+		return nil, errors.New("tee: sealed blob too short")
 	}
-	return s.Open(sealed, nil)
+	var boot [sealBootIDSize]byte
+	copy(boot[:], sealed[:sealBootIDSize])
+	var sess *crypto.Session
+	if boot == e.bootID {
+		sess = e.sealSess
+	} else if cached, ok := e.unsealCache.Load(boot); ok {
+		sess = cached.(*crypto.Session)
+	} else {
+		derived, err := deriveSealSession(e.sealKey, boot)
+		if err != nil {
+			return nil, err
+		}
+		e.unsealCache.Store(boot, derived)
+		sess = derived
+	}
+	return sess.Open(sealed[sealBootIDSize:], boot[:])
+}
+
+// Durable is implemented by enclave code whose state can be exported for
+// sealed storage and restored after a restart (the durability subsystem's
+// per-compartment hooks). ExportState and ImportState run under the
+// enclave's single execution thread, so they see quiescent handler state.
+type Durable interface {
+	// ExportState serializes the compartment state.
+	ExportState() []byte
+	// ImportState replaces the compartment state from an ExportState blob.
+	ImportState(data []byte) error
+	// StateEpoch identifies the current snapshot generation; it advances
+	// when the compartment reaches a new durable point (in SplitBFT, when
+	// its stable checkpoint moves). The environment snapshots when it
+	// observes an advance.
+	StateEpoch() uint64
+}
+
+// ErrNotDurable is returned by the state hooks when the loaded code does
+// not implement Durable.
+var ErrNotDurable = errors.New("tee: enclave code does not export state")
+
+// SealState exports the compartment state and seals it under the enclave
+// sealing key — the unit the snapshot store persists. Only an enclave with
+// the same identity key stream (the same sealing key) can unseal it.
+func (e *Enclave) SealState() ([]byte, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	d, ok := e.code.(Durable)
+	if !ok {
+		return nil, ErrNotDurable
+	}
+	return e.Seal(d.ExportState())
+}
+
+// UnsealState reverses SealState: it unseals the blob and installs the
+// state into the loaded code. Unsealing fails — and the state is refused —
+// when the blob was sealed by a different enclave identity or tampered
+// with.
+func (e *Enclave) UnsealState(sealed []byte) error {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	d, ok := e.code.(Durable)
+	if !ok {
+		return ErrNotDurable
+	}
+	pt, err := e.Unseal(sealed)
+	if err != nil {
+		return fmt.Errorf("tee: unseal state: %w", err)
+	}
+	return d.ImportState(pt)
+}
+
+// StateEpoch returns the loaded code's snapshot generation (0 when the
+// code is not Durable). The broker polls it after ecalls to decide when a
+// new sealed snapshot is due.
+func (e *Enclave) StateEpoch() uint64 {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if d, ok := e.code.(Durable); ok {
+		return d.StateEpoch()
+	}
+	return 0
 }
 
 // MonotonicInc implements Host.

@@ -17,6 +17,7 @@ import (
 type Node struct {
 	id      uint32
 	opts    options
+	reg     *crypto.Registry
 	app     Application
 	replica *core.Replica
 
@@ -88,19 +89,39 @@ func NewNode(id uint32, opts ...Option) (*Node, error) {
 	if int(id) >= o.n {
 		return nil, fmt.Errorf("splitbft: node id %d out of range [0, %d)", id, o.n)
 	}
+	if o.persistDir != "" && len(o.keySeed) == 0 {
+		return nil, errors.New("splitbft: WithPersistence requires WithKeySeed — sealed state must be recoverable under re-derived enclave keys")
+	}
 	reg := o.registry
 	if reg == nil {
 		reg = crypto.NewRegistry()
-		if len(o.keySeed) > 0 {
-			if err := core.RegisterDeterministicKeys(reg, o.keySeed, o.n); err != nil {
-				return nil, err
-			}
+	}
+	if len(o.keySeed) > 0 {
+		// Pre-register every replica's derived enclave keys. Beyond the
+		// multi-process case this matters for recovery: a node restarted
+		// before its peers (e.g. a whole cluster rebooting over existing
+		// data directories) must be able to verify peer signatures while
+		// replaying its WAL.
+		if err := core.RegisterDeterministicKeys(reg, o.keySeed, o.n); err != nil {
+			return nil, err
 		}
 	}
+	n := &Node{id: id, opts: o, reg: reg}
+	if err := n.buildReplica(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// buildReplica constructs the node's core replica (a fresh application
+// instance plus three enclaves); with persistence enabled, construction
+// runs recovery before returning.
+func (n *Node) buildReplica() error {
+	o := &n.opts
 	application := o.application()
 	replica, err := core.NewReplica(core.Config{
-		N: o.n, F: o.f, ID: id,
-		Registry:           reg,
+		N: o.n, F: o.f, ID: n.id,
+		Registry:           n.reg,
 		MACSecret:          o.secret(),
 		KeySeed:            o.keySeed,
 		App:                application,
@@ -109,23 +130,28 @@ func NewNode(id uint32, opts ...Option) (*Node, error) {
 		SingleThread:       o.singleThread,
 		EcallBatch:         o.ecallBatch,
 		VerifyWorkers:      o.verifyWorkers,
+		DataDir:            o.nodeDataDir(n.id),
 		CheckpointInterval: o.checkpointInterval,
 		BatchSize:          o.batchSize,
 		BatchTimeout:       o.batchTimeout,
 		RequestTimeout:     o.requestTimeout,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Node{id: id, opts: o, app: application, replica: replica}, nil
+	n.app = application
+	n.replica = replica
+	return nil
 }
 
 // Start attaches the node to its transport and begins processing. It is
-// idempotent while running; a node cannot restart after Stop (the broker
-// threads terminate permanently — build a fresh Node instead).
+// idempotent while running. After Stop or Crash the broker threads are
+// gone for good — use Restart, which rebuilds the replica (recovering
+// from the durability store when WithPersistence is set) before starting
+// again.
 func (n *Node) Start() error {
 	if n.stopped {
-		return errors.New("splitbft: node cannot restart after Stop — create a new Node")
+		return errors.New("splitbft: node cannot Start after Stop or Crash — use Restart")
 	}
 	if n.started {
 		return nil
@@ -157,15 +183,92 @@ func (n *Node) Start() error {
 	return nil
 }
 
-// Stop terminates the node's broker threads and detaches its transport.
-// Stopping is permanent: a stopped node cannot be restarted.
+// Stop terminates the node's broker threads, flushes and closes its
+// durability stores, and detaches its transport. A stopped node cannot
+// Start again, but with WithPersistence it can Restart: recovery rebuilds
+// the replica from the sealed stores.
 func (n *Node) Stop() {
-	if n.started {
+	// A never-started replica still owns resources (durability stores,
+	// their committer goroutines), so release runs regardless of started;
+	// stopping an idle broker is a no-op.
+	if !n.stopped {
 		n.replica.Stop()
+	}
+	if n.started {
 		_ = n.conn.Close()
 		n.started = false
 	}
 	n.stopped = true
+}
+
+// Crash kills the node abruptly — the SIGKILL-equivalent fault-injection
+// handle behind the recovery scenarios. Unlike Stop, nothing is flushed:
+// the durability stores drop their un-fsynced group-commit tail, exactly
+// the window a real kill would lose. Use Restart to bring the node back.
+func (n *Node) Crash() {
+	if !n.stopped {
+		n.replica.Crash()
+	}
+	if n.started {
+		_ = n.conn.Close()
+		n.started = false
+	}
+	n.stopped = true
+}
+
+// Restart brings a stopped or crashed node back: it rebuilds the replica —
+// with WithPersistence, recovering compartment state from the newest
+// sealed snapshot plus a WAL replay — and reattaches the transport. The
+// remaining gap (whatever committed while the node was down, plus any
+// un-fsynced tail a crash lost) is closed through the ordinary
+// checkpoint/state-transfer path once peers' traffic flows again. Without
+// persistence the node comes back empty and state-transfers everything,
+// like a brand-new replica.
+func (n *Node) Restart() error {
+	// Always release the previous replica first — even one that never
+	// started holds the durability stores open, and two live stores must
+	// never own one WAL directory.
+	n.Stop()
+	if err := n.buildReplica(); err != nil {
+		return fmt.Errorf("splitbft: restart node %d: %w", n.id, err)
+	}
+	n.stopped = false
+	n.tcp = nil
+	return n.Start()
+}
+
+// RecoveryStats reports what the node reconstructed from its durability
+// stores when its replica was last built (all zeros without
+// WithPersistence, or before any restart wrote state).
+type RecoveryStats struct {
+	// Snapshots is how many compartments restored a sealed snapshot (0–3).
+	Snapshots int
+	// WALRecords is the number of write-ahead-log records replayed.
+	WALRecords uint64
+	// Replay is the time spent replaying them through the enclaves.
+	Replay time.Duration
+	// Total is the end-to-end recovery time (open, unseal, import,
+	// replay).
+	Total time.Duration
+}
+
+// ReplayOpsPerSec returns the WAL replay throughput (0 before any replay).
+func (s RecoveryStats) ReplayOpsPerSec() float64 {
+	if s.Replay <= 0 || s.WALRecords == 0 {
+		return 0
+	}
+	return float64(s.WALRecords) / s.Replay.Seconds()
+}
+
+// RecoveryStats returns the node's last recovery profile.
+func (n *Node) RecoveryStats() RecoveryStats {
+	s := n.replica.Recovery()
+	return RecoveryStats{
+		Snapshots:  s.Snapshots,
+		WALRecords: s.WALRecords,
+		Replay:     s.Replay,
+		Total:      s.Total,
+	}
 }
 
 // ID returns the node's replica ID.

@@ -3,6 +3,7 @@ package splitbft
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -58,6 +59,8 @@ type options struct {
 	checkpointInterval uint64
 
 	keySeed []byte
+
+	persistDir string
 
 	tcpAddrs   []string
 	listenAddr string
@@ -235,6 +238,29 @@ func WithVerifyWorkers(n int) Option {
 // may omit it to get fresh random keys.
 func WithKeySeed(seed []byte) Option {
 	return func(o *options) { o.keySeed = append([]byte(nil), seed...) }
+}
+
+// WithPersistence enables the sealed durability subsystem: each node keeps
+// a per-compartment write-ahead log plus sealed state snapshots under
+// dir/replica-<id>/, written with group-commit fsync batching and garbage
+// collected at stable checkpoints. NewNode — and Node.Restart — recover
+// compartment state from the newest sealed snapshot, replay the log, and
+// close any remaining gap through peer state transfer once the node
+// rejoins. Everything on disk is AEAD-sealed under keys derived from the
+// enclave identities, so WithPersistence requires WithKeySeed (a restarted
+// process must re-derive the same sealing keys, and without the seed
+// nothing on disk can be read).
+func WithPersistence(dir string) Option {
+	return func(o *options) { o.persistDir = dir }
+}
+
+// nodeDataDir returns the per-replica durability directory ("" when
+// persistence is off).
+func (o *options) nodeDataDir(id uint32) string {
+	if o.persistDir == "" {
+		return ""
+	}
+	return filepath.Join(o.persistDir, fmt.Sprintf("replica-%d", id))
 }
 
 // WithTransportTCP deploys over TCP: addrs lists every replica's address,
