@@ -1,0 +1,194 @@
+package splitbft_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft"
+)
+
+func TestAgreementAuthOptionValidation(t *testing.T) {
+	_, err := splitbft.NewCluster(4, splitbft.WithAgreementAuth("hmac-but-wrong"))
+	if err == nil {
+		t.Fatal("unknown agreement auth mode accepted")
+	}
+}
+
+// TestMACModeFacadeRoundTrip drives the public surface in MAC mode and
+// checks the crypto profile: agreement traffic runs on HMACs, with the
+// Ed25519 verify load of the fault-free normal case gone.
+func TestMACModeFacadeRoundTrip(t *testing.T) {
+	cluster, err := splitbft.NewCluster(4,
+		splitbft.WithAgreementAuth("mac"),
+		splitbft.WithBatchSize(1),
+		splitbft.WithNetworkSeed(11),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	waitForAgreement(t, cluster, []int{0, 1, 2, 3})
+	cs := cluster.Node(0).CryptoStats()
+	if cs.MACVerifies == 0 {
+		t.Fatal("MAC mode performed no agreement-MAC verifications")
+	}
+	if cs.SigVerifies != 0 {
+		t.Fatalf("fault-free MAC-mode run performed %d Ed25519 verifications", cs.SigVerifies)
+	}
+}
+
+// runCrashRestartLedger replays a fixed seeded workload — including a
+// crash/restart of one replica and a forced view change — on a blockchain
+// cluster and returns the surviving replicas' ledger snapshots. Used to
+// pin MAC-mode ledgers byte-identical to sig-mode ones.
+func runCrashRestartLedger(t *testing.T, mode string) [][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	cluster, err := splitbft.NewCluster(4,
+		splitbft.WithAgreementAuth(mode),
+		splitbft.WithBlockchain(4),
+		splitbft.WithPersistence(dir),
+		splitbft.WithKeySeed([]byte("authmode-parity-seed")),
+		splitbft.WithBatchSize(1),
+		splitbft.WithCheckpointInterval(4),
+		splitbft.WithRequestTimeout(300*time.Millisecond),
+		splitbft.WithNetworkSeed(31),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(700, splitbft.WithInvokeTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tx := func(i int) {
+		t.Helper()
+		if _, err := cl.Invoke([]byte(fmt.Sprintf("tx-%02d", i))); err != nil {
+			t.Fatalf("tx %d (%s mode): %v", i, mode, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		tx(i)
+	}
+	waitForAgreement(t, cluster, []int{0, 1, 2, 3})
+
+	// Crash replica 3 mid-run, commit more, restart: recovery must work
+	// under MAC-authenticated WAL contents too.
+	cluster.CrashNode(3)
+	for i := 8; i < 12; i++ {
+		tx(i)
+	}
+	if err := cluster.RestartNode(3); err != nil {
+		t.Fatalf("restart (%s mode): %v", mode, err)
+	}
+	for i := 12; i < 16; i++ {
+		tx(i)
+	}
+	waitForAgreement(t, cluster, []int{0, 1, 2, 3})
+
+	// Forced view change at a quiescent point: progress needs the
+	// recovered replica in the quorum, and in MAC mode the ViewChange
+	// certificates are single enclave-signed claims.
+	cluster.Partition(0)
+	for i := 16; i < 20; i++ {
+		tx(i)
+	}
+	waitForAgreement(t, cluster, []int{1, 2, 3})
+
+	var snaps [][]byte
+	for _, id := range []int{1, 2, 3} {
+		bc := cluster.Node(id).App().(*splitbft.Blockchain)
+		if err := splitbft.VerifyChain(bc.Headers()); err != nil {
+			t.Fatalf("replica %d chain (%s mode): %v", id, mode, err)
+		}
+		snaps = append(snaps, bc.Snapshot())
+	}
+	return snaps
+}
+
+// TestAuthModeLedgerParity is the acceptance check for the MAC fast path:
+// the same seeded workload — crash/restart and a forced view change
+// included — must produce ledgers byte-identical across replicas AND
+// byte-identical between sig and MAC modes. Authentication is transport
+// armor; it must never touch agreed bytes.
+func TestAuthModeLedgerParity(t *testing.T) {
+	mac := runCrashRestartLedger(t, "mac")
+	sig := runCrashRestartLedger(t, "sig")
+	for i := 1; i < len(mac); i++ {
+		if !bytes.Equal(mac[i], mac[0]) {
+			t.Fatalf("MAC-mode replicas diverged: snapshot %d != snapshot 0", i)
+		}
+	}
+	if !bytes.Equal(mac[0], sig[0]) {
+		t.Fatal("MAC-mode ledger differs from sig-mode ledger on the same workload")
+	}
+}
+
+// TestIdleClusterRejoinNudge: a replica that crashes, misses committed
+// state, and restarts into an otherwise idle cluster must close its
+// outage gap without any client traffic — the broker-tick StateProbe asks
+// the peers directly (ROADMAP item "idle-cluster rejoin").
+func TestIdleClusterRejoinNudge(t *testing.T) {
+	dir := t.TempDir()
+	cluster, err := splitbft.NewCluster(4,
+		splitbft.WithKeySeed([]byte("rejoin-nudge-seed")),
+		splitbft.WithPersistence(dir),
+		splitbft.WithBatchSize(1),
+		splitbft.WithCheckpointInterval(4),
+		splitbft.WithRequestTimeout(200*time.Millisecond),
+		splitbft.WithNetworkSeed(41),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(i int) {
+		t.Helper()
+		if _, err := cl.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		put(i)
+	}
+	waitForAgreement(t, cluster, []int{0, 1, 2, 3})
+
+	// Crash replica 3, commit past the next checkpoint boundary without
+	// it, then go quiet BEFORE restarting: from here on no client traffic
+	// flows, so only the rejoin nudge can close the gap.
+	cluster.CrashNode(3)
+	for i := 8; i < 16; i++ {
+		put(i)
+	}
+	waitForAgreement(t, cluster, []int{0, 1, 2})
+	if err := cluster.RestartNode(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+
+	ref := cluster.Node(0).App().Digest()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cluster.Node(3).App().Digest() == ref {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("recovered replica did not catch up on an idle cluster (rejoin nudge failed)")
+}

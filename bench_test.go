@@ -171,6 +171,45 @@ func BenchmarkFig4EcallLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkAgreementAuth compares the Ed25519 baseline against the
+// MAC-authenticated fast path (WithAgreementAuth) on the same cluster
+// shape: the protocol and scheduling are identical, only the normal-case
+// authentication primitive changes. The sig run also reports the verify-
+// CPU fraction the MAC run removes.
+func BenchmarkAgreementAuth(b *testing.B) {
+	results := make(map[string]bench.Result)
+	for _, mode := range []string{"sig", "mac"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.RunConfig{
+					System:        bench.SplitKVS,
+					Clients:       40,
+					Batched:       false,
+					Warmup:        200 * time.Millisecond,
+					Measure:       500 * time.Millisecond,
+					AgreementAuth: mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput, "ops/s")
+			b.ReportMetric(float64(last.MeanLat)/1e6, "ms/op-mean")
+			b.ReportMetric(float64(last.SigVerifies), "sig-verifies")
+			b.ReportMetric(100*last.SigCPUFraction, "verify-cpu-%")
+			results[mode] = last
+		})
+	}
+	sig, mac := results["sig"], results["mac"]
+	if sig.Throughput > 0 && mac.Throughput > 0 {
+		b.Logf("MAC fast path speedup: %.2fx (%.0f -> %.0f ops/s; sig run spent %.0f%% of the window in Ed25519 verify)",
+			mac.Throughput/sig.Throughput, sig.Throughput, mac.Throughput, 100*sig.SigCPUFraction)
+	}
+}
+
 // BenchmarkStagedPipeline compares the staged agreement pipeline —
 // batched ecalls (WithEcallBatch) plus the enclave-side parallel
 // verification pool (WithVerifyWorkers) — against the paper's baseline

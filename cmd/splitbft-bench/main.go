@@ -6,10 +6,13 @@
 //	splitbft-bench -exp fig3a           # throughput/latency, unbatched
 //	splitbft-bench -exp fig3b           # throughput/latency, batched
 //	splitbft-bench -exp fig4            # per-compartment ecall latency
+//	splitbft-bench -exp auth            # sig-vs-MAC agreement authentication
 //	splitbft-bench -exp all             # everything
 //
 // Use -quick for a fast smoke run with fewer client counts and shorter
-// measurement windows.
+// measurement windows. With -json <dir>, each experiment additionally
+// writes its raw results to <dir>/BENCH_<exp>.json for machine-readable
+// perf trajectories.
 package main
 
 import (
@@ -24,11 +27,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, auth, all")
 	quick := flag.Bool("quick", false, "fast smoke run (fewer clients, shorter windows)")
 	f := flag.Int("f", 1, "fault threshold for table1")
 	root := flag.String("root", ".", "repository root for table2")
 	measure := flag.Duration("measure", time.Second, "measurement window per point")
+	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -38,6 +42,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	writeJSON := func(expName string, v any) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		path, err := bench.WriteJSON(*jsonDir, expName, v)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
 
 	clients := []int{1, 10, 20, 40, 80, 120, 150}
@@ -67,17 +82,39 @@ func main() {
 	}
 	if all || *exp == "fig3a" {
 		run("Figure 3(a) — throughput & latency, not batched", func() error {
-			return runFigure3(clients, false, *measure)
+			series, err := runFigure3(clients, false, *measure)
+			if err != nil {
+				return err
+			}
+			return writeJSON("fig3a", series)
 		})
 	}
 	if all || *exp == "fig3b" {
 		run("Figure 3(b) — throughput & latency, batched", func() error {
-			return runFigure3(clients, true, *measure)
+			series, err := runFigure3(clients, true, *measure)
+			if err != nil {
+				return err
+			}
+			return writeJSON("fig3b", series)
 		})
 	}
 	if all || *exp == "fig4" {
 		run("Figure 4 — ecall latency per compartment", func() error {
 			return runFigure4(*measure)
+		})
+	}
+	if all || *exp == "auth" {
+		run("Ablation — agreement authentication (sig vs MAC fast path)", func() error {
+			authClients := 40
+			if *quick {
+				authClients = 10
+			}
+			pts, err := bench.AuthAblation(authClients, *measure)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAuthAblation(pts))
+			return writeJSON("auth", pts)
 		})
 	}
 	if all || *exp == "ablation" {
@@ -104,7 +141,7 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatPipelineAblation(pts))
-			return nil
+			return writeJSON("pipeline", pts)
 		})
 	}
 	if all || *exp == "recovery" {
@@ -123,12 +160,12 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatRecovery(res))
-			return nil
+			return writeJSON("recovery", res)
 		})
 	}
 }
 
-func runFigure3(clients []int, batched bool, measure time.Duration) error {
+func runFigure3(clients []int, batched bool, measure time.Duration) (map[bench.System][]bench.Result, error) {
 	systems := bench.AllSystems()
 	if batched {
 		systems = []bench.System{bench.SplitKVS, bench.PBFTKVS, bench.SplitBlockchain, bench.PBFTBlockchain}
@@ -138,7 +175,7 @@ func runFigure3(clients []int, batched bool, measure time.Duration) error {
 		fmt.Printf("  running %s over %v clients...\n", sys, clients)
 		rs, err := bench.Sweep(sys, clients, batched, measure)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		series[sys] = rs
 	}
@@ -159,7 +196,7 @@ func runFigure3(clients []int, batched bool, measure time.Duration) error {
 		}
 		fmt.Println()
 	}
-	return nil
+	return series, nil
 }
 
 func runFigure4(measure time.Duration) error {

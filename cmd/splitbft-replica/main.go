@@ -37,6 +37,7 @@ func main() {
 	batch := flag.Int("batch", splitbft.DefaultBatchSize, "batch size (1 disables batching)")
 	ecallBatch := flag.Int("ecall-batch", 1, "messages delivered per enclave crossing (1 disables batching)")
 	verifyWorkers := flag.Int("verify-workers", 1, "enclave-side parallel signature-verification workers (1 = inline)")
+	auth := flag.String("auth", "sig", "agreement authentication: sig (Ed25519 baseline) or mac (pairwise-HMAC fast path); must match across the deployment")
 	dataDir := flag.String("data-dir", "", "sealed durability directory: per-compartment WAL + snapshots; the replica recovers from it on start (empty = in-memory only)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.Parse()
@@ -74,6 +75,9 @@ func main() {
 	}
 	if *verifyWorkers > 1 {
 		opts = append(opts, splitbft.WithVerifyWorkers(*verifyWorkers))
+	}
+	if *auth != "" {
+		opts = append(opts, splitbft.WithAgreementAuth(*auth))
 	}
 	if *dataDir != "" {
 		opts = append(opts, splitbft.WithPersistence(*dataDir))

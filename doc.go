@@ -78,6 +78,45 @@
 // byte-identical whether the pipeline is on, off, or fully serialized with
 // WithSingleThread.
 //
+// # Agreement authentication: signatures vs the MAC fast path
+//
+// Normal-case agreement traffic (PrePrepare, Prepare, Commit, Checkpoint)
+// supports two authentication modes, selected with WithAgreementAuth:
+//
+// "sig" (default) is the paper's baseline: every message carries an
+// Ed25519 signature from its sending compartment. Signatures are
+// transferable — any third party can re-verify them — which is what makes
+// classic PBFT certificates (2f+1 individually signed messages) work, at
+// the price of the replica hot path being verify-bound.
+//
+// "mac" is the trusted-compartment fast path. During registration — the
+// stand-in for the attestation ceremony — every enclave's X25519 key is
+// exchanged alongside its Ed25519 identity key, and each enclave pair
+// derives a symmetric key from it that never exists outside the two
+// enclaves. Normal-case messages then carry a vector of HMAC-SHA256
+// authenticators, one slot per receiving compartment, in place of a
+// signature. HMACs are not transferable, so the protocol keeps Ed25519
+// exactly where third-party verifiability is load-bearing: ViewChange and
+// NewView messages — and the certificates they carry shrink from 2f+1
+// signature bundles to a single enclave signature over the aggregated
+// claim ("a prepare certificate for (view, seq, digest) exists"),
+// produced by the attested compartment that validated the quorum locally.
+//
+// The soundness argument is the paper's compartment trust model, the same
+// leverage other TEE-BFT systems use: an attested agreement enclave runs
+// known-measured code, so its signed claim that it saw a quorum stands in
+// for the quorum itself. What degrades if that assumption fails: a
+// crashed or isolated enclave still cannot forge anything (vouches are
+// signatures under its protected key), but an attacker who fully
+// compromises an agreement enclave — extracts keys or alters its logic
+// inside the TEE — could vouch for quorums that never existed, a safety
+// loss sig mode would confine to confidentiality. Both modes produce
+// byte-identical ledgers on the same workload (regression-tested across
+// forced view changes and crash/restart recovery); `splitbft-bench -exp
+// auth` measures the throughput gap, which on the Ed25519-bound hot path
+// is visible even on a single core because the work is removed, not
+// parallelized.
+//
 // # Sealed durability and crash recovery
 //
 // WithPersistence(dir) gives every replica a per-compartment durable
@@ -99,7 +138,11 @@
 // loses and everything committed during the outage, closed through the
 // ordinary checkpoint/state-transfer path (plus targeted BatchFetch
 // retransmission of committed-but-missing request bodies) once the node
-// rejoins.
+// rejoins. A recovered replica also nudges: while it may still be
+// behind, its broker tick broadcasts a StateProbe announcing how far it
+// got, and any peer whose stable checkpoint is ahead answers with the
+// certified snapshot — so the outage gap closes even on an idle cluster
+// where no client traffic would otherwise reveal it.
 //
 // Node.Crash is the SIGKILL-equivalent fault-injection handle (the
 // durability stores drop their unflushed tail), Cluster.CrashNode and

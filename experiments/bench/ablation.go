@@ -101,6 +101,79 @@ func PipelineAblation(configs [][2]int, clients int, measure time.Duration) ([]P
 	return out, nil
 }
 
+// AuthPoint is one measurement of the agreement-authentication ablation.
+type AuthPoint struct {
+	Mode   string // "sig" or "mac"
+	Result Result
+}
+
+// AuthAblation measures the MAC-authenticated agreement fast path against
+// the Ed25519 baseline on the SplitBFT KVS: identical protocol, identical
+// scheduling, only the normal-case authentication primitive differs. The
+// sig-mode replica hot path is Ed25519-bound, so this is the rare
+// optimization whose win is visible even on a single core — it removes
+// the work instead of parallelizing it.
+func AuthAblation(clients int, measure time.Duration) ([]AuthPoint, error) {
+	out := make([]AuthPoint, 0, 2)
+	for _, mode := range []string{"sig", "mac"} {
+		res, err := Run(RunConfig{
+			System:        SplitKVS,
+			Clients:       clients,
+			Batched:       false,
+			Measure:       measure,
+			AgreementAuth: mode,
+		})
+		if err != nil {
+			return out, fmt.Errorf("auth ablation @%s: %w", mode, err)
+		}
+		out = append(out, AuthPoint{Mode: mode, Result: res})
+	}
+	return out, nil
+}
+
+// AuthSpeedup returns the mac/sig throughput ratio (0 when either point
+// is missing).
+func AuthSpeedup(points []AuthPoint) float64 {
+	var sig, mac float64
+	for _, p := range points {
+		switch p.Mode {
+		case "sig":
+			sig = p.Result.Throughput
+		case "mac":
+			mac = p.Result.Throughput
+		}
+	}
+	if sig == 0 {
+		return 0
+	}
+	return mac / sig
+}
+
+// FormatAuthAblation renders the sig-vs-MAC comparison with the leader's
+// crypto-op profile: how many Ed25519 verifications ran, what share of
+// the measure window they consumed, and how many agreement-MAC checks
+// replaced them.
+func FormatAuthAblation(points []AuthPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — agreement authentication (SplitBFT KVS, unbatched)\n\n")
+	// "verify-CPU" is Ed25519-verify CPU-seconds per wall-clock second on
+	// the leader; the compartments verify concurrently, so >100% is
+	// possible on multi-core hosts.
+	fmt.Fprintf(&sb, "%-6s %12s %14s %12s %12s %12s\n",
+		"Mode", "ops/s", "mean latency", "sig-verifies", "verify-CPU", "MAC-verifies")
+	sb.WriteString(strings.Repeat("-", 74) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-6s %12.0f %14v %12d %11.1f%% %12d\n",
+			p.Mode, p.Result.Throughput,
+			p.Result.MeanLat.Round(time.Microsecond),
+			p.Result.SigVerifies, 100*p.Result.SigCPUFraction, p.Result.MACVerifies)
+	}
+	if s := AuthSpeedup(points); s > 0 {
+		fmt.Fprintf(&sb, "\nMAC/sig throughput ratio: %.2fx\n", s)
+	}
+	return sb.String()
+}
+
 // FormatPipelineAblation renders the staged-pipeline comparison, including
 // the achieved ecall amortization and verify-cache effectiveness.
 func FormatPipelineAblation(points []PipelinePoint) string {

@@ -84,6 +84,10 @@ type RunConfig struct {
 	// paper's one-message-per-ecall, inline-verification behavior.
 	EcallBatch    int
 	VerifyWorkers int
+	// AgreementAuth selects the replica-to-replica authentication mode on
+	// SplitBFT systems ("sig" or "mac"; "" keeps the sig default) — the
+	// MAC-authenticated fast path of the auth ablation.
+	AgreementAuth string
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -147,6 +151,16 @@ type Result struct {
 	VerifyCacheHitRate float64
 	// Errors counts failed invocations during the measure window.
 	Errors uint64
+	// SigVerifies / MACVerifies count the leader's executed Ed25519 and
+	// agreement-MAC verifications during the measure window (0 for the
+	// baseline); SigCPUFraction is the leader's Ed25519-verify
+	// CPU-seconds per wall-clock second — the cost the MAC fast path
+	// removes. The three compartments verify concurrently, so on
+	// multi-core hosts this can exceed 1.0 (it is CPU load, not a share
+	// of the window).
+	SigVerifies    uint64
+	MACVerifies    uint64
+	SigCPUFraction float64
 }
 
 // recorder collects latencies from concurrent workers.

@@ -98,6 +98,9 @@ func startSplitCluster(cfg RunConfig, batchSize int, batchTimeout, requestTimeou
 	if cfg.VerifyWorkers > 0 {
 		opts = append(opts, splitbft.WithVerifyWorkers(cfg.VerifyWorkers))
 	}
+	if cfg.AgreementAuth != "" {
+		opts = append(opts, splitbft.WithAgreementAuth(cfg.AgreementAuth))
+	}
 	cluster, err := splitbft.NewCluster(benchN, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: cluster: %w", err)

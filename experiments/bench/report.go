@@ -1,10 +1,33 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 )
+
+// WriteJSON writes one experiment's results as indented JSON to
+// dir/BENCH_<exp>.json (creating dir if needed) and returns the path —
+// the machine-readable sibling of the Format* renderers, so benchmark
+// trajectories can be archived per commit (CI uploads these as
+// artifacts).
+func WriteJSON(dir, exp string, v any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: json output dir: %w", err)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshal %s results: %w", exp, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
+}
 
 // FormatFigure3 renders a sweep as the two panels of Figure 3: throughput
 // (ops/s) and latency (ms) per client count, one column per system.

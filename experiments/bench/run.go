@@ -97,6 +97,10 @@ func Run(cfg RunConfig) (Result, error) {
 			res.MsgsPerEcall = float64(msgs) / float64(calls)
 		}
 		res.VerifyCacheHitRate = h.splitNodes[0].VerifyCacheStats().HitRate()
+		cs := h.splitNodes[0].CryptoStats()
+		res.SigVerifies = cs.SigVerifies
+		res.MACVerifies = cs.MACVerifies
+		res.SigCPUFraction = cs.SigCPUFraction(elapsed)
 	}
 	return res, nil
 }

@@ -41,9 +41,14 @@ func (cs *comStore) drain() { cs.wg.Wait() }
 // store's failure is sticky, so the pre-route Sync in dispatch sees it
 // and suppresses the outputs — a record lost with no output escaping is
 // indistinguishable from a crash just before it, and the recovery path
-// closes any such gap through peer state transfer.
+// closes any such gap through peer state transfer. Environment timer
+// ticks are skipped: they mutate no replayable state, and persisting one
+// per detection period would grow an idle cluster's WAL forever.
 func (cs *comStore) persistRun(run []ecall) {
 	for k := range run {
+		if len(run[k].payload) == 1 && run[k].payload[0] == ecallTick {
+			continue
+		}
 		_, _ = cs.st.Append(run[k].payload)
 	}
 }
@@ -549,7 +554,7 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 		messages.TCheckpoint, messages.TViewChange, messages.TNewView,
 		messages.TAttestRequest, messages.TProvisionKey,
 		messages.TStateRequest, messages.TStateReply,
-		messages.TBatchFetch, messages.TBatchReply:
+		messages.TBatchFetch, messages.TBatchReply, messages.TStateProbe:
 	default:
 		return // unknown type
 	}
@@ -586,8 +591,10 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 	case messages.TNewView:
 		b.observeNewView(m.(*messages.NewView))
 		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution)
-	case messages.TBatchFetch:
-		// Bounded per period — see fetchBudgetPerPeriod.
+	case messages.TBatchFetch, messages.TStateProbe:
+		// Unauthenticated ask-for-retransmission family whose answers carry
+		// bulk data at the claimed requester: bounded per period — see
+		// fetchBudgetPerPeriod.
 		b.mu.Lock()
 		allowed := b.fetchBudget > 0
 		if allowed {
@@ -710,10 +717,12 @@ func (b *broker) onTick(now time.Time) {
 	// Age the retransmit filter on the failure detector's clock so
 	// deliberate resends (ViewChange rebroadcasts, NewView retransmits to
 	// stragglers) are suppressed for at most two detection periods.
+	tick := false
 	if now.Sub(b.lastRotate) > b.cfg.RequestTimeout {
 		b.lastRotate = now
 		b.dedup.rotate()
 		b.fetchBudget = fetchBudgetPerPeriod
+		tick = true
 	}
 	// Failure detection: any request pending longer than the timeout.
 	if now.Sub(b.lastSuspect) > b.cfg.RequestTimeout {
@@ -736,6 +745,12 @@ func (b *broker) onTick(now time.Time) {
 	b.mu.Unlock()
 	if batch != nil {
 		b.submitBatch(batch)
+	}
+	if tick {
+		// Periodic environment nudge into Execution: drives the rejoin
+		// probe (and the missing-body stall detector) even when no
+		// protocol traffic flows. Never persisted — see persistRun.
+		b.submit(crypto.RoleExecution, []byte{ecallTick}, nil)
 	}
 	if suspect {
 		b.mSuspects.Add(1)

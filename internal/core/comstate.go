@@ -16,6 +16,13 @@ type comState struct {
 	n, f int
 	id   uint32
 	ver  *messages.Verifier
+	// rmacs holds this compartment enclave's pairwise agreement-MAC keys
+	// (attested-ECDH with every peer compartment); nil in sig mode. It is
+	// installed by NewReplica after the enclave launches, before traffic.
+	rmacs *crypto.MACStore
+	// authRecv caches the per-type MAC receiver layouts (MAC mode only;
+	// the layouts are static per deployment size).
+	authRecv map[messages.Type][]crypto.Identity
 
 	view         uint64
 	lowWatermark uint64
@@ -29,7 +36,32 @@ func newComState(n, f int, id uint32, window uint64, ver *messages.Verifier) com
 	return comState{
 		n: n, f: f, id: id, ver: ver, window: window,
 		checkpoints: make(map[uint64]map[uint32]*messages.Checkpoint),
+		authRecv:    make(map[messages.Type][]crypto.Identity),
 	}
+}
+
+// macMode reports whether agreement traffic uses the MAC fast path.
+func (s *comState) macMode() bool { return s.ver.Mode == messages.AuthMAC }
+
+// authReceivers returns (caching) the MAC-vector layout for a type.
+func (s *comState) authReceivers(t messages.Type) []crypto.Identity {
+	rs, ok := s.authRecv[t]
+	if !ok {
+		rs = messages.AgreementAuthReceivers(t, s.n)
+		s.authRecv[t] = rs
+	}
+	return rs
+}
+
+// authenticate stamps an outbound agreement message: in sig mode the
+// enclave signs it; in MAC mode it computes the pairwise authenticator
+// vector for the type's receiver set. Exactly one of the two returns is
+// non-empty.
+func (s *comState) authenticate(host tee.Host, t messages.Type, signing []byte) ([]byte, crypto.Authenticator) {
+	if !s.macMode() {
+		return host.Sign(signing), crypto.Authenticator{}
+	}
+	return nil, s.rmacs.Authenticate(signing, s.authReceivers(t))
 }
 
 func (s *comState) quorum() int { return 2*s.f + 1 }
@@ -42,10 +74,13 @@ func (s *comState) inWindow(seq uint64) bool {
 }
 
 // onCheckpoint is the duplicated checkpoint handler (event handler 9): it
-// collects Execution-signed Checkpoints and returns a new stable
+// collects Execution-authenticated Checkpoints and returns a new stable
 // certificate once 2f+1 match, or nil. The caller performs its
-// compartment-specific GC.
-func (s *comState) onCheckpoint(c *messages.Checkpoint) *messages.CheckpointCert {
+// compartment-specific GC. In sig mode the certificate bundles the 2f+1
+// signed votes; in MAC mode the votes were MAC'd to this compartment
+// alone, so the compartment signs the aggregated claim instead — the
+// single enclave vouch that makes the cert third-party checkable.
+func (s *comState) onCheckpoint(host tee.Host, c *messages.Checkpoint) *messages.CheckpointCert {
 	if c.Seq <= s.lowWatermark {
 		return nil
 	}
@@ -70,8 +105,14 @@ func (s *comState) onCheckpoint(c *messages.Checkpoint) *messages.CheckpointCert
 			continue
 		}
 		cert := &messages.CheckpointCert{Seq: c.Seq, StateDigest: digest}
-		for _, cp := range cps[:s.quorum()] {
-			cert.Proof = append(cert.Proof, *cp)
+		if s.macMode() {
+			cert.Attestor = s.id
+			cert.AttestorRole = uint8(s.ver.Self.Role)
+			cert.Vouch = host.Sign(messages.CheckpointCertClaim(c.Seq, digest))
+		} else {
+			for _, cp := range cps[:s.quorum()] {
+				cert.Proof = append(cert.Proof, *cp)
+			}
 		}
 		return cert
 	}

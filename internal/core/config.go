@@ -66,6 +66,15 @@ type Config struct {
 	// must attest and provision a session key before invoking.
 	Confidential bool
 
+	// AgreementAuth selects how normal-case agreement traffic (PrePrepare,
+	// Prepare, Commit, Checkpoint) is authenticated between replicas:
+	// AuthSig (default) signs every message with the sending compartment's
+	// Ed25519 key; AuthMAC authenticates with pairwise HMAC vectors over
+	// attested-ECDH keys and shrinks view-change certificates to single
+	// enclave-signed claims — the trusted-compartment fast path. All
+	// replicas of a deployment must agree on the mode.
+	AgreementAuth messages.AuthMode
+
 	// Cost is the enclave cost model (hardware, simulation, or zero).
 	Cost tee.CostModel
 	// SingleThread serializes all ecalls through one dispatcher goroutine
@@ -197,6 +206,11 @@ func ConfirmationMeasurement() crypto.Digest { return measConfirmation }
 const (
 	ecallMessage byte = 1 // a messages.Marshal envelope follows
 	ecallBatch   byte = 2 // a messages.MarshalBatch body follows (env → Preparation)
+	// ecallTick is an empty periodic nudge from the environment's failure
+	// detector into the Execution compartment (rejoin probing while a
+	// recovered replica may be behind). Ticks carry no state the WAL must
+	// replay and are never persisted.
+	ecallTick byte = 3
 )
 
 // wrapMessage frames a wire message as an ecall payload.

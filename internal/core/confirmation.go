@@ -77,7 +77,7 @@ func (c *confirmation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 	case *messages.NewView:
 		return c.onNewView(host, msg)
 	case *messages.Checkpoint:
-		c.onCheckpointGC(msg)
+		c.onCheckpointGC(host, msg)
 	}
 	return nil
 }
@@ -153,7 +153,7 @@ func (c *confirmation) maybeCommit(host tee.Host, view, seq uint64) []tee.OutMsg
 	}
 	s.committed = true
 	cm := &messages.Commit{View: view, Seq: seq, Digest: s.prePrepare.Digest, Replica: c.id}
-	cm.Sig = host.Sign(cm.SigningBytes())
+	cm.Sig, cm.Auth = c.authenticate(host, messages.TCommit, cm.SigningBytes())
 	return []tee.OutMsg{
 		broadcastOut(cm),
 		localOut(crypto.RoleExecution, cm),
@@ -194,9 +194,12 @@ func (c *confirmation) startViewChange(host tee.Host, target uint64) []tee.OutMs
 	vc := &messages.ViewChange{
 		NewViewNum: target,
 		Stable:     c.stableCert,
-		Prepared:   c.prepareCerts(),
+		Prepared:   c.prepareCerts(host),
 		Replica:    c.id,
 	}
+	// The ViewChange itself always carries an Ed25519 signature: it is
+	// embedded wholesale in NewViews and must be third-party verifiable
+	// even on the MAC fast path.
 	vc.Sig = host.Sign(vc.SigningBytes())
 	// Upon sending the ViewChange the enclave increases its view and stops
 	// processing Prepares or sending Commits in the old view (§4.4).
@@ -212,21 +215,40 @@ func (c *confirmation) startViewChange(host tee.Host, target uint64) []tee.OutMs
 
 // prepareCerts extracts prepare certificates for every slot above the
 // stable checkpoint that reached a certificate, best view per sequence.
-func (c *confirmation) prepareCerts() []messages.PrepareCert {
+// In sig mode each cert bundles the 2f signed Prepares; in MAC mode those
+// Prepares were MAC'd to this enclave alone, so the cert is the bare
+// proposal header plus this enclave's signature over the aggregated claim
+// ("a prepare certificate for (view, seq, digest) exists").
+func (c *confirmation) prepareCerts(host tee.Host) []messages.PrepareCert {
 	best := make(map[uint64]*messages.PrepareCert)
 	for _, vs := range c.slots {
 		for seq, s := range vs {
 			if seq <= c.lowWatermark || s.prePrepare == nil {
 				continue
 			}
-			pc := &messages.PrepareCert{PrePrepare: *s.prePrepare}
+			matching := 0
 			for _, p := range s.prepares {
-				if p.Digest == s.prePrepare.Digest && len(pc.Prepares) < 2*c.f {
-					pc.Prepares = append(pc.Prepares, *p)
+				if p.Digest == s.prePrepare.Digest {
+					matching++
 				}
 			}
-			if len(pc.Prepares) < 2*c.f {
+			if matching < 2*c.f {
 				continue
+			}
+			var pc *messages.PrepareCert
+			if c.macMode() {
+				pc = &messages.PrepareCert{
+					PrePrepare: *s.prePrepare.StripAuth(),
+					Attestor:   c.id,
+				}
+				pc.Vouch = host.Sign(messages.PrepareCertClaim(pc.View(), pc.Seq(), pc.Digest()))
+			} else {
+				pc = &messages.PrepareCert{PrePrepare: *s.prePrepare}
+				for _, p := range s.prepares {
+					if p.Digest == s.prePrepare.Digest && len(pc.Prepares) < 2*c.f {
+						pc.Prepares = append(pc.Prepares, *p)
+					}
+				}
 			}
 			if cur, ok := best[seq]; !ok || pc.View() > cur.View() {
 				best[seq] = pc
@@ -306,7 +328,10 @@ func (c *confirmation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutM
 		if pp.View != c.view || !c.inWindow(pp.Seq) {
 			continue
 		}
-		if err := c.ver.VerifyPrePrepare(pp, false); err != nil {
+		// Re-issued proposals are validated like live ones in sig mode; in
+		// MAC mode they carry no per-message authenticator and ride on the
+		// NewView signature checked in applyNewViewCheckpoint above.
+		if err := c.ver.VerifyReissuedPrePrepare(pp); err != nil {
 			continue
 		}
 		s := c.slot(pp.View, pp.Seq)
@@ -319,8 +344,8 @@ func (c *confirmation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutM
 }
 
 // onCheckpointGC is the duplicated checkpoint handler (9).
-func (c *confirmation) onCheckpointGC(cp *messages.Checkpoint) {
-	cert := c.onCheckpoint(cp)
+func (c *confirmation) onCheckpointGC(host tee.Host, cp *messages.Checkpoint) {
+	cert := c.onCheckpoint(host, cp)
 	if cert == nil {
 		return
 	}

@@ -88,6 +88,16 @@ type execution struct {
 	sessionKeys map[uint32]crypto.SessionKey
 
 	snapshots map[uint64][]byte
+	// probing/probesLeft drive the rejoin nudge: while armed (set by
+	// finishRecovery after a restart), every environment tick broadcasts a
+	// StateProbe so peers whose stable checkpoint is ahead push the gap
+	// closed even when no protocol traffic flows (the idle-cluster rejoin
+	// case). Probing disarms when a state transfer lands or the budget
+	// runs out — a recovered replica that was never behind stops nudging
+	// after probeBudget unanswered rounds.
+	probing    bool
+	probesLeft int
+
 	// stallSeq/stallTicks drive the missing-body retransmission trigger:
 	// when execution blocks on a committed slot whose body is absent,
 	// every further ecall ticks the counter, and a fetch goes out each
@@ -108,6 +118,15 @@ type execution struct {
 // WAL whose PrePrepare fell in the un-fsynced tail) crosses it as soon as
 // any traffic flows.
 const missingBodyFetchAfter = 32
+
+// probeBudget bounds how many environment ticks a recovered replica
+// broadcasts StateProbes for. Peers answer only while actually ahead, so
+// a replica that recovered fully current drains the budget quietly; a
+// genuinely behind one is answered on the first delivered probe, and if
+// every probe is lost the ordinary traffic-driven checkpoint/state-
+// transfer path still covers the gap — probing is a nudge, not the only
+// mechanism.
+const probeBudget = 32
 
 func newExecution(cfg Config, ver *messages.Verifier) *execution {
 	e := &execution{
@@ -139,6 +158,14 @@ func (e *execution) Preprocess(_ tee.Host, raw []byte) { prevalidate(e.ver, raw)
 
 // HandleECall implements tee.Code.
 func (e *execution) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
+	if len(raw) == 1 && raw[0] == ecallTick {
+		// Environment timer tick: no message, just the liveness nudges.
+		out := e.onProbeTick()
+		if more := e.tickStall(); more != nil {
+			out = append(out, more...)
+		}
+		return out
+	}
 	out := e.handleMessage(host, raw)
 	if more := e.tickStall(); more != nil {
 		out = append(out, more...)
@@ -175,6 +202,8 @@ func (e *execution) handleMessage(host tee.Host, raw []byte) []tee.OutMsg {
 		return e.onBatchFetch(msg)
 	case *messages.BatchReply:
 		return e.onBatchReply(host, msg)
+	case *messages.StateProbe:
+		return e.onStateProbe(msg)
 	}
 	return nil
 }
@@ -424,7 +453,7 @@ func (e *execution) maybeCheckpoint(host tee.Host, seq uint64) []tee.OutMsg {
 	snap := e.app.Snapshot()
 	e.snapshots[seq] = snap
 	cp := &messages.Checkpoint{Seq: seq, StateDigest: crypto.HashData(snap), Replica: e.id}
-	cp.Sig = host.Sign(cp.SigningBytes())
+	cp.Sig, cp.Auth = e.authenticate(host, messages.TCheckpoint, cp.SigningBytes())
 	out := []tee.OutMsg{
 		broadcastOut(cp),
 		localOut(crypto.RolePreparation, cp),
@@ -438,7 +467,7 @@ func (e *execution) maybeCheckpoint(host tee.Host, seq uint64) []tee.OutMsg {
 // onCheckpointMsg collects checkpoint votes and garbage-collects once
 // stable.
 func (e *execution) onCheckpointMsg(host tee.Host, c *messages.Checkpoint) []tee.OutMsg {
-	cert := e.onCheckpoint(c)
+	cert := e.onCheckpoint(host, c)
 	if cert == nil {
 		return nil
 	}
@@ -452,15 +481,65 @@ func (e *execution) installStable(_ tee.Host, cert messages.CheckpointCert) []te
 	e.gc()
 	if e.lastExec < cert.Seq {
 		// Fell behind the group: fetch the snapshot from a replica that
-		// signed the certificate.
+		// contributed to the certificate. A MAC-mode cert names no voters
+		// (single vouch) — if its attestor is a peer, ask there; a cert
+		// this compartment attested itself identifies nobody ahead, so
+		// broadcast the request and take the first verifying reply.
 		for i := range cert.Proof {
 			if cert.Proof[i].Replica != e.id {
 				return []tee.OutMsg{replicaOut(cert.Proof[i].Replica,
 					&messages.StateRequest{Seq: cert.Seq, Replica: e.id})}
 			}
 		}
+		if len(cert.Vouch) > 0 {
+			req := &messages.StateRequest{Seq: cert.Seq, Replica: e.id}
+			if cert.Attestor != e.id {
+				return []tee.OutMsg{replicaOut(cert.Attestor, req)}
+			}
+			return []tee.OutMsg{broadcastOut(req)}
+		}
 	}
 	return nil
+}
+
+// onProbeTick runs on every environment timer tick: while the rejoin
+// nudge is armed, broadcast a StateProbe announcing how far this replica
+// got, so any peer whose stable checkpoint is ahead answers with the
+// snapshot — closing a post-restart outage gap without client traffic.
+func (e *execution) onProbeTick() []tee.OutMsg {
+	if !e.probing {
+		return nil
+	}
+	if e.probesLeft <= 0 {
+		e.probing = false
+		return nil
+	}
+	e.probesLeft--
+	have := e.lastExec
+	if e.stableCert.Seq > have {
+		have = e.stableCert.Seq
+	}
+	return []tee.OutMsg{broadcastOut(&messages.StateProbe{Have: have, Replica: e.id})}
+}
+
+// onStateProbe answers a peer's rejoin nudge when this replica's stable
+// checkpoint is ahead of the prober: the reply is a full StateReply whose
+// certificate the prober verifies, so serving a forged probe leaks
+// nothing and cannot corrupt anyone (bandwidth only, budgeted by the
+// broker alongside BatchFetch).
+func (e *execution) onStateProbe(p *messages.StateProbe) []tee.OutMsg {
+	if int(p.Replica) >= e.n || p.Replica == e.id {
+		return nil
+	}
+	if e.stableCert.Seq <= p.Have {
+		return nil // prober is current (or ahead): nothing to offer
+	}
+	snap, ok := e.snapshots[e.stableCert.Seq]
+	if !ok {
+		return nil
+	}
+	return []tee.OutMsg{replicaOut(p.Replica,
+		&messages.StateReply{Cert: e.stableCert, Snapshot: snap, Replica: e.id})}
 }
 
 // onNewView applies the view and checkpoint (handler 7'), and records the
@@ -548,6 +627,9 @@ func (e *execution) onStateReply(host tee.Host, rep *messages.StateReply) []tee.
 	e.lastExec = rep.Cert.Seq
 	e.advanceStable(rep.Cert)
 	e.gc()
+	// The outage gap just closed (to the group's stable point at least):
+	// stop nudging peers.
+	e.probing = false
 	return e.tryExecute(host)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/ecdh"
 	"crypto/ed25519"
 	"fmt"
 	"io"
@@ -15,11 +16,16 @@ func enclaveKeyStream(seed []byte, replica uint32, role crypto.Role) io.Reader {
 	return crypto.NewKeyStream(seed, "enclave", fmt.Sprintf("%d", replica), role.String())
 }
 
-// RegisterDeterministicKeys registers the public identity keys of every
-// enclave of an n-replica deployment whose Config.KeySeed is seed. It is
-// how separate processes (cmd/splitbft-replica, cmd/splitbft-client) agree
-// on the key registry without a live attestation exchange: the shared seed
-// plays the role of the attestation ceremony's trust root.
+// RegisterDeterministicKeys registers the public identity and X25519 keys
+// of every enclave of an n-replica deployment whose Config.KeySeed is
+// seed. It is how separate processes (cmd/splitbft-replica,
+// cmd/splitbft-client) agree on the key registry without a live
+// attestation exchange: the shared seed plays the role of the attestation
+// ceremony's trust root. The derivation mirrors the enclave's stream read
+// order exactly (identity key, sealing key, ECDH key — 32 bytes each; see
+// tee.NewEnclaveWithRand): the X25519 keys registered here are what
+// MAC-mode replicas use to establish pairwise agreement keys with peer
+// processes they never attest live.
 func RegisterDeterministicKeys(reg *crypto.Registry, seed []byte, n int) error {
 	roles := []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
 	for id := 0; id < n; id++ {
@@ -29,7 +35,25 @@ func RegisterDeterministicKeys(reg *crypto.Registry, seed []byte, n int) error {
 			if err != nil {
 				return fmt.Errorf("derive key for replica %d %v: %w", id, role, err)
 			}
-			reg.Register(crypto.Identity{ReplicaID: uint32(id), Role: role}, pub)
+			ident := crypto.Identity{ReplicaID: uint32(id), Role: role}
+			reg.Register(ident, pub)
+			// Skip the sealing key, then derive the ECDH public key from
+			// the same positions the enclave reads.
+			var skip [32]byte
+			if _, err := io.ReadFull(stream, skip[:]); err != nil {
+				return fmt.Errorf("derive seal position for replica %d %v: %w", id, role, err)
+			}
+			var ecdhSeed [32]byte
+			if _, err := io.ReadFull(stream, ecdhSeed[:]); err != nil {
+				return fmt.Errorf("derive ECDH seed for replica %d %v: %w", id, role, err)
+			}
+			ek, err := ecdh.X25519().NewPrivateKey(ecdhSeed[:])
+			if err != nil {
+				return fmt.Errorf("derive ECDH key for replica %d %v: %w", id, role, err)
+			}
+			var epub [32]byte
+			copy(epub[:], ek.PublicKey().Bytes())
+			reg.RegisterECDH(ident, epub)
 		}
 	}
 	return nil

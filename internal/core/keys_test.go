@@ -37,6 +37,20 @@ func TestDeterministicKeysMatchEnclaves(t *testing.T) {
 		if !bytes.Equal(k1, k2) {
 			t.Fatalf("derived key mismatch for %v", role)
 		}
+		// The X25519 keys behind MAC-mode pairwise channels must derive
+		// identically too — a separate process computing a peer's ECDH key
+		// from the seed must match the live enclave's.
+		e1, err := reg1.LookupECDH(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := reg2.LookupECDH(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e1 != e2 {
+			t.Fatalf("derived ECDH key mismatch for %v", role)
+		}
 	}
 	// Different replicas and roles must get distinct keys.
 	kA, _ := reg2.Lookup(crypto.Identity{ReplicaID: 0, Role: crypto.RolePreparation})

@@ -460,4 +460,10 @@ func (e *execution) finishRecovery() {
 	}
 	e.stallSeq = 0
 	e.stallTicks = 0
+	// Arm the rejoin nudge: whatever committed while this replica was down
+	// is invisible to the local log, and on an idle cluster no checkpoint
+	// traffic would ever reveal it. Probing asks the peers directly; if
+	// none is ahead the budget drains quietly.
+	e.probing = true
+	e.probesLeft = probeBudget
 }

@@ -71,7 +71,7 @@ func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 		case *messages.NewView:
 			return p.onNewView(host, msg)
 		case *messages.Checkpoint:
-			p.onCheckpointGC(msg)
+			p.onCheckpointGC(host, msg)
 			return nil
 		}
 	}
@@ -129,7 +129,7 @@ func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg
 		Replica: p.id,
 		Batch:   b,
 	}
-	pp.Sig = host.Sign(pp.SigningBytes())
+	pp.Sig, pp.Auth = p.authenticate(host, messages.TPrePrepare, pp.SigningBytes())
 	p.record(pp.View, pp.Seq, pp.Digest)
 	return []tee.OutMsg{
 		broadcastOut(pp),
@@ -154,7 +154,7 @@ func (p *preparation) onPrePrepare(host tee.Host, pp *messages.PrePrepare) []tee
 		return nil // duplicate or equivocation: prepare only once
 	}
 	prep := &messages.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: p.id}
-	prep.Sig = host.Sign(prep.SigningBytes())
+	prep.Sig, prep.Auth = p.authenticate(host, messages.TPrepare, prep.SigningBytes())
 	return []tee.OutMsg{
 		broadcastOut(prep),
 		localOut(crypto.RoleConfirmation, prep),
@@ -196,7 +196,14 @@ func (p *preparation) onViewChange(host tee.Host, vc *messages.ViewChange) []tee
 			break
 		}
 	}
-	stable, pps := messages.ComputeNewViewPrePrepares(vc.NewViewNum, p.id, vcs, host.Sign)
+	// In MAC mode the re-issued PrePrepares carry no authenticators of
+	// their own: they travel only inside the NewView, whose Ed25519
+	// signature (same signing compartment) covers them.
+	var sign messages.NewViewSigner
+	if !p.macMode() {
+		sign = host.Sign
+	}
+	stable, pps := messages.ComputeNewViewPrePrepares(vc.NewViewNum, p.id, vcs, sign)
 	nv := &messages.NewView{
 		View:        vc.NewViewNum,
 		ViewChanges: vcs,
@@ -235,7 +242,7 @@ func (p *preparation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMs
 				continue
 			}
 			prep := &messages.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: p.id}
-			prep.Sig = host.Sign(prep.SigningBytes())
+			prep.Sig, prep.Auth = p.authenticate(host, messages.TPrepare, prep.SigningBytes())
 			out = append(out, broadcastOut(prep), localOut(crypto.RoleConfirmation, prep))
 		}
 	}
@@ -270,8 +277,8 @@ func (p *preparation) installView(view uint64, stable messages.CheckpointCert, p
 }
 
 // onCheckpointGC is the duplicated checkpoint handler (9).
-func (p *preparation) onCheckpointGC(c *messages.Checkpoint) {
-	cert := p.onCheckpoint(c)
+func (p *preparation) onCheckpointGC(host tee.Host, c *messages.Checkpoint) {
+	cert := p.onCheckpoint(host, c)
 	if cert == nil {
 		return
 	}

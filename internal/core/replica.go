@@ -37,6 +37,8 @@ type Replica struct {
 	// compartment owns its own cache — compartments share no state (§3.2),
 	// so a cache is enclave-local, warmed by that enclave's verify pool.
 	caches []*messages.VerifyCache
+	// vers are the per-compartment verifiers, kept for crypto-op stats.
+	vers []*messages.Verifier
 	// stores are the per-compartment durability stores (nil without
 	// DataDir); recovery holds what NewReplica reconstructed from them.
 	stores   map[crypto.Role]*comStore
@@ -75,14 +77,18 @@ func NewReplica(cfg Config) (*Replica, error) {
 	}
 	// One verifier per compartment: each carries its own
 	// signature-verification cache so the compartments stay share-nothing.
+	// Self identifies the compartment for MAC-mode authenticator slots.
 	var vers [3]*messages.Verifier
 	var caches []*messages.VerifyCache
+	compartmentRoles := [3]crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
 	for i := range vers {
 		ver, err := messages.NewVerifier(cfg.N, cfg.F, cfg.Registry, messages.SplitScheme())
 		if err != nil {
 			return nil, err
 		}
 		ver.Cache = messages.NewVerifyCache(verifyCacheEntries)
+		ver.Mode = cfg.AgreementAuth
+		ver.Self = crypto.Identity{ReplicaID: cfg.ID, Role: compartmentRoles[i]}
 		caches = append(caches, ver.Cache)
 		vers[i] = ver
 	}
@@ -109,18 +115,41 @@ func NewReplica(cfg Config) (*Replica, error) {
 		return nil, fmt.Errorf("launch execution enclave: %w", err)
 	}
 
-	// Register the enclaves' identity keys: in a real deployment the
-	// operators verify attestation quotes and exchange these out of band.
-	cfg.Registry.Register(prep.Identity(), prep.PublicKey())
-	cfg.Registry.Register(conf.Identity(), conf.PublicKey())
-	cfg.Registry.Register(exec.Identity(), exec.PublicKey())
+	// Register the enclaves' identity and X25519 keys: in a real
+	// deployment the operators verify attestation quotes and exchange
+	// these out of band. The X25519 keys seed the pairwise agreement-MAC
+	// channels of the MAC fast path.
+	for _, enc := range []*tee.Enclave{prep, conf, exec} {
+		cfg.Registry.Register(enc.Identity(), enc.PublicKey())
+		cfg.Registry.RegisterECDH(enc.Identity(), enc.ECDHPublicKey())
+	}
 
 	// Enable the enclave-side parallel verification stage of the pipeline.
 	for _, enc := range []*tee.Enclave{prep, conf, exec} {
 		enc.SetVerifyWorkers(cfg.VerifyWorkers)
 	}
 
-	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches}
+	if cfg.AgreementAuth == messages.AuthMAC {
+		// Pairwise key establishment: each compartment derives the
+		// agreement-MAC key it shares with any peer compartment lazily,
+		// from its enclave's X25519 key and the peer's registered public
+		// key — both ends of a pair compute the same key without it ever
+		// leaving the two enclaves.
+		for i, enc := range []*tee.Enclave{prep, conf, exec} {
+			st := pairwiseMACStore(enc, cfg.Registry)
+			vers[i].MACs = st
+			switch i {
+			case 0:
+				prepCode.rmacs = st
+			case 1:
+				confCode.rmacs = st
+			case 2:
+				execCode.rmacs = st
+			}
+		}
+	}
+
+	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches, vers: vers[:]}
 
 	// Durability: open the per-compartment stores and recover — sealed
 	// snapshot first, then WAL replay — before any broker thread runs.
@@ -188,6 +217,20 @@ func NewReplica(cfg Config) (*Replica, error) {
 		})
 	}
 	return r, nil
+}
+
+// pairwiseMACStore builds a compartment's derived agreement-MAC store: key
+// material comes from the enclave's X25519 exchange with each registered
+// peer, and the registry epoch invalidates cached keys when a peer
+// re-registers (restart with fresh keys).
+func pairwiseMACStore(enc *tee.Enclave, reg *crypto.Registry) *crypto.MACStore {
+	return crypto.NewDerivedMACStore(enc.Identity(), func(peer crypto.Identity) (crypto.MACKey, error) {
+		pub, err := reg.LookupECDH(peer)
+		if err != nil {
+			return crypto.MACKey{}, err
+		}
+		return enc.PairwiseMAC(pub)
+	}, reg.ECDHEpoch)
 }
 
 // Handler returns the transport handler for this replica's endpoint.
@@ -281,6 +324,20 @@ func (r *Replica) VerifyCacheStats() messages.VerifyCacheStats {
 	return out
 }
 
+// VerifierStats returns the summed crypto-op counters across the three
+// compartments: executed Ed25519 verifications and their wall time, plus
+// agreement-MAC verifications (the auth ablation's instrumentation).
+func (r *Replica) VerifierStats() messages.VerifierStats {
+	var out messages.VerifierStats
+	for _, v := range r.vers {
+		s := v.Stats()
+		out.SigVerifies += s.SigVerifies
+		out.SigTime += s.SigTime
+		out.MACVerifies += s.MACVerifies
+	}
+	return out
+}
+
 // PersistedBlocks returns the number of sealed blockchain blocks the
 // environment stored (zero for non-blockchain applications).
 func (r *Replica) PersistedBlocks() int { return r.broker.persistedBlocks() }
@@ -295,14 +352,18 @@ func (r *Replica) EnclaveStats() map[crypto.Role]tee.ECallSnapshot {
 	}
 }
 
-// ResetEnclaveStats zeroes the per-compartment ecall statistics and the
-// verify-cache counters (cached entries are kept).
+// ResetEnclaveStats zeroes the per-compartment ecall statistics, the
+// verify-cache counters (cached entries are kept) and the crypto-op
+// counters.
 func (r *Replica) ResetEnclaveStats() {
 	r.prep.ResetStats()
 	r.conf.ResetStats()
 	r.exec.ResetStats()
 	for _, c := range r.caches {
 		c.Reset()
+	}
+	for _, v := range r.vers {
+		v.ResetStats()
 	}
 }
 

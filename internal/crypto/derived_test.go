@@ -1,0 +1,59 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDerivedMACStore: pairwise keys come from the derive callback, are
+// cached, and the cache drops when the epoch moves (a peer re-registered
+// fresh key material after a restart).
+func TestDerivedMACStore(t *testing.T) {
+	self := Identity{ReplicaID: 0, Role: RolePreparation}
+	peer := Identity{ReplicaID: 1, Role: RoleConfirmation}
+	derives := 0
+	generation := byte(1)
+	epoch := uint64(1)
+	store := NewDerivedMACStore(self, func(p Identity) (MACKey, error) {
+		if p != peer {
+			return MACKey{}, errors.New("unknown peer")
+		}
+		derives++
+		return MACKey{0: generation, 1: byte(p.ReplicaID)}, nil
+	}, func() uint64 { return epoch })
+
+	msg := []byte("m")
+	mac1 := store.MAC(msg, peer)
+	mac2 := store.MAC(msg, peer)
+	if mac1 != mac2 {
+		t.Fatal("derived MACs must be stable")
+	}
+	if derives != 1 {
+		t.Fatalf("derive ran %d times, want 1 (cached)", derives)
+	}
+	if err := store.VerifySingle(msg, mac1, peer); err != nil {
+		t.Fatalf("self-consistent verify failed: %v", err)
+	}
+
+	// Epoch move: the peer restarted with new keys — cached pairwise keys
+	// must be re-derived, and MACs under the old key must stop verifying.
+	generation = 2
+	epoch = 2
+	if err := store.VerifySingle(msg, mac1, peer); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("stale-key MAC still accepted after epoch move: %v", err)
+	}
+	if derives != 2 {
+		t.Fatalf("derive ran %d times after epoch move, want 2", derives)
+	}
+
+	// Unknown peers: sends degrade to zero MACs (liveness only), verifies
+	// report the failure.
+	other := Identity{ReplicaID: 2, Role: RoleExecution}
+	auth := store.Authenticate(msg, []Identity{peer, other})
+	if auth.MACs[1] != ([MACSize]byte{}) {
+		t.Fatal("underivable receiver should get a zero MAC")
+	}
+	if err := store.VerifySingle(msg, auth.MACs[0], other); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("verify against underivable sender must fail: %v", err)
+	}
+}

@@ -62,13 +62,24 @@ type Authenticator struct {
 }
 
 // MACStore holds the pairwise MAC keys known to one participant. It is safe
-// for concurrent use.
+// for concurrent use. Keys come from one of two sources: a shared system
+// secret (NewMACStore — the client/replica keys the paper derives during
+// session setup) or a per-pair derivation function (NewDerivedMACStore —
+// the attested-ECDH path used for replica-to-replica agreement MACs, where
+// each enclave pair computes its key from an X25519 exchange and no shared
+// secret ever exists).
 type MACStore struct {
 	self   Identity
 	secret []byte
+	// derive, when set, replaces the secret-based derivation. epoch guards
+	// the cache: when it moves (a peer re-registered fresh ECDH keys after
+	// a restart), cached pairwise keys are discarded and re-derived.
+	derive func(peer Identity) (MACKey, error)
+	epoch  func() uint64
 
-	mu    sync.RWMutex
-	cache map[Identity]MACKey
+	mu          sync.RWMutex
+	cache       map[Identity]MACKey
+	cachedEpoch uint64
 }
 
 // NewMACStore creates a MAC store for participant self. All stores built
@@ -79,28 +90,55 @@ func NewMACStore(secret []byte, self Identity) *MACStore {
 	return &MACStore{self: self, secret: s, cache: make(map[Identity]MACKey)}
 }
 
+// NewDerivedMACStore creates a MAC store whose pairwise keys come from
+// derive — typically an attested-ECDH exchange between enclaves — instead
+// of a shared secret. derive must be symmetric: both ends of a pair must
+// arrive at the same key. epoch, when non-nil, invalidates the key cache
+// whenever its value changes (peers re-registering after a restart).
+func NewDerivedMACStore(self Identity, derive func(peer Identity) (MACKey, error), epoch func() uint64) *MACStore {
+	return &MACStore{self: self, derive: derive, epoch: epoch, cache: make(map[Identity]MACKey)}
+}
+
 // Self returns the identity this store authenticates as.
 func (m *MACStore) Self() Identity { return m.self }
 
 // keyFor returns (caching) the pairwise key between self and peer. Keys are
-// symmetric: keyFor(a→b) == keyFor(b→a).
-func (m *MACStore) keyFor(peer Identity) MACKey {
+// symmetric: keyFor(a→b) == keyFor(b→a). It fails only for derived stores
+// whose peer key material is not (yet) registered.
+func (m *MACStore) keyFor(peer Identity) (MACKey, error) {
+	var ep uint64
+	if m.epoch != nil {
+		ep = m.epoch()
+	}
 	m.mu.RLock()
 	k, ok := m.cache[peer]
+	stale := m.cachedEpoch != ep
 	m.mu.RUnlock()
-	if ok {
-		return k
+	if ok && !stale {
+		return k, nil
 	}
-	// Normalize the pair ordering so both directions derive the same key.
-	a, b := m.self, peer
-	if less(b, a) {
-		a, b = b, a
+	var err error
+	if m.derive != nil {
+		k, err = m.derive(peer)
+		if err != nil {
+			return MACKey{}, err
+		}
+	} else {
+		// Normalize the pair ordering so both directions derive the same key.
+		a, b := m.self, peer
+		if less(b, a) {
+			a, b = b, a
+		}
+		k = NewMACKey(m.secret, a, b)
 	}
-	k = NewMACKey(m.secret, a, b)
 	m.mu.Lock()
+	if m.cachedEpoch != ep {
+		m.cache = make(map[Identity]MACKey)
+		m.cachedEpoch = ep
+	}
 	m.cache[peer] = k
 	m.mu.Unlock()
-	return k
+	return k, nil
 }
 
 func less(a, b Identity) bool {
@@ -111,18 +149,30 @@ func less(a, b Identity) bool {
 }
 
 // Authenticate computes the authenticator vector over msg for the given
-// receivers, in order.
+// receivers, in order. A receiver whose pairwise key cannot be derived
+// (derived stores only; a deployment wiring gap) gets a zero MAC: that
+// receiver will reject the message — a liveness loss on a misconfigured
+// pair, never a safety one.
 func (m *MACStore) Authenticate(msg []byte, receivers []Identity) Authenticator {
 	auth := Authenticator{MACs: make([][MACSize]byte, len(receivers))}
 	for i, r := range receivers {
-		auth.MACs[i] = ComputeMAC(m.keyFor(r), msg)
+		k, err := m.keyFor(r)
+		if err != nil {
+			continue
+		}
+		auth.MACs[i] = ComputeMAC(k, msg)
 	}
 	return auth
 }
 
-// MAC computes a single MAC over msg for one receiver.
+// MAC computes a single MAC over msg for one receiver (zero on a derived
+// store whose pairwise key is unavailable; see Authenticate).
 func (m *MACStore) MAC(msg []byte, receiver Identity) [MACSize]byte {
-	return ComputeMAC(m.keyFor(receiver), msg)
+	k, err := m.keyFor(receiver)
+	if err != nil {
+		return [MACSize]byte{}
+	}
+	return ComputeMAC(k, msg)
 }
 
 // VerifyIndexed verifies the idx-th MAC of the authenticator as coming from
@@ -131,7 +181,11 @@ func (m *MACStore) VerifyIndexed(msg []byte, auth Authenticator, idx int, sender
 	if idx < 0 || idx >= len(auth.MACs) {
 		return fmt.Errorf("%w: authenticator index %d out of range %d", ErrBadMAC, idx, len(auth.MACs))
 	}
-	if !VerifyMAC(m.keyFor(sender), msg, auth.MACs[idx]) {
+	k, err := m.keyFor(sender)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMAC, err)
+	}
+	if !VerifyMAC(k, msg, auth.MACs[idx]) {
 		return fmt.Errorf("%w: from %v/%v", ErrBadMAC, sender.ReplicaID, sender.Role)
 	}
 	return nil
@@ -139,7 +193,11 @@ func (m *MACStore) VerifyIndexed(msg []byte, auth Authenticator, idx int, sender
 
 // VerifySingle verifies a single MAC from sender over msg.
 func (m *MACStore) VerifySingle(msg []byte, mac [MACSize]byte, sender Identity) error {
-	if !VerifyMAC(m.keyFor(sender), msg, mac) {
+	k, err := m.keyFor(sender)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMAC, err)
+	}
+	if !VerifyMAC(k, msg, mac) {
 		return fmt.Errorf("%w: from %v/%v", ErrBadMAC, sender.ReplicaID, sender.Role)
 	}
 	return nil

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // DigestSize is the size in bytes of protocol digests (SHA-256).
@@ -151,15 +152,27 @@ func (r Role) String() string {
 
 // Registry maps identities to public keys. It is safe for concurrent use;
 // in a deployment it is populated during setup/attestation and read-only
-// afterwards.
+// afterwards. Alongside the Ed25519 identity keys it carries the enclaves'
+// X25519 keys, exchanged during the same attestation ceremony: they are
+// what pairwise agreement-MAC keys are derived from (the attested-ECDH
+// path of the MAC-authenticated fast path).
 type Registry struct {
-	mu   sync.RWMutex
-	keys map[Identity]ed25519.PublicKey
+	mu       sync.RWMutex
+	keys     map[Identity]ed25519.PublicKey
+	ecdhKeys map[Identity][32]byte
+	// ecdhEpoch counts ECDH registrations. Pairwise MAC keys derived from
+	// these entries are cached in MACStores; the epoch lets those caches
+	// detect a re-registration (a peer enclave restarted with fresh keys)
+	// and re-derive instead of serving stale keys.
+	ecdhEpoch atomic.Uint64
 }
 
 // NewRegistry returns an empty key registry.
 func NewRegistry() *Registry {
-	return &Registry{keys: make(map[Identity]ed25519.PublicKey)}
+	return &Registry{
+		keys:     make(map[Identity]ed25519.PublicKey),
+		ecdhKeys: make(map[Identity][32]byte),
+	}
 }
 
 // Register stores the public key for id, replacing any previous key.
@@ -200,3 +213,27 @@ func (r *Registry) Len() int {
 	defer r.mu.RUnlock()
 	return len(r.keys)
 }
+
+// RegisterECDH stores the X25519 public key for id, replacing any previous
+// key and advancing the ECDH epoch so derived-key caches refresh.
+func (r *Registry) RegisterECDH(id Identity, pub [32]byte) {
+	r.mu.Lock()
+	r.ecdhKeys[id] = pub
+	r.mu.Unlock()
+	r.ecdhEpoch.Add(1)
+}
+
+// LookupECDH returns the X25519 public key registered for id.
+func (r *Registry) LookupECDH(id Identity) ([32]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pub, ok := r.ecdhKeys[id]
+	if !ok {
+		return [32]byte{}, fmt.Errorf("%w: no ECDH key for %v/%v", ErrUnknownSigner, id.ReplicaID, id.Role)
+	}
+	return pub, nil
+}
+
+// ECDHEpoch returns the ECDH registration generation; it changes whenever
+// RegisterECDH runs.
+func (r *Registry) ECDHEpoch() uint64 { return r.ecdhEpoch.Load() }

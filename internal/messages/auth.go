@@ -1,0 +1,148 @@
+package messages
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// AuthMode selects how normal-case agreement traffic (PrePrepare, Prepare,
+// Commit, Checkpoint) is authenticated between replicas.
+//
+// AuthSig is the paper's baseline: every message carries an Ed25519
+// signature from its sending compartment, transferable to third parties —
+// certificates are bundles of individually verifiable messages.
+//
+// AuthMAC is the trusted-compartment fast path: attested agreement
+// enclaves establish pairwise symmetric keys (X25519 between enclave keys
+// exchanged at registration) and authenticate normal-case traffic with
+// HMAC vectors, one authenticator per receiving compartment. MACs are not
+// transferable, so messages that third parties must be able to check keep
+// Ed25519: ViewChange and NewView — and the certificates they carry shrink
+// from 2f+1 signature bundles to a single enclave signature over the
+// aggregated claim, sound because an attested enclave is trusted to have
+// validated the quorum correctly before signing.
+type AuthMode uint8
+
+// Agreement authentication modes.
+const (
+	AuthSig AuthMode = iota
+	AuthMAC
+)
+
+// String returns the facade-level spelling of the mode.
+func (m AuthMode) String() string {
+	if m == AuthMAC {
+		return "mac"
+	}
+	return "sig"
+}
+
+// AgreementAuthReceivers returns the ordered MAC-vector layout for an
+// agreement message type in a SplitBFT deployment of n replicas: exactly
+// the compartments that verify the type, in a fixed order both sender and
+// receivers compute independently.
+//
+//   - PrePrepare and Checkpoint are verified by all three compartments of
+//     every replica (duplicated input logs, duplicated checkpoint
+//     handlers): 3n entries, Preparation block then Confirmation block
+//     then Execution block.
+//   - Prepare is consumed only by Confirmation compartments: n entries.
+//   - Commit is consumed only by Execution compartments: n entries.
+//
+// Other types return nil: they are not MAC-authenticated.
+func AgreementAuthReceivers(t Type, n int) []crypto.Identity {
+	roles := agreementAuthRoles(t)
+	if roles == nil {
+		return nil
+	}
+	out := make([]crypto.Identity, 0, len(roles)*n)
+	for _, role := range roles {
+		for i := 0; i < n; i++ {
+			out = append(out, crypto.Identity{ReplicaID: uint32(i), Role: role})
+		}
+	}
+	return out
+}
+
+// AgreementAuthIndex returns self's slot in the MAC vector of type t, or
+// -1 when self is not a receiver of that type.
+func AgreementAuthIndex(t Type, n int, self crypto.Identity) int {
+	roles := agreementAuthRoles(t)
+	for bi, role := range roles {
+		if role == self.Role && int(self.ReplicaID) < n {
+			return bi*n + int(self.ReplicaID)
+		}
+	}
+	return -1
+}
+
+// agreementAuthRoles lists the receiver role blocks of a MAC-authenticated
+// type, in vector order.
+func agreementAuthRoles(t Type) []crypto.Role {
+	switch t {
+	case TPrePrepare, TCheckpoint:
+		return []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
+	case TPrepare:
+		return []crypto.Role{crypto.RoleConfirmation}
+	case TCommit:
+		return []crypto.Role{crypto.RoleExecution}
+	default:
+		return nil
+	}
+}
+
+// Domain-separation tags for certificate vouch signatures. They must not
+// collide with the message-type bytes that prefix every SigningBytes
+// payload, so a vouch can never be replayed as a protocol message (or vice
+// versa).
+const (
+	sigTagPrepareCertVouch    = 0xF1
+	sigTagCheckpointCertVouch = 0xF2
+)
+
+// PrepareCertClaim returns the bytes an enclave signs to vouch for a
+// locally validated prepare certificate: "a prepare certificate for
+// (view, seq, digest) exists". In MAC mode this single signature replaces
+// the 2f+1 individually signed messages of the sig-mode certificate.
+func PrepareCertClaim(view, seq uint64, digest crypto.Digest) []byte {
+	e := NewEncoder(64)
+	e.U8(sigTagPrepareCertVouch)
+	e.U64(view)
+	e.U64(seq)
+	e.Digest(digest)
+	return e.Bytes()
+}
+
+// CheckpointCertClaim returns the bytes an enclave signs to vouch for a
+// locally validated stable-checkpoint certificate.
+func CheckpointCertClaim(seq uint64, stateDigest crypto.Digest) []byte {
+	e := NewEncoder(64)
+	e.U8(sigTagCheckpointCertVouch)
+	e.U64(seq)
+	e.Digest(stateDigest)
+	return e.Bytes()
+}
+
+// maxAuthMACs bounds decoded authenticator vectors (3n entries at the
+// widest layout; 4096 allows deployments beyond a thousand replicas).
+const maxAuthMACs = 4096
+
+// Auth appends an authenticator vector: count then the fixed-size MACs.
+func (e *Encoder) Auth(a crypto.Authenticator) {
+	e.U32(uint32(len(a.MACs)))
+	for _, m := range a.MACs {
+		e.MAC(m)
+	}
+}
+
+// Auth reads an authenticator vector written by Encoder.Auth.
+func (d *Decoder) Auth() crypto.Authenticator {
+	n := d.Count(maxAuthMACs)
+	if n == 0 {
+		return crypto.Authenticator{}
+	}
+	a := crypto.Authenticator{MACs: make([][crypto.MACSize]byte, n)}
+	for i := 0; i < n; i++ {
+		a.MACs[i] = d.MAC()
+	}
+	return a
+}

@@ -1,0 +1,241 @@
+package messages
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// macVerifier builds a MAC-mode verifier for one compartment, with
+// secret-derived pairwise stores standing in for the attested-ECDH keys
+// (the derivation source is irrelevant to the verification logic).
+func macVerifier(t *testing.T, self crypto.Identity) (*Verifier, *crypto.Registry) {
+	t.Helper()
+	reg := crypto.NewRegistry()
+	v, err := NewVerifier(4, 1, reg, SplitScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Mode = AuthMAC
+	v.Self = self
+	v.MACs = crypto.NewMACStore([]byte("auth-test"), self)
+	return v, reg
+}
+
+// senderMACs returns the matching pairwise store for a sending enclave.
+func senderMACs(id crypto.Identity) *crypto.MACStore {
+	return crypto.NewMACStore([]byte("auth-test"), id)
+}
+
+func TestAgreementAuthLayout(t *testing.T) {
+	n := 4
+	// PrePrepare/Checkpoint: all three compartments of every replica.
+	rs := AgreementAuthReceivers(TPrePrepare, n)
+	if len(rs) != 3*n {
+		t.Fatalf("PrePrepare receiver set has %d entries, want %d", len(rs), 3*n)
+	}
+	if got := AgreementAuthIndex(TPrePrepare, n, crypto.Identity{ReplicaID: 2, Role: crypto.RoleConfirmation}); got != n+2 {
+		t.Fatalf("conf-2 PrePrepare slot = %d, want %d", got, n+2)
+	}
+	if rs[n+2] != (crypto.Identity{ReplicaID: 2, Role: crypto.RoleConfirmation}) {
+		t.Fatalf("layout/index disagree at slot %d: %v", n+2, rs[n+2])
+	}
+	// Prepare: Confirmation only.
+	if len(AgreementAuthReceivers(TPrepare, n)) != n {
+		t.Fatal("Prepare receiver set should be one block")
+	}
+	// Non-receivers index as -1.
+	if AgreementAuthIndex(TPrepare, n, crypto.Identity{ReplicaID: 0, Role: crypto.RoleExecution}) != -1 {
+		t.Fatal("Execution must not be a Prepare receiver")
+	}
+	if AgreementAuthIndex(TViewChange, n, crypto.Identity{ReplicaID: 0, Role: crypto.RoleConfirmation}) != -1 {
+		t.Fatal("ViewChange is not MAC-authenticated")
+	}
+}
+
+func TestMACPrepareVerifies(t *testing.T) {
+	self := crypto.Identity{ReplicaID: 2, Role: crypto.RoleConfirmation}
+	v, _ := macVerifier(t, self)
+	sender := crypto.Identity{ReplicaID: 1, Role: crypto.RolePreparation}
+	p := &Prepare{View: 0, Seq: 3, Digest: crypto.HashData([]byte("b")), Replica: 1}
+	p.Auth = senderMACs(sender).Authenticate(p.SigningBytes(), AgreementAuthReceivers(TPrepare, 4))
+	if err := v.VerifyPrepare(p); err != nil {
+		t.Fatalf("valid MAC-mode Prepare rejected: %v", err)
+	}
+}
+
+func TestMACForgedAuthenticatorRejected(t *testing.T) {
+	self := crypto.Identity{ReplicaID: 2, Role: crypto.RoleConfirmation}
+	v, _ := macVerifier(t, self)
+	sender := crypto.Identity{ReplicaID: 1, Role: crypto.RolePreparation}
+	p := &Prepare{View: 0, Seq: 3, Digest: crypto.HashData([]byte("b")), Replica: 1}
+	p.Auth = senderMACs(sender).Authenticate(p.SigningBytes(), AgreementAuthReceivers(TPrepare, 4))
+	p.Auth.MACs[2][0] ^= 1 // flip one bit of the slot addressed to self
+	if err := v.VerifyPrepare(p); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("forged MAC accepted: %v", err)
+	}
+	// An empty vector must fail too, not index out of range into success.
+	p.Auth = crypto.Authenticator{}
+	if err := v.VerifyPrepare(p); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("missing authenticator accepted: %v", err)
+	}
+}
+
+// TestMACWrongPairRejected covers the wrong-pair case: a MAC computed
+// under the key of a different receiver pair lands in self's slot. Even
+// though it is a "real" MAC by a real key holder, it does not verify
+// under self's pairwise key.
+func TestMACWrongPairRejected(t *testing.T) {
+	self := crypto.Identity{ReplicaID: 2, Role: crypto.RoleConfirmation}
+	v, _ := macVerifier(t, self)
+	sender := crypto.Identity{ReplicaID: 1, Role: crypto.RolePreparation}
+	p := &Prepare{View: 0, Seq: 3, Digest: crypto.HashData([]byte("b")), Replica: 1}
+	p.Auth = senderMACs(sender).Authenticate(p.SigningBytes(), AgreementAuthReceivers(TPrepare, 4))
+	// Swap self's slot with the (valid) MAC addressed to Confirmation 3.
+	p.Auth.MACs[2] = p.Auth.MACs[3]
+	if err := v.VerifyPrepare(p); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("wrong-pair MAC accepted: %v", err)
+	}
+}
+
+// TestMACReplayedAuthenticatorRejected transplants the authenticator
+// vector of one message onto another: MACs bind the full signing bytes,
+// so a vector replayed under different content must fail.
+func TestMACReplayedAuthenticatorRejected(t *testing.T) {
+	self := crypto.Identity{ReplicaID: 2, Role: crypto.RoleConfirmation}
+	v, _ := macVerifier(t, self)
+	sender := crypto.Identity{ReplicaID: 1, Role: crypto.RolePreparation}
+	donor := &Prepare{View: 0, Seq: 3, Digest: crypto.HashData([]byte("honest")), Replica: 1}
+	donor.Auth = senderMACs(sender).Authenticate(donor.SigningBytes(), AgreementAuthReceivers(TPrepare, 4))
+	if err := v.VerifyPrepare(donor); err != nil {
+		t.Fatalf("donor message must verify: %v", err)
+	}
+	for _, forged := range []*Prepare{
+		{View: 0, Seq: 3, Digest: crypto.HashData([]byte("evil")), Replica: 1}, // different digest
+		{View: 0, Seq: 4, Digest: donor.Digest, Replica: 1},                    // different slot
+		{View: 1, Seq: 3, Digest: donor.Digest, Replica: 1},                    // different view
+	} {
+		forged.Auth = donor.Auth
+		if err := v.VerifyPrepare(forged); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("replayed authenticator accepted on %+v: %v", forged, err)
+		}
+	}
+}
+
+// vouchedCertFixture registers an Ed25519 key for the attesting enclave
+// and returns its pair for signing vouches.
+func vouchedCertFixture(t *testing.T, reg *crypto.Registry, id crypto.Identity) *crypto.KeyPair {
+	t.Helper()
+	kp := crypto.MustGenerateKeyPair()
+	reg.Register(id, kp.Public)
+	return kp
+}
+
+func TestMACPrepareCertVouch(t *testing.T) {
+	self := crypto.Identity{ReplicaID: 0, Role: crypto.RolePreparation}
+	v, reg := macVerifier(t, self)
+	attestor := crypto.Identity{ReplicaID: 3, Role: crypto.RoleConfirmation}
+	kp := vouchedCertFixture(t, reg, attestor)
+
+	pc := &PrepareCert{
+		PrePrepare: PrePrepare{View: 2, Seq: 7, Digest: crypto.HashData([]byte("batch")), Replica: 2},
+		Attestor:   3,
+	}
+	pc.Vouch = kp.Sign(PrepareCertClaim(pc.View(), pc.Seq(), pc.Digest()))
+	if err := v.VerifyPrepareCert(pc); err != nil {
+		t.Fatalf("valid vouched prepare cert rejected: %v", err)
+	}
+
+	// A vouch over a different claim must not transfer.
+	bad := *pc
+	bad.PrePrepare.Digest = crypto.HashData([]byte("other"))
+	if err := v.VerifyPrepareCert(&bad); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("transplanted vouch accepted: %v", err)
+	}
+	// A vouch signed by a non-registered/forged key must fail.
+	forged := *pc
+	forged.Vouch = crypto.MustGenerateKeyPair().Sign(PrepareCertClaim(pc.View(), pc.Seq(), pc.Digest()))
+	if err := v.VerifyPrepareCert(&forged); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("forged vouch accepted: %v", err)
+	}
+	// Sig-style certificates (no vouch) are refused in MAC mode: modes
+	// must not be downgradable per message.
+	unvouched := *pc
+	unvouched.Vouch = nil
+	if err := v.VerifyPrepareCert(&unvouched); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unvouched cert accepted in MAC mode: %v", err)
+	}
+}
+
+func TestMACCheckpointCertVouch(t *testing.T) {
+	self := crypto.Identity{ReplicaID: 0, Role: crypto.RolePreparation}
+	v, reg := macVerifier(t, self)
+	attestor := crypto.Identity{ReplicaID: 1, Role: crypto.RoleExecution}
+	kp := vouchedCertFixture(t, reg, attestor)
+
+	cc := &CheckpointCert{Seq: 8, StateDigest: crypto.HashData([]byte("state")), Attestor: 1, AttestorRole: uint8(crypto.RoleExecution)}
+	cc.Vouch = kp.Sign(CheckpointCertClaim(cc.Seq, cc.StateDigest))
+	if err := v.VerifyCheckpointCert(cc); err != nil {
+		t.Fatalf("valid vouched checkpoint cert rejected: %v", err)
+	}
+	// Genesis stays valid with no proof and no vouch.
+	if err := v.VerifyCheckpointCert(&CheckpointCert{}); err != nil {
+		t.Fatalf("genesis cert rejected: %v", err)
+	}
+	// Non-compartment attestor roles are refused (e.g. a client key).
+	badRole := *cc
+	badRole.AttestorRole = uint8(crypto.RoleClient)
+	if err := v.VerifyCheckpointCert(&badRole); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("client-role attestor accepted: %v", err)
+	}
+	// The claim is domain-separated from protocol messages: a Checkpoint
+	// signature over the same (seq, digest) fields must not validate as a
+	// vouch.
+	cp := &Checkpoint{Seq: cc.Seq, StateDigest: cc.StateDigest, Replica: 1}
+	crossed := *cc
+	crossed.Vouch = kp.Sign(cp.SigningBytes())
+	if err := v.VerifyCheckpointCert(&crossed); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("checkpoint signature accepted as cert vouch: %v", err)
+	}
+}
+
+// TestMACModeMessagesRoundTrip pins the extended wire format: Auth
+// vectors and cert vouch fields survive Marshal/Unmarshal.
+func TestMACModeMessagesRoundTrip(t *testing.T) {
+	sender := crypto.NewMACStore([]byte("rt"), crypto.Identity{ReplicaID: 0, Role: crypto.RolePreparation})
+	pp := &PrePrepare{View: 1, Seq: 2, Digest: crypto.HashData([]byte("d")), Replica: 0}
+	pp.Auth = sender.Authenticate(pp.SigningBytes(), AgreementAuthReceivers(TPrePrepare, 4))
+	raw := Marshal(pp)
+	m, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*PrePrepare)
+	if len(got.Auth.MACs) != 12 || got.Auth.MACs[5] != pp.Auth.MACs[5] {
+		t.Fatalf("PrePrepare authenticator did not round-trip: %d MACs", len(got.Auth.MACs))
+	}
+
+	vc := &ViewChange{
+		NewViewNum: 3,
+		Stable:     CheckpointCert{Seq: 4, StateDigest: crypto.HashData([]byte("s")), Attestor: 2, AttestorRole: uint8(crypto.RoleConfirmation), Vouch: []byte("vouch-1")},
+		Prepared: []PrepareCert{{
+			PrePrepare: PrePrepare{View: 1, Seq: 5, Digest: crypto.HashData([]byte("p")), Replica: 1},
+			Attestor:   2,
+			Vouch:      []byte("vouch-2"),
+		}},
+		Replica: 2,
+		Sig:     []byte("sig"),
+	}
+	m, err = Unmarshal(Marshal(vc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVC := m.(*ViewChange)
+	if gotVC.Stable.Attestor != 2 || string(gotVC.Stable.Vouch) != "vouch-1" {
+		t.Fatal("checkpoint cert vouch did not round-trip")
+	}
+	if len(gotVC.Prepared) != 1 || gotVC.Prepared[0].Attestor != 2 || string(gotVC.Prepared[0].Vouch) != "vouch-2" {
+		t.Fatal("prepare cert vouch did not round-trip")
+	}
+}

@@ -84,6 +84,8 @@ func newMessage(t Type) (Message, error) {
 		return &BatchFetch{}, nil
 	case TBatchReply:
 		return &BatchReply{}, nil
+	case TStateProbe:
+		return &StateProbe{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrDecode, uint8(t))
 	}

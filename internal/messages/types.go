@@ -27,6 +27,7 @@ const (
 	TSuspect
 	TBatchFetch
 	TBatchReply
+	TStateProbe
 )
 
 // String returns the conventional protocol name for the message type.
@@ -64,6 +65,8 @@ func (t Type) String() string {
 		return "BatchFetch"
 	case TBatchReply:
 		return "BatchReply"
+	case TStateProbe:
+		return "StateProbe"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -215,8 +218,9 @@ func (b *Batch) decode(d *Decoder) {
 }
 
 // PrePrepare is the primary's ordering proposal for one sequence number in
-// one view. The signature covers (view, seq, digest, replica); the batch
-// body is bound transitively through the digest.
+// one view. The signature (or, in MAC mode, the authenticator vector)
+// covers (view, seq, digest, replica); the batch body is bound
+// transitively through the digest.
 type PrePrepare struct {
 	View    uint64
 	Seq     uint64
@@ -224,6 +228,9 @@ type PrePrepare struct {
 	Replica uint32        // proposing replica (primary of View)
 	Batch   Batch         // full requests; may be empty in certificates
 	Sig     []byte
+	// Auth is the MAC-mode authenticator vector over SigningBytes, laid
+	// out per AgreementAuthReceivers(TPrePrepare, n). Empty in sig mode.
+	Auth crypto.Authenticator
 }
 
 // MsgType implements Message.
@@ -248,6 +255,17 @@ func (p *PrePrepare) StripBatch() *PrePrepare {
 	return &cp
 }
 
+// StripAuth returns a copy of p without batch, signature or authenticator
+// vector — the bare header embedded in MAC-mode certificates, whose
+// authenticity rides on the certificate vouch instead.
+func (p *PrePrepare) StripAuth() *PrePrepare {
+	cp := *p
+	cp.Batch = Batch{}
+	cp.Sig = nil
+	cp.Auth = crypto.Authenticator{}
+	return &cp
+}
+
 func (p *PrePrepare) encodeBody(e *Encoder) {
 	e.U64(p.View)
 	e.U64(p.Seq)
@@ -255,6 +273,7 @@ func (p *PrePrepare) encodeBody(e *Encoder) {
 	e.U32(p.Replica)
 	p.Batch.encode(e)
 	e.VarBytes(p.Sig)
+	e.Auth(p.Auth)
 }
 
 func (p *PrePrepare) decodeBody(d *Decoder) {
@@ -264,6 +283,7 @@ func (p *PrePrepare) decodeBody(d *Decoder) {
 	p.Replica = d.U32()
 	p.Batch.decode(d)
 	p.Sig = d.VarBytes()
+	p.Auth = d.Auth()
 }
 
 // Prepare is a backup's vote that it received the primary's PrePrepare for
@@ -274,6 +294,9 @@ type Prepare struct {
 	Digest  crypto.Digest
 	Replica uint32
 	Sig     []byte
+	// Auth is the MAC-mode authenticator vector (one slot per Confirmation
+	// compartment). Empty in sig mode.
+	Auth crypto.Authenticator
 }
 
 // MsgType implements Message.
@@ -296,6 +319,7 @@ func (p *Prepare) encodeBody(e *Encoder) {
 	e.Digest(p.Digest)
 	e.U32(p.Replica)
 	e.VarBytes(p.Sig)
+	e.Auth(p.Auth)
 }
 
 func (p *Prepare) decodeBody(d *Decoder) {
@@ -304,6 +328,7 @@ func (p *Prepare) decodeBody(d *Decoder) {
 	p.Digest = d.Digest()
 	p.Replica = d.U32()
 	p.Sig = d.VarBytes()
+	p.Auth = d.Auth()
 }
 
 // Commit is a replica's vote that a prepare certificate exists for
@@ -314,6 +339,9 @@ type Commit struct {
 	Digest  crypto.Digest
 	Replica uint32
 	Sig     []byte
+	// Auth is the MAC-mode authenticator vector (one slot per Execution
+	// compartment). Empty in sig mode.
+	Auth crypto.Authenticator
 }
 
 // MsgType implements Message.
@@ -336,6 +364,7 @@ func (c *Commit) encodeBody(e *Encoder) {
 	e.Digest(c.Digest)
 	e.U32(c.Replica)
 	e.VarBytes(c.Sig)
+	e.Auth(c.Auth)
 }
 
 func (c *Commit) decodeBody(d *Decoder) {
@@ -344,6 +373,7 @@ func (c *Commit) decodeBody(d *Decoder) {
 	c.Digest = d.Digest()
 	c.Replica = d.U32()
 	c.Sig = d.VarBytes()
+	c.Auth = d.Auth()
 }
 
 // Reply carries an execution result back to the client. For confidential
@@ -438,6 +468,33 @@ func (f *BatchFetch) decodeBody(d *Decoder) {
 	f.Seq = d.U64()
 	f.Digest = d.Digest()
 	f.Replica = d.U32()
+}
+
+// StateProbe asks peer Execution compartments whether the cluster has
+// advanced past the sender's state — the rejoin nudge a recovered replica
+// broadcasts while it may still be behind, so its outage gap closes even
+// on an idle cluster where no checkpoint traffic flows. Have carries the
+// sender's highest applied sequence; peers whose stable checkpoint is
+// newer answer with a StateReply. It is unauthenticated: the reply is a
+// certificate-carrying StateReply the receiver fully verifies, so a
+// forged probe can only cost bandwidth (bounded by the broker's
+// reflection budget, like BatchFetch).
+type StateProbe struct {
+	Have    uint64
+	Replica uint32 // prober
+}
+
+// MsgType implements Message.
+func (s *StateProbe) MsgType() Type { return TStateProbe }
+
+func (s *StateProbe) encodeBody(e *Encoder) {
+	e.U64(s.Have)
+	e.U32(s.Replica)
+}
+
+func (s *StateProbe) decodeBody(d *Decoder) {
+	s.Have = d.U64()
+	s.Replica = d.U32()
 }
 
 // BatchReply answers a BatchFetch with the full request bodies. It needs

@@ -3,6 +3,8 @@ package messages
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"github.com/splitbft/splitbft/internal/crypto"
 )
@@ -60,6 +62,48 @@ type Verifier struct {
 	// retransmits and view-change replays skip redundant Ed25519 work. It
 	// never changes verification outcomes (only successes are cached).
 	Cache *VerifyCache
+
+	// Mode selects how normal-case agreement traffic is authenticated
+	// (AuthSig default). In AuthMAC, MACs must hold the verifying
+	// compartment's pairwise replica keys and Self its identity — the MAC
+	// vector slot it checks is derived from both.
+	Mode AuthMode
+	MACs *crypto.MACStore
+	Self crypto.Identity
+
+	// Crypto-op accounting for the auth ablation: how many Ed25519
+	// verifications actually ran (cache hits excluded), the wall time they
+	// took, and how many agreement-MAC verifications ran. Atomic — the
+	// verify worker pool calls concurrently.
+	sigOps   atomic.Uint64
+	sigNanos atomic.Int64
+	macOps   atomic.Uint64
+}
+
+// VerifierStats is a snapshot of a Verifier's crypto-op counters.
+type VerifierStats struct {
+	// SigVerifies counts executed Ed25519 verifications (cache hits are
+	// free and excluded); SigTime is the wall time they consumed.
+	SigVerifies uint64
+	SigTime     time.Duration
+	// MACVerifies counts agreement-MAC (HMAC) verifications.
+	MACVerifies uint64
+}
+
+// Stats returns the verifier's crypto-op counters.
+func (v *Verifier) Stats() VerifierStats {
+	return VerifierStats{
+		SigVerifies: v.sigOps.Load(),
+		SigTime:     time.Duration(v.sigNanos.Load()),
+		MACVerifies: v.macOps.Load(),
+	}
+}
+
+// ResetStats zeroes the crypto-op counters (between benchmark phases).
+func (v *Verifier) ResetStats() {
+	v.sigOps.Store(0)
+	v.sigNanos.Store(0)
+	v.macOps.Store(0)
 }
 
 // VerifySig checks sig over msg under the key registered for signer,
@@ -67,17 +111,45 @@ type Verifier struct {
 // checks in this package funnel through here.
 func (v *Verifier) VerifySig(signer crypto.Identity, msg, sig []byte) error {
 	if v.Cache == nil {
-		return v.Reg.VerifyFrom(signer, msg, sig)
+		return v.timedVerifyFrom(signer, msg, sig)
 	}
 	k := verifyKey{signer: signer, sum: crypto.HashConcat(msg, sig)}
 	if v.Cache.lookup(k) {
 		return nil
 	}
-	if err := v.Reg.VerifyFrom(signer, msg, sig); err != nil {
+	if err := v.timedVerifyFrom(signer, msg, sig); err != nil {
 		return err
 	}
 	v.Cache.store(k)
 	return nil
+}
+
+// timedVerifyFrom runs one Ed25519 verification, accounting for it.
+func (v *Verifier) timedVerifyFrom(signer crypto.Identity, msg, sig []byte) error {
+	begin := time.Now()
+	err := v.Reg.VerifyFrom(signer, msg, sig)
+	v.sigOps.Add(1)
+	v.sigNanos.Add(int64(time.Since(begin)))
+	return err
+}
+
+// verifyAuth checks the authenticity of one agreement message: the
+// Ed25519 signature in sig mode, or — in MAC mode — the authenticator
+// slot addressed to this compartment, under the pairwise key shared with
+// the sending enclave.
+func (v *Verifier) verifyAuth(t Type, signer crypto.Identity, signing, sig []byte, auth crypto.Authenticator) error {
+	if v.Mode != AuthMAC {
+		return v.VerifySig(signer, signing, sig)
+	}
+	if v.MACs == nil {
+		return fmt.Errorf("%w: MAC mode without a pairwise key store", ErrInvalid)
+	}
+	idx := AgreementAuthIndex(t, v.N, v.Self)
+	if idx < 0 {
+		return fmt.Errorf("%w: %v/%v is not a %s receiver", ErrInvalid, v.Self.ReplicaID, v.Self.Role, t)
+	}
+	v.macOps.Add(1)
+	return v.MACs.VerifyIndexed(signing, auth, idx, signer)
 }
 
 // NewVerifier builds a Verifier. N must be 3F+1 with F >= 0.
@@ -103,11 +175,25 @@ func (v *Verifier) validReplica(id uint32) error {
 	return nil
 }
 
-// VerifyPrePrepare checks the PrePrepare signature, that the proposer is
-// the primary of its view, and that an included batch matches the digest.
-// Empty-batch PrePrepares (as found in certificates or null requests) skip
-// the batch check when the digest is also zero or when stripped for certs.
+// VerifyPrePrepare checks the PrePrepare's authenticity (signature or MAC
+// slot, per mode), that the proposer is the primary of its view, and that
+// an included batch matches the digest. Empty-batch PrePrepares (as found
+// in certificates or null requests) skip the batch check when the digest
+// is also zero or when stripped for certs.
 func (v *Verifier) VerifyPrePrepare(pp *PrePrepare, requireBatch bool) error {
+	return v.checkPrePrepare(pp, requireBatch, true)
+}
+
+// VerifyReissuedPrePrepare validates a PrePrepare embedded in a NewView.
+// In sig mode it carries the new primary's signature like a live one; in
+// MAC mode it carries no authenticator of its own — the Ed25519 signature
+// on the enclosing NewView (same signing compartment, verified by the
+// caller) covers it — so only the structural checks run.
+func (v *Verifier) VerifyReissuedPrePrepare(pp *PrePrepare) error {
+	return v.checkPrePrepare(pp, false, v.Mode != AuthMAC)
+}
+
+func (v *Verifier) checkPrePrepare(pp *PrePrepare, requireBatch, needAuth bool) error {
 	if err := v.validReplica(pp.Replica); err != nil {
 		return err
 	}
@@ -115,9 +201,11 @@ func (v *Verifier) VerifyPrePrepare(pp *PrePrepare, requireBatch bool) error {
 		return fmt.Errorf("%w: PrePrepare view %d from %d, primary is %d",
 			ErrInvalid, pp.View, pp.Replica, v.Primary(pp.View))
 	}
-	signer := crypto.Identity{ReplicaID: pp.Replica, Role: v.Scheme.PrePrepare}
-	if err := v.VerifySig(signer, pp.SigningBytes(), pp.Sig); err != nil {
-		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d): %v", ErrInvalid, pp.View, pp.Seq, err)
+	if needAuth {
+		signer := crypto.Identity{ReplicaID: pp.Replica, Role: v.Scheme.PrePrepare}
+		if err := v.verifyAuth(TPrePrepare, signer, pp.SigningBytes(), pp.Sig, pp.Auth); err != nil {
+			return fmt.Errorf("%w: PrePrepare(v=%d,n=%d): %v", ErrInvalid, pp.View, pp.Seq, err)
+		}
 	}
 	hasBatch := len(pp.Batch.Requests) > 0
 	if hasBatch {
@@ -141,7 +229,7 @@ func (v *Verifier) VerifyPrepare(p *Prepare) error {
 		return fmt.Errorf("%w: Prepare from primary %d of view %d", ErrInvalid, p.Replica, p.View)
 	}
 	signer := crypto.Identity{ReplicaID: p.Replica, Role: v.Scheme.Prepare}
-	if err := v.VerifySig(signer, p.SigningBytes(), p.Sig); err != nil {
+	if err := v.verifyAuth(TPrepare, signer, p.SigningBytes(), p.Sig, p.Auth); err != nil {
 		return fmt.Errorf("%w: Prepare(v=%d,n=%d,r=%d): %v", ErrInvalid, p.View, p.Seq, p.Replica, err)
 	}
 	return nil
@@ -153,7 +241,7 @@ func (v *Verifier) VerifyCommit(c *Commit) error {
 		return err
 	}
 	signer := crypto.Identity{ReplicaID: c.Replica, Role: v.Scheme.Commit}
-	if err := v.VerifySig(signer, c.SigningBytes(), c.Sig); err != nil {
+	if err := v.verifyAuth(TCommit, signer, c.SigningBytes(), c.Sig, c.Auth); err != nil {
 		return fmt.Errorf("%w: Commit(v=%d,n=%d,r=%d): %v", ErrInvalid, c.View, c.Seq, c.Replica, err)
 	}
 	return nil
@@ -165,15 +253,36 @@ func (v *Verifier) VerifyCheckpoint(c *Checkpoint) error {
 		return err
 	}
 	signer := crypto.Identity{ReplicaID: c.Replica, Role: v.Scheme.Checkpoint}
-	if err := v.VerifySig(signer, c.SigningBytes(), c.Sig); err != nil {
+	if err := v.verifyAuth(TCheckpoint, signer, c.SigningBytes(), c.Sig, c.Auth); err != nil {
 		return fmt.Errorf("%w: Checkpoint(n=%d,r=%d): %v", ErrInvalid, c.Seq, c.Replica, err)
 	}
 	return nil
 }
 
-// VerifyPrepareCert checks a full prepare certificate: a valid PrePrepare
-// plus 2f valid matching Prepares from distinct backups.
+// VerifyPrepareCert checks a full prepare certificate. Sig mode: a valid
+// PrePrepare plus 2f valid matching Prepares from distinct backups. MAC
+// mode: the attesting Confirmation enclave's signature over the aggregated
+// claim — the individual quorum messages were MAC'd to that enclave alone
+// and are not transferable, so the single vouch is the whole proof.
 func (v *Verifier) VerifyPrepareCert(pc *PrepareCert) error {
+	if v.Mode == AuthMAC {
+		if err := v.validReplica(pc.PrePrepare.Replica); err != nil {
+			return fmt.Errorf("prepare cert: %w", err)
+		}
+		if pc.PrePrepare.Replica != v.Primary(pc.View()) {
+			return fmt.Errorf("%w: prepare cert for view %d names proposer %d, primary is %d",
+				ErrInvalid, pc.View(), pc.PrePrepare.Replica, v.Primary(pc.View()))
+		}
+		if err := v.validReplica(pc.Attestor); err != nil {
+			return fmt.Errorf("prepare cert attestor: %w", err)
+		}
+		attestor := crypto.Identity{ReplicaID: pc.Attestor, Role: v.Scheme.ViewChange}
+		claim := PrepareCertClaim(pc.View(), pc.Seq(), pc.Digest())
+		if err := v.VerifySig(attestor, claim, pc.Vouch); err != nil {
+			return fmt.Errorf("%w: prepare cert vouch (v=%d,n=%d): %v", ErrInvalid, pc.View(), pc.Seq(), err)
+		}
+		return nil
+	}
 	if err := v.VerifyPrePrepare(&pc.PrePrepare, false); err != nil {
 		return fmt.Errorf("prepare cert: %w", err)
 	}
@@ -198,12 +307,30 @@ func (v *Verifier) VerifyPrepareCert(pc *PrepareCert) error {
 	return nil
 }
 
-// VerifyCheckpointCert checks a stable checkpoint certificate: 2f+1 valid
-// matching Checkpoints from distinct replicas. The zero certificate (the
-// genesis checkpoint at sequence 0) is always valid.
+// VerifyCheckpointCert checks a stable checkpoint certificate: in sig
+// mode, 2f+1 valid matching Checkpoints from distinct replicas; in MAC
+// mode, the attesting enclave's signature over the aggregated claim. The
+// zero certificate (the genesis checkpoint at sequence 0) is always valid.
 func (v *Verifier) VerifyCheckpointCert(cc *CheckpointCert) error {
-	if cc.Seq == 0 && len(cc.Proof) == 0 {
+	if cc.Seq == 0 && len(cc.Proof) == 0 && len(cc.Vouch) == 0 {
 		return nil // genesis
+	}
+	if v.Mode == AuthMAC {
+		if err := v.validReplica(cc.Attestor); err != nil {
+			return fmt.Errorf("checkpoint cert attestor: %w", err)
+		}
+		role := crypto.Role(cc.AttestorRole)
+		switch role {
+		case crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution:
+		default:
+			return fmt.Errorf("%w: checkpoint cert attestor role %v is not a compartment", ErrInvalid, role)
+		}
+		attestor := crypto.Identity{ReplicaID: cc.Attestor, Role: role}
+		claim := CheckpointCertClaim(cc.Seq, cc.StateDigest)
+		if err := v.VerifySig(attestor, claim, cc.Vouch); err != nil {
+			return fmt.Errorf("%w: checkpoint cert vouch (n=%d): %v", ErrInvalid, cc.Seq, err)
+		}
+		return nil
 	}
 	if len(cc.Proof) < v.Quorum() {
 		return fmt.Errorf("%w: checkpoint cert has %d proofs, need %d", ErrInvalid, len(cc.Proof), v.Quorum())
@@ -358,7 +485,7 @@ func (v *Verifier) VerifyNewView(nv *NewView) error {
 			return fmt.Errorf("%w: NewView PrePrepare[%d] (n=%d,d=%v) mismatches recomputation (n=%d,d=%v)",
 				ErrInvalid, i, got.Seq, got.Digest, want.Seq, want.Digest)
 		}
-		if err := v.VerifyPrePrepare(got, false); err != nil {
+		if err := v.VerifyReissuedPrePrepare(got); err != nil {
 			return fmt.Errorf("NewView: %w", err)
 		}
 	}

@@ -12,6 +12,10 @@ type Checkpoint struct {
 	StateDigest crypto.Digest
 	Replica     uint32
 	Sig         []byte
+	// Auth is the MAC-mode authenticator vector, laid out per
+	// AgreementAuthReceivers(TCheckpoint, n): every compartment of every
+	// replica runs the duplicated checkpoint handler. Empty in sig mode.
+	Auth crypto.Authenticator
 }
 
 // MsgType implements Message.
@@ -32,6 +36,7 @@ func (c *Checkpoint) encodeBody(e *Encoder) {
 	e.Digest(c.StateDigest)
 	e.U32(c.Replica)
 	e.VarBytes(c.Sig)
+	e.Auth(c.Auth)
 }
 
 func (c *Checkpoint) decodeBody(d *Decoder) {
@@ -39,15 +44,27 @@ func (c *Checkpoint) decodeBody(d *Decoder) {
 	c.StateDigest = d.Digest()
 	c.Replica = d.U32()
 	c.Sig = d.VarBytes()
+	c.Auth = d.Auth()
 }
 
-// PrepareCert is a prepare certificate: one PrePrepare (request bodies
-// stripped) plus 2f matching Prepares from distinct replicas. It proves a
-// batch was prepared at (View, Seq) and is the unit carried by ViewChange
-// messages.
+// PrepareCert is a prepare certificate: proof that a batch was prepared at
+// (View, Seq), the unit carried by ViewChange messages. Its shape depends
+// on the agreement authentication mode:
+//
+//   - Sig mode: one PrePrepare (request bodies stripped) plus 2f matching
+//     Prepares from distinct replicas, each individually signed and
+//     third-party verifiable.
+//   - MAC mode: the bare PrePrepare header plus a single Vouch — the
+//     Confirmation enclave that locally validated the MAC'd quorum signs
+//     the aggregated claim (PrepareCertClaim). Sound because an attested
+//     agreement enclave is trusted to collect the quorum correctly.
 type PrepareCert struct {
 	PrePrepare PrePrepare
 	Prepares   []Prepare
+	// Attestor identifies the replica whose Confirmation enclave signed
+	// Vouch (MAC mode only).
+	Attestor uint32
+	Vouch    []byte
 }
 
 // View returns the certificate's view.
@@ -65,26 +82,38 @@ func (pc *PrepareCert) encode(e *Encoder) {
 	for i := range pc.Prepares {
 		pc.Prepares[i].encodeBody(e)
 	}
+	e.U32(pc.Attestor)
+	e.VarBytes(pc.Vouch)
 }
 
 func (pc *PrepareCert) decode(d *Decoder) {
 	pc.PrePrepare.decodeBody(d)
 	n := d.Count(4096)
-	if n == 0 {
-		return
+	if n > 0 {
+		pc.Prepares = make([]Prepare, n)
+		for i := 0; i < n; i++ {
+			pc.Prepares[i].decodeBody(d)
+		}
 	}
-	pc.Prepares = make([]Prepare, n)
-	for i := 0; i < n; i++ {
-		pc.Prepares[i].decodeBody(d)
-	}
+	pc.Attestor = d.U32()
+	pc.Vouch = d.VarBytes()
 }
 
-// CheckpointCert is a stable-checkpoint certificate: 2f+1 matching
-// Checkpoints from distinct replicas.
+// CheckpointCert is a stable-checkpoint certificate. In sig mode Proof
+// carries 2f+1 matching signed Checkpoints from distinct replicas; in MAC
+// mode the compartment that locally validated the MAC'd quorum signs the
+// aggregated claim instead (CheckpointCertClaim) — Proof stays empty and
+// Vouch/Attestor/AttestorRole identify the single attesting enclave.
 type CheckpointCert struct {
 	Seq         uint64
 	StateDigest crypto.Digest
 	Proof       []Checkpoint
+	// Attestor/AttestorRole identify the enclave that signed Vouch (MAC
+	// mode only). Any of the three compartment roles may attest: each runs
+	// the duplicated checkpoint handler and forms its own stable cert.
+	Attestor     uint32
+	AttestorRole uint8
+	Vouch        []byte
 }
 
 func (cc *CheckpointCert) encode(e *Encoder) {
@@ -94,6 +123,9 @@ func (cc *CheckpointCert) encode(e *Encoder) {
 	for i := range cc.Proof {
 		cc.Proof[i].encodeBody(e)
 	}
+	e.U32(cc.Attestor)
+	e.U8(cc.AttestorRole)
+	e.VarBytes(cc.Vouch)
 }
 
 // MarshalCert returns the standalone encoding of the certificate, used by
@@ -120,13 +152,15 @@ func (cc *CheckpointCert) decode(d *Decoder) {
 	cc.Seq = d.U64()
 	cc.StateDigest = d.Digest()
 	n := d.Count(4096)
-	if n == 0 {
-		return
+	if n > 0 {
+		cc.Proof = make([]Checkpoint, n)
+		for i := 0; i < n; i++ {
+			cc.Proof[i].decodeBody(d)
+		}
 	}
-	cc.Proof = make([]Checkpoint, n)
-	for i := 0; i < n; i++ {
-		cc.Proof[i].decodeBody(d)
-	}
+	cc.Attestor = d.U32()
+	cc.AttestorRole = d.U8()
+	cc.Vouch = d.VarBytes()
 }
 
 // ViewChange announces that the sender wants to move to view NewViewNum. It

@@ -51,3 +51,36 @@ func DeriveSessionKey(shared []byte) crypto.SessionKey {
 	copy(key[:], h.Sum(nil))
 	return key
 }
+
+// ECDHPublicKey returns the enclave's X25519 public key. It is registered
+// alongside the Ed25519 identity key during the attestation ceremony so
+// peer enclaves can establish pairwise agreement-MAC keys (the
+// MAC-authenticated fast path).
+func (e *Enclave) ECDHPublicKey() [32]byte {
+	var pub [32]byte
+	copy(pub[:], e.ecdhKey.PublicKey().Bytes())
+	return pub
+}
+
+// PairwiseMAC derives the symmetric agreement-MAC key shared with a peer
+// enclave from its attested X25519 public key. Both enclaves of a pair
+// arrive at the same key (X25519 is symmetric and the expansion uses no
+// direction-dependent input) without the key ever existing outside the two
+// enclaves — the trusted-channel establishment the fast path rests on. The
+// label domain-separates these keys from client session keys derived over
+// the same exchange.
+func (e *Enclave) PairwiseMAC(peerPub [32]byte) (crypto.MACKey, error) {
+	peer, err := ecdh.X25519().NewPublicKey(peerPub[:])
+	if err != nil {
+		return crypto.MACKey{}, fmt.Errorf("tee: bad peer ECDH key: %w", err)
+	}
+	shared, err := e.ecdhKey.ECDH(peer)
+	if err != nil {
+		return crypto.MACKey{}, fmt.Errorf("tee: pairwise ECDH: %w", err)
+	}
+	h := hmac.New(sha256.New, []byte("splitbft-replica-mac-v1"))
+	h.Write(shared)
+	var key crypto.MACKey
+	copy(key[:], h.Sum(nil))
+	return key, nil
+}

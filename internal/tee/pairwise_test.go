@@ -1,0 +1,56 @@
+package tee
+
+import (
+	"testing"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+type nopCode struct{}
+
+func (nopCode) Measurement() crypto.Digest        { return crypto.HashData([]byte("nop")) }
+func (nopCode) HandleECall(Host, []byte) []OutMsg { return nil }
+
+// TestPairwiseMACSymmetry: both ends of an enclave pair must derive the
+// same agreement-MAC key from the X25519 exchange, and distinct pairs
+// must get distinct keys.
+func TestPairwiseMACSymmetry(t *testing.T) {
+	newEnc := func(id uint32, role crypto.Role) *Enclave {
+		e, err := NewEnclave(id, role, nopCode{}, ZeroCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a := newEnc(0, crypto.RolePreparation)
+	b := newEnc(1, crypto.RoleConfirmation)
+	c := newEnc(2, crypto.RoleConfirmation)
+
+	ab, err := a.PairwiseMAC(b.ECDHPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := b.PairwiseMAC(a.ECDHPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab != ba {
+		t.Fatal("pairwise MAC keys are not symmetric")
+	}
+	ac, err := a.PairwiseMAC(c.ECDHPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac == ab {
+		t.Fatal("distinct pairs derived the same key")
+	}
+	// Pairwise keys must be domain-separated from client session keys
+	// derived over the same exchange.
+	sess, err := a.DeriveSession(b.ECDHPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if [32]byte(sess) == [32]byte(ab) {
+		t.Fatal("pairwise MAC key collides with the session key derivation")
+	}
+}

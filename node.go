@@ -118,6 +118,10 @@ func NewNode(id uint32, opts ...Option) (*Node, error) {
 // runs recovery before returning.
 func (n *Node) buildReplica() error {
 	o := &n.opts
+	authMode, err := o.agreementAuthMode()
+	if err != nil {
+		return err
+	}
 	application := o.application()
 	replica, err := core.NewReplica(core.Config{
 		N: o.n, F: o.f, ID: n.id,
@@ -126,6 +130,7 @@ func (n *Node) buildReplica() error {
 		KeySeed:            o.keySeed,
 		App:                application,
 		Confidential:       o.confidential,
+		AgreementAuth:      authMode,
 		Cost:               o.costModel(),
 		SingleThread:       o.singleThread,
 		EcallBatch:         o.ecallBatch,
@@ -324,6 +329,39 @@ func (n *Node) EnclaveStats() []EnclaveStat {
 func (n *Node) VerifyCacheStats() VerifyCacheStats {
 	s := n.replica.VerifyCacheStats()
 	return VerifyCacheStats{Hits: s.Hits, Misses: s.Misses}
+}
+
+// CryptoStats reports the node's agreement-crypto workload, summed over
+// its three compartments: how many Ed25519 verifications actually ran
+// (cache hits excluded), the wall time they consumed, and how many
+// agreement-MAC (HMAC) verifications ran. The sig/MAC split is what the
+// `splitbft-bench -exp auth` ablation reports: with WithAgreementAuth
+// ("mac") the Ed25519 verify load of the normal case collapses to the
+// view-change path.
+type CryptoStats struct {
+	SigVerifies uint64
+	SigTime     time.Duration
+	MACVerifies uint64
+}
+
+// SigCPUFraction returns Ed25519-verify CPU-seconds per wall-clock
+// second over the interval (0 when elapsed is unknown or nothing ran).
+// SigTime sums over the three compartments, which verify concurrently,
+// so on multi-core hosts the value can exceed 1.0 — it is a CPU-load
+// figure, not a share of the window; only on a single core do the two
+// coincide.
+func (s CryptoStats) SigCPUFraction(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.SigTime) / float64(elapsed)
+}
+
+// CryptoStats returns the node's crypto-op counters (reset together with
+// the enclave statistics).
+func (n *Node) CryptoStats() CryptoStats {
+	s := n.replica.VerifierStats()
+	return CryptoStats{SigVerifies: s.SigVerifies, SigTime: s.SigTime, MACVerifies: s.MACVerifies}
 }
 
 // DedupedMsgs returns how many byte-identical retransmits the untrusted

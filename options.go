@@ -9,6 +9,7 @@ import (
 
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/defaults"
+	"github.com/splitbft/splitbft/internal/messages"
 	"github.com/splitbft/splitbft/internal/tee"
 	"github.com/splitbft/splitbft/internal/transport"
 )
@@ -52,6 +53,7 @@ type options struct {
 
 	ecallBatch    int
 	verifyWorkers int
+	agreementAuth string
 
 	batchSize          int
 	batchTimeout       time.Duration
@@ -228,6 +230,41 @@ func WithEcallBatch(n int) Option {
 // default) verifies inline. Effective only together with WithEcallBatch.
 func WithVerifyWorkers(n int) Option {
 	return func(o *options) { o.verifyWorkers = n }
+}
+
+// WithAgreementAuth selects how replicas authenticate normal-case
+// agreement traffic (PrePrepare/Prepare/Commit/Checkpoint) to each other:
+//
+//   - "sig" (the default): every message carries an Ed25519 signature
+//     from its sending compartment — the paper's baseline, transferable
+//     to third parties.
+//   - "mac": the trusted-compartment fast path. Attested agreement
+//     enclaves derive pairwise symmetric keys from the X25519 exchange
+//     performed at registration and authenticate with HMAC vectors
+//     (~100× cheaper than Ed25519 on the verify side). Ed25519 remains
+//     where third-party verifiability is required — ViewChange/NewView —
+//     and the certificates they carry become single enclave-signed
+//     digests of the locally validated quorum instead of 2f+1 signature
+//     bundles.
+//
+// All nodes of a deployment must use the same mode. MAC mode leans on the
+// compartment trust model: a fully compromised (not merely crashed)
+// agreement enclave could vouch for quorums it never saw; see the README
+// authentication section for what degrades.
+func WithAgreementAuth(mode string) Option {
+	return func(o *options) { o.agreementAuth = mode }
+}
+
+// agreementAuthMode resolves the option string ("" defaults to sig).
+func (o *options) agreementAuthMode() (messages.AuthMode, error) {
+	switch o.agreementAuth {
+	case "", "sig":
+		return messages.AuthSig, nil
+	case "mac":
+		return messages.AuthMAC, nil
+	default:
+		return messages.AuthSig, fmt.Errorf("splitbft: unknown agreement auth mode %q (want \"sig\" or \"mac\")", o.agreementAuth)
+	}
 }
 
 // WithKeySeed derives all enclave keys and client MAC keys

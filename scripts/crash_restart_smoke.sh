@@ -18,6 +18,10 @@ DATA="$WORK/data"
 mkdir -p "$BIN" "$DATA"
 PEERS="127.0.0.1:17400,127.0.0.1:17401,127.0.0.1:17402,127.0.0.1:17403"
 SECRET="smoke-secret"
+# SPLITBFT_AUTH=mac runs the same scenario on the MAC-authenticated
+# agreement fast path (pairwise keys derived deterministically across the
+# separate processes from -secret).
+AUTH="${SPLITBFT_AUTH:-sig}"
 declare -a PIDS=(0 0 0 0)
 
 cleanup() {
@@ -39,7 +43,7 @@ start_replica() {
     # down — and this test runs most of its ops exactly then.
     "$BIN/splitbft-replica" -id "$id" -n 4 -f 1 \
         -peers "$PEERS" -secret "$SECRET" -confidential=false \
-        -data-dir "$DATA/r$id" -stats 0 \
+        -auth "$AUTH" -data-dir "$DATA/r$id" -stats 0 \
         >"$WORK/replica-$id.log" 2>&1 &
     PIDS[$id]=$!
     disown "${PIDS[$id]}" # keep bash quiet when we SIGKILL it
@@ -50,7 +54,7 @@ client() {
         -replicas "$PEERS" -secret "$SECRET" -confidential=false -timeout 30s "$@"
 }
 
-echo "== starting 4 replicas with sealed durability"
+echo "== starting 4 replicas with sealed durability (auth=$AUTH)"
 for id in 0 1 2 3; do start_replica "$id"; done
 sleep 1
 
@@ -89,4 +93,4 @@ case "$OUT" in
     *) echo "FAIL: pre-crash state lost (got: $OUT)"; exit 1 ;;
 esac
 
-echo "== crash-restart smoke: OK"
+echo "== crash-restart smoke (auth=$AUTH): OK"
