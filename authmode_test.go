@@ -192,3 +192,72 @@ func TestIdleClusterRejoinNudge(t *testing.T) {
 	}
 	t.Fatal("recovered replica did not catch up on an idle cluster (rejoin nudge failed)")
 }
+
+// TestIdleClusterSubCheckpointTail: like the rejoin nudge above, but the
+// outage gap is SMALLER than one checkpoint interval, so no checkpoint
+// newer than the crashed replica's state ever becomes stable and a
+// snapshot transfer cannot close it. The StateProbe answer path must close
+// the tail anyway: peers' Confirmation compartments re-send their Commits
+// for the gap slots and the prober fetches the missing bodies over
+// BatchFetch/BatchReply — all without client traffic (ROADMAP carry-over
+// "sub-checkpoint outage tails").
+func TestIdleClusterSubCheckpointTail(t *testing.T) {
+	for _, mode := range []string{"sig", "mac"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			cluster, err := splitbft.NewCluster(4,
+				splitbft.WithAgreementAuth(mode),
+				splitbft.WithKeySeed([]byte("subckpt-tail-seed")),
+				splitbft.WithPersistence(dir),
+				splitbft.WithBatchSize(1),
+				splitbft.WithCheckpointInterval(8),
+				splitbft.WithRequestTimeout(200*time.Millisecond),
+				splitbft.WithNetworkSeed(43),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(20*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			put := func(i int) {
+				t.Helper()
+				if _, err := cl.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			// Reach the checkpoint boundary at seq 8 so it is stable
+			// everywhere, including the replica about to crash.
+			for i := 0; i < 8; i++ {
+				put(i)
+			}
+			waitForAgreement(t, cluster, []int{0, 1, 2, 3})
+
+			// Crash replica 3 and commit a tail of 3 ops — well short of
+			// the next checkpoint boundary at seq 16 — then go quiet
+			// BEFORE restarting: no further checkpoint will stabilize and
+			// no client traffic flows, so only the probe-driven Commit
+			// resend can close the gap.
+			cluster.CrashNode(3)
+			for i := 8; i < 11; i++ {
+				put(i)
+			}
+			waitForAgreement(t, cluster, []int{0, 1, 2})
+			if err := cluster.RestartNode(3); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+
+			ref := cluster.Node(0).App().Digest()
+			deadline := time.Now().Add(15 * time.Second)
+			for time.Now().Before(deadline) {
+				if cluster.Node(3).App().Digest() == ref {
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			t.Fatal("recovered replica did not close a sub-checkpoint outage tail on an idle cluster")
+		})
+	}
+}

@@ -142,7 +142,13 @@
 // behind, its broker tick broadcasts a StateProbe announcing how far it
 // got, and any peer whose stable checkpoint is ahead answers with the
 // certified snapshot — so the outage gap closes even on an idle cluster
-// where no client traffic would otherwise reveal it.
+// where no client traffic would otherwise reveal it. Sub-checkpoint
+// gaps — too recent for any peer to own a newer stable checkpoint — are
+// closed by the probe too: Confirmation compartments answer with
+// re-authenticated Commits for committed slots above the prober's
+// watermark (slot state is retained until checkpoint garbage
+// collection), and the prober fetches the missing request bodies over
+// the self-certifying BatchFetch path.
 //
 // Node.Crash is the SIGKILL-equivalent fault-injection handle (the
 // durability stores drop their unflushed tail), Cluster.CrashNode and
@@ -150,6 +156,21 @@
 // Node.RecoveryStats reports snapshots restored, WAL records replayed and
 // replay throughput. The recovery ablation is `splitbft-bench -exp
 // recovery`.
+//
+// # Benchmarking and the perf trajectory
+//
+// The evaluation harness under experiments/bench is closed-loop (N
+// blocking clients) and reproduces the paper's tables and figures via
+// cmd/splitbft-bench. experiments/load is its open-loop,
+// coordinated-omission-safe complement: arrivals are scheduled on a
+// wall-clock process (Poisson or fixed-interval) at a target rate and
+// latency is measured from each request's intended arrival time, so
+// queueing delay during stalls is recorded instead of silently not
+// offered. cmd/splitbft-load drives either an in-process Cluster or real
+// TCP replicas and emits versioned, environment-stamped JSON; the repo
+// commits trajectory points under perf/ and CI replays the calibration
+// against them with a noise-aware regression gate (see README
+// "Benchmarking & perf trajectory").
 //
 // The protocol engine lives under internal/ (internal/core is the
 // compartmentalized replica, internal/pbft the monolithic baseline the

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Env is the environment metadata stamped onto every machine-readable
+// benchmark result. Perf trajectory points are committed to the repo and
+// compared across PRs; without knowing what machine and commit produced a
+// point, a comparison is numerology. NumCPU in particular drives the
+// regression gate's noise handling: points from differently sized machines
+// are compared advisorily, not gated hard.
+type Env struct {
+	GitSHA     string `json:"git_sha"`
+	Date       string `json:"date"` // RFC3339, UTC
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CollectEnv gathers the environment metadata for a benchmark run. The
+// commit hash comes from git when available, falling back to the CI-provided
+// GITHUB_SHA, then "unknown" — metadata collection must never fail a run.
+func CollectEnv() Env {
+	return Env{
+		GitSHA:     gitSHA(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Comparable reports whether two environments are similar enough for a
+// hard throughput gate: same CPU budget, same OS/architecture. Differing
+// Go versions stay comparable — catching a toolchain-induced regression is
+// a feature, not noise.
+func (e Env) Comparable(other Env) bool {
+	return e.NumCPU == other.NumCPU &&
+		e.GOMAXPROCS == other.GOMAXPROCS &&
+		e.GOOS == other.GOOS &&
+		e.GOARCH == other.GOARCH
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}

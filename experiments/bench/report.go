@@ -9,16 +9,35 @@ import (
 	"time"
 )
 
+// EnvelopeSchema versions the machine-readable benchmark file format.
+// Bump it when the envelope shape changes incompatibly; trajectory tooling
+// refuses files whose schema it does not understand rather than
+// misinterpreting them.
+const EnvelopeSchema = "splitbft-bench/v1"
+
+// Envelope is the on-disk shape of a BENCH_<exp>.json file: the raw
+// experiment results wrapped with a schema tag and the environment
+// metadata that makes trajectory points comparable across machines and
+// PRs.
+type Envelope struct {
+	Schema  string `json:"schema"`
+	Exp     string `json:"exp"`
+	Env     Env    `json:"env"`
+	Results any    `json:"results"`
+}
+
 // WriteJSON writes one experiment's results as indented JSON to
 // dir/BENCH_<exp>.json (creating dir if needed) and returns the path —
-// the machine-readable sibling of the Format* renderers, so benchmark
-// trajectories can be archived per commit (CI uploads these as
-// artifacts).
+// the machine-readable sibling of the Format* renderers. Results are
+// wrapped in a versioned Envelope with environment metadata so the files
+// can be committed as the repo's perf trajectory (and compared by the CI
+// regression gate), not just uploaded as throwaway CI artifacts.
 func WriteJSON(dir, exp string, v any) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("bench: json output dir: %w", err)
 	}
-	data, err := json.MarshalIndent(v, "", "  ")
+	env := Envelope{Schema: EnvelopeSchema, Exp: exp, Env: CollectEnv(), Results: v}
+	data, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("bench: marshal %s results: %w", exp, err)
 	}

@@ -1,0 +1,129 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must read as all zeros")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(7 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 7*time.Millisecond || got > time.Duration(float64(7*time.Millisecond)*1.02) {
+			t.Fatalf("Quantile(%v) = %v, want ~7ms within bucket error", q, got)
+		}
+	}
+	if h.Max() != 7*time.Millisecond || h.Min() != 7*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the log-bucket quantiles against
+// exact sorted-slice quantiles on a broad random distribution: the error
+// bound is the sub-bucket resolution (~1.6%), conservative side only.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	n := 50000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~6 orders of magnitude: 1µs .. ~1s.
+		v := int64(float64(time.Microsecond) * math.Pow(10, rng.Float64()*6))
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		idx := int(q*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := vals[idx]
+		got := int64(h.Quantile(q))
+		// Upper-edge reporting: got >= exact (never flattering) and within
+		// one sub-bucket (~1.6%) plus rank-rounding slack.
+		if got < exact {
+			t.Fatalf("q%.3f: histogram %d below exact %d — quantiles must be conservative", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.05 {
+			t.Fatalf("q%.3f: histogram %d exceeds exact %d by more than 5%%", q, got, exact)
+		}
+	}
+}
+
+// TestHistogramMergeEqualsCombined: merging two histograms must be exact —
+// identical buckets, counts, min/max/mean and quantiles as one histogram
+// fed both streams.
+func TestHistogramMergeEqualsCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both Histogram
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Int63n(int64(300 * time.Millisecond)))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d != combined %d", a.Count(), both.Count())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatalf("merged min/max/mean diverge: %v/%v/%v vs %v/%v/%v",
+			a.Min(), a.Max(), a.Mean(), both.Min(), both.Max(), both.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q%.3f: merged %v != combined %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(5 * time.Millisecond)
+	b.Record(50 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Min() != 5*time.Millisecond || a.Max() != 50*time.Millisecond {
+		t.Fatalf("merge into empty lost state: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	// Merging an empty histogram must be a no-op.
+	var empty Histogram
+	before := a.Quantile(0.5)
+	a.Merge(&empty)
+	if a.Count() != 2 || a.Quantile(0.5) != before {
+		t.Fatal("merging an empty histogram changed state")
+	}
+}
+
+// TestBucketIndexMonotonic pins the bucket function: indices are monotonic
+// in the value and every bucket's upper edge is ≥ the values mapped to it.
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d: not monotonic", v, idx, prev)
+		}
+		if upper := bucketUpper(idx); upper < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, upper, v)
+		}
+		prev = idx
+	}
+}

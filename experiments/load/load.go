@@ -1,0 +1,334 @@
+// Package load is the open-loop load-generation harness. The bench
+// package's closed-loop clients (N workers issuing the next request only
+// after the previous reply) measure service time but hide queueing delay:
+// when the system stalls, a closed-loop client simply stops offering load,
+// so the stall barely registers in its latency distribution — the classic
+// coordinated-omission trap. This package generates load the way real
+// traffic arrives: requests are scheduled on a wall-clock arrival process
+// (Poisson or fixed-interval) at a configured target rate, independent of
+// how fast the system answers, and every latency is measured from the
+// request's *intended* arrival time. Queueing delay — including delay
+// spent waiting for a free in-flight slot — lands in the recorded tail,
+// where it belongs.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Invoker is the client surface the generator drives: one synchronous
+// operation against the system under test. *splitbft.Client satisfies it.
+type Invoker interface {
+	Invoke(op []byte) ([]byte, error)
+}
+
+// Arrival selects the inter-arrival process.
+type Arrival string
+
+// Supported arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps — memoryless
+	// arrivals, the standard open-workload model.
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalFixed spaces arrivals exactly 1/rate apart — a deterministic
+	// schedule, useful for calibrated regression runs where Poisson
+	// burstiness would add variance.
+	ArrivalFixed Arrival = "fixed"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Rate is the target arrival rate in operations per second (> 0).
+	Rate float64
+	// Arrival is the inter-arrival process; default ArrivalPoisson.
+	Arrival Arrival
+	// Warmup is untimed ramp-up before the measurement window.
+	Warmup time.Duration
+	// Duration is the measurement window (> 0).
+	Duration time.Duration
+	// MaxInFlight bounds concurrent outstanding operations (the worker
+	// pool size). Arrivals that find all workers busy queue up to
+	// QueueDepth deep — their wait is part of their measured latency —
+	// and beyond that are dropped and counted. Default 64.
+	MaxInFlight int
+	// QueueDepth is the dispatch queue capacity beyond the in-flight
+	// bound. Default 4 × MaxInFlight.
+	QueueDepth int
+	// Clients are the connections operations fan out over, round-robin
+	// per worker. At least one is required.
+	Clients []Invoker
+	// MakeOp builds the operation for (worker, seq); nil sends Payload
+	// raw bytes (suitable only for echo-style fakes — real deployments
+	// pass an application encoder).
+	MakeOp func(worker int, seq uint64) []byte
+	// Payload is the default op size in bytes when MakeOp is nil.
+	Payload int
+	// Seed makes the Poisson schedule reproducible; 0 means 1.
+	Seed int64
+	// ClosedLoop switches the generator to the closed-loop comparison
+	// mode: MaxInFlight workers issue back-to-back synchronous ops and
+	// latency is measured from the actual call start. This is the
+	// coordinated-omission-PRONE measurement, kept only so the two
+	// semantics can be compared with one tool (and proven different by
+	// the tests). Rate and QueueDepth are ignored.
+	ClosedLoop bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Clients) == 0 {
+		return c, errors.New("load: no clients")
+	}
+	if c.Duration <= 0 {
+		return c, errors.New("load: Duration must be positive")
+	}
+	if !c.ClosedLoop && c.Rate <= 0 {
+		return c, errors.New("load: Rate must be positive in open-loop mode")
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.Arrival != ArrivalPoisson && c.Arrival != ArrivalFixed {
+		return c, fmt.Errorf("load: unknown arrival process %q", c.Arrival)
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInFlight
+	}
+	if c.Payload <= 0 {
+		c.Payload = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// job is one scheduled arrival.
+type job struct {
+	intended time.Time
+	seq      uint64
+	measured bool
+}
+
+// workerStats accumulates per-worker results, merged after the run.
+type workerStats struct {
+	hist     Histogram
+	achieved uint64
+	errors   uint64
+}
+
+// Run executes one load run and returns its Stats. Open-loop mode: a
+// scheduler thread issues arrivals on the configured process; MaxInFlight
+// workers consume them; each operation's latency is completion minus
+// INTENDED arrival — queueing delay included, coordinated omission
+// excluded. Closed-loop mode: workers loop synchronously and measure from
+// the actual call start.
+func Run(cfg Config) (Stats, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Stats{}, err
+	}
+	if cfg.ClosedLoop {
+		return runClosed(cfg), nil
+	}
+	return runOpen(cfg), nil
+}
+
+func runOpen(cfg Config) Stats {
+	jobs := make(chan job, cfg.QueueDepth)
+	stats := make([]workerStats, cfg.MaxInFlight)
+	payload := defaultPayload(cfg.Payload)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.MaxInFlight; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &stats[w]
+			cl := cfg.Clients[w%len(cfg.Clients)]
+			for j := range jobs {
+				op := payload
+				if cfg.MakeOp != nil {
+					op = cfg.MakeOp(w, j.seq)
+				}
+				_, err := cl.Invoke(op)
+				// Latency from the intended arrival: if this op sat in
+				// the dispatch queue behind a stall, that wait is real
+				// user-visible latency and is measured as such.
+				lat := time.Since(j.intended)
+				if !j.measured {
+					continue
+				}
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				ws.achieved++
+				ws.hist.Record(lat)
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gap := func() time.Duration {
+		if cfg.Arrival == ArrivalFixed {
+			return time.Duration(float64(time.Second) / cfg.Rate)
+		}
+		return time.Duration(rng.ExpFloat64() * float64(time.Second) / cfg.Rate)
+	}
+
+	start := time.Now()
+	measureStart := start.Add(cfg.Warmup)
+	end := measureStart.Add(cfg.Duration)
+	var offered, dropped uint64
+	var seq uint64
+	next := start
+	for next.Before(end) {
+		// Sleep until the intended arrival; a late wakeup issues every
+		// due arrival immediately with intended times untouched — the
+		// schedule never adapts to the system under test.
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		j := job{intended: next, seq: seq, measured: !next.Before(measureStart)}
+		seq++
+		if j.measured {
+			offered++
+		}
+		select {
+		case jobs <- j:
+		default:
+			// Queue full: the op is shed at the door. Explicit drop
+			// accounting — a drop is a failed offered op, not a
+			// silently shortened schedule.
+			if j.measured {
+				dropped++
+			}
+		}
+		next = next.Add(gap())
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+	tail := elapsed - cfg.Duration
+	if tail < 0 {
+		tail = 0
+	}
+
+	s := Stats{
+		Mode:     "open",
+		Offered:  offered,
+		Dropped:  dropped,
+		Window:   cfg.Duration,
+		Elapsed:  elapsed,
+		TailWait: tail,
+	}
+	for w := range stats {
+		s.Achieved += stats[w].achieved
+		s.Errors += stats[w].errors
+		s.Hist.Merge(&stats[w].hist)
+	}
+	return s
+}
+
+func runClosed(cfg Config) Stats {
+	stats := make([]workerStats, cfg.MaxInFlight)
+	payload := defaultPayload(cfg.Payload)
+	start := time.Now()
+	measureStart := start.Add(cfg.Warmup)
+	end := measureStart.Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.MaxInFlight; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &stats[w]
+			cl := cfg.Clients[w%len(cfg.Clients)]
+			var seq uint64
+			for {
+				now := time.Now()
+				if !now.Before(end) {
+					return
+				}
+				op := payload
+				if cfg.MakeOp != nil {
+					op = cfg.MakeOp(w, seq)
+				}
+				seq++
+				_, err := cl.Invoke(op)
+				done := time.Now()
+				// Classic closed-loop accounting: latency from the
+				// actual call start, counted when the op completes
+				// inside the window. An op stalled by the server simply
+				// delays the NEXT send — the omission this mode exists
+				// to demonstrate.
+				if done.Before(measureStart) || !done.Before(end) {
+					continue
+				}
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				ws.achieved++
+				ws.hist.Record(done.Sub(now))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+
+	s := Stats{Mode: "closed", Window: cfg.Duration, Elapsed: elapsed}
+	for w := range stats {
+		s.Achieved += stats[w].achieved
+		s.Errors += stats[w].errors
+		s.Hist.Merge(&stats[w].hist)
+	}
+	// A closed loop offers exactly what it achieves — that asymmetry IS
+	// coordinated omission, kept visible in the numbers.
+	s.Offered = s.Achieved + s.Errors
+	return s
+}
+
+func defaultPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte('a' + i%26)
+	}
+	return p
+}
+
+// Stats is the raw outcome of one Run, before environment stamping.
+type Stats struct {
+	Mode     string // "open" | "closed"
+	Offered  uint64 // measured-window arrivals (open) or completions (closed)
+	Achieved uint64 // completed without error in the window
+	Dropped  uint64 // shed at the dispatch-queue door (open loop only)
+	Errors   uint64
+	Window   time.Duration // configured measurement window
+	Elapsed  time.Duration // wall time from window start to last completion
+	TailWait time.Duration // completion drain past the window's end
+	Hist     Histogram
+}
+
+// OfferedRate is the offered load in ops/s over the measurement window.
+func (s Stats) OfferedRate() float64 {
+	if s.Window <= 0 {
+		return 0
+	}
+	return float64(s.Offered) / s.Window.Seconds()
+}
+
+// AchievedRate is the completed-ok throughput in ops/s over the window.
+func (s Stats) AchievedRate() float64 {
+	if s.Window <= 0 {
+		return 0
+	}
+	return float64(s.Achieved) / s.Window.Seconds()
+}

@@ -1,0 +1,299 @@
+package load
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stallService is a synthetic system under test: Invoke costs a small
+// fixed service time, except while a stall is armed, during which every
+// call blocks until the stall lifts. Concurrency-safe and shared between
+// the open- and closed-loop measurements so both see the same behavior.
+type stallService struct {
+	service time.Duration
+
+	mu   sync.RWMutex
+	gate chan struct{} // nil = no stall; otherwise closed when the stall lifts
+}
+
+func newStallService(service time.Duration) *stallService {
+	return &stallService{service: service}
+}
+
+func (s *stallService) BeginStall() {
+	s.mu.Lock()
+	s.gate = make(chan struct{})
+	s.mu.Unlock()
+}
+
+func (s *stallService) EndStall() {
+	s.mu.Lock()
+	if s.gate != nil {
+		close(s.gate)
+		s.gate = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *stallService) Invoke(op []byte) ([]byte, error) {
+	s.mu.RLock()
+	gate := s.gate
+	s.mu.RUnlock()
+	if gate != nil {
+		<-gate
+	}
+	time.Sleep(s.service)
+	return op, nil
+}
+
+// TestCoordinatedOmission is the acceptance test for the open-loop
+// harness: a server stall injected mid-run MUST surface in the open-loop
+// p99 (arrivals kept coming during the stall; their queueing delay is
+// measured from intended arrival time) and MUST be essentially invisible
+// in a closed-loop measurement of the same scenario (the blocked workers
+// simply stopped offering load — only a handful of in-flight ops ever
+// observe the stall, far too few to reach p99). This is coordinated
+// omission made reproducible.
+func TestCoordinatedOmission(t *testing.T) {
+	const (
+		service = time.Millisecond
+		stall   = 400 * time.Millisecond
+		window  = 1200 * time.Millisecond
+	)
+	run := func(closed bool) Stats {
+		svc := newStallService(service)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Stall the middle third of the measurement window.
+			time.Sleep(window / 3)
+			svc.BeginStall()
+			time.Sleep(stall)
+			svc.EndStall()
+		}()
+		st, err := Run(Config{
+			Rate:        500,
+			Arrival:     ArrivalFixed, // deterministic schedule for the test
+			Duration:    window,
+			MaxInFlight: 32,
+			QueueDepth:  4096, // deep queue: measure the stall, don't shed it
+			Clients:     []Invoker{svc},
+			Seed:        1,
+			ClosedLoop:  closed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		return st
+	}
+
+	open := run(false)
+	closed := run(true)
+
+	if open.Achieved == 0 || closed.Achieved == 0 {
+		t.Fatalf("no ops measured: open %d, closed %d", open.Achieved, closed.Achieved)
+	}
+	openP99 := open.Hist.Quantile(0.99)
+	closedP99 := closed.Hist.Quantile(0.99)
+	t.Logf("open-loop:   %d ops, p50 %v, p99 %v, max %v (dropped %d)",
+		open.Achieved, open.Hist.Quantile(0.5), openP99, open.Hist.Max(), open.Dropped)
+	t.Logf("closed-loop: %d ops, p50 %v, p99 %v, max %v",
+		closed.Achieved, closed.Hist.Quantile(0.5), closedP99, closed.Hist.Max())
+
+	// Open loop: ~200 arrivals land inside the 400ms stall and queue; the
+	// latest of them wait nearly the full stall. p99 must show a large
+	// fraction of it.
+	if openP99 < stall/4 {
+		t.Fatalf("open-loop p99 %v does not surface the %v stall", openP99, stall)
+	}
+	// Closed loop: only the ≤32 in-flight ops span the stall; with ~2ms
+	// service time the window yields thousands of measured ops, so those
+	// few cannot reach p99. The stall must be hidden — that is the bug
+	// this harness exists to avoid.
+	if closedP99 > stall/4 {
+		t.Fatalf("closed-loop p99 %v unexpectedly surfaces the stall — the omission demonstration broke", closedP99)
+	}
+	// And the closed loop's max still sees it (the few stalled ops), which
+	// is precisely why "max looks fine, p99 looks fine" closed-loop
+	// reports are misleading: the mass of delayed demand never existed.
+	if closed.Hist.Max() < stall/2 {
+		t.Fatalf("closed-loop max %v should still show the stall via the blocked in-flight ops", closed.Hist.Max())
+	}
+}
+
+// TestOpenLoopOfferedRate: the scheduler must hold the configured arrival
+// rate regardless of service behavior (that is what "open loop" means).
+func TestOpenLoopOfferedRate(t *testing.T) {
+	svc := newStallService(200 * time.Microsecond)
+	st, err := Run(Config{
+		Rate:        400,
+		Arrival:     ArrivalPoisson,
+		Duration:    time.Second,
+		Warmup:      100 * time.Millisecond,
+		MaxInFlight: 16,
+		Clients:     []Invoker{svc},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OfferedRate() < 300 || st.OfferedRate() > 500 {
+		t.Fatalf("offered rate %.0f ops/s not within 25%% of the 400 ops/s target", st.OfferedRate())
+	}
+	if st.Achieved+st.Errors+st.Dropped != st.Offered {
+		t.Fatalf("accounting leak: achieved %d + errors %d + dropped %d != offered %d",
+			st.Achieved, st.Errors, st.Dropped, st.Offered)
+	}
+}
+
+// TestOpenLoopDropAccounting: with a tiny queue and a service that blocks
+// outright, arrivals must be shed at the door and counted — never silently
+// unscheduled.
+func TestOpenLoopDropAccounting(t *testing.T) {
+	svc := newStallService(time.Millisecond)
+	svc.BeginStall() // nothing completes during the schedule
+	// Release the blocked workers shortly after the schedule ends so Run's
+	// drain (which waits for in-flight ops) can complete.
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		svc.EndStall()
+	}()
+	st, err := Run(Config{
+		Rate:        500,
+		Arrival:     ArrivalFixed,
+		Duration:    300 * time.Millisecond,
+		MaxInFlight: 2,
+		QueueDepth:  2,
+		Clients:     []Invoker{svc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("fully stalled service with a depth-2 queue must shed load")
+	}
+	if st.Achieved+st.Errors+st.Dropped != st.Offered {
+		t.Fatalf("accounting leak: achieved %d + errors %d + dropped %d != offered %d",
+			st.Achieved, st.Errors, st.Dropped, st.Offered)
+	}
+}
+
+// errInvoker fails every call.
+type errInvoker struct{ calls atomic.Uint64 }
+
+func (e *errInvoker) Invoke(op []byte) ([]byte, error) {
+	e.calls.Add(1)
+	return nil, errTest
+}
+
+var errTest = errorString("invoke failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestOpenLoopErrorAccounting(t *testing.T) {
+	inv := &errInvoker{}
+	st, err := Run(Config{
+		Rate:        300,
+		Arrival:     ArrivalFixed,
+		Duration:    200 * time.Millisecond,
+		MaxInFlight: 8,
+		Clients:     []Invoker{inv},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors == 0 || st.Achieved != 0 {
+		t.Fatalf("error accounting: achieved %d, errors %d", st.Achieved, st.Errors)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	svc := newStallService(0)
+	if _, err := Run(Config{Duration: time.Second, Rate: 10}); err == nil {
+		t.Fatal("missing clients accepted")
+	}
+	if _, err := Run(Config{Clients: []Invoker{svc}, Rate: 10}); err == nil {
+		t.Fatal("missing duration accepted")
+	}
+	if _, err := Run(Config{Clients: []Invoker{svc}, Duration: time.Second}); err == nil {
+		t.Fatal("open loop without rate accepted")
+	}
+	if _, err := Run(Config{Clients: []Invoker{svc}, Duration: time.Second, Rate: 10, Arrival: "burst"}); err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+}
+
+// TestGateComparable pins the regression-gate semantics: same-environment
+// regressions beyond the band fail hard; cross-environment comparisons
+// are advisory and always pass.
+func TestGateComparable(t *testing.T) {
+	base := Result{
+		Schema:       ResultSchema,
+		Mode:         "open",
+		Arrival:      "fixed",
+		Target:       200,
+		InFlight:     64,
+		Payload:      10,
+		AchievedRate: 1000,
+		// P99 well above latencySlack so the multiplicative band, not the
+		// absolute slack floor, sets the ceiling under test.
+		Latency: LatencySummary{P99: 500 * time.Millisecond},
+	}
+	base.Env.NumCPU = 1
+	base.Env.GOMAXPROCS = 1
+	base.Env.GOOS, base.Env.GOARCH = "linux", "amd64"
+
+	// Within the band: pass.
+	cur := base
+	cur.AchievedRate = 900 // −10% with a 15% band
+	if g := CompareTrajectory(base, cur, 0.15); !g.Pass() || !g.Hard {
+		t.Fatalf("in-band run failed the gate: %s", g)
+	}
+	// Throughput below the band: hard fail.
+	cur = base
+	cur.AchievedRate = 800 // −20%
+	if g := CompareTrajectory(base, cur, 0.15); g.Pass() {
+		t.Fatalf("20%% throughput regression passed a 15%% gate: %s", g)
+	}
+	// p99 blown past the widened latency band: hard fail.
+	cur = base
+	cur.Latency.P99 = time.Second // 2× with a ceiling of 1.45×
+	if g := CompareTrajectory(base, cur, 0.15); g.Pass() {
+		t.Fatalf("2× p99 regression passed the gate: %s", g)
+	}
+	// A tail blip within the absolute slack floor: pass. On a small box a
+	// lone scheduling hiccup can multiply a millisecond-scale p99 many
+	// times over without any code regression.
+	small := base
+	small.Latency.P99 = 2 * time.Millisecond
+	cur = small
+	cur.Latency.P99 = 60 * time.Millisecond
+	if g := CompareTrajectory(small, cur, 0.15); !g.Pass() {
+		t.Fatalf("sub-slack tail blip failed the gate: %s", g)
+	}
+	cur.Latency.P99 = 200 * time.Millisecond // past slack too: hard fail
+	if g := CompareTrajectory(small, cur, 0.15); g.Pass() {
+		t.Fatalf("beyond-slack p99 regression passed the gate: %s", g)
+	}
+	// Different machine class: advisory, never fails.
+	cur = base
+	cur.AchievedRate = 100
+	cur.Env.NumCPU = 8
+	cur.Env.GOMAXPROCS = 8
+	g := CompareTrajectory(base, cur, 0.15)
+	if !g.Pass() || g.Hard {
+		t.Fatalf("cross-machine comparison must be advisory: %s", g)
+	}
+	// Changed calibration: advisory.
+	cur = base
+	cur.Target = 400
+	cur.AchievedRate = 100
+	if g := CompareTrajectory(base, cur, 0.15); !g.Pass() || g.Hard {
+		t.Fatalf("changed-calibration comparison must be advisory: %s", g)
+	}
+}

@@ -602,7 +602,14 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 		}
 		b.mu.Unlock()
 		if allowed {
-			b.submitShared(data, crypto.RoleExecution)
+			if t == messages.TStateProbe {
+				// Confirmation answers with the sub-checkpoint Commit
+				// tail, Execution with a snapshot once a newer checkpoint
+				// is stable — together they cover outage gaps of any size.
+				b.submitShared(data, crypto.RoleConfirmation, crypto.RoleExecution)
+			} else {
+				b.submitShared(data, crypto.RoleExecution)
+			}
 		}
 	default: // attest/provision/state-transfer family
 		b.submitShared(data, crypto.RoleExecution)

@@ -76,6 +76,8 @@ func (c *confirmation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 		return c.onPeerViewChange(host, msg)
 	case *messages.NewView:
 		return c.onNewView(host, msg)
+	case *messages.StateProbe:
+		return c.onStateProbe(host, msg)
 	case *messages.Checkpoint:
 		c.onCheckpointGC(host, msg)
 	}
@@ -264,6 +266,71 @@ func (c *confirmation) prepareCerts(host tee.Host) []messages.PrepareCert {
 		for j := i; j > 0 && out[j].Seq() < out[j-1].Seq(); j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
+	}
+	return out
+}
+
+// probeTailBudget caps how many committed slots one StateProbe answer
+// re-sends Commits for. A gap this path serves is by construction smaller
+// than one checkpoint interval (anything larger has a stable checkpoint
+// the Execution compartment answers with a snapshot), so the cap is slack;
+// it only bounds the reply to a forged probe claiming Have far in the past.
+const probeTailBudget = 64
+
+// onStateProbe closes sub-checkpoint outage tails. A recovered replica
+// probing with Have below slots this compartment already committed cannot
+// be served by state transfer — no checkpoint newer than Have is stable —
+// and on an idle cluster no traffic re-delivers the missed Commits. The
+// input log still holds every committed slot above the watermark, so
+// re-issue our Commit for each gap slot directly to the prober: once 2f+1
+// Confirmation enclaves have answered, the prober holds full commit
+// certificates and fetches the missing bodies over the (self-certifying)
+// BatchReply path. Re-issued Commits are authenticated exactly like live
+// ones, so a forged probe yields nothing a retransmission wouldn't.
+func (c *confirmation) onStateProbe(host tee.Host, p *messages.StateProbe) []tee.OutMsg {
+	if int(p.Replica) >= c.n || p.Replica == c.id || c.inViewChange {
+		return nil
+	}
+	// Best (highest) view per committed sequence above the prober's
+	// execution point — the same preference rule prepareCerts applies.
+	type tailSlot struct {
+		view   uint64
+		digest crypto.Digest
+	}
+	best := make(map[uint64]tailSlot)
+	for view, vs := range c.slots {
+		for seq, s := range vs {
+			if seq <= p.Have || !s.committed || s.prePrepare == nil {
+				continue
+			}
+			if cur, ok := best[seq]; !ok || view > cur.view {
+				best[seq] = tailSlot{view: view, digest: s.prePrepare.Digest}
+			}
+		}
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(best))
+	for seq := range best {
+		seqs = append(seqs, seq)
+	}
+	// Insertion sort by sequence number (small sets): execution consumes
+	// slots strictly in order, so ascending delivery avoids re-stalls.
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	if len(seqs) > probeTailBudget {
+		seqs = seqs[:probeTailBudget]
+	}
+	out := make([]tee.OutMsg, 0, len(seqs))
+	for _, seq := range seqs {
+		ts := best[seq]
+		cm := &messages.Commit{View: ts.view, Seq: seq, Digest: ts.digest, Replica: c.id}
+		cm.Sig, cm.Auth = c.authenticate(host, messages.TCommit, cm.SigningBytes())
+		out = append(out, replicaOut(p.Replica, cm))
 	}
 	return out
 }

@@ -519,7 +519,20 @@ func (e *execution) onProbeTick() []tee.OutMsg {
 	if e.stableCert.Seq > have {
 		have = e.stableCert.Seq
 	}
-	return []tee.OutMsg{broadcastOut(&messages.StateProbe{Have: have, Replica: e.id})}
+	out := []tee.OutMsg{broadcastOut(&messages.StateProbe{Have: have, Replica: e.id})}
+	// Sub-checkpoint outage tail: peers answer a probe below any stable
+	// checkpoint by re-sending their Commits for the gap slots (there is
+	// no snapshot to transfer), so the next slot may already hold a
+	// certificate whose body never arrived. An idle cluster generates no
+	// ecall traffic to advance the stall counter, so fetch the body on the
+	// probe clock instead of waiting out tickStall.
+	next := e.lastExec + 1
+	if digest, ok := e.committed[next]; ok && !digest.IsZero() {
+		if _, cached := e.batches[digest]; !cached {
+			out = append(out, e.fetchBody(next, digest)...)
+		}
+	}
+	return out
 }
 
 // onStateProbe answers a peer's rejoin nudge when this replica's stable

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Load-regression gate: replay the committed load calibration (one sig
+# run, one MAC run) with the open-loop generator and compare each fresh
+# result against its trajectory point in perf/ with a noise band.
+#
+# The gate is noise-aware by construction: splitbft-load -compare only
+# enforces the thresholds when the fresh run is genuinely comparable to
+# the committed point — same schema, same calibration (mode, arrival,
+# target rate, payload, in-flight bound), same workload configuration and
+# same machine class (CPU count, GOMAXPROCS, OS/arch). Anything else
+# downgrades to an advisory report that is printed but cannot fail CI, so
+# a runner-class change never masquerades as a regression. Re-seed with
+# SPLITBFT_LOAD_SEED_TRAJECTORY=1 (writes perf/ directly) after an
+# intentional perf change, then commit the updated JSONs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BAND="${SPLITBFT_LOAD_BAND:-0.15}"
+DURATION="${SPLITBFT_LOAD_DURATION:-6s}"
+WARMUP="${SPLITBFT_LOAD_WARMUP:-1s}"
+OUT="${SPLITBFT_LOAD_OUT:-load-results}"
+mkdir -p "$OUT"
+
+# CALIBRATION must stay in lockstep with the committed perf/BENCH_load_*
+# points: changing any of these fields makes every comparison advisory
+# until the trajectory is re-seeded.
+CALIBRATION=(
+    -mode open -arrival fixed -rate 250 -inflight 64 -queue 256
+    -payload 10 -clients 4 -batch 1 -ecall-batch 16 -verify-workers 1
+)
+
+for auth in sig mac; do
+    echo "== load gate: auth=$auth (band ±$(awk "BEGIN{print $BAND*100}")%)"
+    if [ "${SPLITBFT_LOAD_SEED_TRAJECTORY:-0}" = 1 ]; then
+        go run ./cmd/splitbft-load "${CALIBRATION[@]}" -auth "$auth" \
+            -duration "$DURATION" -warmup "$WARMUP" \
+            -json "perf/BENCH_load_$auth.json"
+    else
+        go run ./cmd/splitbft-load "${CALIBRATION[@]}" -auth "$auth" \
+            -duration "$DURATION" -warmup "$WARMUP" \
+            -json "$OUT/BENCH_load_$auth.json" \
+            -compare "perf/BENCH_load_$auth.json" -band "$BAND"
+    fi
+done
+
+echo "== load gate: OK"
