@@ -7,6 +7,7 @@
 //	splitbft-bench -exp fig3b           # throughput/latency, batched
 //	splitbft-bench -exp fig4            # per-compartment ecall latency
 //	splitbft-bench -exp auth            # sig-vs-MAC agreement authentication
+//	splitbft-bench -exp consensus       # classic-vs-trusted consensus mode
 //	splitbft-bench -exp all             # everything
 //
 // Use -quick for a fast smoke run with fewer client counts and shorter
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, auth, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, auth, consensus, all")
 	quick := flag.Bool("quick", false, "fast smoke run (fewer clients, shorter windows)")
 	f := flag.Int("f", 1, "fault threshold for table1")
 	root := flag.String("root", ".", "repository root for table2")
@@ -115,6 +116,20 @@ func main() {
 			}
 			fmt.Print(bench.FormatAuthAblation(pts))
 			return writeJSON("auth", pts)
+		})
+	}
+	if all || *exp == "consensus" {
+		run("Ablation — consensus mode (classic vs trusted counter)", func() error {
+			cClients := 40
+			if *quick {
+				cClients = 10
+			}
+			pts, err := bench.ConsensusAblation(cClients, *measure)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatConsensusAblation(pts))
+			return writeJSON("consensus", pts)
 		})
 	}
 	if all || *exp == "ablation" {

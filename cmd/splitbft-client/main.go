@@ -25,6 +25,8 @@ func main() {
 	replicas := flag.String("replicas", "", "comma-separated replica addresses, indexed by ID")
 	secret := flag.String("secret", "splitbft-dev-secret", "shared deployment secret")
 	confidential := flag.Bool("confidential", true, "end-to-end encrypt payloads")
+	consensus := flag.String("consensus", "classic", "consensus mode: classic (3f+1) or trusted (counter-backed 2f+1); must match the replicas")
+	commitRule := flag.String("commit-rule", "trusted", "reply quorum to wait for: trusted (f+1) or full (2f+1)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	flag.Parse()
 
@@ -37,6 +39,8 @@ func main() {
 		splitbft.WithTransportTCP(addrs...),
 		splitbft.WithFaults(*f),
 		splitbft.WithKeySeed([]byte(*secret)),
+		splitbft.WithConsensusMode(*consensus),
+		splitbft.WithCommitRule(*commitRule),
 		splitbft.WithInvokeTimeout(*timeout),
 	}
 	if *confidential {

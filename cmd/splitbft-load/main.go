@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "arrival-schedule seed")
 
 	auth := flag.String("auth", "sig", "agreement authentication: sig or mac")
+	consensus := flag.String("consensus", "classic", "consensus mode: classic (3f+1) or trusted (counter-backed 2f+1)")
 	batch := flag.Int("batch", 1, "agreement batch size")
 	ecallBatch := flag.Int("ecall-batch", 16, "messages per trusted-boundary crossing (<=1 disables)")
 	verifyWorkers := flag.Int("verify-workers", 1, "parallel verification workers per enclave (<=1 inline)")
@@ -67,6 +68,15 @@ func main() {
 		splitbft.WithBatchSize(*batch),
 		splitbft.WithEcallBatch(*ecallBatch),
 		splitbft.WithVerifyWorkers(*verifyWorkers),
+	}
+	if *consensus == "trusted" {
+		// Workload.Consensus stays empty for classic runs so trajectory
+		// points committed before the mode existed keep matching.
+		wl.Consensus = "trusted"
+		opts = append(opts, splitbft.WithConsensusMode("trusted"))
+		if *peers == "" && !flagSet("n") {
+			*n = 3 // trusted groups are 2f+1; shrink the in-process default
+		}
 	}
 	if *confidential {
 		opts = append(opts, splitbft.WithConfidential())
@@ -176,6 +186,17 @@ func printResult(st load.Stats, res load.Result) {
 	if st.TailWait > 0 {
 		fmt.Printf("drain    %v past the window (in-flight completions)\n", st.TailWait.Round(time.Millisecond))
 	}
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatalf(format string, args ...any) {

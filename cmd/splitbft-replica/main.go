@@ -38,6 +38,7 @@ func main() {
 	ecallBatch := flag.Int("ecall-batch", 1, "messages delivered per enclave crossing (1 disables batching)")
 	verifyWorkers := flag.Int("verify-workers", 1, "enclave-side parallel signature-verification workers (1 = inline)")
 	auth := flag.String("auth", "sig", "agreement authentication: sig (Ed25519 baseline) or mac (pairwise-HMAC fast path); must match across the deployment")
+	consensus := flag.String("consensus", "classic", "consensus mode: classic (3f+1) or trusted (counter-backed 2f+1); must match across the deployment")
 	dataDir := flag.String("data-dir", "", "sealed durability directory: per-compartment WAL + snapshots; the replica recovers from it on start (empty = in-memory only)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.Parse()
@@ -78,6 +79,9 @@ func main() {
 	}
 	if *auth != "" {
 		opts = append(opts, splitbft.WithAgreementAuth(*auth))
+	}
+	if *consensus != "" {
+		opts = append(opts, splitbft.WithConsensusMode(*consensus))
 	}
 	if *dataDir != "" {
 		opts = append(opts, splitbft.WithPersistence(*dataDir))

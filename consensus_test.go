@@ -1,0 +1,261 @@
+package splitbft_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft"
+)
+
+func TestConsensusModeOptionValidation(t *testing.T) {
+	if _, err := splitbft.NewCluster(3, splitbft.WithConsensusMode("hybrid-but-wrong")); err == nil {
+		t.Fatal("unknown consensus mode accepted")
+	}
+	// Trusted groups are 2f+1: a 3f+1 group is a configuration error, not
+	// a silently over-provisioned deployment.
+	if _, err := splitbft.NewCluster(4, splitbft.WithConsensusMode("trusted")); err == nil {
+		t.Fatal("trusted mode accepted a 3f+1 group")
+	}
+	// And the dual: classic consensus cannot run on 2f+1 replicas.
+	if _, err := splitbft.NewCluster(3, splitbft.WithConsensusMode("classic")); err == nil {
+		t.Fatal("classic mode accepted a 2f+1 group")
+	}
+	if _, err := splitbft.NewCluster(3, splitbft.WithConsensusMode("trusted"), splitbft.WithCommitRule("eventually")); err == nil {
+		t.Fatal("unknown commit rule accepted")
+	}
+}
+
+// TestTrustedModeFacadeRoundTrip drives the 2f+1 trusted-counter mode over
+// the public surface in both auth modes and checks the crypto profile:
+// the leader creates counter attestations, every replica verifies them,
+// and the cluster stays in agreement.
+func TestTrustedModeFacadeRoundTrip(t *testing.T) {
+	for _, auth := range []string{"sig", "mac"} {
+		t.Run(auth, func(t *testing.T) {
+			cluster, err := splitbft.NewCluster(3,
+				splitbft.WithConsensusMode("trusted"),
+				splitbft.WithAgreementAuth(auth),
+				splitbft.WithBatchSize(1),
+				splitbft.WithNetworkSeed(17),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			if cluster.N() != 3 || cluster.F() != 1 {
+				t.Fatalf("got n=%d f=%d, want n=3 f=1", cluster.N(), cluster.F())
+			}
+			cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(20*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := cl.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			waitForAgreement(t, cluster, []int{0, 1, 2})
+			if cs := cluster.Node(0).CryptoStats(); cs.CounterCreates == 0 {
+				t.Fatal("trusted-mode leader created no counter attestations")
+			}
+			for id := 0; id < 3; id++ {
+				if cs := cluster.Node(id).CryptoStats(); cs.CounterVerifies == 0 {
+					t.Fatalf("replica %d verified no counter attestations", id)
+				}
+			}
+		})
+	}
+}
+
+// TestCommitRuleFull: the conservative dual-commit rule waits for 2f+1
+// matching replies instead of the default f+1 — with all replicas up it
+// must still complete.
+func TestCommitRuleFull(t *testing.T) {
+	cluster, err := splitbft.NewCluster(3,
+		splitbft.WithConsensusMode("trusted"),
+		splitbft.WithCommitRule("full"),
+		splitbft.WithBatchSize(1),
+		splitbft.WithNetworkSeed(19),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatalf("full-commit PUT: %v", err)
+	}
+	res, err := cl.Get("k")
+	if err != nil || string(res) != "v" {
+		t.Fatalf("full-commit GET = %q, %v", res, err)
+	}
+}
+
+// runConsensusLedger replays the fixed seeded workload from the auth-mode
+// parity suite — crash/restart of one replica and a forced view change
+// included — on a blockchain cluster in the given consensus mode, and
+// returns the surviving replicas' ledger snapshots. Classic runs 3f+1,
+// trusted 2f+1; the committed ledger must not care.
+func runConsensusLedger(t *testing.T, mode string) [][]byte {
+	t.Helper()
+	n := 4
+	if mode == "trusted" {
+		n = 3
+	}
+	dir := t.TempDir()
+	cluster, err := splitbft.NewCluster(n,
+		splitbft.WithConsensusMode(mode),
+		splitbft.WithBlockchain(4),
+		splitbft.WithPersistence(dir),
+		splitbft.WithKeySeed([]byte("consensus-parity-seed")),
+		splitbft.WithBatchSize(1),
+		splitbft.WithCheckpointInterval(4),
+		splitbft.WithRequestTimeout(300*time.Millisecond),
+		splitbft.WithNetworkSeed(37),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(700, splitbft.WithInvokeTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tx := func(i int) {
+		t.Helper()
+		if _, err := cl.Invoke([]byte(fmt.Sprintf("tx-%02d", i))); err != nil {
+			t.Fatalf("tx %d (%s mode): %v", i, mode, err)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	for i := 0; i < 8; i++ {
+		tx(i)
+	}
+	waitForAgreement(t, cluster, all)
+
+	// Crash the highest replica mid-run, commit more, restart: trusted-mode
+	// recovery must restore the sealed counter position alongside the WAL
+	// so the replica keeps verifying (and, as a future primary, creating)
+	// gap-free attestations.
+	cluster.CrashNode(n - 1)
+	for i := 8; i < 12; i++ {
+		tx(i)
+	}
+	if err := cluster.RestartNode(n - 1); err != nil {
+		t.Fatalf("restart (%s mode): %v", mode, err)
+	}
+	for i := 12; i < 16; i++ {
+		tx(i)
+	}
+	waitForAgreement(t, cluster, all)
+
+	// Forced view change: partition the primary. In trusted mode the
+	// NewView must carry a fresh counter base and counter-attested
+	// re-issues or no correct replica would follow it.
+	cluster.Partition(0)
+	for i := 16; i < 20; i++ {
+		tx(i)
+	}
+	waitForAgreement(t, cluster, all[1:])
+
+	var snaps [][]byte
+	for _, id := range all[1:] {
+		bc := cluster.Node(id).App().(*splitbft.Blockchain)
+		if err := splitbft.VerifyChain(bc.Headers()); err != nil {
+			t.Fatalf("replica %d chain (%s mode): %v", id, mode, err)
+		}
+		snaps = append(snaps, bc.Snapshot())
+	}
+	return snaps
+}
+
+// TestConsensusModeLedgerParity is the acceptance check for the trusted
+// fast path: the same seeded workload — crash/restart and a forced view
+// change included — must produce ledgers byte-identical across replicas
+// AND byte-identical between classic and trusted consensus. Dropping the
+// Prepare phase changes how agreement is proven, never what is agreed.
+func TestConsensusModeLedgerParity(t *testing.T) {
+	trusted := runConsensusLedger(t, "trusted")
+	classic := runConsensusLedger(t, "classic")
+	for i := 1; i < len(trusted); i++ {
+		if !bytes.Equal(trusted[i], trusted[0]) {
+			t.Fatalf("trusted-mode replicas diverged: snapshot %d != snapshot 0", i)
+		}
+	}
+	if !bytes.Equal(trusted[0], classic[0]) {
+		t.Fatal("trusted-mode ledger differs from classic-mode ledger on the same workload")
+	}
+}
+
+// TestTrustedModeTCP runs the 2f+1 trusted group over the real TCP
+// transport: three in-process nodes on loopback listeners, a client
+// reaching them the way cmd/splitbft-client does, MAC agreement auth on
+// top to cover the trusted+MAC composition over the wire.
+func TestTrustedModeTCP(t *testing.T) {
+	addrs := make([]string, 3)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	seed := []byte("trusted-tcp-seed")
+	opts := func(extra ...splitbft.Option) []splitbft.Option {
+		return append([]splitbft.Option{
+			splitbft.WithConsensusMode("trusted"),
+			splitbft.WithAgreementAuth("mac"),
+			splitbft.WithTransportTCP(addrs...),
+			splitbft.WithKeySeed(seed),
+			splitbft.WithBatchSize(1),
+		}, extra...)
+	}
+	var nodes []*splitbft.Node
+	for i := 0; i < 3; i++ {
+		node, err := splitbft.NewNode(uint32(i), opts()...)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		defer node.Stop()
+		nodes = append(nodes, node)
+	}
+	for i, node := range nodes {
+		if err := node.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+	}
+	cl, err := splitbft.NewClient(100, opts(splitbft.WithInvokeTimeout(30*time.Second))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("op %d over TCP: %v", i, err)
+		}
+	}
+	res, err := cl.Get("k4")
+	if err != nil || string(res) != "v" {
+		t.Fatalf("GET over TCP = %q, %v", res, err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	ref := nodes[0].App()
+	for time.Now().Before(deadline) {
+		if nodes[1].App().Digest() == ref.Digest() && nodes[2].App().Digest() == ref.Digest() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("TCP trusted-mode replicas diverged")
+}

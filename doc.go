@@ -117,6 +117,41 @@
 // is visible even on a single core because the work is removed, not
 // parallelized.
 //
+// # Consensus modes: classic 3f+1 vs the trusted-counter 2f+1 mode
+//
+// WithConsensusMode selects how much of the agreement protocol leans on
+// the trusted compartments. "classic" (default) is the paper's protocol:
+// n = 3f+1 replicas, three phases, 2f+1 quorums, primary equivocation
+// caught by the Prepare all-to-all. "trusted" rebuilds the
+// MinBFT/CheapBFT lineage on SplitBFT's compartments: each replica's TEE
+// hosts a trusted monotonic counter, and a PrePrepare is acceptable only
+// with a gap-free counter attestation (an Ed25519 signature under the
+// counter's attested key binding the counter value to the proposal
+// digest, with the value advancing in lockstep with the sequence
+// number). A primary cannot assign two batches the same counter value
+// and cannot skip values unnoticed, so equivocation is prevented at the
+// source: the attested PrePrepare is the prepare certificate, the
+// Prepare round (n² messages and their verification) leaves the critical
+// path, quorums shrink to f+1, and the group shrinks to n = 2f+1. View
+// changes carry each replica's highest attested counter and NewView
+// re-pins the counter base, so re-issued proposals stay gap-free across
+// views.
+//
+// WithCommitRule is the DuoBFT-style dual-commit knob, client-local:
+// "trusted" (default) returns from Invoke after f+1 matching replies,
+// "full" waits for the classical 2f+1. The trade, as with the MAC fast
+// path, is throughput bought with the trust the paper already places in
+// attested compartments: a fully compromised counter enclave could
+// attest conflicting histories and break safety at f+1 quorums, where
+// classic mode's cross-checking would catch it. Both modes produce
+// byte-identical ledgers on the same workload, regression-tested across
+// crash/restart and forced view changes; `splitbft-bench -exp consensus`
+// measures the swap — on the Ed25519-bound default path, dropping a
+// whole signing-and-verifying round is a ~1.9x single-core throughput
+// gain, while under MAC agreement the (necessarily transferable,
+// signature-based) attestations cost more than the cheap HMAC round
+// they replace.
+//
 // # Sealed durability and crash recovery
 //
 // WithPersistence(dir) gives every replica a per-compartment durable
@@ -149,6 +184,13 @@
 // watermark (slot state is retained until checkpoint garbage
 // collection), and the prober fetches the missing request bodies over
 // the self-certifying BatchFetch path.
+//
+// Each store also keeps a sealed tail marker pinning the highest
+// fsync-durable WAL record (refreshed at snapshots and clean close);
+// recovery that finds less log than the marker promises refuses with
+// store.ErrTailRollback instead of reading a malicious truncation as an
+// ordinary crash artifact. The marker never overstates durability, so
+// honest crashes with un-fsynced tails are not flagged.
 //
 // Node.Crash is the SIGKILL-equivalent fault-injection handle (the
 // durability stores drop their unflushed tail), Cluster.CrashNode and

@@ -149,6 +149,87 @@ func AuthSpeedup(points []AuthPoint) float64 {
 	return mac / sig
 }
 
+// ConsensusPoint is one measurement of the consensus-mode ablation.
+type ConsensusPoint struct {
+	Consensus string // "classic" or "trusted"
+	Auth      string // "sig" or "mac"
+	Result    Result
+}
+
+// ConsensusAblation measures the trusted-counter consensus mode against
+// classic SplitBFT across both authentication modes: a 2×2 grid. The
+// trusted rows replace the all-to-all Prepare round (and its per-message
+// verification) with one counter attestation on each PrePrepare, so on a
+// single core the win shows up as removed crypto and messaging work, not
+// as parallelism. The group shrinks to 2f+1 alongside, which is the other
+// half of the mode's resource argument.
+func ConsensusAblation(clients int, measure time.Duration) ([]ConsensusPoint, error) {
+	out := make([]ConsensusPoint, 0, 4)
+	for _, consensus := range []string{"classic", "trusted"} {
+		for _, auth := range []string{"sig", "mac"} {
+			res, err := Run(RunConfig{
+				System:        SplitKVS,
+				Clients:       clients,
+				Batched:       false,
+				Measure:       measure,
+				AgreementAuth: auth,
+				ConsensusMode: consensus,
+			})
+			if err != nil {
+				return out, fmt.Errorf("consensus ablation @%s/%s: %w", consensus, auth, err)
+			}
+			out = append(out, ConsensusPoint{Consensus: consensus, Auth: auth, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// TrustedSpeedup returns the trusted/classic throughput ratio for one auth
+// mode (0 when either point is missing).
+func TrustedSpeedup(points []ConsensusPoint, auth string) float64 {
+	var classic, trusted float64
+	for _, p := range points {
+		if p.Auth != auth {
+			continue
+		}
+		switch p.Consensus {
+		case "classic":
+			classic = p.Result.Throughput
+		case "trusted":
+			trusted = p.Result.Throughput
+		}
+	}
+	if classic == 0 {
+		return 0
+	}
+	return trusted / classic
+}
+
+// FormatConsensusAblation renders the 2×2 consensus×auth grid with the
+// leader's crypto-op profile: what verification work the dropped Prepare
+// round removed, and what counter-attestation work replaced it.
+func FormatConsensusAblation(points []ConsensusPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — consensus mode (SplitBFT KVS, unbatched; classic n=4, trusted n=3)\n\n")
+	fmt.Fprintf(&sb, "%-9s %-5s %12s %14s %12s %12s %11s %11s\n",
+		"Consensus", "Auth", "ops/s", "mean latency", "sig-verifies", "MAC-verifies", "ctr-creates", "ctr-verifies")
+	sb.WriteString(strings.Repeat("-", 94) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-9s %-5s %12.0f %14v %12d %12d %11d %11d\n",
+			p.Consensus, p.Auth, p.Result.Throughput,
+			p.Result.MeanLat.Round(time.Microsecond),
+			p.Result.SigVerifies, p.Result.MACVerifies,
+			p.Result.CounterCreates, p.Result.CounterVerifies)
+	}
+	for _, auth := range []string{"sig", "mac"} {
+		if s := TrustedSpeedup(points, auth); s > 0 {
+			fmt.Fprintf(&sb, "\ntrusted/classic throughput ratio (%s): %.2fx", auth, s)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
 // FormatAuthAblation renders the sig-vs-MAC comparison with the leader's
 // crypto-op profile: how many Ed25519 verifications ran, what share of
 // the measure window they consumed, and how many agreement-MAC checks

@@ -88,6 +88,12 @@ type RunConfig struct {
 	// SplitBFT systems ("sig" or "mac"; "" keeps the sig default) — the
 	// MAC-authenticated fast path of the auth ablation.
 	AgreementAuth string
+	// ConsensusMode selects the agreement protocol on SplitBFT systems
+	// ("classic" or "trusted"; "" keeps the classic default). Trusted runs
+	// the counter-backed two-phase protocol on a 2f+1 group — the cluster
+	// shrinks from benchN to 2*benchF+1 replicas, matching how the mode
+	// would actually be deployed.
+	ConsensusMode string
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -161,6 +167,11 @@ type Result struct {
 	SigVerifies    uint64
 	MACVerifies    uint64
 	SigCPUFraction float64
+	// CounterCreates / CounterVerifies count the leader's trusted-counter
+	// attestations created and verified during the measure window (0 in
+	// classic consensus).
+	CounterCreates  uint64
+	CounterVerifies uint64
 }
 
 // recorder collects latencies from concurrent workers.

@@ -101,7 +101,14 @@ func startSplitCluster(cfg RunConfig, batchSize int, batchTimeout, requestTimeou
 	if cfg.AgreementAuth != "" {
 		opts = append(opts, splitbft.WithAgreementAuth(cfg.AgreementAuth))
 	}
-	cluster, err := splitbft.NewCluster(benchN, opts...)
+	n := benchN
+	if cfg.ConsensusMode != "" {
+		opts = append(opts, splitbft.WithConsensusMode(cfg.ConsensusMode))
+		if cfg.ConsensusMode == "trusted" {
+			n = 2*benchF + 1
+		}
+	}
+	cluster, err := splitbft.NewCluster(n, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("bench: cluster: %w", err)
 	}

@@ -101,6 +101,8 @@ func Run(cfg RunConfig) (Result, error) {
 		res.SigVerifies = cs.SigVerifies
 		res.MACVerifies = cs.MACVerifies
 		res.SigCPUFraction = cs.SigCPUFraction(elapsed)
+		res.CounterCreates = cs.CounterCreates
+		res.CounterVerifies = cs.CounterVerifies
 	}
 	return res, nil
 }

@@ -37,6 +37,10 @@ type Workload struct {
 	BatchSize     int    `json:"batch_size"`
 	EcallBatch    int    `json:"ecall_batch"`
 	VerifyWorkers int    `json:"verify_workers"`
+	// Consensus is "trusted" for the counter-backed 2f+1 mode and empty
+	// for classic — omitted from the JSON so trajectory points committed
+	// before the mode existed keep comparing equal to fresh classic runs.
+	Consensus string `json:"consensus,omitempty"`
 }
 
 // Result is the versioned machine-readable outcome of one load run — the

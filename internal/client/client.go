@@ -44,6 +44,14 @@ type Config struct {
 	// ReplyRole is the role whose identity authenticates replies
 	// (RoleReplica for the baseline, RoleExecution for SplitBFT).
 	ReplyRole crypto.Role
+	// Consensus is the deployment's consensus mode; the client needs it to
+	// validate the group shape (trusted groups are 2F+1, not 3F+1) when it
+	// builds a verifier for the attestation handshake.
+	Consensus messages.ConsensusMode
+	// ReplyQuorum is how many matching replies resolve an invocation
+	// (the dual-commit knob): 0 defaults to F+1 — the fast trusted-commit
+	// rule — while 2F+1 is the conservative full-commit rule.
+	ReplyQuorum int
 	// Confidential enables end-to-end payload encryption to the Execution
 	// enclaves. Requires Attest before Invoke.
 	Confidential bool
@@ -67,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout == 0 {
 		c.Timeout = defaults.InvokeTimeout
+	}
+	if c.ReplyQuorum == 0 {
+		c.ReplyQuorum = c.F + 1
 	}
 	return c
 }
@@ -188,7 +199,7 @@ func (c *Client) Attest() error {
 		return err
 	}
 
-	ver, err := messages.NewVerifier(c.cfg.N, c.cfg.F, c.cfg.Registry, messages.SplitScheme())
+	ver, err := messages.NewVerifierMode(c.cfg.N, c.cfg.F, c.cfg.Registry, messages.SplitScheme(), c.cfg.Consensus)
 	if err != nil {
 		return err
 	}
@@ -359,7 +370,7 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 }
 
 // onReply verifies a reply MAC, decrypts confidential results, and resolves
-// the pending call once f+1 replicas agree on the result.
+// the pending call once ReplyQuorum replicas agree on the result.
 func (c *Client) onReply(rep *messages.Reply) {
 	if rep.ClientID != c.cfg.ID {
 		return
@@ -392,7 +403,7 @@ func (c *Client) onReply(rep *messages.Reply) {
 			matching++
 		}
 	}
-	if matching >= c.cfg.F+1 {
+	if matching >= c.cfg.ReplyQuorum {
 		select {
 		case ca.done <- result:
 		default:

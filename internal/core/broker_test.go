@@ -206,7 +206,7 @@ func newTestBroker(t *testing.T, singleThread bool) (*broker, Config) {
 		reg.Register(enc.Identity(), enc.PublicKey())
 		return enc
 	}
-	prep := mk(crypto.RolePreparation, newPreparation(cfg, ver))
+	prep := mk(crypto.RolePreparation, newPreparation(cfg, ver, nil))
 	conf := mk(crypto.RoleConfirmation, newConfirmation(cfg, ver))
 	exec := mk(crypto.RoleExecution, newExecution(cfg, ver))
 	return newBroker(cfg, prep, conf, exec, nil), cfg

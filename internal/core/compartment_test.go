@@ -44,7 +44,7 @@ func newHarness(t *testing.T) *harness {
 		cfg = cfg.withDefaults()
 		h.cfgs = append(h.cfgs, cfg)
 		for role, code := range map[crypto.Role]tee.Code{
-			crypto.RolePreparation:  newPreparation(cfg, ver),
+			crypto.RolePreparation:  newPreparation(cfg, ver, nil),
 			crypto.RoleConfirmation: newConfirmation(cfg, ver),
 			crypto.RoleExecution:    newExecution(cfg, ver),
 		} {

@@ -29,6 +29,15 @@ type comState struct {
 	window       uint64
 	stableCert   messages.CheckpointCert
 
+	// ctrBase/seqBase pin the trusted-counter affine law of the current
+	// view (trusted consensus mode): an acceptable PrePrepare at Seq must
+	// carry CtrVal = ctrBase + (Seq - seqBase). Both start at zero in view
+	// 0 — the primary's counter and the sequence space advance in lockstep
+	// from genesis — and are re-pinned by every NewView (CtrBase and the
+	// stable checkpoint seq).
+	ctrBase uint64
+	seqBase uint64
+
 	checkpoints map[uint64]map[uint32]*messages.Checkpoint
 }
 
@@ -42,6 +51,9 @@ func newComState(n, f int, id uint32, window uint64, ver *messages.Verifier) com
 
 // macMode reports whether agreement traffic uses the MAC fast path.
 func (s *comState) macMode() bool { return s.ver.Mode == messages.AuthMAC }
+
+// trustedMode reports whether agreement runs the trusted-counter variant.
+func (s *comState) trustedMode() bool { return s.ver.Consensus == messages.ConsensusTrusted }
 
 // authReceivers returns (caching) the MAC-vector layout for a type.
 func (s *comState) authReceivers(t messages.Type) []crypto.Identity {
@@ -64,7 +76,10 @@ func (s *comState) authenticate(host tee.Host, t messages.Type, signing []byte) 
 	return nil, s.rmacs.Authenticate(signing, s.authReceivers(t))
 }
 
-func (s *comState) quorum() int { return 2*s.f + 1 }
+// quorum is the certificate size: 2f+1 in classic consensus, f+1 in
+// trusted consensus (delegated to the verifier, the single source of the
+// group-shape rules).
+func (s *comState) quorum() int { return s.ver.Quorum() }
 
 func (s *comState) primary(view uint64) uint32 { return uint32(view % uint64(s.n)) }
 
@@ -158,6 +173,12 @@ func (s *comState) applyNewViewCheckpoint(nv *messages.NewView) bool {
 	advanced := nv.View > s.view || nv.View == s.view
 	s.view = nv.View
 	s.advanceStable(nv.Stable)
+	if s.trustedMode() {
+		// Re-pin the affine counter law for the new view: re-issued and
+		// subsequent proposals consume nv.CtrBase+1.. from the new
+		// primary's counter, sequence-aligned at the stable checkpoint.
+		s.ctrBase, s.seqBase = nv.CtrBase, nv.Stable.Seq
+	}
 	return advanced
 }
 

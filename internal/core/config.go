@@ -75,6 +75,14 @@ type Config struct {
 	// replicas of a deployment must agree on the mode.
 	AgreementAuth messages.AuthMode
 
+	// ConsensusMode selects the agreement variant: ConsensusClassic
+	// (default) runs three-phase PBFT over N = 3F+1; ConsensusTrusted binds
+	// every PrePrepare to the primary's trusted monotonic counter, skips
+	// the Prepare phase entirely, and runs over N = 2F+1 with F+1 quorums.
+	// All replicas of a deployment must agree on the mode; it composes with
+	// either AgreementAuth and with persistence.
+	ConsensusMode messages.ConsensusMode
+
 	// Cost is the enclave cost model (hardware, simulation, or zero).
 	Cost tee.CostModel
 	// SingleThread serializes all ecalls through one dispatcher goroutine
@@ -142,7 +150,10 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) validate() error {
-	if c.N != 3*c.F+1 || c.F < 0 {
+	if !messages.ValidConsensus(c.ConsensusMode, c.N, c.F) {
+		if c.ConsensusMode == messages.ConsensusTrusted {
+			return errors.New("core: N must equal 2F+1 in trusted consensus mode")
+		}
 		return errors.New("core: N must equal 3F+1")
 	}
 	if int(c.ID) >= c.N {

@@ -40,6 +40,11 @@ type confirmation struct {
 	// vcSeen tracks which replicas demanded which views, for the f+1 join
 	// rule (liveness).
 	vcSeen map[uint64]map[uint32]bool
+	// highCtr is the highest trusted-counter value among accepted
+	// PrePrepares (trusted consensus mode); it rides on our ViewChanges so
+	// a new primary can see how far the old leader's gap-free assignment
+	// got, and is persisted so a recovered replica never understates it.
+	highCtr uint64
 }
 
 func newConfirmation(cfg Config, ver *messages.Verifier) *confirmation {
@@ -108,17 +113,32 @@ func (c *confirmation) onPrePrepare(host tee.Host, pp *messages.PrePrepare) []te
 	if err := c.ver.VerifyPrePrepare(pp, false); err != nil {
 		return nil
 	}
+	if c.trustedMode() {
+		// The counter attestation replaces the Prepare quorum: only a
+		// proposal satisfying the view's affine assignment law enters the
+		// slot, and maybeCommit then needs no Prepares at all. Equivocation
+		// cannot land — two digests at one slot would need the same counter
+		// value twice, which the counter enclave never signs.
+		if err := c.ver.VerifyCounterAt(pp, c.ctrBase, c.seqBase); err != nil {
+			return nil
+		}
+	}
 	s := c.slot(pp.View, pp.Seq)
 	if s.prePrepare != nil {
 		return nil // first proposal wins; equivocation costs liveness only
 	}
 	s.prePrepare = pp.StripBatch()
+	if pp.CtrVal > c.highCtr {
+		c.highCtr = pp.CtrVal
+	}
 	return c.maybeCommit(host, pp.View, pp.Seq)
 }
 
 // onPrepare collects Prepares from Preparation enclaves (event handler 3).
+// In trusted consensus mode the phase does not exist: correct replicas never
+// send Prepares and received ones are dropped unverified.
 func (c *confirmation) onPrepare(host tee.Host, p *messages.Prepare) []tee.OutMsg {
-	if p.View != c.view || c.inViewChange || !c.inWindow(p.Seq) {
+	if c.trustedMode() || p.View != c.view || c.inViewChange || !c.inWindow(p.Seq) {
 		return nil
 	}
 	s := c.slot(p.View, p.Seq)
@@ -138,11 +158,18 @@ func (c *confirmation) onPrepare(host tee.Host, p *messages.Prepare) []tee.OutMs
 
 // maybeCommit emits the Commit once the slot holds a full prepare
 // certificate: one PrePrepare plus 2f matching Prepares from distinct
-// Preparation enclaves (P5: quorum-gated transition).
+// Preparation enclaves (P5: quorum-gated transition). In trusted consensus
+// mode the counter-verified PrePrepare alone is the certificate — onPrePrepare
+// only admits proposals passing the affine assignment law, so the Prepare
+// round (and its all-to-all traffic plus verification) is skipped entirely.
 func (c *confirmation) maybeCommit(host tee.Host, view, seq uint64) []tee.OutMsg {
 	s := c.slot(view, seq)
 	if s.committed || s.prePrepare == nil {
 		return nil
+	}
+	need := 2 * c.f
+	if c.trustedMode() {
+		need = 0
 	}
 	matching := 0
 	for _, p := range s.prepares {
@@ -150,7 +177,7 @@ func (c *confirmation) maybeCommit(host tee.Host, view, seq uint64) []tee.OutMsg
 			matching++
 		}
 	}
-	if matching < 2*c.f {
+	if matching < need {
 		return nil
 	}
 	s.committed = true
@@ -198,6 +225,7 @@ func (c *confirmation) startViewChange(host tee.Host, target uint64) []tee.OutMs
 		Stable:     c.stableCert,
 		Prepared:   c.prepareCerts(host),
 		Replica:    c.id,
+		HighCtr:    c.highCtr,
 	}
 	// The ViewChange itself always carries an Ed25519 signature: it is
 	// embedded wholesale in NewViews and must be third-party verifiable
@@ -234,11 +262,17 @@ func (c *confirmation) prepareCerts(host tee.Host) []messages.PrepareCert {
 					matching++
 				}
 			}
-			if matching < 2*c.f {
+			if !c.trustedMode() && matching < 2*c.f {
 				continue
 			}
 			var pc *messages.PrepareCert
-			if c.macMode() {
+			if c.trustedMode() {
+				// The counter attestation (kept by StripAuth) is itself the
+				// transferable proof, uniform across both auth modes: a slot
+				// only holds a counter-valid proposal, and the attestation is
+				// third-party verifiable.
+				pc = &messages.PrepareCert{PrePrepare: *s.prePrepare.StripAuth()}
+			} else if c.macMode() {
 				pc = &messages.PrepareCert{
 					PrePrepare: *s.prePrepare.StripAuth(),
 					Attestor:   c.id,
@@ -378,6 +412,17 @@ func (c *confirmation) onPeerViewChange(host tee.Host, vc *messages.ViewChange) 
 // (after per-message signature checks) so the prepare certificates of the
 // new view can complete.
 func (c *confirmation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMsg {
+	if c.trustedMode() && nv.View >= c.view {
+		// With direct commits there are no Prepare votes from correct
+		// Preparation enclaves to filter false re-issues, so the paper's
+		// corner case no longer protects this compartment: it must validate
+		// the NewView fully itself — including the recomputation from the
+		// ViewChanges and the counter attestation on every re-issued slot —
+		// before any re-issue can reach maybeCommit.
+		if err := c.ver.VerifyNewView(nv); err != nil {
+			return nil
+		}
+	}
 	if !c.applyNewViewCheckpoint(nv) {
 		return nil
 	}
@@ -404,6 +449,9 @@ func (c *confirmation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutM
 		s := c.slot(pp.View, pp.Seq)
 		if s.prePrepare == nil {
 			s.prePrepare = pp.StripBatch()
+			if pp.CtrVal > c.highCtr {
+				c.highCtr = pp.CtrVal
+			}
 			out = append(out, c.maybeCommit(host, pp.View, pp.Seq)...)
 		}
 	}

@@ -29,6 +29,18 @@ func enclaveKeyStream(seed []byte, replica uint32, role crypto.Role) io.Reader {
 func RegisterDeterministicKeys(reg *crypto.Registry, seed []byte, n int) error {
 	roles := []crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
 	for id := 0; id < n; id++ {
+		// The counter enclave's attestation key comes from its own stream,
+		// separate from the compartment enclaves' streams (the compartments'
+		// identity → seal → ECDH read order stays untouched). It is
+		// registered unconditionally: harmless in classic deployments, and
+		// required before any trusted-mode peer process verifies a counter
+		// attestation.
+		ctrStream := enclaveKeyStream(seed, uint32(id), crypto.RoleCounter)
+		ctrPub, _, err := ed25519.GenerateKey(ctrStream)
+		if err != nil {
+			return fmt.Errorf("derive counter key for replica %d: %w", id, err)
+		}
+		reg.Register(crypto.Identity{ReplicaID: uint32(id), Role: crypto.RoleCounter}, ctrPub)
 		for _, role := range roles {
 			stream := enclaveKeyStream(seed, uint32(id), role)
 			pub, _, err := ed25519.GenerateKey(stream)

@@ -24,8 +24,10 @@ import (
 )
 
 // stateVersion tags every compartment export; imports refuse other
-// versions rather than guessing.
-const stateVersion = 1
+// versions rather than guessing. Version 2 added the trusted-counter fields
+// (counter bases, the preparation counter position, the confirmation high
+// counter).
+const stateVersion = 2
 
 // sessionCounterSlack is added to every restored session nonce counter.
 // The un-fsynced WAL tail may hold executions whose encrypted replies
@@ -41,6 +43,8 @@ func exportComState(e *messages.Encoder, s *comState) {
 	e.U64(s.view)
 	e.U64(s.lowWatermark)
 	e.VarBytes(s.stableCert.MarshalCert())
+	e.U64(s.ctrBase)
+	e.U64(s.seqBase)
 }
 
 // importComState restores the shared fields; the checkpoint vote
@@ -57,6 +61,8 @@ func importComState(d *messages.Decoder, s *comState) error {
 		return fmt.Errorf("core: import stable certificate: %w", err)
 	}
 	s.stableCert = cert
+	s.ctrBase = d.U64()
+	s.seqBase = d.U64()
 	s.checkpoints = make(map[uint64]map[uint32]*messages.Checkpoint)
 	return nil
 }
@@ -93,6 +99,15 @@ func (p *preparation) ExportState() []byte {
 	e.U8(stateVersion)
 	exportComState(e, &p.comState)
 	e.U64(p.nextSeq)
+	// Trusted-counter position (zero in classic mode): restoring it before
+	// WAL replay keeps the counter and the sequence space in lockstep — the
+	// replayed proposals re-create their attestations deterministically from
+	// here, landing the counter exactly where the fsynced log ends.
+	var ctr uint64
+	if p.counter != nil {
+		ctr = p.counter.Export()
+	}
+	e.U64(ctr)
 	e.U32(uint32(len(p.proposals)))
 	for view, vs := range p.proposals {
 		e.U64(view)
@@ -121,6 +136,9 @@ func (p *preparation) ImportState(data []byte) error {
 		return err
 	}
 	p.nextSeq = d.U64()
+	if ctr := d.U64(); p.counter != nil {
+		p.counter.Import(ctr)
+	}
 	p.proposals = make(map[uint64]map[uint64]crypto.Digest)
 	nViews := d.Count(1 << 16)
 	for i := 0; i < nViews; i++ {
@@ -158,6 +176,7 @@ func (c *confirmation) ExportState() []byte {
 	e := messages.NewEncoder(1024)
 	e.U8(stateVersion)
 	exportComState(e, &c.comState)
+	e.U64(c.highCtr)
 	e.Bool(c.inViewChange)
 	if c.myVC != nil {
 		e.Bool(true)
@@ -199,6 +218,7 @@ func (c *confirmation) ImportState(data []byte) error {
 	if err := importComState(d, &c.comState); err != nil {
 		return err
 	}
+	c.highCtr = d.U64()
 	c.inViewChange = d.Bool()
 	c.myVC = nil
 	c.vcResends = 0

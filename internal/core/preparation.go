@@ -15,6 +15,12 @@ import (
 type preparation struct {
 	comState
 	macs *crypto.MACStore
+	// counter is the trusted monotonic counter enclave (trusted consensus
+	// mode only, nil in classic). The primary binds every PrePrepare to the
+	// next counter value; because the counter and the sequence space advance
+	// in lockstep, backups can verify gap-freeness with the affine law
+	// CtrVal = ctrBase + (Seq - seqBase) alone.
+	counter *tee.TrustedCounter
 
 	nextSeq uint64
 	// proposals records the accepted proposal digest per (view, seq): the
@@ -28,11 +34,12 @@ type preparation struct {
 	lastNewView *messages.NewView
 }
 
-func newPreparation(cfg Config, ver *messages.Verifier) *preparation {
+func newPreparation(cfg Config, ver *messages.Verifier, counter *tee.TrustedCounter) *preparation {
 	return &preparation{
 		comState: newComState(cfg.N, cfg.F, cfg.ID, cfg.WatermarkWindow, ver),
 		macs: crypto.NewMACStore(cfg.MACSecret,
 			crypto.Identity{ReplicaID: cfg.ID, Role: crypto.RolePreparation}),
+		counter:     counter,
 		proposals:   make(map[uint64]map[uint64]crypto.Digest),
 		viewChanges: make(map[uint64]map[uint32]*messages.ViewChange),
 	}
@@ -130,6 +137,14 @@ func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg
 		Batch:   b,
 	}
 	pp.Sig, pp.Auth = p.authenticate(host, messages.TPrePrepare, pp.SigningBytes())
+	if p.trustedMode() {
+		// Bind the proposal to the next counter value. nextSeq and the
+		// counter advance in lockstep from the view's bases, so the
+		// attestation lands exactly on ctrBase + (Seq - seqBase) — the
+		// affine law backups enforce in place of the Prepare phase.
+		att := p.counter.CreateAttestation(messages.CounterDigest(pp))
+		pp.CtrVal, pp.CtrSig = att.Value, att.Sig
+	}
 	p.record(pp.View, pp.Seq, pp.Digest)
 	return []tee.OutMsg{
 		broadcastOut(pp),
@@ -148,6 +163,17 @@ func (p *preparation) onPrePrepare(host tee.Host, pp *messages.PrePrepare) []tee
 		return nil // the primary ignores foreign proposals in its view
 	}
 	if err := p.ver.VerifyPrePrepare(pp, true); err != nil {
+		return nil
+	}
+	if p.trustedMode() {
+		// Trusted consensus: a counter-valid proposal needs no Prepare —
+		// the attestation plus the affine law is the whole vote. Record it
+		// (the input-log slice still feeds equivocation detection) and stop;
+		// the Confirmation compartment commits directly off its copy.
+		if err := p.ver.VerifyCounterAt(pp, p.ctrBase, p.seqBase); err != nil {
+			return nil
+		}
+		p.record(pp.View, pp.Seq, pp.Digest)
 		return nil
 	}
 	if !p.record(pp.View, pp.Seq, pp.Digest) {
@@ -204,16 +230,32 @@ func (p *preparation) onViewChange(host tee.Host, vc *messages.ViewChange) []tee
 		sign = host.Sign
 	}
 	stable, pps := messages.ComputeNewViewPrePrepares(vc.NewViewNum, p.id, vcs, sign)
+	var ctrBase uint64
+	if p.trustedMode() {
+		// Attest the re-issues with fresh counter values. CtrBase is the
+		// counter position before attesting; the re-issues (contiguous from
+		// Stable.Seq+1 by construction) consume CtrBase+1..CtrBase+k in
+		// sequence order, and every later proposal of the view continues
+		// the same affine law. The counter cannot re-sign old values, so a
+		// valid NewView proves the new leader neither reuses nor skips
+		// slots. CtrBase is covered by nv.Sig below.
+		ctrBase = p.counter.Value()
+		for i := range pps {
+			att := p.counter.CreateAttestation(messages.CounterDigest(&pps[i]))
+			pps[i].CtrVal, pps[i].CtrSig = att.Value, att.Sig
+		}
+	}
 	nv := &messages.NewView{
 		View:        vc.NewViewNum,
 		ViewChanges: vcs,
 		Stable:      stable,
 		PrePrepares: pps,
 		Replica:     p.id,
+		CtrBase:     ctrBase,
 	}
 	nv.Sig = host.Sign(nv.SigningBytes())
 	p.lastNewView = nv
-	p.installView(nv.View, stable, pps)
+	p.installView(nv.View, stable, pps, ctrBase)
 	delete(p.viewChanges, vc.NewViewNum)
 	return []tee.OutMsg{
 		broadcastOut(nv),
@@ -233,13 +275,16 @@ func (p *preparation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMs
 	if err := p.ver.VerifyNewView(nv); err != nil {
 		return nil
 	}
-	p.installView(nv.View, nv.Stable, nv.PrePrepares)
+	p.installView(nv.View, nv.Stable, nv.PrePrepares, nv.CtrBase)
 	var out []tee.OutMsg
 	if p.primary(nv.View) != p.id {
 		for i := range nv.PrePrepares {
 			pp := &nv.PrePrepares[i]
 			if pp.Seq <= p.lowWatermark || !p.record(pp.View, pp.Seq, pp.Digest) {
 				continue
+			}
+			if p.trustedMode() {
+				continue // counter-attested re-issues need no Prepare votes
 			}
 			prep := &messages.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: p.id}
 			prep.Sig, prep.Auth = p.authenticate(host, messages.TPrepare, prep.SigningBytes())
@@ -250,9 +295,14 @@ func (p *preparation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMs
 }
 
 // installView moves the compartment into a new view.
-func (p *preparation) installView(view uint64, stable messages.CheckpointCert, pps []messages.PrePrepare) {
+func (p *preparation) installView(view uint64, stable messages.CheckpointCert, pps []messages.PrePrepare, ctrBase uint64) {
 	p.view = view
 	p.advanceStable(stable)
+	if p.trustedMode() {
+		// Re-pin the affine counter law: proposals of the new view consume
+		// ctrBase+1.. sequence-aligned at the stable checkpoint.
+		p.ctrBase, p.seqBase = ctrBase, stable.Seq
+	}
 	maxSeq := p.lowWatermark
 	for i := range pps {
 		if pps[i].Seq > maxSeq {

@@ -43,6 +43,9 @@ type Replica struct {
 	// DataDir); recovery holds what NewReplica reconstructed from them.
 	stores   map[crypto.Role]*comStore
 	recovery RecoveryStats
+	// counter is the trusted monotonic counter enclave (trusted consensus
+	// mode only, nil in classic).
+	counter *tee.TrustedCounter
 }
 
 // RecoveryStats describes what a replica reconstructed from its durability
@@ -82,7 +85,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 	var caches []*messages.VerifyCache
 	compartmentRoles := [3]crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
 	for i := range vers {
-		ver, err := messages.NewVerifier(cfg.N, cfg.F, cfg.Registry, messages.SplitScheme())
+		ver, err := messages.NewVerifierMode(cfg.N, cfg.F, cfg.Registry, messages.SplitScheme(), cfg.ConsensusMode)
 		if err != nil {
 			return nil, err
 		}
@@ -92,9 +95,6 @@ func NewReplica(cfg Config) (*Replica, error) {
 		caches = append(caches, ver.Cache)
 		vers[i] = ver
 	}
-	prepCode := newPreparation(cfg, vers[0])
-	confCode := newConfirmation(cfg, vers[1])
-	execCode := newExecution(cfg, vers[2])
 
 	rng := func(role crypto.Role) io.Reader {
 		if len(cfg.KeySeed) == 0 {
@@ -102,6 +102,25 @@ func NewReplica(cfg Config) (*Replica, error) {
 		}
 		return enclaveKeyStream(cfg.KeySeed, cfg.ID, role)
 	}
+
+	// Trusted consensus mode: launch the counter enclave and register its
+	// attestation key before any compartment sees traffic. With a KeySeed the
+	// key derives from the counter's own stream so peer processes can compute
+	// it (RegisterDeterministicKeys mirrors the derivation).
+	var counter *tee.TrustedCounter
+	if cfg.ConsensusMode == messages.ConsensusTrusted {
+		ctrID := crypto.Identity{ReplicaID: cfg.ID, Role: crypto.RoleCounter}
+		var err error
+		counter, err = tee.NewTrustedCounterWithRand(ctrID, rng(crypto.RoleCounter))
+		if err != nil {
+			return nil, fmt.Errorf("launch counter enclave: %w", err)
+		}
+		cfg.Registry.Register(ctrID, counter.PublicKey())
+	}
+
+	prepCode := newPreparation(cfg, vers[0], counter)
+	confCode := newConfirmation(cfg, vers[1])
+	execCode := newExecution(cfg, vers[2])
 	prep, err := tee.NewEnclaveWithRand(cfg.ID, crypto.RolePreparation, prepCode, cfg.Cost, rng(crypto.RolePreparation))
 	if err != nil {
 		return nil, fmt.Errorf("launch preparation enclave: %w", err)
@@ -149,7 +168,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		}
 	}
 
-	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches, vers: vers[:]}
+	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches, vers: vers[:], counter: counter}
 
 	// Durability: open the per-compartment stores and recover — sealed
 	// snapshot first, then WAL replay — before any broker thread runs.
@@ -334,8 +353,19 @@ func (r *Replica) VerifierStats() messages.VerifierStats {
 		out.SigVerifies += s.SigVerifies
 		out.SigTime += s.SigTime
 		out.MACVerifies += s.MACVerifies
+		out.CounterVerifies += s.CounterVerifies
 	}
 	return out
+}
+
+// CounterCreates returns the number of counter attestations this replica's
+// counter enclave created since boot or the last stats reset (zero in
+// classic consensus mode).
+func (r *Replica) CounterCreates() uint64 {
+	if r.counter == nil {
+		return 0
+	}
+	return r.counter.Creates()
 }
 
 // PersistedBlocks returns the number of sealed blockchain blocks the
@@ -364,6 +394,9 @@ func (r *Replica) ResetEnclaveStats() {
 	}
 	for _, v := range r.vers {
 		v.ResetStats()
+	}
+	if r.counter != nil {
+		r.counter.ResetCreates()
 	}
 }
 

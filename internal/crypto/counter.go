@@ -1,0 +1,15 @@
+package crypto
+
+import "encoding/binary"
+
+// CounterSigningBytes is the canonical byte layout a trusted-counter
+// attestation signs: the owning replica, the assigned counter value, and
+// the digest the value is bound to. It lives here because both the counter
+// enclave (internal/tee) and the message verifier (internal/messages) must
+// produce identical bytes, and tee already imports messages.
+func CounterSigningBytes(replica uint32, value uint64, digest Digest) []byte {
+	buf := make([]byte, 0, 4+8+DigestSize)
+	buf = binary.LittleEndian.AppendUint32(buf, replica)
+	buf = binary.LittleEndian.AppendUint64(buf, value)
+	return append(buf, digest[:]...)
+}

@@ -128,6 +128,9 @@ const (
 	// RoleReplica is used by the non-compartmentalized PBFT baseline where
 	// the whole replica is one unit of failure with one key.
 	RoleReplica
+	// RoleCounter is the trusted monotonic counter enclave used by the
+	// trusted consensus mode; its key signs counter attestations only.
+	RoleCounter
 )
 
 // String returns a short human-readable role name.
@@ -145,6 +148,8 @@ func (r Role) String() string {
 		return "exec"
 	case RoleReplica:
 		return "replica"
+	case RoleCounter:
+		return "counter"
 	default:
 		return fmt.Sprintf("role(%d)", uint8(r))
 	}

@@ -1,0 +1,239 @@
+package messages
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// newTrustedFixture builds a fully keyed 2f+1 trusted-consensus group:
+// per-replica compartment keys plus the counter enclaves' attestation
+// keys. The tests below play the byzantine leader against it — forging,
+// gapping, replaying and transplanting counter attestations — and expect
+// the Verifier to reject every variant.
+func newTrustedFixture(t *testing.T, scheme SignerScheme) *fixture {
+	t.Helper()
+	fx := &fixture{t: t, n: 3, f: 1, reg: crypto.NewRegistry(), keys: make(map[crypto.Identity]*crypto.KeyPair)}
+	roles := []crypto.Role{
+		crypto.RoleReplica, crypto.RolePreparation, crypto.RoleConfirmation,
+		crypto.RoleExecution, crypto.RoleCounter,
+	}
+	for r := 0; r < fx.n; r++ {
+		for _, role := range roles {
+			id := crypto.Identity{ReplicaID: uint32(r), Role: role}
+			kp := crypto.MustGenerateKeyPair()
+			fx.keys[id] = kp
+			fx.reg.Register(id, kp.Public)
+		}
+	}
+	ver, err := NewVerifierMode(fx.n, fx.f, fx.reg, scheme, ConsensusTrusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.ver = ver
+	return fx
+}
+
+// attest binds value to pp exactly as the owning replica's counter
+// enclave would: the attestation signs the counter-digest of the
+// proposal, so it is transferable but not transplantable.
+func (fx *fixture) attest(pp *PrePrepare, value uint64) {
+	pp.CtrVal = value
+	msg := crypto.CounterSigningBytes(pp.Replica, value, CounterDigest(pp))
+	pp.CtrSig = fx.sign(pp.Replica, crypto.RoleCounter, msg)
+}
+
+func TestValidConsensusGroupSizes(t *testing.T) {
+	cases := []struct {
+		mode ConsensusMode
+		n, f int
+		ok   bool
+	}{
+		{ConsensusClassic, 4, 1, true},
+		{ConsensusClassic, 3, 1, false},
+		{ConsensusClassic, 7, 2, true},
+		{ConsensusTrusted, 3, 1, true},
+		{ConsensusTrusted, 4, 1, false},
+		{ConsensusTrusted, 5, 2, true},
+		{ConsensusTrusted, 3, -1, false},
+	}
+	for _, c := range cases {
+		if got := ValidConsensus(c.mode, c.n, c.f); got != c.ok {
+			t.Errorf("ValidConsensus(%v, n=%d, f=%d) = %v, want %v", c.mode, c.n, c.f, got, c.ok)
+		}
+	}
+	if _, err := NewVerifierMode(4, 1, crypto.NewRegistry(), SplitScheme(), ConsensusTrusted); err == nil {
+		t.Fatal("trusted verifier accepted a 3f+1 group")
+	}
+}
+
+// TestTrustedCounterAttestationChecks walks the byzantine-leader attack
+// surface of the counter binding: each tampered proposal must fail
+// VerifyCounterAt while the honest one passes.
+func TestTrustedCounterAttestationChecks(t *testing.T) {
+	fx := newTrustedFixture(t, SplitScheme())
+
+	good := fx.prePrepare(0, 1, testBatch(1))
+	fx.attest(good, 1)
+	if err := fx.ver.VerifyCounterAt(good, 0, 0); err != nil {
+		t.Fatalf("honest counter-bound PrePrepare rejected: %v", err)
+	}
+
+	// Missing attestation: a classic-mode proposal leaking into a trusted
+	// group must not commit.
+	bare := fx.prePrepare(0, 1, testBatch(1))
+	if err := fx.ver.VerifyCounterAt(bare, 0, 0); err == nil {
+		t.Fatal("PrePrepare without counter attestation accepted")
+	}
+
+	// Forged: right value, but signed outside the counter enclave (here:
+	// with the leader's Preparation key).
+	forged := fx.prePrepare(0, 1, testBatch(1))
+	forged.CtrVal = 1
+	forged.CtrSig = fx.sign(0, crypto.RolePreparation,
+		crypto.CounterSigningBytes(0, 1, CounterDigest(forged)))
+	if err := fx.ver.VerifyCounterAt(forged, 0, 0); err == nil {
+		t.Fatal("forged counter attestation accepted")
+	}
+
+	// Gapped: the leader skips a counter value. The affine assignment law
+	// CtrVal = base + (Seq - seqBase) breaks and the proposal is rejected
+	// even though the attestation signature itself is genuine.
+	gapped := fx.prePrepare(0, 1, testBatch(1))
+	fx.attest(gapped, 2)
+	if err := fx.ver.VerifyCounterAt(gapped, 0, 0); err == nil {
+		t.Fatal("gapped counter value accepted")
+	}
+	// ...and the mirror image: reusing an old value for a later slot.
+	reused := fx.prePrepare(0, 2, testBatch(2))
+	fx.attest(reused, 1)
+	if err := fx.ver.VerifyCounterAt(reused, 0, 0); err == nil {
+		t.Fatal("replayed (reused) counter value accepted")
+	}
+
+	// Replayed attestation: a genuine attestation lifted from one proposal
+	// onto a different batch at the same slot — the equivocation attack the
+	// counter exists to kill. The digest binding breaks the signature.
+	pa := fx.prePrepare(0, 1, testBatch(1))
+	fx.attest(pa, 1)
+	pb := fx.prePrepare(0, 1, testBatch(2))
+	pb.CtrVal, pb.CtrSig = pa.CtrVal, pa.CtrSig
+	if err := fx.ver.VerifyCounterAt(pb, 0, 0); err == nil {
+		t.Fatal("counter attestation replayed onto a different batch accepted")
+	}
+
+	// Transplanted: a genuine attestation from ANOTHER replica's counter
+	// enclave. The verifier looks the key up under the proposer's identity,
+	// so replica 1's signature never validates a proposal claiming to be
+	// replica 0's.
+	tp := fx.prePrepare(0, 1, testBatch(1))
+	tp.CtrVal = 1
+	tp.CtrSig = fx.sign(1, crypto.RoleCounter,
+		crypto.CounterSigningBytes(1, 1, CounterDigest(tp)))
+	if err := fx.ver.VerifyCounterAt(tp, 0, 0); err == nil {
+		t.Fatal("counter attestation transplanted from another replica accepted")
+	}
+}
+
+// trustedPrepareCert builds what a trusted-mode replica stores as its
+// prepared proof: the stripped proposal whose counter attestation IS the
+// certificate — no Prepares.
+func (fx *fixture) trustedPrepareCert(view, seq, ctr uint64, batch Batch) PrepareCert {
+	pp := fx.prePrepare(view, seq, batch)
+	fx.attest(pp, ctr)
+	return PrepareCert{PrePrepare: *pp.StripAuth()}
+}
+
+func TestTrustedPrepareCertVerify(t *testing.T) {
+	fx := newTrustedFixture(t, SplitScheme())
+	pc := fx.trustedPrepareCert(0, 1, 1, testBatch(1))
+	if err := fx.ver.VerifyPrepareCert(&pc); err != nil {
+		t.Fatalf("trusted prepare cert rejected: %v", err)
+	}
+	if len(pc.Prepares) != 0 {
+		t.Fatalf("trusted prepare cert carries %d Prepares, want none", len(pc.Prepares))
+	}
+
+	// A cert whose proposer is not the view's primary must fail even with
+	// a genuine attestation from that replica's own counter enclave.
+	rogue := fx.trustedPrepareCert(0, 1, 1, testBatch(1))
+	rogue.PrePrepare.Replica = 1
+	rogue.PrePrepare.CtrSig = fx.sign(1, crypto.RoleCounter,
+		crypto.CounterSigningBytes(1, 1, CounterDigest(&rogue.PrePrepare)))
+	if err := fx.ver.VerifyPrepareCert(&rogue); err == nil {
+		t.Fatal("trusted prepare cert from non-primary accepted")
+	}
+
+	// Stripped of its attestation, the cert proves nothing.
+	naked := fx.trustedPrepareCert(0, 1, 1, testBatch(1))
+	naked.PrePrepare.CtrSig = nil
+	if err := fx.ver.VerifyPrepareCert(&naked); err == nil {
+		t.Fatal("trusted prepare cert without attestation accepted")
+	}
+}
+
+// TestViewChangeStaleCounterClaim: a ViewChange must advertise a counter
+// position at least as high as its own best certificate — understating it
+// would let a colluding next leader re-assign already-used counter values
+// to fresh proposals.
+func TestViewChangeStaleCounterClaim(t *testing.T) {
+	fx := newTrustedFixture(t, SplitScheme())
+	pc := fx.trustedPrepareCert(0, 3, 3, testBatch(3))
+
+	honest := ViewChange{NewViewNum: 1, Stable: CheckpointCert{}, Prepared: []PrepareCert{pc}, Replica: 2, HighCtr: 3}
+	honest.Sig = fx.sign(2, fx.ver.Scheme.ViewChange, honest.SigningBytes())
+	if err := fx.ver.VerifyViewChange(&honest); err != nil {
+		t.Fatalf("honest ViewChange rejected: %v", err)
+	}
+
+	stale := ViewChange{NewViewNum: 1, Stable: CheckpointCert{}, Prepared: []PrepareCert{pc}, Replica: 2, HighCtr: 2}
+	stale.Sig = fx.sign(2, fx.ver.Scheme.ViewChange, stale.SigningBytes())
+	err := fx.ver.VerifyViewChange(&stale)
+	if err == nil {
+		t.Fatal("ViewChange with stale counter claim accepted")
+	}
+	if !strings.Contains(err.Error(), "stale claim") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+// TestTrustedNewViewCounterBase: the re-issued proposals in a NewView must
+// consume FRESH counter values starting at the advertised CtrBase — a new
+// leader reusing the old view's values (or skipping ahead) is rejected by
+// every correct replica, so it can neither rewrite nor skip slots.
+func TestTrustedNewViewCounterBase(t *testing.T) {
+	fx := newTrustedFixture(t, SplitScheme())
+	pc := fx.trustedPrepareCert(0, 1, 1, testBatch(1))
+
+	mkVC := func(replica uint32) ViewChange {
+		vc := ViewChange{NewViewNum: 1, Stable: CheckpointCert{}, Prepared: []PrepareCert{pc}, Replica: replica, HighCtr: 1}
+		vc.Sig = fx.sign(replica, fx.ver.Scheme.ViewChange, vc.SigningBytes())
+		return vc
+	}
+	vcs := []ViewChange{mkVC(1), mkVC(2)} // f+1 = 2 ViewChanges
+
+	// The new primary (replica 1) re-issues seq 1. Its own counter has
+	// already produced `base` values, so the re-issue consumes base+1.
+	build := func(base uint64, reissueCtr uint64) *NewView {
+		stable, pps := ComputeNewViewPrePrepares(1, 1, vcs, func(b []byte) []byte {
+			return fx.sign(1, fx.ver.Scheme.PrePrepare, b)
+		})
+		for i := range pps {
+			fx.attest(&pps[i], reissueCtr+uint64(i))
+		}
+		nv := &NewView{View: 1, Replica: 1, ViewChanges: vcs, Stable: stable, PrePrepares: pps, CtrBase: base}
+		nv.Sig = fx.sign(1, fx.ver.Scheme.NewView, nv.SigningBytes())
+		return nv
+	}
+
+	if err := fx.ver.VerifyNewView(build(7, 8)); err != nil {
+		t.Fatalf("honest NewView rejected: %v", err)
+	}
+	if err := fx.ver.VerifyNewView(build(7, 3)); err == nil {
+		t.Fatal("NewView re-issue with counter value below its base accepted")
+	}
+	if err := fx.ver.VerifyNewView(build(7, 9)); err == nil {
+		t.Fatal("NewView re-issue skipping a counter value accepted")
+	}
+}

@@ -231,6 +231,14 @@ type PrePrepare struct {
 	// Auth is the MAC-mode authenticator vector over SigningBytes, laid
 	// out per AgreementAuthReceivers(TPrePrepare, n). Empty in sig mode.
 	Auth crypto.Authenticator
+	// CtrVal/CtrSig bind the proposal to the primary's trusted monotonic
+	// counter in trusted consensus mode: CtrSig is the counter enclave's
+	// attestation over (Replica, CtrVal, CounterDigest(pp)). Because the
+	// bound digest covers the full signed header, the attestation cannot be
+	// replayed for a different view, sequence, batch, or proposer. Zero and
+	// empty in classic mode.
+	CtrVal uint64
+	CtrSig []byte
 }
 
 // MsgType implements Message.
@@ -257,7 +265,9 @@ func (p *PrePrepare) StripBatch() *PrePrepare {
 
 // StripAuth returns a copy of p without batch, signature or authenticator
 // vector — the bare header embedded in MAC-mode certificates, whose
-// authenticity rides on the certificate vouch instead.
+// authenticity rides on the certificate vouch instead. The counter
+// attestation (CtrVal/CtrSig) is kept: in trusted consensus mode it is
+// itself the transferable proof a certificate carries.
 func (p *PrePrepare) StripAuth() *PrePrepare {
 	cp := *p
 	cp.Batch = Batch{}
@@ -274,6 +284,8 @@ func (p *PrePrepare) encodeBody(e *Encoder) {
 	p.Batch.encode(e)
 	e.VarBytes(p.Sig)
 	e.Auth(p.Auth)
+	e.U64(p.CtrVal)
+	e.VarBytes(p.CtrSig)
 }
 
 func (p *PrePrepare) decodeBody(d *Decoder) {
@@ -284,6 +296,8 @@ func (p *PrePrepare) decodeBody(d *Decoder) {
 	p.Batch.decode(d)
 	p.Sig = d.VarBytes()
 	p.Auth = d.Auth()
+	p.CtrVal = d.U64()
+	p.CtrSig = d.VarBytes()
 }
 
 // Prepare is a backup's vote that it received the primary's PrePrepare for

@@ -71,6 +71,12 @@ type Verifier struct {
 	MACs *crypto.MACStore
 	Self crypto.Identity
 
+	// Consensus selects the agreement variant (ConsensusClassic default).
+	// In ConsensusTrusted, N must be 2F+1, Quorum shrinks to F+1, and
+	// prepare certificates are counter attestations instead of Prepare
+	// bundles.
+	Consensus ConsensusMode
+
 	// Crypto-op accounting for the auth ablation: how many Ed25519
 	// verifications actually ran (cache hits excluded), the wall time they
 	// took, and how many agreement-MAC verifications ran. Atomic — the
@@ -78,6 +84,7 @@ type Verifier struct {
 	sigOps   atomic.Uint64
 	sigNanos atomic.Int64
 	macOps   atomic.Uint64
+	ctrOps   atomic.Uint64
 }
 
 // VerifierStats is a snapshot of a Verifier's crypto-op counters.
@@ -88,14 +95,20 @@ type VerifierStats struct {
 	SigTime     time.Duration
 	// MACVerifies counts agreement-MAC (HMAC) verifications.
 	MACVerifies uint64
+	// CounterVerifies counts trusted-counter attestation checks (trusted
+	// consensus mode). Cache-served re-checks are included: the number
+	// attributes how often the counter stood in for a Prepare quorum, not
+	// raw Ed25519 work (which SigVerifies/SigTime already capture).
+	CounterVerifies uint64
 }
 
 // Stats returns the verifier's crypto-op counters.
 func (v *Verifier) Stats() VerifierStats {
 	return VerifierStats{
-		SigVerifies: v.sigOps.Load(),
-		SigTime:     time.Duration(v.sigNanos.Load()),
-		MACVerifies: v.macOps.Load(),
+		SigVerifies:     v.sigOps.Load(),
+		SigTime:         time.Duration(v.sigNanos.Load()),
+		MACVerifies:     v.macOps.Load(),
+		CounterVerifies: v.ctrOps.Load(),
 	}
 }
 
@@ -104,6 +117,7 @@ func (v *Verifier) ResetStats() {
 	v.sigOps.Store(0)
 	v.sigNanos.Store(0)
 	v.macOps.Store(0)
+	v.ctrOps.Store(0)
 }
 
 // VerifySig checks sig over msg under the key registered for signer,
@@ -152,12 +166,23 @@ func (v *Verifier) verifyAuth(t Type, signer crypto.Identity, signing, sig []byt
 	return v.MACs.VerifyIndexed(signing, auth, idx, signer)
 }
 
-// NewVerifier builds a Verifier. N must be 3F+1 with F >= 0.
+// NewVerifier builds a classic-consensus Verifier. N must be 3F+1 with
+// F >= 0.
 func NewVerifier(n, f int, reg *crypto.Registry, scheme SignerScheme) (*Verifier, error) {
-	if n != 3*f+1 || f < 0 {
-		return nil, fmt.Errorf("%w: n=%d must equal 3f+1 (f=%d)", ErrInvalid, n, f)
+	return NewVerifierMode(n, f, reg, scheme, ConsensusClassic)
+}
+
+// NewVerifierMode builds a Verifier for the given consensus mode: N must be
+// 3F+1 in classic mode, 2F+1 in trusted mode, with F >= 0.
+func NewVerifierMode(n, f int, reg *crypto.Registry, scheme SignerScheme, mode ConsensusMode) (*Verifier, error) {
+	if !ValidConsensus(mode, n, f) {
+		want := "3f+1"
+		if mode == ConsensusTrusted {
+			want = "2f+1"
+		}
+		return nil, fmt.Errorf("%w: n=%d must equal %s (f=%d, %s consensus)", ErrInvalid, n, want, f, mode)
 	}
-	return &Verifier{N: n, F: f, Reg: reg, Scheme: scheme}, nil
+	return &Verifier{N: n, F: f, Reg: reg, Scheme: scheme, Consensus: mode}, nil
 }
 
 // Primary returns the primary replica for a view.
@@ -165,8 +190,15 @@ func (v *Verifier) Primary(view uint64) uint32 {
 	return uint32(view % uint64(v.N))
 }
 
-// Quorum returns the certificate size 2f+1.
-func (v *Verifier) Quorum() int { return 2*v.F + 1 }
+// Quorum returns the certificate size: 2f+1 in classic consensus, f+1 in
+// trusted consensus (any two quorums still intersect in one replica whose
+// enclaves are, per the hybrid fault model, at worst crashed).
+func (v *Verifier) Quorum() int {
+	if v.Consensus == ConsensusTrusted {
+		return v.F + 1
+	}
+	return 2*v.F + 1
+}
 
 func (v *Verifier) validReplica(id uint32) error {
 	if int(id) >= v.N {
@@ -219,6 +251,45 @@ func (v *Verifier) checkPrePrepare(pp *PrePrepare, requireBatch, needAuth bool) 
 	return nil
 }
 
+// VerifyCounter checks the trusted-counter attestation a PrePrepare
+// carries: the counter enclave of the proposing replica must have signed
+// (Replica, CtrVal, CounterDigest(pp)). Because the bound digest hashes
+// the full signed header, a forged attestation fails the signature check,
+// a transplanted one (lifted from another proposer) fails the key lookup
+// and digest binding, and a replayed one (reused for a different view,
+// sequence, or batch) fails the digest binding.
+func (v *Verifier) VerifyCounter(pp *PrePrepare) error {
+	if len(pp.CtrSig) == 0 {
+		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d) carries no counter attestation", ErrInvalid, pp.View, pp.Seq)
+	}
+	v.ctrOps.Add(1)
+	signer := crypto.Identity{ReplicaID: pp.Replica, Role: crypto.RoleCounter}
+	msg := crypto.CounterSigningBytes(pp.Replica, pp.CtrVal, CounterDigest(pp))
+	if err := v.VerifySig(signer, msg, pp.CtrSig); err != nil {
+		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d) counter attestation: %v", ErrInvalid, pp.View, pp.Seq, err)
+	}
+	return nil
+}
+
+// VerifyCounterAt checks a live PrePrepare against the gap-free assignment
+// law of the current view: with the view's counter base ctrBase pinned at
+// sequence base seqBase (both zero in view 0, re-pinned by every NewView),
+// the proposal at Seq must carry exactly CtrVal = ctrBase + (Seq-seqBase).
+// Any gap, repeat, or fork in the leader's counter usage breaks the
+// equation for some correct replica, which is what makes equivocation
+// impossible to land rather than merely detectable.
+func (v *Verifier) VerifyCounterAt(pp *PrePrepare, ctrBase, seqBase uint64) error {
+	if pp.Seq <= seqBase {
+		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d) at or below counter base seq %d",
+			ErrInvalid, pp.View, pp.Seq, seqBase)
+	}
+	if want := ctrBase + (pp.Seq - seqBase); pp.CtrVal != want {
+		return fmt.Errorf("%w: PrePrepare(v=%d,n=%d) counter value %d breaks gap-free assignment (want %d)",
+			ErrInvalid, pp.View, pp.Seq, pp.CtrVal, want)
+	}
+	return v.VerifyCounter(pp)
+}
+
 // VerifyPrepare checks a Prepare signature and sender validity. Prepares
 // must come from backups, not the view's primary.
 func (v *Verifier) VerifyPrepare(p *Prepare) error {
@@ -259,12 +330,29 @@ func (v *Verifier) VerifyCheckpoint(c *Checkpoint) error {
 	return nil
 }
 
-// VerifyPrepareCert checks a full prepare certificate. Sig mode: a valid
-// PrePrepare plus 2f valid matching Prepares from distinct backups. MAC
-// mode: the attesting Confirmation enclave's signature over the aggregated
-// claim — the individual quorum messages were MAC'd to that enclave alone
-// and are not transferable, so the single vouch is the whole proof.
+// VerifyPrepareCert checks a full prepare certificate. Trusted consensus
+// (either auth mode): the counter attestation on the stripped PrePrepare
+// is the entire proof — an accepted counter-valid proposal is already
+// prepared, and the attestation is transferable. Classic sig mode: a valid
+// PrePrepare plus 2f valid matching Prepares from distinct backups. Classic
+// MAC mode: the attesting Confirmation enclave's signature over the
+// aggregated claim — the individual quorum messages were MAC'd to that
+// enclave alone and are not transferable, so the single vouch is the whole
+// proof.
 func (v *Verifier) VerifyPrepareCert(pc *PrepareCert) error {
+	if v.Consensus == ConsensusTrusted {
+		if err := v.validReplica(pc.PrePrepare.Replica); err != nil {
+			return fmt.Errorf("prepare cert: %w", err)
+		}
+		if pc.PrePrepare.Replica != v.Primary(pc.View()) {
+			return fmt.Errorf("%w: prepare cert for view %d names proposer %d, primary is %d",
+				ErrInvalid, pc.View(), pc.PrePrepare.Replica, v.Primary(pc.View()))
+		}
+		if err := v.VerifyCounter(&pc.PrePrepare); err != nil {
+			return fmt.Errorf("prepare cert: %w", err)
+		}
+		return nil
+	}
 	if v.Mode == AuthMAC {
 		if err := v.validReplica(pc.PrePrepare.Replica); err != nil {
 			return fmt.Errorf("prepare cert: %w", err)
@@ -375,6 +463,10 @@ func (v *Verifier) VerifyViewChange(vc *ViewChange) error {
 		if pc.View() >= vc.NewViewNum {
 			return fmt.Errorf("%w: ViewChange prepare cert from view %d >= new view %d",
 				ErrInvalid, pc.View(), vc.NewViewNum)
+		}
+		if v.Consensus == ConsensusTrusted && pc.PrePrepare.CtrVal > vc.HighCtr {
+			return fmt.Errorf("%w: ViewChange claims counter position %d below its own cert at %d (stale claim)",
+				ErrInvalid, vc.HighCtr, pc.PrePrepare.CtrVal)
 		}
 		if err := v.VerifyPrepareCert(pc); err != nil {
 			return fmt.Errorf("ViewChange: %w", err)
@@ -487,6 +579,16 @@ func (v *Verifier) VerifyNewView(nv *NewView) error {
 		}
 		if err := v.VerifyReissuedPrePrepare(got); err != nil {
 			return fmt.Errorf("NewView: %w", err)
+		}
+		if v.Consensus == ConsensusTrusted {
+			// The new primary must consume fresh counter values
+			// CtrBase+1..CtrBase+k across the re-issued slots in sequence
+			// order — the base the whole view's affine law then hangs off.
+			// Its counter enclave cannot re-sign old values, so a valid
+			// attestation here also proves the value was never used before.
+			if err := v.VerifyCounterAt(got, nv.CtrBase, wantStable.Seq); err != nil {
+				return fmt.Errorf("NewView: %w", err)
+			}
 		}
 	}
 	return nil

@@ -172,7 +172,14 @@ type ViewChange struct {
 	Stable     CheckpointCert
 	Prepared   []PrepareCert
 	Replica    uint32
-	Sig        []byte
+	// HighCtr is the highest trusted-counter value among the PrePrepares
+	// this replica accepted (trusted consensus mode only; zero in classic).
+	// It must cover every certificate in Prepared — a ViewChange claiming a
+	// counter position below its own certificates is stale and rejected —
+	// so a new primary can see how far the previous leader's gap-free
+	// assignment got.
+	HighCtr uint64
+	Sig     []byte
 }
 
 // MsgType implements Message.
@@ -195,6 +202,7 @@ func (v *ViewChange) encodeUnsigned(e *Encoder) {
 		v.Prepared[i].encode(e)
 	}
 	e.U32(v.Replica)
+	e.U64(v.HighCtr)
 }
 
 func (v *ViewChange) encodeBody(e *Encoder) {
@@ -213,6 +221,7 @@ func (v *ViewChange) decodeBody(d *Decoder) {
 		}
 	}
 	v.Replica = d.U32()
+	v.HighCtr = d.U64()
 	v.Sig = d.VarBytes()
 }
 
@@ -226,7 +235,15 @@ type NewView struct {
 	Stable      CheckpointCert
 	PrePrepares []PrePrepare
 	Replica     uint32
-	Sig         []byte
+	// CtrBase is the new primary's trusted-counter position when it built
+	// this NewView (trusted consensus mode only; zero in classic). The
+	// re-issued PrePrepares consume CtrBase+1..CtrBase+k in sequence order,
+	// and every later proposal in the view must satisfy
+	// CtrVal = CtrBase + (Seq - Stable.Seq) — the affine law replicas
+	// enforce, which is what makes slot reuse and slot skipping by the new
+	// leader detectable.
+	CtrBase uint64
+	Sig     []byte
 }
 
 // MsgType implements Message.
@@ -252,6 +269,7 @@ func (nv *NewView) encodeUnsigned(e *Encoder) {
 		nv.PrePrepares[i].encodeBody(e)
 	}
 	e.U32(nv.Replica)
+	e.U64(nv.CtrBase)
 }
 
 func (nv *NewView) encodeBody(e *Encoder) {
@@ -277,6 +295,7 @@ func (nv *NewView) decodeBody(d *Decoder) {
 		}
 	}
 	nv.Replica = d.U32()
+	nv.CtrBase = d.U64()
 	nv.Sig = d.VarBytes()
 }
 

@@ -106,6 +106,12 @@ type Store struct {
 	// tail on the next Open.
 	failed error
 
+	// tailMark is the in-memory high-water mark of the sealed tail marker
+	// (see tailmark.go). It may run ahead of the on-disk marker after a
+	// failed refresh; the next refresh rewrites it — the marker lags but
+	// never overstates the durable extent, so recovery stays sound.
+	tailMark uint64
+
 	appended uint64
 	flushed  uint64
 	fsyncs   uint64
@@ -267,6 +273,20 @@ func (s *Store) recover() (*Recovered, error) {
 	if s.nextIndex == 0 {
 		s.nextIndex = 1
 	}
+
+	// Rollback detection: the sealed tail marker pins the durable extent
+	// the directory once proved. A recovered WAL that ends short of it is
+	// missing fsynced records — an honest crash cannot produce that, only
+	// a rolled-back (truncated or partially deleted) log can.
+	mark, err := s.readTailMark()
+	if err != nil {
+		return nil, err
+	}
+	if extent := s.nextIndex - 1; mark > extent {
+		return nil, fmt.Errorf("%w: marker pins durable record %d, recovered log ends at %d",
+			ErrTailRollback, mark, extent)
+	}
+	s.tailMark = mark
 
 	// Appends never continue into a recovered segment (its tail may be
 	// torn); a fresh segment is created at nextIndex on the first flush.
@@ -443,7 +463,17 @@ func (s *Store) WriteSnapshotAt(data []byte, index uint64) error {
 		s.snaps = append(s.snaps, index)
 		drop = s.gcPlanLocked()
 	}
+	// Snapshot time is also tail-marker time: flushLocked above fsynced
+	// everything appended so far, so the durable extent moved and the
+	// rollback-detection marker must pin the new position before GC makes
+	// the old one the only evidence.
+	mark, refresh := s.markTailLocked()
 	s.mu.Unlock()
+	if refresh {
+		if err := s.writeTailMark(mark); err != nil {
+			return err
+		}
+	}
 	for _, path := range drop {
 		_ = os.Remove(path)
 	}
@@ -500,12 +530,19 @@ func (s *Store) Crash() {
 	s.unlock()
 }
 
-// Close flushes, fsyncs and closes the store.
+// Close flushes, fsyncs and closes the store. A clean shutdown also
+// refreshes the tail marker so the whole log — not just the portion below
+// the last snapshot — is rollback-protected across the restart.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	var err error
+	var mark uint64
+	var refresh bool
 	if !s.closed && !s.crashed {
 		err = s.flushLocked()
+		if err == nil {
+			mark, refresh = s.markTailLocked()
+		}
 	}
 	s.closed = true
 	if s.f != nil {
@@ -513,6 +550,11 @@ func (s *Store) Close() error {
 		s.f = nil
 	}
 	s.mu.Unlock()
+	if refresh {
+		if werr := s.writeTailMark(mark); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	s.stopCommitter()
 	s.unlock()
 	return err

@@ -1,7 +1,7 @@
 package tee
 
 import (
-	"encoding/binary"
+	"io"
 	"sync"
 
 	"github.com/splitbft/splitbft/internal/crypto"
@@ -10,19 +10,31 @@ import (
 // TrustedCounter is the minimal trusted subsystem used by hybrid BFT
 // protocols (MinBFT, CheapBFT, Hybster): a monotonic counter whose
 // attestations bind a unique, gap-free counter value to each message,
-// preventing equivocation. It is included here as the comparison point of
-// Table 1/Table 2 — SplitBFT explicitly does not rely on it for safety,
-// since it assumes enclaves themselves may fail.
+// preventing equivocation. Classic SplitBFT does not rely on it for
+// safety — it assumes enclaves themselves may fail — but the trusted
+// consensus mode (ConsensusTrusted) binds it into PrePrepare assignment
+// to drop the Prepare phase and shrink the group to 2f+1.
 type TrustedCounter struct {
-	mu   sync.Mutex
-	id   crypto.Identity
-	key  *crypto.KeyPair
-	next uint64
+	mu      sync.Mutex
+	id      crypto.Identity
+	key     *crypto.KeyPair
+	next    uint64
+	creates uint64
 }
 
-// NewTrustedCounter creates a trusted counter owned by id.
+// NewTrustedCounter creates a trusted counter owned by id with a random
+// attestation key.
 func NewTrustedCounter(id crypto.Identity) (*TrustedCounter, error) {
-	kp, err := crypto.GenerateKeyPair(nil)
+	return NewTrustedCounterWithRand(id, nil)
+}
+
+// NewTrustedCounterWithRand is NewTrustedCounter with an explicit entropy
+// source for the attestation key. Multi-process deployments pass a
+// crypto.KeyStream derived from the shared deployment secret (its own
+// stream, separate from the compartment enclaves' streams) so every
+// process derives the same counter public keys; nil uses crypto/rand.
+func NewTrustedCounterWithRand(id crypto.Identity, rng io.Reader) (*TrustedCounter, error) {
+	kp, err := crypto.GenerateKeyPair(rng)
 	if err != nil {
 		return nil, err
 	}
@@ -40,14 +52,6 @@ type CounterAttestation struct {
 	Sig     []byte
 }
 
-func counterSigningBytes(replica uint32, value uint64, digest crypto.Digest) []byte {
-	buf := make([]byte, 0, 4+8+crypto.DigestSize)
-	buf = binary.LittleEndian.AppendUint32(buf, replica)
-	buf = binary.LittleEndian.AppendUint64(buf, value)
-	buf = append(buf, digest[:]...)
-	return buf
-}
-
 // CreateAttestation assigns the next counter value to digest and returns a
 // signed attestation. Values are strictly increasing with no gaps, so a
 // verifier that tracks the last value per replica detects both equivocation
@@ -55,10 +59,11 @@ func counterSigningBytes(replica uint32, value uint64, digest crypto.Digest) []b
 func (t *TrustedCounter) CreateAttestation(digest crypto.Digest) CounterAttestation {
 	t.mu.Lock()
 	t.next++
+	t.creates++
 	v := t.next
 	t.mu.Unlock()
 	att := CounterAttestation{Replica: t.id.ReplicaID, Value: v, Digest: digest}
-	att.Sig = t.key.Sign(counterSigningBytes(att.Replica, att.Value, att.Digest))
+	att.Sig = t.key.Sign(crypto.CounterSigningBytes(att.Replica, att.Value, att.Digest))
 	return att
 }
 
@@ -69,7 +74,41 @@ func (t *TrustedCounter) Value() uint64 {
 	return t.next
 }
 
+// Creates returns the number of attestations created since boot (or since
+// the last ResetCreates). Unlike Value it is a statistic, not protocol
+// state: Import after recovery restores Value but not Creates.
+func (t *TrustedCounter) Creates() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.creates
+}
+
+// ResetCreates zeroes the creation statistic (between benchmark phases).
+func (t *TrustedCounter) ResetCreates() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.creates = 0
+}
+
+// Export returns the counter position for sealed persistence.
+func (t *TrustedCounter) Export() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Import restores the counter position from a sealed snapshot. The counter
+// never moves backward: a stale import below the current position is
+// ignored, preserving monotonicity across overlapping recovery paths.
+func (t *TrustedCounter) Import(next uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if next > t.next {
+		t.next = next
+	}
+}
+
 // VerifyAttestation checks an attestation under the counter's public key.
 func VerifyAttestation(pub []byte, att CounterAttestation) bool {
-	return crypto.Verify(pub, counterSigningBytes(att.Replica, att.Value, att.Digest), att.Sig)
+	return crypto.Verify(pub, crypto.CounterSigningBytes(att.Replica, att.Value, att.Digest), att.Sig)
 }

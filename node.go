@@ -122,6 +122,10 @@ func (n *Node) buildReplica() error {
 	if err != nil {
 		return err
 	}
+	consensus, err := o.consensusModeVal()
+	if err != nil {
+		return err
+	}
 	application := o.application()
 	replica, err := core.NewReplica(core.Config{
 		N: o.n, F: o.f, ID: n.id,
@@ -131,6 +135,7 @@ func (n *Node) buildReplica() error {
 		App:                application,
 		Confidential:       o.confidential,
 		AgreementAuth:      authMode,
+		ConsensusMode:      consensus,
 		Cost:               o.costModel(),
 		SingleThread:       o.singleThread,
 		EcallBatch:         o.ecallBatch,
@@ -337,11 +342,20 @@ func (n *Node) VerifyCacheStats() VerifyCacheStats {
 // agreement-MAC (HMAC) verifications ran. The sig/MAC split is what the
 // `splitbft-bench -exp auth` ablation reports: with WithAgreementAuth
 // ("mac") the Ed25519 verify load of the normal case collapses to the
-// view-change path.
+// view-change path. The counter pair instruments the trusted consensus
+// mode (`-exp consensus`): attestations the node's counter enclave
+// created, and attestation checks that stood in for Prepare quorums.
+//
+// The snapshot is assembled from atomic counters (and the counter
+// enclave's internal lock), so Node.CryptoStats is safe to call from
+// concurrent readers while traffic flows; each field is individually
+// consistent, the set is not an atomic cut.
 type CryptoStats struct {
-	SigVerifies uint64
-	SigTime     time.Duration
-	MACVerifies uint64
+	SigVerifies     uint64
+	SigTime         time.Duration
+	MACVerifies     uint64
+	CounterCreates  uint64
+	CounterVerifies uint64
 }
 
 // SigCPUFraction returns Ed25519-verify CPU-seconds per wall-clock
@@ -361,7 +375,13 @@ func (s CryptoStats) SigCPUFraction(elapsed time.Duration) float64 {
 // the enclave statistics).
 func (n *Node) CryptoStats() CryptoStats {
 	s := n.replica.VerifierStats()
-	return CryptoStats{SigVerifies: s.SigVerifies, SigTime: s.SigTime, MACVerifies: s.MACVerifies}
+	return CryptoStats{
+		SigVerifies:     s.SigVerifies,
+		SigTime:         s.SigTime,
+		MACVerifies:     s.MACVerifies,
+		CounterCreates:  n.replica.CounterCreates(),
+		CounterVerifies: s.CounterVerifies,
+	}
 }
 
 // DedupedMsgs returns how many byte-identical retransmits the untrusted

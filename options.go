@@ -54,6 +54,8 @@ type options struct {
 	ecallBatch    int
 	verifyWorkers int
 	agreementAuth string
+	consensusMode string
+	commitRule    string
 
 	batchSize          int
 	batchTimeout       time.Duration
@@ -89,7 +91,8 @@ func buildOptions(opts []Option) options {
 
 // resolveGroup derives and validates the replica-group shape (n, f). When n
 // was not fixed by a cluster it comes from the TCP address list; f defaults
-// to the largest tolerable threshold, (n-1)/3.
+// to the largest tolerable threshold — (n-1)/3 in classic consensus,
+// (n-1)/2 in trusted consensus, whose groups are 2f+1.
 func (o *options) resolveGroup() error {
 	if o.n == 0 {
 		o.n = len(o.tcpAddrs)
@@ -97,11 +100,25 @@ func (o *options) resolveGroup() error {
 	if o.n == 0 {
 		return errors.New("splitbft: group size unknown — use WithTransportTCP or build through NewCluster")
 	}
-	if !o.fSet {
-		o.f = (o.n - 1) / 3
+	mode, err := o.consensusModeVal()
+	if err != nil {
+		return err
 	}
-	if o.n != 3*o.f+1 || o.f < 0 {
+	if !o.fSet {
+		if mode == messages.ConsensusTrusted {
+			o.f = (o.n - 1) / 2
+		} else {
+			o.f = (o.n - 1) / 3
+		}
+	}
+	if !messages.ValidConsensus(mode, o.n, o.f) {
+		if mode == messages.ConsensusTrusted {
+			return fmt.Errorf("splitbft: n must equal 2f+1 in trusted consensus mode (n=%d, f=%d)", o.n, o.f)
+		}
 		return fmt.Errorf("splitbft: n must equal 3f+1 (n=%d, f=%d)", o.n, o.f)
+	}
+	if _, err := o.replyQuorum(); err != nil {
+		return err
 	}
 	if len(o.tcpAddrs) > 0 && len(o.tcpAddrs) != o.n {
 		return fmt.Errorf("splitbft: WithTransportTCP needs one address per replica (%d addresses, n=%d)", len(o.tcpAddrs), o.n)
@@ -264,6 +281,70 @@ func (o *options) agreementAuthMode() (messages.AuthMode, error) {
 		return messages.AuthMAC, nil
 	default:
 		return messages.AuthSig, fmt.Errorf("splitbft: unknown agreement auth mode %q (want \"sig\" or \"mac\")", o.agreementAuth)
+	}
+}
+
+// WithConsensusMode selects the agreement variant:
+//
+//   - "classic" (the default): three-phase PBFT over n = 3f+1 replicas —
+//     PrePrepare, an all-to-all Prepare round, Commit — with 2f+1 quorums.
+//     Safety holds even if whole replicas (including their enclaves) are
+//     byzantine, up to f of them.
+//   - "trusted": the hybrid fast path in the MinBFT/CheapBFT lineage. Each
+//     replica gains a trusted monotonic counter enclave; the leader binds
+//     every PrePrepare to the next counter value, and because counter
+//     values are gap-free and never reusable, a counter-valid proposal
+//     cannot be equivocated — replicas commit directly off it, skipping
+//     the Prepare round (one full all-to-all phase plus its verification)
+//     entirely. Groups shrink to n = 2f+1 with f+1 quorums.
+//
+// All nodes of a deployment must use the same mode. Trusted mode composes
+// with either WithAgreementAuth and with WithPersistence; it leans on the
+// compartment trust model — see the README consensus section for what
+// degrades if a counter enclave is compromised rather than crashed.
+func WithConsensusMode(mode string) Option {
+	return func(o *options) { o.consensusMode = mode }
+}
+
+// consensusModeVal resolves the option string ("" defaults to classic).
+func (o *options) consensusModeVal() (messages.ConsensusMode, error) {
+	switch o.consensusMode {
+	case "", "classic":
+		return messages.ConsensusClassic, nil
+	case "trusted":
+		return messages.ConsensusTrusted, nil
+	default:
+		return messages.ConsensusClassic, fmt.Errorf("splitbft: unknown consensus mode %q (want \"classic\" or \"trusted\")", o.consensusMode)
+	}
+}
+
+// WithCommitRule selects the reply quorum a Client waits for before
+// accepting a result (the DuoBFT-style dual-commit knob):
+//
+//   - "trusted" (the default): f+1 matching replies. At least one comes
+//     from a correct replica that executed the operation, which is the
+//     standard PBFT client rule and the fast path in trusted consensus.
+//   - "full": 2f+1 matching replies — the conservative rule. The result is
+//     backed by a full commit quorum of replicas that all executed it,
+//     which in trusted consensus mode means the client no longer depends
+//     on the counter enclaves of the f fastest replicas alone.
+//
+// The rule is client-local: replicas execute and reply identically under
+// either, so clients with different rules can share one deployment.
+func WithCommitRule(rule string) Option {
+	return func(o *options) { o.commitRule = rule }
+}
+
+// replyQuorum resolves the commit rule to a reply-quorum size for this
+// group shape (0 never reaches the client: resolveGroup ran first).
+func (o *options) replyQuorum() (int, error) {
+	switch o.commitRule {
+	case "", "trusted":
+		return o.f + 1, nil
+	case "full":
+		return 2*o.f + 1, nil
+	default:
+		return 0, fmt.Errorf("splitbft: unknown commit rule %q (want \"trusted\" or \"full\")", o.commitRule)
 	}
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Crash-restart smoke test over the real TCP binaries:
 #
-#   1. start a 4-replica cluster with sealed durability directories
+#   1. start a cluster with sealed durability directories
 #   2. commit state through splitbft-client
 #   3. SIGKILL one replica, commit more state without it
 #   4. restart the killed replica over its data directory
@@ -16,13 +16,29 @@ WORK=$(mktemp -d)
 BIN="$WORK/bin"
 DATA="$WORK/data"
 mkdir -p "$BIN" "$DATA"
-PEERS="127.0.0.1:17400,127.0.0.1:17401,127.0.0.1:17402,127.0.0.1:17403"
 SECRET="smoke-secret"
 # SPLITBFT_AUTH=mac runs the same scenario on the MAC-authenticated
 # agreement fast path (pairwise keys derived deterministically across the
 # separate processes from -secret).
 AUTH="${SPLITBFT_AUTH:-sig}"
-declare -a PIDS=(0 0 0 0)
+# SPLITBFT_CONSENSUS=trusted runs the counter-backed 2f+1 mode: a
+# three-replica group whose recovery must also restore the sealed trusted
+# counter position before rejoining.
+CONSENSUS="${SPLITBFT_CONSENSUS:-classic}"
+
+if [ "$CONSENSUS" = trusted ]; then
+    N=3
+    PEERS="127.0.0.1:17400,127.0.0.1:17401,127.0.0.1:17402"
+else
+    N=4
+    PEERS="127.0.0.1:17400,127.0.0.1:17401,127.0.0.1:17402,127.0.0.1:17403"
+fi
+# The crash victim and the later-stopped replica: with both out, progress
+# needs the recovered victim back in the quorum for either group shape.
+KILL_ID=$((N - 2))
+STOP_ID=$((N - 1))
+declare -a PIDS
+for ((id = 0; id < N; id++)); do PIDS[$id]=0; done
 
 cleanup() {
     for pid in "${PIDS[@]}"; do
@@ -41,46 +57,48 @@ start_replica() {
     # -confidential=false: the CLI client attests against all n Execution
     # enclaves before invoking, which cannot complete while one replica is
     # down — and this test runs most of its ops exactly then.
-    "$BIN/splitbft-replica" -id "$id" -n 4 -f 1 \
+    "$BIN/splitbft-replica" -id "$id" -n "$N" -f 1 \
         -peers "$PEERS" -secret "$SECRET" -confidential=false \
-        -auth "$AUTH" -data-dir "$DATA/r$id" -stats 0 \
+        -auth "$AUTH" -consensus "$CONSENSUS" \
+        -data-dir "$DATA/r$id" -stats 0 \
         >"$WORK/replica-$id.log" 2>&1 &
     PIDS[$id]=$!
     disown "${PIDS[$id]}" # keep bash quiet when we SIGKILL it
 }
 
 client() {
-    "$BIN/splitbft-client" -id 100 -n 4 -f 1 \
-        -replicas "$PEERS" -secret "$SECRET" -confidential=false -timeout 30s "$@"
+    "$BIN/splitbft-client" -id 100 -n "$N" -f 1 \
+        -replicas "$PEERS" -secret "$SECRET" -confidential=false \
+        -consensus "$CONSENSUS" -timeout 30s "$@"
 }
 
-echo "== starting 4 replicas with sealed durability (auth=$AUTH)"
-for id in 0 1 2 3; do start_replica "$id"; done
+echo "== starting $N replicas with sealed durability (auth=$AUTH, consensus=$CONSENSUS)"
+for ((id = 0; id < N; id++)); do start_replica "$id"; done
 sleep 1
 
 echo "== committing state"
 client put alpha one
 client put beta two
 
-echo "== SIGKILL replica 2"
-kill -9 "${PIDS[2]}"
-PIDS[2]=0
+echo "== SIGKILL replica $KILL_ID"
+kill -9 "${PIDS[$KILL_ID]}"
+PIDS[$KILL_ID]=0
 
-echo "== committing during the outage (2f+1 survivors)"
+echo "== committing during the outage (quorum of survivors)"
 client put gamma three
 
-echo "== restarting replica 2 over its data directory"
-start_replica 2
+echo "== restarting replica $KILL_ID over its data directory"
+start_replica "$KILL_ID"
 sleep 1
-grep -q "recovered" "$WORK/replica-2.log" || {
+grep -q "recovered" "$WORK/replica-$KILL_ID.log" || {
     echo "FAIL: restarted replica did not report recovery"
-    cat "$WORK/replica-2.log"
+    cat "$WORK/replica-$KILL_ID.log"
     exit 1
 }
 
-echo "== stopping replica 3: the quorum now needs the restarted replica"
-kill "${PIDS[3]}"
-PIDS[3]=0
+echo "== stopping replica $STOP_ID: the quorum now needs the restarted replica"
+kill "${PIDS[$STOP_ID]}"
+PIDS[$STOP_ID]=0
 sleep 1
 
 echo "== asserting convergence through the recovered replica"
@@ -93,4 +111,4 @@ case "$OUT" in
     *) echo "FAIL: pre-crash state lost (got: $OUT)"; exit 1 ;;
 esac
 
-echo "== crash-restart smoke (auth=$AUTH): OK"
+echo "== crash-restart smoke (auth=$AUTH, consensus=$CONSENSUS): OK"

