@@ -67,6 +67,10 @@ func NewClient(id uint32, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	linearizable, err := o.readLinearizable()
+	if err != nil {
+		return nil, err
+	}
 	inner, err := client.New(client.Config{
 		ID: id, N: o.n, F: o.f,
 		MACs:               crypto.NewMACStore(o.secret(), crypto.Identity{ReplicaID: id, Role: crypto.RoleClient}),
@@ -79,6 +83,8 @@ func NewClient(id uint32, opts ...Option) (*Client, error) {
 		ExecMeasurement:    core.ExecutionMeasurement(),
 		RetransmitInterval: o.retransmit,
 		Timeout:            o.invokeTimeout,
+		ReadLeases:         o.readLeases,
+		ReadLinearizable:   linearizable,
 	})
 	if err != nil {
 		return nil, err
@@ -115,14 +121,24 @@ func (c *Client) Attest() error { return c.inner.Attest() }
 // payload is encrypted end to end and the result decrypted before return.
 func (c *Client) Invoke(op []byte) ([]byte, error) { return c.inner.Invoke(op) }
 
+// InvokeRead submits a read-only operation. On deployments built with
+// WithReadLeases it tries the lease-anchored local read fast path first —
+// one request to one replica, one attested reply — and transparently falls
+// back to the ordered path whenever the fast path refuses, so the result
+// is never stale (consistency per WithReadConsistency). Without read
+// leases it is identical to Invoke. The operation must be side-effect-free;
+// applications enforce this and refuse mutating ops on the fast path.
+func (c *Client) InvokeRead(op []byte) ([]byte, error) { return c.inner.InvokeRead(op) }
+
 // Put stores value under key in the key-value store application.
 func (c *Client) Put(key string, value []byte) ([]byte, error) {
 	return c.inner.Invoke(EncodePut(key, value))
 }
 
-// Get reads key from the key-value store application.
+// Get reads key from the key-value store application, using the local
+// read fast path on deployments built with WithReadLeases.
 func (c *Client) Get(key string) ([]byte, error) {
-	return c.inner.Invoke(EncodeGet(key))
+	return c.inner.InvokeRead(EncodeGet(key))
 }
 
 // Delete removes key from the key-value store application.

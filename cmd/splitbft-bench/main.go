@@ -8,6 +8,7 @@
 //	splitbft-bench -exp fig4            # per-compartment ecall latency
 //	splitbft-bench -exp auth            # sig-vs-MAC agreement authentication
 //	splitbft-bench -exp consensus       # classic-vs-trusted consensus mode
+//	splitbft-bench -exp readlease       # local read fast path vs agreement reads
 //	splitbft-bench -exp all             # everything
 //
 // Use -quick for a fast smoke run with fewer client counts and shorter
@@ -24,11 +25,12 @@ import (
 
 	"github.com/splitbft/splitbft/experiments/bench"
 	"github.com/splitbft/splitbft/experiments/faultmodel"
+	"github.com/splitbft/splitbft/experiments/load"
 	"github.com/splitbft/splitbft/experiments/loc"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, auth, consensus, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3a, fig3b, fig4, ablation, pipeline, recovery, auth, consensus, readlease, all")
 	quick := flag.Bool("quick", false, "fast smoke run (fewer clients, shorter windows)")
 	f := flag.Int("f", 1, "fault threshold for table1")
 	root := flag.String("root", ".", "repository root for table2")
@@ -130,6 +132,22 @@ func main() {
 			}
 			fmt.Print(bench.FormatConsensusAblation(pts))
 			return writeJSON("consensus", pts)
+		})
+	}
+	if all || *exp == "readlease" {
+		run("Ablation — lease-anchored local reads (90/10 open-loop mix)", func() error {
+			cfg := load.ReadLeaseConfig{}
+			if *quick {
+				cfg.Rate = 2000
+				cfg.Warmup = 400 * time.Millisecond
+				cfg.Measure = 1200 * time.Millisecond
+			}
+			pts, err := load.ReadLeaseAblation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(load.FormatReadLeaseAblation(pts))
+			return writeJSON("readlease", pts)
 		})
 	}
 	if all || *exp == "ablation" {

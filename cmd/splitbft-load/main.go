@@ -37,6 +37,10 @@ func main() {
 	payload := flag.Int("payload", 10, "PUT value size in bytes")
 	seed := flag.Int64("seed", 1, "arrival-schedule seed")
 
+	readFrac := flag.Float64("read-frac", 0, "fraction of ops issued as GETs (0.9 = a 90/10 read/write mix)")
+	readLeases := flag.Bool("read-leases", false, "enable the lease-anchored local read fast path")
+	readConsistency := flag.String("read-consistency", "linearizable", "leased-read consistency: linearizable or session")
+
 	auth := flag.String("auth", "sig", "agreement authentication: sig or mac")
 	consensus := flag.String("consensus", "classic", "consensus mode: classic (3f+1) or trusted (counter-backed 2f+1)")
 	batch := flag.Int("batch", 1, "agreement batch size")
@@ -61,6 +65,8 @@ func main() {
 		BatchSize:     *batch,
 		EcallBatch:    *ecallBatch,
 		VerifyWorkers: *verifyWorkers,
+		ReadFrac:      *readFrac,
+		ReadLeases:    *readLeases,
 	}
 	opts := []splitbft.Option{
 		splitbft.WithKVStore(),
@@ -68,6 +74,8 @@ func main() {
 		splitbft.WithBatchSize(*batch),
 		splitbft.WithEcallBatch(*ecallBatch),
 		splitbft.WithVerifyWorkers(*verifyWorkers),
+		splitbft.WithReadLeases(*readLeases),
+		splitbft.WithReadConsistency(*readConsistency),
 	}
 	if *consensus == "trusted" {
 		// Workload.Consensus stays empty for classic runs so trajectory
@@ -135,6 +143,13 @@ func main() {
 			// op still traverses full agreement.
 			return splitbft.EncodePut(fmt.Sprintf("load-w%d", worker), value)
 		},
+		MakeRead: func(worker int, seq uint64) []byte {
+			// Reads target the same per-worker key the writes churn, so a
+			// mixed run exercises real read-after-write traffic rather
+			// than cold misses.
+			return splitbft.EncodeGet(fmt.Sprintf("load-w%d", worker))
+		},
+		ReadFrac:   *readFrac,
 		Payload:    *payload,
 		Seed:       *seed,
 		ClosedLoop: *mode == "closed",
@@ -183,6 +198,18 @@ func printResult(st load.Stats, res load.Result) {
 		res.Latency.P99.Round(time.Microsecond),
 		res.Latency.P999.Round(time.Microsecond),
 		res.Latency.Max.Round(time.Microsecond))
+	if res.ReadLatency != nil {
+		fmt.Printf("reads    %6d ops (%.0f ops/s)  p50 %v  p99 %v  max %v\n",
+			res.ReadOps, res.ReadRate,
+			res.ReadLatency.P50.Round(time.Microsecond),
+			res.ReadLatency.P99.Round(time.Microsecond),
+			res.ReadLatency.Max.Round(time.Microsecond))
+		fmt.Printf("writes   %6d ops (%.0f ops/s)  p50 %v  p99 %v  max %v\n",
+			res.WriteOps, res.WriteRate,
+			res.WriteLatency.P50.Round(time.Microsecond),
+			res.WriteLatency.P99.Round(time.Microsecond),
+			res.WriteLatency.Max.Round(time.Microsecond))
+	}
 	if st.TailWait > 0 {
 		fmt.Printf("drain    %v past the window (in-flight completions)\n", st.TailWait.Round(time.Millisecond))
 	}

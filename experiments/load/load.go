@@ -26,6 +26,24 @@ type Invoker interface {
 	Invoke(op []byte) ([]byte, error)
 }
 
+// ReadInvoker is the optional read-path surface: clients that distinguish
+// read-only operations (e.g. the lease-anchored local read fast path)
+// implement it, and the generator issues read-class operations through it.
+// Clients without it get reads through Invoke — the mixed workload still
+// runs, just without a separate read path.
+type ReadInvoker interface {
+	InvokeRead(op []byte) ([]byte, error)
+}
+
+// invokeRead issues a read-class op through the client's read path when it
+// has one.
+func invokeRead(cl Invoker, op []byte) ([]byte, error) {
+	if r, ok := cl.(ReadInvoker); ok {
+		return r.InvokeRead(op)
+	}
+	return cl.Invoke(op)
+}
+
 // Arrival selects the inter-arrival process.
 type Arrival string
 
@@ -67,6 +85,17 @@ type Config struct {
 	MakeOp func(worker int, seq uint64) []byte
 	// Payload is the default op size in bytes when MakeOp is nil.
 	Payload int
+	// ReadFrac is the fraction of operations issued as reads, in [0, 1].
+	// Classification is deterministic in the arrival sequence number (not
+	// random), so a given (rate, seed, frac) configuration offers an
+	// identical schedule every run — regression runs stay comparable.
+	// Read-class operations are built by MakeRead and issued through the
+	// client's read path (ReadInvoker) when it has one. 0 disables the
+	// mixed workload.
+	ReadFrac float64
+	// MakeRead builds the read operation for (worker, seq); required when
+	// ReadFrac > 0.
+	MakeRead func(worker int, seq uint64) []byte
 	// Seed makes the Poisson schedule reproducible; 0 means 1.
 	Seed int64
 	// ClosedLoop switches the generator to the closed-loop comparison
@@ -106,7 +135,25 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.ReadFrac < 0 || c.ReadFrac > 1 {
+		return c, fmt.Errorf("load: ReadFrac %v outside [0, 1]", c.ReadFrac)
+	}
+	if c.ReadFrac > 0 && c.MakeRead == nil {
+		return c, errors.New("load: ReadFrac > 0 requires MakeRead")
+	}
 	return c, nil
+}
+
+// isRead classifies one arrival purely as a function of its sequence
+// number, Bresenham-style: reads land wherever the running count
+// floor(seq·frac) increments, which spreads the two classes evenly through
+// the schedule instead of batching them (a 90/10 mix issues w r r r r r
+// r r r r w r …, not 900 reads then 100 writes).
+func (c Config) isRead(seq uint64) bool {
+	if c.ReadFrac <= 0 {
+		return false
+	}
+	return uint64(float64(seq+1)*c.ReadFrac) > uint64(float64(seq)*c.ReadFrac)
 }
 
 // job is one scheduled arrival.
@@ -116,11 +163,30 @@ type job struct {
 	measured bool
 }
 
-// workerStats accumulates per-worker results, merged after the run.
+// workerStats accumulates per-worker results, merged after the run. The
+// per-class histograms share the aggregate's exact-merge property: the
+// merged read histogram equals one recorder having seen every read.
 type workerStats struct {
-	hist     Histogram
-	achieved uint64
-	errors   uint64
+	hist      Histogram
+	readHist  Histogram
+	writeHist Histogram
+	achieved  uint64
+	errors    uint64
+}
+
+// record books one completed-ok operation into the aggregate and, in
+// mixed-workload runs, its class histogram.
+func (ws *workerStats) record(lat time.Duration, mixed, read bool) {
+	ws.achieved++
+	ws.hist.Record(lat)
+	if !mixed {
+		return
+	}
+	if read {
+		ws.readHist.Record(lat)
+	} else {
+		ws.writeHist.Record(lat)
+	}
 }
 
 // Run executes one load run and returns its Stats. Open-loop mode: a
@@ -153,11 +219,17 @@ func runOpen(cfg Config) Stats {
 			ws := &stats[w]
 			cl := cfg.Clients[w%len(cfg.Clients)]
 			for j := range jobs {
-				op := payload
-				if cfg.MakeOp != nil {
-					op = cfg.MakeOp(w, j.seq)
+				read := cfg.isRead(j.seq)
+				var err error
+				if read {
+					_, err = invokeRead(cl, cfg.MakeRead(w, j.seq))
+				} else {
+					op := payload
+					if cfg.MakeOp != nil {
+						op = cfg.MakeOp(w, j.seq)
+					}
+					_, err = cl.Invoke(op)
 				}
-				_, err := cl.Invoke(op)
 				// Latency from the intended arrival: if this op sat in
 				// the dispatch queue behind a stall, that wait is real
 				// user-visible latency and is measured as such.
@@ -169,8 +241,7 @@ func runOpen(cfg Config) Stats {
 					ws.errors++
 					continue
 				}
-				ws.achieved++
-				ws.hist.Record(lat)
+				ws.record(lat, cfg.ReadFrac > 0, read)
 			}
 		}(w)
 	}
@@ -229,12 +300,22 @@ func runOpen(cfg Config) Stats {
 		Elapsed:  elapsed,
 		TailWait: tail,
 	}
+	mergeWorkers(&s, stats)
+	return s
+}
+
+// mergeWorkers folds per-worker recorders into the run's Stats; the
+// per-class split totals come from the merged histograms themselves.
+func mergeWorkers(s *Stats, stats []workerStats) {
 	for w := range stats {
 		s.Achieved += stats[w].achieved
 		s.Errors += stats[w].errors
 		s.Hist.Merge(&stats[w].hist)
+		s.ReadHist.Merge(&stats[w].readHist)
+		s.WriteHist.Merge(&stats[w].writeHist)
 	}
-	return s
+	s.Reads = s.ReadHist.Count()
+	s.Writes = s.WriteHist.Count()
 }
 
 func runClosed(cfg Config) Stats {
@@ -257,12 +338,18 @@ func runClosed(cfg Config) Stats {
 				if !now.Before(end) {
 					return
 				}
-				op := payload
-				if cfg.MakeOp != nil {
-					op = cfg.MakeOp(w, seq)
+				read := cfg.isRead(seq)
+				var err error
+				if read {
+					_, err = invokeRead(cl, cfg.MakeRead(w, seq))
+				} else {
+					op := payload
+					if cfg.MakeOp != nil {
+						op = cfg.MakeOp(w, seq)
+					}
+					_, err = cl.Invoke(op)
 				}
 				seq++
-				_, err := cl.Invoke(op)
 				done := time.Now()
 				// Classic closed-loop accounting: latency from the
 				// actual call start, counted when the op completes
@@ -276,8 +363,7 @@ func runClosed(cfg Config) Stats {
 					ws.errors++
 					continue
 				}
-				ws.achieved++
-				ws.hist.Record(done.Sub(now))
+				ws.record(done.Sub(now), cfg.ReadFrac > 0, read)
 			}
 		}(w)
 	}
@@ -285,11 +371,7 @@ func runClosed(cfg Config) Stats {
 	elapsed := time.Since(measureStart)
 
 	s := Stats{Mode: "closed", Window: cfg.Duration, Elapsed: elapsed}
-	for w := range stats {
-		s.Achieved += stats[w].achieved
-		s.Errors += stats[w].errors
-		s.Hist.Merge(&stats[w].hist)
-	}
+	mergeWorkers(&s, stats)
 	// A closed loop offers exactly what it achieves — that asymmetry IS
 	// coordinated omission, kept visible in the numbers.
 	s.Offered = s.Achieved + s.Errors
@@ -315,6 +397,32 @@ type Stats struct {
 	Elapsed  time.Duration // wall time from window start to last completion
 	TailWait time.Duration // completion drain past the window's end
 	Hist     Histogram
+
+	// Per-class split, populated only on mixed (ReadFrac > 0) runs. Reads
+	// and Writes sum to Achieved; each class keeps its own exact-merge
+	// histogram so a fast read path cannot hide a slow write tail in the
+	// aggregate (or vice versa).
+	Reads     uint64
+	Writes    uint64
+	ReadHist  Histogram
+	WriteHist Histogram
+}
+
+// ReadRate is the read-class throughput in ops/s over the window (0 on
+// single-class runs).
+func (s Stats) ReadRate() float64 {
+	if s.Window <= 0 {
+		return 0
+	}
+	return float64(s.Reads) / s.Window.Seconds()
+}
+
+// WriteRate is the write-class throughput in ops/s over the window.
+func (s Stats) WriteRate() float64 {
+	if s.Window <= 0 {
+		return 0
+	}
+	return float64(s.Writes) / s.Window.Seconds()
 }
 
 // OfferedRate is the offered load in ops/s over the measurement window.

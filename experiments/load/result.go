@@ -41,6 +41,12 @@ type Workload struct {
 	// for classic — omitted from the JSON so trajectory points committed
 	// before the mode existed keep comparing equal to fresh classic runs.
 	Consensus string `json:"consensus,omitempty"`
+	// ReadFrac and ReadLeases describe mixed read/write runs; both zero
+	// values are omitted for the same backward-comparability reason as
+	// Consensus, and both are comparable so Workload equality (the gate's
+	// like-for-like check) keeps working with ==.
+	ReadFrac   float64 `json:"read_frac,omitempty"`
+	ReadLeases bool    `json:"read_leases,omitempty"`
 }
 
 // Result is the versioned machine-readable outcome of one load run — the
@@ -68,11 +74,33 @@ type Result struct {
 	Latency  LatencySummary `json:"latency"`
 	Workload Workload       `json:"workload"`
 	Env      bench.Env      `json:"env"`
+
+	// Per-class split of mixed runs; all omitted on single-class runs so
+	// previously committed trajectory points round-trip unchanged.
+	ReadOps      uint64          `json:"read_ops,omitempty"`
+	WriteOps     uint64          `json:"write_ops,omitempty"`
+	ReadRate     float64         `json:"read_ops_per_sec,omitempty"`
+	WriteRate    float64         `json:"write_ops_per_sec,omitempty"`
+	ReadLatency  *LatencySummary `json:"read_latency,omitempty"`
+	WriteLatency *LatencySummary `json:"write_latency,omitempty"`
+}
+
+// summarize digests a histogram into the quantile summary.
+func summarize(h *Histogram) LatencySummary {
+	return LatencySummary{
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		P999: h.Quantile(0.999),
+		Max:  h.Max(),
+	}
 }
 
 // NewResult stamps raw run stats into a versioned Result.
 func NewResult(cfg Config, st Stats, wl Workload) Result {
-	return Result{
+	r := Result{
 		Schema:       ResultSchema,
 		Mode:         st.Mode,
 		Arrival:      arrivalLabel(cfg, st),
@@ -89,18 +117,19 @@ func NewResult(cfg Config, st Stats, wl Workload) Result {
 		Errors:       st.Errors,
 		OfferedRate:  st.OfferedRate(),
 		AchievedRate: st.AchievedRate(),
-		Latency: LatencySummary{
-			Mean: st.Hist.Mean(),
-			P50:  st.Hist.Quantile(0.50),
-			P90:  st.Hist.Quantile(0.90),
-			P95:  st.Hist.Quantile(0.95),
-			P99:  st.Hist.Quantile(0.99),
-			P999: st.Hist.Quantile(0.999),
-			Max:  st.Hist.Max(),
-		},
+		Latency:  summarize(&st.Hist),
 		Workload: wl,
 		Env:      bench.CollectEnv(),
 	}
+	if cfg.ReadFrac > 0 {
+		r.ReadOps = st.Reads
+		r.WriteOps = st.Writes
+		r.ReadRate = st.ReadRate()
+		r.WriteRate = st.WriteRate()
+		rl, wlat := summarize(&st.ReadHist), summarize(&st.WriteHist)
+		r.ReadLatency, r.WriteLatency = &rl, &wlat
+	}
+	return r
 }
 
 func arrivalLabel(cfg Config, st Stats) string {

@@ -33,6 +33,18 @@ type Application interface {
 // NoOpResult is the reply payload returned for corrupted operations.
 var NoOpResult = []byte("ERR no-op")
 
+// ReadExecutor is implemented by applications whose read-only operations
+// can be answered without ordering them — the hook the lease-anchored
+// local read fast path dispatches through. ExecuteRead must return
+// ok=false for any operation that is not provably side-effect-free (the
+// Execution compartment then refuses the local read and the client falls
+// back to the agreement path); returning ok=true for a mutating operation
+// would let un-ordered requests fork replica state. Applications that do
+// not implement the interface never serve local reads.
+type ReadExecutor interface {
+	ExecuteRead(clientID uint32, op []byte) (result []byte, ok bool)
+}
+
 // Persister is implemented by applications that durably persist state to
 // untrusted storage. The Execution compartment detects it at replica
 // construction and installs a PersistFunc that seals (encrypts) the data

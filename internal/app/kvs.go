@@ -90,6 +90,30 @@ func (k *KVS) Execute(_ uint32, op []byte) []byte {
 	}
 }
 
+// ExecuteRead implements ReadExecutor: GETs are side-effect-free and may be
+// served from a lease-holding replica without ordering; every other op code
+// (including malformed operations, which Execute turns into a no-op write of
+// an error result) must go through agreement.
+func (k *KVS) ExecuteRead(_ uint32, op []byte) ([]byte, bool) {
+	d := messages.NewDecoder(op)
+	if d.U8() != opGet {
+		return nil, false
+	}
+	key := d.VarBytes()
+	if d.Finish() != nil {
+		return nil, false
+	}
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	val, ok := k.data[string(key)]
+	if !ok {
+		return []byte("NOTFOUND"), true
+	}
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
 // Len returns the number of stored keys.
 func (k *KVS) Len() int {
 	k.mu.RLock()

@@ -59,6 +59,20 @@ type Config struct {
 	// confidential mode.
 	Registry        *crypto.Registry
 	ExecMeasurement crypto.Digest
+	// ReadLeases routes InvokeRead through the lease-anchored local read
+	// fast path: the read goes to a single replica (spread round-robin
+	// across the group) and one attested reply resolves it. A refused or
+	// lost fast-path read falls back to the full agreement path, so the
+	// worst case is one extra round-trip on top of a classic read. Off,
+	// InvokeRead is identical to Invoke.
+	ReadLeases bool
+	// ReadLinearizable selects the consistency level of leased reads:
+	// true (linearizable) requires the serving replica to have applied
+	// everything proposed up to its lease grant; false (session) only
+	// requires it to have applied this client's own writes
+	// (read-your-writes + monotonic reads). Both levels require a valid
+	// lease; session merely relaxes the freshness anchor.
+	ReadLinearizable bool
 	// RetransmitInterval is how long to wait for a reply quorum before
 	// resending the request to all replicas. Default
 	// defaults.RetransmitInterval, aligned with the replica failure
@@ -97,9 +111,21 @@ type Client struct {
 
 	ts atomic.Uint64
 
-	mu      sync.Mutex
-	pending map[uint64]*call
-	closed  bool
+	// watermark is the highest agreement sequence this client has observed
+	// applied (from write replies and read replies). It is the MinSeq floor
+	// for session-consistency reads: a replica may only answer once it has
+	// applied at least this far, which yields read-your-writes and
+	// monotonic reads across replicas.
+	watermark atomic.Uint64
+	// readRR spreads fast-path reads round-robin across replicas; seeded
+	// with the client ID so a fleet of clients doesn't converge on one
+	// replica.
+	readRR atomic.Uint32
+
+	mu           sync.Mutex
+	pending      map[uint64]*call
+	pendingReads map[uint64]chan *messages.ReadReply
+	closed       bool
 
 	// Confidential-mode session state.
 	sessionKey crypto.SessionKey
@@ -125,10 +151,12 @@ func New(cfg Config) (*Client, error) {
 		return nil, errors.New("client: confidential mode requires Registry")
 	}
 	c := &Client{
-		cfg:     cfg,
-		pending: make(map[uint64]*call),
-		quoteCh: make(chan *messages.AttestQuote, 16),
+		cfg:          cfg,
+		pending:      make(map[uint64]*call),
+		pendingReads: make(map[uint64]chan *messages.ReadReply),
+		quoteCh:      make(chan *messages.AttestQuote, 16),
 	}
+	c.readRR.Store(cfg.ID)
 	// Timestamps seed from the wall clock (as in PBFT) rather than zero:
 	// exactly-once execution is keyed by (client, timestamp), so a
 	// restarted client process reusing its ID must not collide with its
@@ -149,6 +177,8 @@ func (c *Client) Handler() transport.Handler {
 		switch msg := m.(type) {
 		case *messages.Reply:
 			c.onReply(msg)
+		case *messages.ReadReply:
+			c.onReadReply(msg)
 		case *messages.AttestQuote:
 			select {
 			case c.quoteCh <- msg:
@@ -169,6 +199,10 @@ func (c *Client) Close() {
 	for ts, call := range c.pending {
 		close(call.done)
 		delete(c.pending, ts)
+	}
+	for ts, ch := range c.pendingReads {
+		close(ch)
+		delete(c.pendingReads, ts)
 	}
 }
 
@@ -369,6 +403,114 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 	}
 }
 
+// InvokeRead submits a read-only operation. With ReadLeases off it is
+// exactly Invoke. With ReadLeases on it first tries the local-read fast
+// path — one ReadRequest to one replica, one attested ReadReply back — and
+// falls back to the agreement path whenever the fast path refuses (replica
+// leaseless, lease near expiry, replica behind the session watermark, app
+// says the op isn't side-effect-free) or the reply doesn't arrive within
+// one retransmit interval. The fallback makes the fast path purely an
+// optimization: reads are never served stale, only slower.
+func (c *Client) InvokeRead(op []byte) ([]byte, error) {
+	if !c.cfg.ReadLeases {
+		return c.Invoke(op)
+	}
+	if c.cfg.Confidential && !c.attested.Load() {
+		return nil, ErrNotAttested
+	}
+	ts := c.ts.Add(1)
+	payload := op
+	if c.cfg.Confidential {
+		payload = c.sendSess.Seal(op, RequestAD(c.cfg.ID, ts))
+	}
+	target := (c.readRR.Add(1) - 1) % uint32(c.cfg.N)
+	req := &messages.ReadRequest{
+		ClientID:     c.cfg.ID,
+		Timestamp:    ts,
+		MinSeq:       c.watermark.Load(),
+		Linearizable: c.cfg.ReadLinearizable,
+		Payload:      payload,
+	}
+	req.MAC = c.cfg.MACs.MAC(req.AuthenticatedBytes(),
+		crypto.Identity{ReplicaID: target, Role: c.cfg.ReplyRole})
+
+	ch := make(chan *messages.ReadReply, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pendingReads[ts] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pendingReads, ts)
+		c.mu.Unlock()
+	}()
+
+	if err := c.conn.Send(transport.ReplicaEndpoint(target), messages.Marshal(req)); err != nil {
+		return c.Invoke(op)
+	}
+	timer := time.NewTimer(c.cfg.RetransmitInterval)
+	defer timer.Stop()
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if rep.OK {
+			result := rep.Result
+			if c.cfg.Confidential {
+				pt, err := c.recvSess.Open(result, ReplyAD(rep.ClientID, rep.Timestamp))
+				if err != nil {
+					return c.Invoke(op)
+				}
+				result = pt
+			}
+			c.advanceWatermark(rep.AppliedSeq)
+			return result, nil
+		}
+		// Explicit refusal: the replica answered but would not serve the
+		// read locally. Order it instead.
+		return c.Invoke(op)
+	case <-timer.C:
+		return c.Invoke(op)
+	}
+}
+
+// onReadReply verifies a fast-path read reply's MAC and hands it to the
+// waiting InvokeRead. Refusals are delivered too — an explicit no is the
+// signal to fall back immediately instead of burning the full interval.
+func (c *Client) onReadReply(rep *messages.ReadReply) {
+	if rep.ClientID != c.cfg.ID {
+		return
+	}
+	sender := crypto.Identity{ReplicaID: rep.Replica, Role: c.cfg.ReplyRole}
+	if err := c.cfg.MACs.VerifySingle(rep.AuthenticatedBytes(), rep.MAC, sender); err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.pendingReads[rep.Timestamp]
+	if !ok {
+		return
+	}
+	select {
+	case ch <- rep:
+	default:
+	}
+}
+
+// advanceWatermark raises the session watermark to seq (monotonic).
+func (c *Client) advanceWatermark(seq uint64) {
+	for {
+		cur := c.watermark.Load()
+		if seq <= cur || c.watermark.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
 // onReply verifies a reply MAC, decrypts confidential results, and resolves
 // the pending call once ReplyQuorum replicas agree on the result.
 func (c *Client) onReply(rep *messages.Reply) {
@@ -379,6 +521,10 @@ func (c *Client) onReply(rep *messages.Reply) {
 	if err := c.cfg.MACs.VerifySingle(rep.AuthenticatedBytes(), rep.MAC, sender); err != nil {
 		return
 	}
+	// The reply is MAC-authenticated by an Execution compartment, which is
+	// trusted under the fault model, so its applied sequence is honest:
+	// advance the session watermark so later leased reads see this write.
+	c.advanceWatermark(rep.Seq)
 	result := rep.Result
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -49,6 +49,16 @@ func (cs *comStore) persistRun(run []ecall) {
 		if len(run[k].payload) == 1 && run[k].payload[0] == ecallTick {
 			continue
 		}
+		// Read-lease traffic is also skipped: leases are deliberately
+		// ephemeral (a restarted replica must come back leaseless and
+		// fail closed) and local reads mutate no replicated state, so
+		// replaying either would be wrong or wasted.
+		if len(run[k].payload) > 1 && run[k].payload[0] == ecallMessage {
+			switch messages.Type(run[k].payload[1]) {
+			case messages.TLeaseGrant, messages.TReadRequest:
+				continue
+			}
+		}
 		_, _ = cs.st.Append(run[k].payload)
 	}
 }
@@ -554,7 +564,8 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 		messages.TCheckpoint, messages.TViewChange, messages.TNewView,
 		messages.TAttestRequest, messages.TProvisionKey,
 		messages.TStateRequest, messages.TStateReply,
-		messages.TBatchFetch, messages.TBatchReply, messages.TStateProbe:
+		messages.TBatchFetch, messages.TBatchReply, messages.TStateProbe,
+		messages.TLeaseGrant, messages.TReadRequest:
 	default:
 		return // unknown type
 	}
@@ -611,6 +622,12 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 				b.submitShared(data, crypto.RoleExecution)
 			}
 		}
+	case messages.TLeaseGrant, messages.TReadRequest:
+		// Read-lease fast path: both terminate in the Execution
+		// compartment. Not deduplicated — a retransmitted read must be
+		// answered again (the reply could have been lost), and grants
+		// are unique per counter value anyway.
+		b.submitShared(data, crypto.RoleExecution)
 	default: // attest/provision/state-transfer family
 		b.submitShared(data, crypto.RoleExecution)
 	}
@@ -758,6 +775,13 @@ func (b *broker) onTick(now time.Time) {
 		// probe (and the missing-body stall detector) even when no
 		// protocol traffic flows. Never persisted — see persistRun.
 		b.submit(crypto.RoleExecution, []byte{ecallTick}, nil)
+		if b.cfg.ReadLeases {
+			// With read leases on, the Preparation compartment also
+			// needs the failure-detector clock: the primary renews
+			// leases on it even when no proposals flow, so an idle
+			// cluster keeps serving local reads.
+			b.submit(crypto.RolePreparation, []byte{ecallTick}, nil)
+		}
 	}
 	if suspect {
 		b.mSuspects.Add(1)

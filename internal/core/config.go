@@ -122,6 +122,23 @@ type Config struct {
 	BatchSize          int
 	BatchTimeout       time.Duration
 	RequestTimeout     time.Duration
+
+	// ReadLeases enables the lease-anchored local read fast path: the
+	// primary's trusted counter enclave issues time-bounded read leases to
+	// every replica (piggybacked on proposal traffic and renewed on the
+	// failure-detector clock), and a lease-holding Execution compartment
+	// serves ReadRequests locally — no agreement round. Works in either
+	// consensus mode (it instantiates the counter enclave on its own in
+	// classic mode). Leaseless or stale replicas refuse, and clients fall
+	// back to the agreement path, so the worst case is classic read cost.
+	ReadLeases bool
+	// LeaseTTL bounds a read lease's validity from its grant time. It must
+	// exceed the renewal period (a quarter of it is used) and stay small
+	// enough that a deposed primary's last leases expire before clients
+	// notice anything: a lease never outlives its view on any correct
+	// replica, and expiry is the backstop for clock skew. 0 means
+	// 4×RequestTimeout.
+	LeaseTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +162,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VerifyWorkers < 1 {
 		c.VerifyWorkers = 1
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 4 * c.RequestTimeout
 	}
 	return c
 }

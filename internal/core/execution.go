@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+	"time"
+
 	"github.com/splitbft/splitbft/internal/app"
 	"github.com/splitbft/splitbft/internal/client"
 	"github.com/splitbft/splitbft/internal/crypto"
@@ -98,6 +101,19 @@ type execution struct {
 	probing    bool
 	probesLeft int
 
+	// Read-lease state (ReadLeases deployments). lease is the verified
+	// grant currently held — deliberately NOT part of the sealed persistent
+	// state: a restarted replica comes back leaseless and refuses local
+	// reads (fail-closed) until the primary re-grants. leaseMargin is the
+	// near-expiry refusal margin, the clock-skew allowance: this replica
+	// stops serving that long before the nominal expiry, so a primary and
+	// holder whose clocks disagree by less than the margin never disagree
+	// about whether a lease was live.
+	leases      bool
+	lease       *messages.LeaseGrant
+	leaseMargin time.Duration
+	localReads  atomic.Uint64
+
 	// stallSeq/stallTicks drive the missing-body retransmission trigger:
 	// when execution blocks on a committed slot whose body is absent,
 	// every further ecall ticks the counter, and a fetch goes out each
@@ -136,6 +152,8 @@ func newExecution(cfg Config, ver *messages.Verifier) *execution {
 		confidential: cfg.Confidential,
 		ckptInterval: cfg.CheckpointInterval,
 		app:          cfg.App,
+		leases:       cfg.ReadLeases,
+		leaseMargin:  cfg.LeaseTTL / 8,
 		batches:      make(map[crypto.Digest]*messages.Batch),
 		batchSeq:     make(map[crypto.Digest]uint64),
 		commits:      make(map[uint64]map[uint64]map[uint32]*messages.Commit),
@@ -204,8 +222,121 @@ func (e *execution) handleMessage(host tee.Host, raw []byte) []tee.OutMsg {
 		return e.onBatchReply(host, msg)
 	case *messages.StateProbe:
 		return e.onStateProbe(msg)
+	case *messages.LeaseGrant:
+		return e.onLeaseGrant(msg)
+	case *messages.ReadRequest:
+		return e.onReadRequest(msg)
 	}
 	return nil
+}
+
+// onLeaseGrant installs a verified read lease addressed to this replica.
+// Grants carry the counter enclave's signature, so the untrusted broker
+// cannot mint one; a replayed old grant is rejected by the freshness
+// comparison (it can only lower view or expiry).
+func (e *execution) onLeaseGrant(g *messages.LeaseGrant) []tee.OutMsg {
+	if !e.leases || g.Holder != e.id {
+		return nil
+	}
+	if err := e.ver.VerifyLease(g); err != nil {
+		return nil
+	}
+	if cur := e.lease; cur != nil &&
+		(g.View < cur.View || (g.View == cur.View && g.Expiry <= cur.Expiry)) {
+		return nil // stale or duplicate grant
+	}
+	e.lease = g
+	return nil
+}
+
+// leaseValid reports whether the held lease authorizes serving local reads
+// right now: it must exist, match the compartment's current view (a view
+// change revokes every outstanding lease instantly on correct replicas),
+// and be more than the clock-skew margin away from expiry. Fail-closed on
+// every branch — a refusal only pushes the client onto the agreement path.
+func (e *execution) leaseValid(now time.Time) bool {
+	g := e.lease
+	if g == nil || g.View != e.view {
+		return false
+	}
+	return now.UnixNano()+int64(e.leaseMargin) < g.Expiry
+}
+
+// onReadRequest serves a read locally under the held lease — the whole
+// point of the lease fast path: no PrePrepare, no quorum, one attested
+// reply. Refusals are explicit (OK=false) so the client falls back to
+// agreement immediately. The reply cache (execClient) is deliberately
+// untouched: leased reads are side-effect-free and unordered, so caching
+// them would pollute the exactly-once bookkeeping of the write path.
+func (e *execution) onReadRequest(r *messages.ReadRequest) []tee.OutMsg {
+	if !e.leases {
+		return nil
+	}
+	clientID := crypto.Identity{ReplicaID: r.ClientID, Role: crypto.RoleClient}
+	if err := e.macs.VerifySingle(r.AuthenticatedBytes(), r.MAC, clientID); err != nil {
+		return nil // unauthenticated: drop, like any forged client traffic
+	}
+	rep := &messages.ReadReply{
+		Replica:    e.id,
+		ClientID:   r.ClientID,
+		Timestamp:  r.Timestamp,
+		View:       e.view,
+		AppliedSeq: e.lastExec,
+	}
+	if result, ok := e.serveLocalRead(r); ok {
+		rep.OK = true
+		rep.Result = result
+		e.localReads.Add(1)
+	}
+	rep.MAC = e.macs.MAC(rep.AuthenticatedBytes(), clientID)
+	return []tee.OutMsg{clientOut(r.ClientID, rep)}
+}
+
+// serveLocalRead runs the admission checks and, when they pass, executes
+// the read against the application without ordering it. Admission:
+//
+//   - the application must expose a side-effect-free read path
+//     (app.ReadExecutor) — anything else must be ordered;
+//   - the lease must be valid (view match, not near expiry);
+//   - the applied index must cover the client's session watermark
+//     (read-your-writes), and for linearizable reads also the lease's
+//     anchor — everything the primary had proposed when it granted —
+//     which bounds staleness to one renewal period.
+func (e *execution) serveLocalRead(r *messages.ReadRequest) ([]byte, bool) {
+	ra, ok := e.app.(app.ReadExecutor)
+	if !ok {
+		return nil, false
+	}
+	if !e.leaseValid(time.Now()) {
+		return nil, false
+	}
+	if e.lastExec < r.MinSeq {
+		return nil, false
+	}
+	if r.Linearizable && e.lastExec < e.lease.AnchorSeq {
+		return nil, false
+	}
+	op := r.Payload
+	var sess *crypto.Session
+	if e.confidential {
+		sess, ok = e.sessions[r.ClientID]
+		if !ok {
+			return nil, false
+		}
+		pt, err := sess.Open(r.Payload, client.RequestAD(r.ClientID, r.Timestamp))
+		if err != nil {
+			return nil, false
+		}
+		op = pt
+	}
+	result, ok := ra.ExecuteRead(r.ClientID, op)
+	if !ok {
+		return nil, false // not a read-only op: it must go through agreement
+	}
+	if e.confidential {
+		result = sess.Seal(result, client.ReplyAD(r.ClientID, r.Timestamp))
+	}
+	return result, true
 }
 
 // onPrePrepare caches the full request bodies for later execution.
@@ -329,6 +460,7 @@ func (e *execution) executeBatch(host tee.Host, batch *messages.Batch) []tee.Out
 			ClientID:  req.ClientID,
 			Timestamp: req.Timestamp,
 			Replica:   e.id,
+			Seq:       e.lastExec,
 			Result:    result,
 		}
 		rep.MAC = e.macs.MAC(rep.AuthenticatedBytes(),
@@ -563,6 +695,11 @@ func (e *execution) onStateProbe(p *messages.StateProbe) []tee.OutMsg {
 func (e *execution) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMsg {
 	if !e.applyNewViewCheckpoint(nv) {
 		return nil
+	}
+	// Drop a lease from a deposed view eagerly. leaseValid would refuse it
+	// anyway (view mismatch) — this just frees the reference.
+	if e.lease != nil && e.lease.View != e.view {
+		e.lease = nil
 	}
 	e.gc()
 	return e.tryExecute(host)

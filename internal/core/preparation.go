@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/messages"
 	"github.com/splitbft/splitbft/internal/tee"
@@ -22,6 +24,13 @@ type preparation struct {
 	// CtrVal = ctrBase + (Seq - seqBase) alone.
 	counter *tee.TrustedCounter
 
+	// Read-lease issuance (primary duty, ReadLeases deployments). Leases
+	// piggyback on proposal and checkpoint traffic and renew on the
+	// failure-detector tick, so holders stay leased on idle clusters too.
+	leases    bool
+	leaseTTL  time.Duration
+	lastGrant time.Time
+
 	nextSeq uint64
 	// proposals records the accepted proposal digest per (view, seq): the
 	// compartment's slice of the input log. Its presence also marks that a
@@ -40,6 +49,8 @@ func newPreparation(cfg Config, ver *messages.Verifier, counter *tee.TrustedCoun
 		macs: crypto.NewMACStore(cfg.MACSecret,
 			crypto.Identity{ReplicaID: cfg.ID, Role: crypto.RolePreparation}),
 		counter:     counter,
+		leases:      cfg.ReadLeases,
+		leaseTTL:    cfg.LeaseTTL,
 		proposals:   make(map[uint64]map[uint64]crypto.Digest),
 		viewChanges: make(map[uint64]map[uint32]*messages.ViewChange),
 	}
@@ -65,6 +76,11 @@ func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 			return nil
 		}
 		return p.onBatch(host, batch)
+	case ecallTick:
+		// Failure-detector tick (read-lease deployments only): renew the
+		// outstanding read leases even when no proposal or checkpoint
+		// traffic would carry a grant. Ticks are never persisted.
+		return p.maybeGrantLeases()
 	case ecallMessage:
 		m, err := messages.Unmarshal(raw[1:])
 		if err != nil {
@@ -79,10 +95,50 @@ func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 			return p.onNewView(host, msg)
 		case *messages.Checkpoint:
 			p.onCheckpointGC(host, msg)
-			return nil
+			// Checkpoint traffic is the second piggyback carrier for lease
+			// renewal (proposals being the first).
+			return p.maybeGrantLeases()
 		}
 	}
 	return nil
+}
+
+// maybeGrantLeases issues or renews read leases for every replica when
+// this compartment is the primary of the current view and the renewal
+// period (a quarter of the TTL) has elapsed. Each grant is signed by the
+// trusted counter enclave and anchored at the highest assigned sequence:
+// a holder must have applied everything proposed up to the grant before
+// serving a linearizable read, which bounds read staleness to one renewal
+// period. Returns nil in non-lease deployments and on backups.
+func (p *preparation) maybeGrantLeases() []tee.OutMsg {
+	if !p.leases || p.counter == nil || p.primary(p.view) != p.id {
+		return nil
+	}
+	now := time.Now()
+	if !p.lastGrant.IsZero() && now.Sub(p.lastGrant) < p.leaseTTL/4 {
+		return nil
+	}
+	p.lastGrant = now
+	expiry := now.Add(p.leaseTTL).UnixNano()
+	out := make([]tee.OutMsg, 0, p.n)
+	for holder := uint32(0); int(holder) < p.n; holder++ {
+		att := p.counter.GrantLease(holder, p.view, p.nextSeq, expiry)
+		g := &messages.LeaseGrant{
+			Granter:   att.Granter,
+			Holder:    att.Holder,
+			View:      att.View,
+			AnchorSeq: att.AnchorSeq,
+			CtrVal:    att.CtrVal,
+			Expiry:    att.Expiry,
+			Sig:       att.Sig,
+		}
+		if holder == p.id {
+			out = append(out, localOut(crypto.RoleExecution, g))
+		} else {
+			out = append(out, replicaOut(holder, g))
+		}
+	}
+	return out
 }
 
 // record stores an accepted proposal digest, reporting false on conflict
@@ -146,11 +202,14 @@ func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg
 		pp.CtrVal, pp.CtrSig = att.Value, att.Sig
 	}
 	p.record(pp.View, pp.Seq, pp.Digest)
-	return []tee.OutMsg{
+	out := []tee.OutMsg{
 		broadcastOut(pp),
 		localOut(crypto.RoleConfirmation, pp),
 		localOut(crypto.RoleExecution, pp),
 	}
+	// Piggyback lease renewal on proposal traffic: under load the leases
+	// ride along for free and the anchor tracks the write frontier.
+	return append(out, p.maybeGrantLeases()...)
 }
 
 // onPrePrepare is event handler (2): a backup validates the primary's
@@ -257,11 +316,16 @@ func (p *preparation) onViewChange(host tee.Host, vc *messages.ViewChange) []tee
 	p.lastNewView = nv
 	p.installView(nv.View, stable, pps, ctrBase)
 	delete(p.viewChanges, vc.NewViewNum)
-	return []tee.OutMsg{
+	out := []tee.OutMsg{
 		broadcastOut(nv),
 		localOut(crypto.RoleConfirmation, nv),
 		localOut(crypto.RoleExecution, nv),
 	}
+	// The new primary re-leases the group immediately: every lease from
+	// the previous view is dead on arrival at any correct Execution
+	// compartment (the view number no longer matches), so fresh grants are
+	// what bring the read fast path back after a view change.
+	return append(out, p.maybeGrantLeases()...)
 }
 
 // onNewView is event handler (7): backups fully validate the NewView —
@@ -297,6 +361,7 @@ func (p *preparation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMs
 // installView moves the compartment into a new view.
 func (p *preparation) installView(view uint64, stable messages.CheckpointCert, pps []messages.PrePrepare, ctrBase uint64) {
 	p.view = view
+	p.lastGrant = time.Time{} // a new view's primary leases afresh, at once
 	p.advanceStable(stable)
 	if p.trustedMode() {
 		// Re-pin the affine counter law: proposals of the new view consume

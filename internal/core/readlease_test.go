@@ -1,0 +1,299 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/tee"
+)
+
+// Lease-anchored local read tests: drive the Preparation (grantor) and
+// Execution (holder) compartments directly, probing the fail-closed
+// admission rules — an expired, revoked, forged, or missing lease must
+// refuse the local read, never serve a stale one.
+
+// leaseRig wires one primary Preparation enclave (replica 0, with the
+// trusted counter) and all n Execution enclaves with read leases on.
+type leaseRig struct {
+	t       *testing.T
+	n, f    int
+	reg     *crypto.Registry
+	secret  []byte
+	counter *tee.TrustedCounter
+	prep    *tee.Enclave
+	execs   []*tee.Enclave
+	codes   []*execution // white-box views of the Execution compartments
+	apps    []*app.KVS
+}
+
+func newLeaseRig(t *testing.T, ttl time.Duration) *leaseRig {
+	t.Helper()
+	r := &leaseRig{t: t, n: 4, f: 1, reg: crypto.NewRegistry(), secret: []byte("lease-test")}
+	ver, err := messages.NewVerifier(r.n, r.f, r.reg, messages.SplitScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrID := crypto.Identity{ReplicaID: 0, Role: crypto.RoleCounter}
+	r.counter, err = tee.NewTrustedCounter(ctrID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.reg.Register(ctrID, r.counter.PublicKey())
+	for i := 0; i < r.n; i++ {
+		kvs := app.NewKVS()
+		r.apps = append(r.apps, kvs)
+		cfg := Config{
+			N: r.n, F: r.f, ID: uint32(i),
+			Registry: r.reg, MACSecret: r.secret, App: kvs,
+			ReadLeases: true, LeaseTTL: ttl,
+		}.withDefaults()
+		if i == 0 {
+			prepCode := newPreparation(cfg, ver, r.counter)
+			r.prep, err = tee.NewEnclave(0, crypto.RolePreparation, prepCode, tee.ZeroCostModel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.reg.Register(r.prep.Identity(), r.prep.PublicKey())
+		}
+		code := newExecution(cfg, ver)
+		enc, err := tee.NewEnclave(uint32(i), crypto.RoleExecution, code, tee.ZeroCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.reg.Register(enc.Identity(), enc.PublicKey())
+		r.execs = append(r.execs, enc)
+		r.codes = append(r.codes, code)
+	}
+	return r
+}
+
+// grants ticks the primary's Preparation compartment and collects the
+// emitted lease grants, keyed by holder.
+func (r *leaseRig) grants() map[uint32]*messages.LeaseGrant {
+	r.t.Helper()
+	out, err := r.prep.Invoke([]byte{ecallTick})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	got := make(map[uint32]*messages.LeaseGrant)
+	for i := range out {
+		m, err := messages.Unmarshal(out[i].Payload)
+		if err != nil {
+			r.t.Fatal(err)
+		}
+		if g, ok := m.(*messages.LeaseGrant); ok {
+			got[g.Holder] = g
+		}
+	}
+	return got
+}
+
+// deliver hands a lease grant to a replica's Execution enclave.
+func (r *leaseRig) deliver(replica uint32, g *messages.LeaseGrant) {
+	r.t.Helper()
+	if _, err := r.execs[replica].Invoke(wrapMessage(messages.Marshal(g))); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// read sends a MAC-authenticated ReadRequest to a replica's Execution
+// enclave and returns the reply (nil when the enclave stayed silent).
+func (r *leaseRig) read(replica uint32, ts, minSeq uint64, linearizable bool, op []byte) *messages.ReadReply {
+	r.t.Helper()
+	const clientID = 42
+	macs := crypto.NewMACStore(r.secret, crypto.Identity{ReplicaID: clientID, Role: crypto.RoleClient})
+	req := &messages.ReadRequest{
+		ClientID: clientID, Timestamp: ts, MinSeq: minSeq,
+		Linearizable: linearizable, Payload: op,
+	}
+	req.MAC = macs.MAC(req.AuthenticatedBytes(), crypto.Identity{ReplicaID: replica, Role: crypto.RoleExecution})
+	out, err := r.execs[replica].Invoke(wrapMessage(messages.Marshal(req)))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	rep, ok := findMsg[*messages.ReadReply](r.t, out, tee.DestClient)
+	if !ok {
+		return nil
+	}
+	return rep
+}
+
+// TestLeaseLocalReadServes is the fast-path happy case: a granted,
+// verified, in-view lease serves a linearizable read locally — one
+// request, one attested reply, no agreement traffic.
+func TestLeaseLocalReadServes(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	grants := r.grants()
+	if len(grants) != r.n {
+		t.Fatalf("got %d grants, want %d", len(grants), r.n)
+	}
+	r.deliver(1, grants[1])
+	rep := r.read(1, 1, 0, true, app.EncodeGet("missing"))
+	if rep == nil || !rep.OK {
+		t.Fatalf("leased linearizable read refused: %+v", rep)
+	}
+	if string(rep.Result) != "NOTFOUND" {
+		t.Fatalf("read result = %q, want NOTFOUND", rep.Result)
+	}
+	if got := r.codes[1].localReads.Load(); got != 1 {
+		t.Fatalf("localReads = %d, want 1", got)
+	}
+	if r.counter.LeaseGrants() == 0 {
+		t.Fatal("counter recorded no lease grants")
+	}
+}
+
+// TestLeaselessReadRefused: without a lease the Execution compartment must
+// answer with an explicit refusal (so the client falls back immediately),
+// not a result.
+func TestLeaselessReadRefused(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	rep := r.read(2, 1, 0, false, app.EncodeGet("k"))
+	if rep == nil {
+		t.Fatal("expected an explicit refusal reply, got silence")
+	}
+	if rep.OK {
+		t.Fatal("leaseless replica served a local read")
+	}
+}
+
+// TestLeaseWrongHolderIgnored: a grant addressed to another replica must
+// not arm the fast path.
+func TestLeaseWrongHolderIgnored(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	grants := r.grants()
+	r.deliver(2, grants[1]) // replica 2 gets replica 1's grant
+	if rep := r.read(2, 1, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatalf("misaddressed grant armed the fast path: %+v", rep)
+	}
+}
+
+// TestLeaseForgedSignatureRejected: a lease whose counter signature does
+// not verify must be dropped — the broker relays grants, so a corrupt or
+// malicious environment can tamper with them.
+func TestLeaseForgedSignatureRejected(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	grants := r.grants()
+	g := *grants[1]
+	g.AnchorSeq++ // payload no longer matches the signature
+	r.deliver(1, &g)
+	if rep := r.read(1, 1, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatalf("forged lease served a local read: %+v", rep)
+	}
+}
+
+// TestLeaseExpiryFailsClosed: after the TTL passes, the ex-leaseholder —
+// think of it as partitioned away from the primary, missing every renewal
+// — must refuse local reads in both consistency modes.
+func TestLeaseExpiryFailsClosed(t *testing.T) {
+	ttl := 80 * time.Millisecond
+	r := newLeaseRig(t, ttl)
+	grants := r.grants()
+	r.deliver(1, grants[1])
+	if rep := r.read(1, 1, 0, true, app.EncodeGet("k")); rep == nil || !rep.OK {
+		t.Fatalf("fresh lease refused: %+v", rep)
+	}
+	time.Sleep(ttl + 20*time.Millisecond)
+	if rep := r.read(1, 2, 0, true, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatal("expired lease served a linearizable read")
+	}
+	if rep := r.read(1, 3, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatal("expired lease served a session read")
+	}
+}
+
+// TestLeaseViewChangeRevokes: a lease from a deposed view must stop
+// serving the moment the holder learns of the new view, well before its
+// timer expires — the counter-key revocation path.
+func TestLeaseViewChangeRevokes(t *testing.T) {
+	r := newLeaseRig(t, time.Minute) // nowhere near expiry
+	grants := r.grants()
+	r.deliver(1, grants[1])
+	if rep := r.read(1, 1, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
+		t.Fatalf("fresh lease refused: %+v", rep)
+	}
+	// White-box: advance the compartment's view as an installed NewView
+	// would (crafting a full valid NewView certificate is the view-change
+	// tests' job); leaseValid must now refuse the view-0 lease.
+	r.codes[1].view = 1
+	if rep := r.read(1, 2, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatal("deposed view's lease served a local read")
+	}
+}
+
+// TestSessionReadHonorsWatermark: a session read carries the client's
+// MinSeq watermark; a replica that has not applied that far must refuse —
+// this is what makes the fast path read-your-writes.
+func TestSessionReadHonorsWatermark(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	grants := r.grants()
+	r.deliver(1, grants[1])
+	if rep := r.read(1, 1, 5, false, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatal("lagging replica served a session read past its watermark")
+	}
+	if rep := r.read(1, 2, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
+		t.Fatalf("watermark-satisfying session read refused: %+v", rep)
+	}
+}
+
+// TestLinearizableReadHonorsAnchor: once the primary has assigned a
+// sequence number, new leases anchor there, and a holder that has not yet
+// executed it must refuse linearizable reads (the proposal could commit
+// before the read returns) while still serving session reads.
+func TestLinearizableReadHonorsAnchor(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	req := testRequest(r.secret, r.n, 7, 1, app.EncodePut("k", []byte("v")))
+	out, err := r.prep.Invoke(wrapBatch(&messages.Batch{Requests: []messages.Request{req}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proposal's output carries the piggybacked grants, anchored at
+	// the sequence it just assigned.
+	var g *messages.LeaseGrant
+	for i := range out {
+		m, err := messages.Unmarshal(out[i].Payload)
+		if err != nil {
+			continue // ecall outputs include non-message payloads? no — but stay lenient
+		}
+		if lg, ok := m.(*messages.LeaseGrant); ok && lg.Holder == 1 {
+			g = lg
+		}
+	}
+	if g == nil {
+		t.Fatal("proposal did not piggyback a lease grant for replica 1")
+	}
+	if g.AnchorSeq == 0 {
+		t.Fatalf("post-proposal grant anchored at 0, want the assigned sequence")
+	}
+	r.deliver(1, g)
+	if rep := r.read(1, 1, 0, true, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatal("holder behind the lease anchor served a linearizable read")
+	}
+	if rep := r.read(1, 2, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
+		t.Fatalf("session read refused on a replica behind the anchor: %+v", rep)
+	}
+}
+
+// TestReadsBypassReplyCache is the reply-cache regression: local reads are
+// side-effect-free and single-shot, so they must never populate the
+// exactly-once client bookkeeping the write path maintains — a read-heavy
+// client would otherwise bloat enclave memory with useless entries.
+func TestReadsBypassReplyCache(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	grants := r.grants()
+	r.deliver(1, grants[1])
+	for ts := uint64(1); ts <= 64; ts++ {
+		if rep := r.read(1, ts, 0, true, app.EncodeGet("k")); rep == nil || !rep.OK {
+			t.Fatalf("read %d refused: %+v", ts, rep)
+		}
+	}
+	if got := len(r.codes[1].clients); got != 0 {
+		t.Fatalf("reply cache holds %d client entries after a read-only run, want 0", got)
+	}
+	if got := r.codes[1].localReads.Load(); got != 64 {
+		t.Fatalf("localReads = %d, want 64", got)
+	}
+}

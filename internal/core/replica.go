@@ -44,8 +44,11 @@ type Replica struct {
 	stores   map[crypto.Role]*comStore
 	recovery RecoveryStats
 	// counter is the trusted monotonic counter enclave (trusted consensus
-	// mode only, nil in classic).
+	// mode or read leases; nil otherwise).
 	counter *tee.TrustedCounter
+	// execCode is the Execution compartment's protocol code, kept for the
+	// read-lease statistics (LocalReads).
+	execCode *execution
 }
 
 // RecoveryStats describes what a replica reconstructed from its durability
@@ -103,12 +106,14 @@ func NewReplica(cfg Config) (*Replica, error) {
 		return enclaveKeyStream(cfg.KeySeed, cfg.ID, role)
 	}
 
-	// Trusted consensus mode: launch the counter enclave and register its
-	// attestation key before any compartment sees traffic. With a KeySeed the
-	// key derives from the counter's own stream so peer processes can compute
-	// it (RegisterDeterministicKeys mirrors the derivation).
+	// Trusted consensus mode — and the read-lease fast path, which anchors
+	// leases in the same counter enclave — launch the counter and register
+	// its attestation key before any compartment sees traffic. With a
+	// KeySeed the key derives from the counter's own stream so peer
+	// processes can compute it (RegisterDeterministicKeys mirrors the
+	// derivation).
 	var counter *tee.TrustedCounter
-	if cfg.ConsensusMode == messages.ConsensusTrusted {
+	if cfg.ConsensusMode == messages.ConsensusTrusted || cfg.ReadLeases {
 		ctrID := crypto.Identity{ReplicaID: cfg.ID, Role: crypto.RoleCounter}
 		var err error
 		counter, err = tee.NewTrustedCounterWithRand(ctrID, rng(crypto.RoleCounter))
@@ -168,7 +173,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		}
 	}
 
-	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches, vers: vers[:], counter: counter}
+	r := &Replica{cfg: cfg, prep: prep, conf: conf, exec: exec, caches: caches, vers: vers[:], counter: counter, execCode: execCode}
 
 	// Durability: open the per-compartment stores and recover — sealed
 	// snapshot first, then WAL replay — before any broker thread runs.
@@ -354,9 +359,24 @@ func (r *Replica) VerifierStats() messages.VerifierStats {
 		out.SigTime += s.SigTime
 		out.MACVerifies += s.MACVerifies
 		out.CounterVerifies += s.CounterVerifies
+		out.LeaseVerifies += s.LeaseVerifies
 	}
 	return out
 }
+
+// LeaseGrants returns the number of read leases this replica's counter
+// enclave granted since boot or the last stats reset (zero when read
+// leases are off or this replica was never primary).
+func (r *Replica) LeaseGrants() uint64 {
+	if r.counter == nil {
+		return 0
+	}
+	return r.counter.LeaseGrants()
+}
+
+// LocalReads returns the number of reads this replica's Execution
+// compartment served locally under a lease, without agreement.
+func (r *Replica) LocalReads() uint64 { return r.execCode.localReads.Load() }
 
 // CounterCreates returns the number of counter attestations this replica's
 // counter enclave created since boot or the last stats reset (zero in
@@ -398,6 +418,7 @@ func (r *Replica) ResetEnclaveStats() {
 	if r.counter != nil {
 		r.counter.ResetCreates()
 	}
+	r.execCode.localReads.Store(0)
 }
 
 // CrashEnclave kills one compartment (fault injection: the environment can

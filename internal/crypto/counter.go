@@ -13,3 +13,26 @@ func CounterSigningBytes(replica uint32, value uint64, digest Digest) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, value)
 	return append(buf, digest[:]...)
 }
+
+// leaseSigningTag domain-separates read-lease grants from counter
+// attestations (no leading tag) and from the certificate-vouch tags
+// (0xF1/0xF2) that share the signing keyspace.
+const leaseSigningTag = 0xF3
+
+// LeaseSigningBytes is the canonical byte layout a read-lease grant signs:
+// the granting replica (the primary owning the counter), the lease-holding
+// replica, the view the lease is valid in, the agreement sequence number
+// the holder must have applied before serving, the counter value at grant
+// time, and the wall-clock expiry (UnixNano). Signed under the granter's
+// RoleCounter key, so a lease carries the same trust anchor as a counter
+// attestation and is revoked by the same view-change machinery.
+func LeaseSigningBytes(granter, holder uint32, view, anchorSeq, ctrVal uint64, expiry int64) []byte {
+	buf := make([]byte, 0, 1+4+4+8+8+8+8)
+	buf = append(buf, leaseSigningTag)
+	buf = binary.LittleEndian.AppendUint32(buf, granter)
+	buf = binary.LittleEndian.AppendUint32(buf, holder)
+	buf = binary.LittleEndian.AppendUint64(buf, view)
+	buf = binary.LittleEndian.AppendUint64(buf, anchorSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, ctrVal)
+	return binary.LittleEndian.AppendUint64(buf, uint64(expiry))
+}

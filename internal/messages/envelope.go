@@ -86,6 +86,12 @@ func newMessage(t Type) (Message, error) {
 		return &BatchReply{}, nil
 	case TStateProbe:
 		return &StateProbe{}, nil
+	case TLeaseGrant:
+		return &LeaseGrant{}, nil
+	case TReadRequest:
+		return &ReadRequest{}, nil
+	case TReadReply:
+		return &ReadReply{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrDecode, uint8(t))
 	}

@@ -28,6 +28,9 @@ const (
 	TBatchFetch
 	TBatchReply
 	TStateProbe
+	TLeaseGrant
+	TReadRequest
+	TReadReply
 )
 
 // String returns the conventional protocol name for the message type.
@@ -67,6 +70,12 @@ func (t Type) String() string {
 		return "BatchReply"
 	case TStateProbe:
 		return "StateProbe"
+	case TLeaseGrant:
+		return "LeaseGrant"
+	case TReadRequest:
+		return "ReadRequest"
+	case TReadReply:
+		return "ReadReply"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -398,8 +407,14 @@ type Reply struct {
 	ClientID  uint32
 	Timestamp uint64
 	Replica   uint32
-	Result    []byte
-	MAC       [crypto.MACSize]byte
+	// Seq is the agreement sequence number the operation executed at. The
+	// client keeps the highest Seq it has seen as its session watermark, so
+	// a later session-consistent read can require at least this much
+	// history from whichever replica serves it. Zero where the executing
+	// engine does not track it (the monolithic pbft baseline).
+	Seq    uint64
+	Result []byte
+	MAC    [crypto.MACSize]byte
 }
 
 // MsgType implements Message.
@@ -413,6 +428,7 @@ func (r *Reply) AuthenticatedBytes() []byte {
 	e.U32(r.ClientID)
 	e.U64(r.Timestamp)
 	e.U32(r.Replica)
+	e.U64(r.Seq)
 	e.VarBytes(r.Result)
 	return e.Bytes()
 }
@@ -422,6 +438,7 @@ func (r *Reply) encodeBody(e *Encoder) {
 	e.U32(r.ClientID)
 	e.U64(r.Timestamp)
 	e.U32(r.Replica)
+	e.U64(r.Seq)
 	e.VarBytes(r.Result)
 	e.MAC(r.MAC)
 }
@@ -431,6 +448,7 @@ func (r *Reply) decodeBody(d *Decoder) {
 	r.ClientID = d.U32()
 	r.Timestamp = d.U64()
 	r.Replica = d.U32()
+	r.Seq = d.U64()
 	r.Result = d.VarBytes()
 	r.MAC = d.MAC()
 }
@@ -537,4 +555,149 @@ func (r *BatchReply) decodeBody(d *Decoder) {
 	r.Digest = d.Digest()
 	r.Batch.decode(d)
 	r.Replica = d.U32()
+}
+
+// LeaseGrant distributes a read lease from the primary's trusted counter
+// enclave to one replica's Execution compartment. The signature is the
+// counter enclave's Ed25519 attestation over the lease fields (see
+// crypto.LeaseSigningBytes), so the grant needs no transport-level
+// authentication of its own: a forged or replayed grant either fails the
+// signature check or re-delivers a lease the holder already has.
+type LeaseGrant struct {
+	Granter   uint32 // primary replica owning the counter
+	Holder    uint32 // replica authorized to serve local reads
+	View      uint64 // view the lease is valid in (view change revokes)
+	AnchorSeq uint64 // holder must have applied at least this sequence
+	CtrVal    uint64 // counter position at grant time
+	Expiry    int64  // UnixNano wall-clock bound
+	Sig       []byte // counter-enclave signature (RoleCounter key)
+}
+
+// MsgType implements Message.
+func (*LeaseGrant) MsgType() Type { return TLeaseGrant }
+
+func (g *LeaseGrant) encodeBody(e *Encoder) {
+	e.U32(g.Granter)
+	e.U32(g.Holder)
+	e.U64(g.View)
+	e.U64(g.AnchorSeq)
+	e.U64(g.CtrVal)
+	e.U64(uint64(g.Expiry))
+	e.VarBytes(g.Sig)
+}
+
+func (g *LeaseGrant) decodeBody(d *Decoder) {
+	g.Granter = d.U32()
+	g.Holder = d.U32()
+	g.View = d.U64()
+	g.AnchorSeq = d.U64()
+	g.CtrVal = d.U64()
+	g.Expiry = int64(d.U64())
+	g.Sig = d.VarBytes()
+}
+
+// ReadRequest asks one replica's Execution compartment to serve a read
+// locally under its lease, without running agreement. MinSeq is the
+// client's session watermark: the replica must have applied at least that
+// sequence before answering, which yields read-your-writes in session mode
+// and, combined with the lease admission rules, linearizability in
+// linearizable mode. The MAC authenticates client → target Execution
+// enclave (a single MAC, not a vector — the request goes to one replica).
+type ReadRequest struct {
+	ClientID     uint32
+	Timestamp    uint64 // client-local sequence number (read namespace)
+	MinSeq       uint64 // lowest applied sequence acceptable to the client
+	Linearizable bool   // false = explicit session consistency
+	Payload      []byte // read-only operation (ciphertext when confidential)
+	MAC          [crypto.MACSize]byte
+}
+
+// MsgType implements Message.
+func (*ReadRequest) MsgType() Type { return TReadRequest }
+
+// AuthenticatedBytes returns the bytes the request MAC covers.
+func (r *ReadRequest) AuthenticatedBytes() []byte {
+	e := NewEncoder(32 + len(r.Payload))
+	e.U8(uint8(TReadRequest))
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.U64(r.MinSeq)
+	e.Bool(r.Linearizable)
+	e.VarBytes(r.Payload)
+	return e.Bytes()
+}
+
+func (r *ReadRequest) encodeBody(e *Encoder) {
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.U64(r.MinSeq)
+	e.Bool(r.Linearizable)
+	e.VarBytes(r.Payload)
+	e.MAC(r.MAC)
+}
+
+func (r *ReadRequest) decodeBody(d *Decoder) {
+	r.ClientID = d.U32()
+	r.Timestamp = d.U64()
+	r.MinSeq = d.U64()
+	r.Linearizable = d.Bool()
+	r.Payload = d.VarBytes()
+	r.MAC = d.MAC()
+}
+
+// ReadReply answers a ReadRequest. OK=false is an explicit, authenticated
+// refusal (no lease, lease expired or near expiry, applied index behind
+// the admission bound): the client falls back to the agreement path
+// immediately instead of waiting out a timeout. AppliedSeq is the
+// replica's applied sequence at serve time and advances the client's
+// session watermark. A single verified reply is accepted — the lease, not
+// a reply quorum, carries the linearizability argument.
+type ReadReply struct {
+	Replica    uint32
+	ClientID   uint32
+	Timestamp  uint64
+	View       uint64
+	AppliedSeq uint64
+	OK         bool
+	Result     []byte
+	MAC        [crypto.MACSize]byte
+}
+
+// MsgType implements Message.
+func (*ReadReply) MsgType() Type { return TReadReply }
+
+// AuthenticatedBytes returns the bytes the reply MAC covers.
+func (r *ReadReply) AuthenticatedBytes() []byte {
+	e := NewEncoder(40 + len(r.Result))
+	e.U8(uint8(TReadReply))
+	e.U32(r.Replica)
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.U64(r.View)
+	e.U64(r.AppliedSeq)
+	e.Bool(r.OK)
+	e.VarBytes(r.Result)
+	return e.Bytes()
+}
+
+func (r *ReadReply) encodeBody(e *Encoder) {
+	e.U32(r.Replica)
+	e.U32(r.ClientID)
+	e.U64(r.Timestamp)
+	e.U64(r.View)
+	e.U64(r.AppliedSeq)
+	e.Bool(r.OK)
+	e.VarBytes(r.Result)
+	e.MAC(r.MAC)
+}
+
+func (r *ReadReply) decodeBody(d *Decoder) {
+	r.Replica = d.U32()
+	r.ClientID = d.U32()
+	r.Timestamp = d.U64()
+	r.View = d.U64()
+	r.AppliedSeq = d.U64()
+	r.OK = d.Bool()
+	r.Result = d.VarBytes()
+	r.MAC = d.MAC()
 }

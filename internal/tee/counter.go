@@ -20,6 +20,7 @@ type TrustedCounter struct {
 	key     *crypto.KeyPair
 	next    uint64
 	creates uint64
+	grants  uint64
 }
 
 // NewTrustedCounter creates a trusted counter owned by id with a random
@@ -67,6 +68,52 @@ func (t *TrustedCounter) CreateAttestation(digest crypto.Digest) CounterAttestat
 	return att
 }
 
+// LeaseAttestation is a time-bounded read lease issued by the primary's
+// counter enclave: it authorizes Holder's Execution compartment to serve
+// reads locally while the lease is fresh. The lease binds the view it was
+// issued in (a view change revokes every outstanding lease at once), the
+// agreement sequence number the holder must have applied before serving
+// (linearizability anchor), and the counter value at grant time.
+type LeaseAttestation struct {
+	Granter   uint32
+	Holder    uint32
+	View      uint64
+	AnchorSeq uint64
+	CtrVal    uint64
+	Expiry    int64 // UnixNano wall-clock bound
+	Sig       []byte
+}
+
+// GrantLease issues a signed read lease to holder, anchored at the current
+// counter position. The expiry is chosen by the caller (the Preparation
+// compartment renews leases on the failure-detector clock); the counter
+// only binds and signs, it does not keep lease state — revocation is by
+// expiry and by view change, not by the counter.
+func (t *TrustedCounter) GrantLease(holder uint32, view, anchorSeq uint64, expiry int64) LeaseAttestation {
+	t.mu.Lock()
+	ctr := t.next
+	t.grants++
+	t.mu.Unlock()
+	att := LeaseAttestation{
+		Granter:   t.id.ReplicaID,
+		Holder:    holder,
+		View:      view,
+		AnchorSeq: anchorSeq,
+		CtrVal:    ctr,
+		Expiry:    expiry,
+	}
+	att.Sig = t.key.Sign(crypto.LeaseSigningBytes(att.Granter, att.Holder, att.View, att.AnchorSeq, att.CtrVal, att.Expiry))
+	return att
+}
+
+// LeaseGrants returns the number of leases granted since boot (or since
+// the last ResetCreates). A statistic, like Creates.
+func (t *TrustedCounter) LeaseGrants() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.grants
+}
+
 // Value returns the last assigned counter value.
 func (t *TrustedCounter) Value() uint64 {
 	t.mu.Lock()
@@ -83,11 +130,13 @@ func (t *TrustedCounter) Creates() uint64 {
 	return t.creates
 }
 
-// ResetCreates zeroes the creation statistic (between benchmark phases).
+// ResetCreates zeroes the creation and lease-grant statistics (between
+// benchmark phases).
 func (t *TrustedCounter) ResetCreates() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.creates = 0
+	t.grants = 0
 }
 
 // Export returns the counter position for sealed persistence.
@@ -111,4 +160,11 @@ func (t *TrustedCounter) Import(next uint64) {
 // VerifyAttestation checks an attestation under the counter's public key.
 func VerifyAttestation(pub []byte, att CounterAttestation) bool {
 	return crypto.Verify(pub, crypto.CounterSigningBytes(att.Replica, att.Value, att.Digest), att.Sig)
+}
+
+// VerifyLease checks a read lease under the granting counter's public key.
+func VerifyLease(pub []byte, att LeaseAttestation) bool {
+	return crypto.Verify(pub,
+		crypto.LeaseSigningBytes(att.Granter, att.Holder, att.View, att.AnchorSeq, att.CtrVal, att.Expiry),
+		att.Sig)
 }

@@ -145,6 +145,8 @@ func (n *Node) buildReplica() error {
 		BatchSize:          o.batchSize,
 		BatchTimeout:       o.batchTimeout,
 		RequestTimeout:     o.requestTimeout,
+		ReadLeases:         o.readLeases,
+		LeaseTTL:           o.leaseTTL,
 	})
 	if err != nil {
 		return err
@@ -356,6 +358,11 @@ type CryptoStats struct {
 	MACVerifies     uint64
 	CounterCreates  uint64
 	CounterVerifies uint64
+	// LeaseGrants counts read leases this node's counter enclave issued
+	// (non-zero only on a primary with WithReadLeases); LeaseVerifies
+	// counts lease attestations its Execution compartment checked.
+	LeaseGrants   uint64
+	LeaseVerifies uint64
 }
 
 // SigCPUFraction returns Ed25519-verify CPU-seconds per wall-clock
@@ -381,8 +388,15 @@ func (n *Node) CryptoStats() CryptoStats {
 		MACVerifies:     s.MACVerifies,
 		CounterCreates:  n.replica.CounterCreates(),
 		CounterVerifies: s.CounterVerifies,
+		LeaseGrants:     n.replica.LeaseGrants(),
+		LeaseVerifies:   s.LeaseVerifies,
 	}
 }
+
+// LocalReads returns how many read operations this node's Execution
+// compartment served on the lease-anchored fast path — locally, with no
+// agreement round (always zero without WithReadLeases).
+func (n *Node) LocalReads() uint64 { return n.replica.LocalReads() }
 
 // DedupedMsgs returns how many byte-identical retransmits the untrusted
 // classify stage dropped before they paid for an enclave crossing.

@@ -57,6 +57,10 @@ type options struct {
 	consensusMode string
 	commitRule    string
 
+	readLeases      bool
+	readConsistency string
+	leaseTTL        time.Duration
+
 	batchSize          int
 	batchTimeout       time.Duration
 	requestTimeout     time.Duration
@@ -346,6 +350,64 @@ func (o *options) replyQuorum() (int, error) {
 	default:
 		return 0, fmt.Errorf("splitbft: unknown commit rule %q (want \"trusted\" or \"full\")", o.commitRule)
 	}
+}
+
+// WithReadLeases toggles the lease-anchored local read fast path. When on:
+//
+//   - The primary's trusted counter enclave issues time-bounded read leases
+//     to every replica, piggybacked on proposal and checkpoint traffic and
+//     renewed on the failure-detector clock — no extra protocol round.
+//   - A lease-holding replica's Execution compartment serves Client read
+//     operations locally: no PrePrepare, no quorum, one attested reply.
+//     Reads spread round-robin across the group, so read throughput scales
+//     with n instead of being serialized through agreement.
+//   - Replicas fail closed. A leaseless, expiring, or lagging replica
+//     refuses and the client transparently re-issues the read through the
+//     agreement path, so reads are never stale — at worst slower.
+//
+// Leases are anchored in the same trusted counter that orders proposals
+// (and revoked by view changes), so the fast path leans on the compartment
+// trust model exactly as the trusted consensus mode does. It works in
+// either consensus mode. All nodes of a deployment must agree on the
+// setting. See the README read-path section for the soundness argument.
+func WithReadLeases(on bool) Option {
+	return func(o *options) { o.readLeases = on }
+}
+
+// WithReadConsistency selects the consistency level of leased reads:
+//
+//   - "linearizable" (the default): the serving replica must have applied
+//     everything proposed up to its lease grant, so the read reflects every
+//     operation that could have committed before it was issued.
+//   - "session": the replica only needs to have applied this client's own
+//     observed prefix (read-your-writes + monotonic reads). Weaker across
+//     clients, but admits local reads on replicas that lag the primary.
+//
+// The level is client-local; it has no effect without WithReadLeases.
+func WithReadConsistency(level string) Option {
+	return func(o *options) { o.readConsistency = level }
+}
+
+// readLinearizable resolves the consistency string ("" defaults to
+// linearizable).
+func (o *options) readLinearizable() (bool, error) {
+	switch o.readConsistency {
+	case "", "linearizable":
+		return true, nil
+	case "session":
+		return false, nil
+	default:
+		return true, fmt.Errorf("splitbft: unknown read consistency %q (want \"linearizable\" or \"session\")", o.readConsistency)
+	}
+}
+
+// WithLeaseTTL bounds a read lease's validity from its grant time (leases
+// renew at a quarter of it). Shorter TTLs tighten the window in which a
+// deposed primary's final leases can linger; longer ones tolerate more
+// clock skew between replicas. Default 4× the request timeout. Only
+// meaningful with WithReadLeases.
+func WithLeaseTTL(d time.Duration) Option {
+	return func(o *options) { o.leaseTTL = d }
 }
 
 // WithKeySeed derives all enclave keys and client MAC keys

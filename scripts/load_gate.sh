@@ -63,5 +63,11 @@ gate_leg mac -auth mac
 # shape). Its calibration is new: until a trajectory point from the same
 # machine class is committed, the comparison stays advisory by design.
 gate_leg trusted -auth mac -consensus trusted
+# The read-mix leg offers the committed 250 ops/s as a 90/10 GET/PUT mix
+# with the lease-anchored local read fast path on: it gates the read
+# path's end-to-end latency (the per-class split is in the JSON) and
+# catches a fast path that silently stops engaging — leased local reads
+# falling back to agreement shows up as a p99 blowout at this rate.
+gate_leg readmix -auth sig -read-frac 0.9 -read-leases
 
 echo "== load gate: OK"
