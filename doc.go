@@ -152,16 +152,15 @@
 // signature-based) attestations cost more than the cheap HMAC round
 // they replace.
 //
-// # The read path: lease-anchored local reads
+// # The read path: leased local reads with read-index confirmation
 //
 // WithReadLeases enables a linearizable read fast path that bypasses
-// agreement entirely. The primary's trusted counter enclave issues
+// agreement's quorum round. The primary's trusted counter enclave issues
 // short-lived read leases to every replica — signed under its attested
-// counter key and carrying the view, the granting counter value, an
-// anchor sequence (the highest sequence the primary had proposed at
-// grant time) and an expiry. Grants piggyback on PrePrepare and
-// Checkpoint traffic and renew on the failure-detector clock, so an idle
-// cluster keeps its leases fresh. A lease-holding replica's Execution
+// counter key and carrying the view, the granting counter value and an
+// expiry. Grants piggyback on PrePrepare and Checkpoint traffic and
+// renew on a dedicated lease clock (every TTL/4), so an idle cluster
+// keeps its leases fresh. A lease-holding replica's Execution
 // compartment answers a read-only request locally: one MAC'd request
 // from the client to one replica, one attested reply — no PrePrepare, no
 // quorum, no client broadcast. Client.InvokeRead (and Get, which routes
@@ -169,35 +168,58 @@
 // throughput scales with the group instead of being serialized through
 // agreement.
 //
-// Why this is linearizable: a read is served only while the lease is
-// valid in the replica's current view and only after the replica has
-// executed past the lease's anchor sequence, so it observes every write
-// the primary had proposed when the lease was cut; writes committed
-// later than the grant are covered by the next renewal, and a view
-// change invalidates all outstanding leases (leaseValid requires the
-// granter to be the current view's primary). Expiry is anchored to the
-// counter enclave — the same attested compartment trusted to prevent
-// equivocation — and replicas refuse to serve inside a clock-skew guard
-// margin of LeaseTTL/8 before expiry, so bounded skew between granter
-// and holder cannot stretch a lease past its revocation window.
-// WithReadConsistency("session") relaxes the anchor check to
-// read-your-writes: the client sends its last-seen sequence as a
-// watermark and any lease-holding replica executed at least that far may
-// answer. Leases are deliberately ephemeral — never written to the WAL
-// or sealed state — so a restarted replica is leaseless until the
-// primary re-grants.
+// Why this is linearizable: the lease alone only proves the granter was
+// the primary recently — it says nothing about writes committed after
+// the grant. So a linearizable read is confirmed with a read index, the
+// Raft §6.4 construction: when the read arrives, the holder queries the
+// primary's Preparation compartment for its current proposal frontier
+// (the highest sequence it has assigned, sampled after the read
+// arrived), and serves the read only once its own execution has reached
+// that frontier. Every write acknowledged to any client before the read
+// began was proposed before the frontier was sampled, so the read
+// observes it. Queries are batched — one in flight covers every read
+// that arrived before it was sent; reads arriving later wait for the
+// next round — so the steady-state cost is one tiny Preparation round
+// trip amortized over the batch, not per read.
+//
+// The lease bounds the other failure axis: a deposed primary answering
+// read-index queries with a stale frontier. Grants are fenced by
+// acknowledgment — every holder acks each grant back to the granter, and
+// the granter issues real (installable) grants only while it holds 2f+1
+// fresh acks, falling back to non-installable probe grants otherwise. A
+// primary partitioned into a minority can therefore not extend leases
+// beyond one TTL, while the majority side must wait out that TTL before
+// electing a new primary whose writes could go unseen — enforced by the
+// new primary's write fence (2.5×TTL after installing its view, parked
+// batches flush when it lifts). WithLeaseTTL is clamped to
+// RequestTimeout/4 so fence plus TTL fit inside one failure-detection
+// period. Expiry is counter-anchored and holders refuse inside a
+// clock-skew guard margin of TTL/8 before expiry, so bounded skew
+// between granter and holder cannot stretch a lease past its revocation
+// window; a view change additionally invalidates all outstanding leases
+// immediately (leaseValid requires the granter to be the current view's
+// primary).
+//
+// WithReadConsistency("session") drops the read-index round for
+// read-your-writes consistency: the client sends its last-seen sequence
+// as a watermark and any lease-holding replica executed at least that
+// far answers immediately — no frontier wait, no wall-clock assumption.
+// Leases are deliberately ephemeral — never written to the WAL or sealed
+// state — so a restarted replica is leaseless until the primary
+// re-grants.
 //
 // The degradation story is fail-closed: a replica with no lease, an
 // expired lease, a deposed view or an application that cannot prove the
 // operation read-only refuses explicitly, and the client falls back to
 // full agreement (Invoke) — a read is never served stale, it just gets
-// slower. Leased reads also bypass the exactly-once reply cache (they
-// are side-effect-free, so retransmission is harmless), keeping
-// read-heavy workloads from growing server-side client state.
-// `splitbft-bench -exp readlease` measures the effect on a 90/10
-// open-loop mix: on the dev container the fast path sustains ~6.5× the
-// aggregate read throughput of the agreement baseline at the same
-// offered load.
+// slower. Replayed ReadRequests are dropped by a per-client timestamp
+// watermark before MAC verification, and leased reads bypass the
+// exactly-once reply cache (they are side-effect-free, so
+// retransmission is harmless), keeping read-heavy workloads from growing
+// server-side client state. `splitbft-bench -exp readlease` measures
+// the effect on a 90/10 open-loop mix: on the dev container the fast
+// path sustains ~5× the aggregate read throughput of the agreement
+// baseline at the same offered load.
 //
 // # Sealed durability and crash recovery
 //

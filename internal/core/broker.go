@@ -49,13 +49,16 @@ func (cs *comStore) persistRun(run []ecall) {
 		if len(run[k].payload) == 1 && run[k].payload[0] == ecallTick {
 			continue
 		}
-		// Read-lease traffic is also skipped: leases are deliberately
-		// ephemeral (a restarted replica must come back leaseless and
-		// fail closed) and local reads mutate no replicated state, so
-		// replaying either would be wrong or wasted.
+		// Read-lease traffic is also skipped: leases, acks, and
+		// read-index exchanges are deliberately ephemeral (a restarted
+		// replica must come back leaseless and fail closed, and a replayed
+		// frontier would be stale anyway) and local reads mutate no
+		// replicated state, so replaying any of it would be wrong or
+		// wasted.
 		if len(run[k].payload) > 1 && run[k].payload[0] == ecallMessage {
 			switch messages.Type(run[k].payload[1]) {
-			case messages.TLeaseGrant, messages.TReadRequest:
+			case messages.TLeaseGrant, messages.TReadRequest,
+				messages.TLeaseAck, messages.TReadIndex, messages.TReadIndexReply:
 				continue
 			}
 		}
@@ -324,6 +327,7 @@ type broker struct {
 	reqTimers    map[reqKey]time.Time
 	lastSuspect  time.Time
 	lastRotate   time.Time
+	lastLease    time.Time // last lease-clock tick into Preparation
 	fetchBudget  int // remaining BatchFetch forwards this period
 
 	blocksMu sync.Mutex
@@ -565,7 +569,8 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 		messages.TAttestRequest, messages.TProvisionKey,
 		messages.TStateRequest, messages.TStateReply,
 		messages.TBatchFetch, messages.TBatchReply, messages.TStateProbe,
-		messages.TLeaseGrant, messages.TReadRequest:
+		messages.TLeaseGrant, messages.TReadRequest,
+		messages.TLeaseAck, messages.TReadIndex, messages.TReadIndexReply:
 	default:
 		return // unknown type
 	}
@@ -622,12 +627,17 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 				b.submitShared(data, crypto.RoleExecution)
 			}
 		}
-	case messages.TLeaseGrant, messages.TReadRequest:
-		// Read-lease fast path: both terminate in the Execution
+	case messages.TLeaseGrant, messages.TReadRequest, messages.TReadIndexReply:
+		// Read-lease fast path: all three terminate in the Execution
 		// compartment. Not deduplicated — a retransmitted read must be
-		// answered again (the reply could have been lost), and grants
-		// are unique per counter value anyway.
+		// re-answered... by the enclave's replay guard, which drops it
+		// cheaply (the reply could only have been refused or served once);
+		// grants are unique per counter value and replies per epoch anyway.
 		b.submitShared(data, crypto.RoleExecution)
+	case messages.TLeaseAck, messages.TReadIndex:
+		// Holder-to-granter legs of the lease fast path: both terminate in
+		// the (primary's) Preparation compartment.
+		b.submitShared(data, crypto.RolePreparation)
 	default: // attest/provision/state-transfer family
 		b.submitShared(data, crypto.RoleExecution)
 	}
@@ -748,6 +758,11 @@ func (b *broker) onTick(now time.Time) {
 		b.fetchBudget = fetchBudgetPerPeriod
 		tick = true
 	}
+	leaseTick := false
+	if b.cfg.ReadLeases && now.Sub(b.lastLease) > b.cfg.LeaseTTL/8 {
+		b.lastLease = now
+		leaseTick = true
+	}
 	// Failure detection: any request pending longer than the timeout.
 	if now.Sub(b.lastSuspect) > b.cfg.RequestTimeout {
 		for key, since := range b.reqTimers {
@@ -773,15 +788,18 @@ func (b *broker) onTick(now time.Time) {
 	if tick {
 		// Periodic environment nudge into Execution: drives the rejoin
 		// probe (and the missing-body stall detector) even when no
-		// protocol traffic flows. Never persisted — see persistRun.
+		// protocol traffic flows, and ages out parked linearizable reads.
+		// Never persisted — see persistRun.
 		b.submit(crypto.RoleExecution, []byte{ecallTick}, nil)
-		if b.cfg.ReadLeases {
-			// With read leases on, the Preparation compartment also
-			// needs the failure-detector clock: the primary renews
-			// leases on it even when no proposals flow, so an idle
-			// cluster keeps serving local reads.
-			b.submit(crypto.RolePreparation, []byte{ecallTick}, nil)
-		}
+	}
+	if leaseTick {
+		// With read leases on, the Preparation compartment runs on its own
+		// faster lease clock (TTL/8, well under the TTL/4 renewal period):
+		// the primary renews leases on it even when no proposals flow, so
+		// an idle cluster keeps serving local reads. Deliberately NOT the
+		// Execution tick above — lease renewal must not drain Execution's
+		// rejoin-probe budget or distort its stall detector.
+		b.submit(crypto.RolePreparation, []byte{ecallTick}, nil)
 	}
 	if suspect {
 		b.mSuspects.Add(1)

@@ -133,11 +133,14 @@ type Config struct {
 	// back to the agreement path, so the worst case is classic read cost.
 	ReadLeases bool
 	// LeaseTTL bounds a read lease's validity from its grant time. It must
-	// exceed the renewal period (a quarter of it is used) and stay small
-	// enough that a deposed primary's last leases expire before clients
-	// notice anything: a lease never outlives its view on any correct
-	// replica, and expiry is the backstop for clock skew. 0 means
-	// 4×RequestTimeout.
+	// stay below the failure-detector period (RequestTimeout): leases are
+	// the window in which a replica partitioned away from a view change can
+	// still believe its lease, so they must expire before the rest of the
+	// cluster has detected the failure, elected a new primary, and started
+	// committing new writes. withDefaults therefore clamps LeaseTTL to
+	// RequestTimeout/4 — a new primary's write fence (2.5×TTL) then still
+	// fits inside one detection period. Renewal runs at TTL/4 and the
+	// clock-skew margin is TTL/8. 0 means RequestTimeout/4.
 	LeaseTTL time.Duration
 }
 
@@ -163,8 +166,13 @@ func (c Config) withDefaults() Config {
 	if c.VerifyWorkers < 1 {
 		c.VerifyWorkers = 1
 	}
-	if c.LeaseTTL == 0 {
-		c.LeaseTTL = 4 * c.RequestTimeout
+	// Default and clamp: a lease must never outlive view-change detection
+	// (the failure detector suspects after one RequestTimeout), or a
+	// partitioned holder would serve stale reads while the new view commits
+	// writes. RequestTimeout/4 leaves the new primary's 2.5×TTL write fence
+	// inside a single detection period.
+	if maxTTL := c.RequestTimeout / 4; c.LeaseTTL == 0 || c.LeaseTTL > maxTTL {
+		c.LeaseTTL = maxTTL
 	}
 	return c
 }

@@ -113,6 +113,33 @@ type execution struct {
 	lease       *messages.LeaseGrant
 	leaseMargin time.Duration
 	localReads  atomic.Uint64
+	// readHigh tracks, per client, the highest ReadRequest timestamp already
+	// accepted past MAC verification. Clients never reuse a read timestamp,
+	// so anything at or below the watermark is a replay (or stale
+	// retransmit): it is dropped before any MAC, AEAD or application work —
+	// a replayed authenticated read must not burn enclave CPU forever.
+	readHigh map[uint32]uint64
+
+	// Read-index confirmation state (linearizable reads). A linearizable
+	// read is never served off lease state alone: the holder first asks the
+	// primary's Preparation compartment for its proposal frontier with a
+	// ReadIndex query sent AFTER the read arrived. Any write acknowledged to
+	// any client before the query was proposed at or below that frontier, so
+	// once lastExec covers it the read observes every prior acked write.
+	// Queries are batched by epoch: one query is in flight at a time, reads
+	// arriving meanwhile wait for the next epoch (their frontier must be
+	// sampled after their arrival).
+	riPending []pendingRead
+	// riSentEpoch is the epoch of the last query sent; riInFlight whether
+	// its reply is still outstanding.
+	riSentEpoch uint64
+	riInFlight  bool
+	// riAckedEpoch/riAckedFrontier are the newest confirmed epoch and its
+	// frontier. The frontier only grows within a view (nextSeq is
+	// monotonic), so serving older epochs against the newest frontier is
+	// conservative, never unsound.
+	riAckedEpoch    uint64
+	riAckedFrontier uint64
 
 	// stallSeq/stallTicks drive the missing-body retransmission trigger:
 	// when execution blocks on a committed slot whose body is absent,
@@ -134,6 +161,20 @@ type execution struct {
 // WAL whose PrePrepare fell in the un-fsynced tail) crosses it as soon as
 // any traffic flows.
 const missingBodyFetchAfter = 32
+
+// pendingRead is a linearizable read parked until its read-index epoch is
+// confirmed and applied. seenTick ages it out: a read still pending after a
+// full failure-detector period is refused — its client has long since
+// fallen back to the agreement path.
+type pendingRead struct {
+	req      *messages.ReadRequest
+	epoch    uint64
+	seenTick bool
+}
+
+// riPendingMax bounds the pending-read queue; admission past it refuses
+// immediately (the client falls back to agreement, losing only latency).
+const riPendingMax = 4096
 
 // probeBudget bounds how many environment ticks a recovered replica
 // broadcasts StateProbes for. Peers answer only while actually ahead, so
@@ -163,6 +204,7 @@ func newExecution(cfg Config, ver *messages.Verifier) *execution {
 		clientPubs:   make(map[uint32][32]byte),
 		sessionKeys:  make(map[uint32]crypto.SessionKey),
 		snapshots:    make(map[uint64][]byte),
+		readHigh:     make(map[uint32]uint64),
 	}
 	e.snapshots[0] = cfg.App.Snapshot()
 	return e
@@ -182,11 +224,16 @@ func (e *execution) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 		if more := e.tickStall(); more != nil {
 			out = append(out, more...)
 		}
-		return out
+		return append(out, e.onReadTick(host)...)
 	}
 	out := e.handleMessage(host, raw)
 	if more := e.tickStall(); more != nil {
 		out = append(out, more...)
+	}
+	if len(e.riPending) > 0 {
+		// Any message may have advanced lastExec past a confirmed frontier:
+		// serve what became servable.
+		out = append(out, e.flushReads()...)
 	}
 	return out
 }
@@ -223,30 +270,53 @@ func (e *execution) handleMessage(host tee.Host, raw []byte) []tee.OutMsg {
 	case *messages.StateProbe:
 		return e.onStateProbe(msg)
 	case *messages.LeaseGrant:
-		return e.onLeaseGrant(msg)
+		return e.onLeaseGrant(host, msg)
 	case *messages.ReadRequest:
-		return e.onReadRequest(msg)
+		return e.onReadRequest(host, msg)
+	case *messages.ReadIndexReply:
+		return e.onReadIndexReply(host, msg)
 	}
 	return nil
 }
 
-// onLeaseGrant installs a verified read lease addressed to this replica.
-// Grants carry the counter enclave's signature, so the untrusted broker
-// cannot mint one; a replayed old grant is rejected by the freshness
-// comparison (it can only lower view or expiry).
-func (e *execution) onLeaseGrant(g *messages.LeaseGrant) []tee.OutMsg {
+// onLeaseGrant acknowledges and (for non-probe grants) installs a verified
+// read lease addressed to this replica. Grants carry the counter enclave's
+// signature, so the untrusted broker cannot mint one; grants for any view
+// but the compartment's current one are dead on arrival — neither acked
+// nor installed — which is what makes a quorum of acks a proof that the
+// granter is the primary of the view 2f+1 Execution compartments actually
+// inhabit. A replayed old grant is rejected by the freshness comparison
+// (it can only lower the expiry), and its ack cannot refresh the granter's
+// reachability record (the echoed expiry is monotonically tracked there).
+func (e *execution) onLeaseGrant(host tee.Host, g *messages.LeaseGrant) []tee.OutMsg {
 	if !e.leases || g.Holder != e.id {
 		return nil
 	}
 	if err := e.ver.VerifyLease(g); err != nil {
 		return nil
 	}
-	if cur := e.lease; cur != nil &&
-		(g.View < cur.View || (g.View == cur.View && g.Expiry <= cur.Expiry)) {
-		return nil // stale or duplicate grant
+	if g.View != e.view {
+		return nil
+	}
+	// Ack every verified current-view grant, probe or real, echoing its
+	// expiry as the round nonce: the granter needs a quorum of fresh acks
+	// before it may issue servable (non-probe) grants.
+	ack := &messages.LeaseAck{Holder: e.id, View: g.View, Expiry: g.Expiry}
+	ack.Sig, ack.Auth = e.authenticate(host, messages.TLeaseAck, ack.SigningBytes())
+	var out []tee.OutMsg
+	if g.Granter == e.id {
+		out = append(out, localOut(crypto.RolePreparation, ack))
+	} else if int(g.Granter) < e.n {
+		out = append(out, replicaOut(g.Granter, ack))
+	}
+	if g.Probe {
+		return out // reachability probe: acknowledged, never installed
+	}
+	if cur := e.lease; cur != nil && cur.View == g.View && g.Expiry <= cur.Expiry {
+		return out // stale or duplicate grant
 	}
 	e.lease = g
-	return nil
+	return out
 }
 
 // leaseValid reports whether the held lease authorizes serving local reads
@@ -262,20 +332,38 @@ func (e *execution) leaseValid(now time.Time) bool {
 	return now.UnixNano()+int64(e.leaseMargin) < g.Expiry
 }
 
-// onReadRequest serves a read locally under the held lease — the whole
-// point of the lease fast path: no PrePrepare, no quorum, one attested
-// reply. Refusals are explicit (OK=false) so the client falls back to
-// agreement immediately. The reply cache (execClient) is deliberately
-// untouched: leased reads are side-effect-free and unordered, so caching
-// them would pollute the exactly-once bookkeeping of the write path.
-func (e *execution) onReadRequest(r *messages.ReadRequest) []tee.OutMsg {
+// onReadRequest admits a read under the held lease — the whole point of
+// the lease fast path: no PrePrepare, no quorum, one attested reply.
+// Session reads are answered immediately off the applied index; a
+// linearizable read is parked until a read-index frontier sampled after
+// its arrival is confirmed and applied. Refusals are explicit (OK=false)
+// so the client falls back to agreement immediately. The reply cache
+// (execClient) is deliberately untouched: leased reads are
+// side-effect-free and unordered, so caching them would pollute the
+// exactly-once bookkeeping of the write path.
+func (e *execution) onReadRequest(host tee.Host, r *messages.ReadRequest) []tee.OutMsg {
 	if !e.leases {
+		return nil
+	}
+	if r.Timestamp <= e.readHigh[r.ClientID] {
+		// Replay (or stale retransmit): clients never reuse a read
+		// timestamp, so drop before any MAC, AEAD or application work.
 		return nil
 	}
 	clientID := crypto.Identity{ReplicaID: r.ClientID, Role: crypto.RoleClient}
 	if err := e.macs.VerifySingle(r.AuthenticatedBytes(), r.MAC, clientID); err != nil {
 		return nil // unauthenticated: drop, like any forged client traffic
 	}
+	e.readHigh[r.ClientID] = r.Timestamp
+	if r.Linearizable {
+		return e.admitLinearizableRead(host, r)
+	}
+	return []tee.OutMsg{e.answerRead(r)}
+}
+
+// answerRead runs the serve checks and builds the (served or refused)
+// ReadReply for r.
+func (e *execution) answerRead(r *messages.ReadRequest) tee.OutMsg {
 	rep := &messages.ReadReply{
 		Replica:    e.id,
 		ClientID:   r.ClientID,
@@ -288,8 +376,142 @@ func (e *execution) onReadRequest(r *messages.ReadRequest) []tee.OutMsg {
 		rep.Result = result
 		e.localReads.Add(1)
 	}
+	clientID := crypto.Identity{ReplicaID: r.ClientID, Role: crypto.RoleClient}
 	rep.MAC = e.macs.MAC(rep.AuthenticatedBytes(), clientID)
-	return []tee.OutMsg{clientOut(r.ClientID, rep)}
+	return clientOut(r.ClientID, rep)
+}
+
+// refuseRead builds an explicit OK=false reply: the client's signal to
+// take the agreement path.
+func (e *execution) refuseRead(r *messages.ReadRequest) tee.OutMsg {
+	rep := &messages.ReadReply{
+		Replica:    e.id,
+		ClientID:   r.ClientID,
+		Timestamp:  r.Timestamp,
+		View:       e.view,
+		AppliedSeq: e.lastExec,
+	}
+	rep.MAC = e.macs.MAC(rep.AuthenticatedBytes(),
+		crypto.Identity{ReplicaID: r.ClientID, Role: crypto.RoleClient})
+	return clientOut(r.ClientID, rep)
+}
+
+// admitLinearizableRead parks a linearizable read behind a read-index
+// confirmation. The read's epoch names the first query sent at or after
+// its arrival: if no query is in flight one goes out now; otherwise the
+// read waits for the round after the in-flight one — the in-flight query
+// was sent before this read arrived, so its frontier could miss a write
+// acked in between (exactly the stale-read hazard of anchoring reads at
+// grant time).
+func (e *execution) admitLinearizableRead(host tee.Host, r *messages.ReadRequest) []tee.OutMsg {
+	if _, ok := e.app.(app.ReadExecutor); !ok {
+		return []tee.OutMsg{e.refuseRead(r)}
+	}
+	if !e.leaseValid(time.Now()) || len(e.riPending) >= riPendingMax {
+		return []tee.OutMsg{e.refuseRead(r)}
+	}
+	var out []tee.OutMsg
+	epoch := e.riSentEpoch + 1
+	if !e.riInFlight {
+		e.riSentEpoch = epoch
+		e.riInFlight = true
+		out = append(out, e.sendReadIndex(host))
+	}
+	e.riPending = append(e.riPending, pendingRead{req: r, epoch: epoch})
+	return out
+}
+
+// sendReadIndex (re)transmits the current epoch's frontier query to the
+// primary's Preparation compartment.
+func (e *execution) sendReadIndex(host tee.Host) tee.OutMsg {
+	ri := &messages.ReadIndex{Holder: e.id, View: e.view, Epoch: e.riSentEpoch}
+	ri.Sig, ri.Auth = e.authenticate(host, messages.TReadIndex, ri.SigningBytes())
+	if p := e.primary(e.view); p != e.id {
+		return replicaOut(p, ri)
+	}
+	return localOut(crypto.RolePreparation, ri)
+}
+
+// onReadIndexReply confirms a frontier for the in-flight epoch, serves
+// everything it unblocks, and starts the next round if reads arrived while
+// the query was out.
+func (e *execution) onReadIndexReply(host tee.Host, rep *messages.ReadIndexReply) []tee.OutMsg {
+	if !e.leases || rep.View != e.view || !e.riInFlight || rep.Epoch != e.riSentEpoch {
+		return nil
+	}
+	if err := e.ver.VerifyReadIndexReply(rep); err != nil {
+		return nil
+	}
+	e.riInFlight = false
+	e.riAckedEpoch = rep.Epoch
+	e.riAckedFrontier = rep.Frontier
+	out := e.flushReads()
+	for _, pr := range e.riPending {
+		if pr.epoch > e.riAckedEpoch {
+			e.riSentEpoch++
+			e.riInFlight = true
+			out = append(out, e.sendReadIndex(host))
+			break
+		}
+	}
+	return out
+}
+
+// flushReads settles every pending linearizable read whose outcome is now
+// decided: refuse all of them the moment the lease stops being valid
+// (fail-closed — the client falls back to agreement), serve those whose
+// confirmed frontier is applied.
+func (e *execution) flushReads() []tee.OutMsg {
+	if len(e.riPending) == 0 {
+		return nil
+	}
+	valid := e.leaseValid(time.Now())
+	var out []tee.OutMsg
+	keep := e.riPending[:0]
+	for _, pr := range e.riPending {
+		switch {
+		case !valid:
+			out = append(out, e.refuseRead(pr.req))
+		case pr.epoch <= e.riAckedEpoch && e.lastExec >= e.riAckedFrontier:
+			out = append(out, e.answerRead(pr.req))
+		default:
+			keep = append(keep, pr)
+		}
+	}
+	for i := len(keep); i < len(e.riPending); i++ {
+		e.riPending[i] = pendingRead{} // drop refs for GC
+	}
+	e.riPending = keep
+	return out
+}
+
+// onReadTick runs read-path maintenance on the environment's
+// failure-detector tick: settle what the clock decided, age out reads
+// whose client has long since fallen back (anything pending a full
+// detector period), and retransmit a lost frontier query.
+func (e *execution) onReadTick(host tee.Host) []tee.OutMsg {
+	if !e.leases {
+		return nil
+	}
+	out := e.flushReads()
+	keep := e.riPending[:0]
+	for i := range e.riPending {
+		pr := e.riPending[i]
+		if pr.seenTick {
+			out = append(out, e.refuseRead(pr.req))
+			continue
+		}
+		pr.seenTick = true
+		keep = append(keep, pr)
+	}
+	for i := len(keep); i < len(e.riPending); i++ {
+		e.riPending[i] = pendingRead{}
+	}
+	e.riPending = keep
+	if e.riInFlight && len(e.riPending) > 0 {
+		out = append(out, e.sendReadIndex(host))
+	}
+	return out
 }
 
 // serveLocalRead runs the admission checks and, when they pass, executes
@@ -297,11 +519,12 @@ func (e *execution) onReadRequest(r *messages.ReadRequest) []tee.OutMsg {
 //
 //   - the application must expose a side-effect-free read path
 //     (app.ReadExecutor) — anything else must be ordered;
-//   - the lease must be valid (view match, not near expiry);
+//   - the lease must be valid at serve time (view match, not near expiry);
 //   - the applied index must cover the client's session watermark
-//     (read-your-writes), and for linearizable reads also the lease's
-//     anchor — everything the primary had proposed when it granted —
-//     which bounds staleness to one renewal period.
+//     (read-your-writes + monotonic reads). Linearizable reads carry an
+//     additional admission — a read-index frontier confirmed after arrival
+//     and applied — enforced by the pending-read machinery before this
+//     function runs.
 func (e *execution) serveLocalRead(r *messages.ReadRequest) ([]byte, bool) {
 	ra, ok := e.app.(app.ReadExecutor)
 	if !ok {
@@ -311,9 +534,6 @@ func (e *execution) serveLocalRead(r *messages.ReadRequest) ([]byte, bool) {
 		return nil, false
 	}
 	if e.lastExec < r.MinSeq {
-		return nil, false
-	}
-	if r.Linearizable && e.lastExec < e.lease.AnchorSeq {
 		return nil, false
 	}
 	op := r.Payload
@@ -701,8 +921,18 @@ func (e *execution) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMsg 
 	if e.lease != nil && e.lease.View != e.view {
 		e.lease = nil
 	}
+	// Pending linearizable reads were waiting on a frontier from the deposed
+	// primary: refuse them all (fail-closed), and forget the in-flight query
+	// — a late reply for it fails the view check.
+	var out []tee.OutMsg
+	for i := range e.riPending {
+		out = append(out, e.refuseRead(e.riPending[i].req))
+		e.riPending[i] = pendingRead{}
+	}
+	e.riPending = e.riPending[:0]
+	e.riInFlight = false
 	e.gc()
-	return e.tryExecute(host)
+	return append(out, e.tryExecute(host)...)
 }
 
 // onAttestRequest answers a client attestation challenge with this

@@ -30,6 +30,36 @@ type preparation struct {
 	leases    bool
 	leaseTTL  time.Duration
 	lastGrant time.Time
+	// lastGrantProbe records whether the last grant round was probe-only,
+	// so the first quorum of acks can trigger an immediate real round
+	// instead of waiting out the renewal throttle.
+	lastGrantProbe bool
+	// lastExpiry is the highest expiry this primary has granted; acks
+	// echoing anything above it are forgeries (or cross-primary confusion)
+	// and are dropped.
+	lastExpiry int64
+	// ackExpiry tracks, per holder, the highest grant-round expiry the
+	// holder has acknowledged. A holder counts as reachable while its entry
+	// lies in the future; real (servable) grants require a quorum of
+	// reachable holders, so a primary cut off with fewer than 2f+1 peers
+	// degrades to probe grants within one TTL and its holders' leases die.
+	// Reset on every view install — a new view's primary proves
+	// reachability afresh.
+	ackExpiry map[uint32]int64
+	// leaseFence delays this primary's first fresh proposal after a view
+	// change until every lease the previous primary could have kept alive
+	// has expired (2.5×TTL: the last real grant could have been issued up
+	// to one TTL after the view change began, lives one TTL, plus half a
+	// TTL for clock skew and delivery slack). Re-issued NewView proposals
+	// are exempt — they were proposed, and covered by read-index frontiers,
+	// in earlier views.
+	leaseFence time.Time
+	// fenced parks batches that arrived during the fence; the lease tick
+	// flushes them the moment the fence passes, so post-view-change writes
+	// pay the fence as pure latency instead of depending on client
+	// retransmission (which races the failure detector into another view
+	// change). Bounded — overflow drops, and retransmission covers.
+	fenced []*messages.Batch
 
 	nextSeq uint64
 	// proposals records the accepted proposal digest per (view, seq): the
@@ -51,6 +81,7 @@ func newPreparation(cfg Config, ver *messages.Verifier, counter *tee.TrustedCoun
 		counter:     counter,
 		leases:      cfg.ReadLeases,
 		leaseTTL:    cfg.LeaseTTL,
+		ackExpiry:   make(map[uint32]int64),
 		proposals:   make(map[uint64]map[uint64]crypto.Digest),
 		viewChanges: make(map[uint64]map[uint32]*messages.ViewChange),
 	}
@@ -77,10 +108,11 @@ func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 		}
 		return p.onBatch(host, batch)
 	case ecallTick:
-		// Failure-detector tick (read-lease deployments only): renew the
+		// Lease-clock tick (read-lease deployments only): renew the
 		// outstanding read leases even when no proposal or checkpoint
-		// traffic would carry a grant. Ticks are never persisted.
-		return p.maybeGrantLeases()
+		// traffic would carry a grant, and flush any batches the write
+		// fence parked. Ticks are never persisted.
+		return append(p.flushFenced(host), p.maybeGrantLeases()...)
 	case ecallMessage:
 		m, err := messages.Unmarshal(raw[1:])
 		if err != nil {
@@ -98,6 +130,10 @@ func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 			// Checkpoint traffic is the second piggyback carrier for lease
 			// renewal (proposals being the first).
 			return p.maybeGrantLeases()
+		case *messages.LeaseAck:
+			return p.onLeaseAck(msg)
+		case *messages.ReadIndex:
+			return p.onReadIndex(host, msg)
 		}
 	}
 	return nil
@@ -106,10 +142,12 @@ func (p *preparation) HandleECall(host tee.Host, raw []byte) []tee.OutMsg {
 // maybeGrantLeases issues or renews read leases for every replica when
 // this compartment is the primary of the current view and the renewal
 // period (a quarter of the TTL) has elapsed. Each grant is signed by the
-// trusted counter enclave and anchored at the highest assigned sequence:
-// a holder must have applied everything proposed up to the grant before
-// serving a linearizable read, which bounds read staleness to one renewal
-// period. Returns nil in non-lease deployments and on backups.
+// trusted counter enclave. Grants are probe-only — acknowledged by the
+// holders but never installed — until a quorum of holders has fresh
+// LeaseAcks on file: servable leases are issued exclusively by a primary
+// that can prove it is not isolated with a minority, which is what keeps a
+// deposed primary in a partition from renewing its holders' leases
+// forever. Returns nil in non-lease deployments and on backups.
 func (p *preparation) maybeGrantLeases() []tee.OutMsg {
 	if !p.leases || p.counter == nil || p.primary(p.view) != p.id {
 		return nil
@@ -118,11 +156,17 @@ func (p *preparation) maybeGrantLeases() []tee.OutMsg {
 	if !p.lastGrant.IsZero() && now.Sub(p.lastGrant) < p.leaseTTL/4 {
 		return nil
 	}
+	probe := !p.acksFresh(now)
 	p.lastGrant = now
+	p.lastGrantProbe = probe
 	expiry := now.Add(p.leaseTTL).UnixNano()
+	if expiry <= p.lastExpiry {
+		expiry = p.lastExpiry + 1 // expiry doubles as the ack-round nonce
+	}
+	p.lastExpiry = expiry
 	out := make([]tee.OutMsg, 0, p.n)
 	for holder := uint32(0); int(holder) < p.n; holder++ {
-		att := p.counter.GrantLease(holder, p.view, p.nextSeq, expiry)
+		att := p.counter.GrantLease(holder, p.view, p.nextSeq, expiry, probe)
 		g := &messages.LeaseGrant{
 			Granter:   att.Granter,
 			Holder:    att.Holder,
@@ -130,6 +174,7 @@ func (p *preparation) maybeGrantLeases() []tee.OutMsg {
 			AnchorSeq: att.AnchorSeq,
 			CtrVal:    att.CtrVal,
 			Expiry:    att.Expiry,
+			Probe:     att.Probe,
 			Sig:       att.Sig,
 		}
 		if holder == p.id {
@@ -139,6 +184,77 @@ func (p *preparation) maybeGrantLeases() []tee.OutMsg {
 		}
 	}
 	return out
+}
+
+// acksFresh reports whether a quorum of holders has acknowledged a grant
+// round whose expiry still lies in the future — the reachability proof
+// that authorizes real (servable) grants.
+func (p *preparation) acksFresh(now time.Time) bool {
+	ns := now.UnixNano()
+	fresh := 0
+	for _, exp := range p.ackExpiry {
+		if exp > ns {
+			fresh++
+		}
+	}
+	return fresh >= p.quorum()
+}
+
+// onLeaseAck records a holder's acknowledgement of a grant round. The
+// echoed expiry is the round nonce: only acks for rounds this primary
+// actually issued count, each holder's record is monotonic (replays can
+// never refresh it), and freshness is re-derived against the clock at
+// grant time. When the quorum first forms right after a probe round, a
+// real round goes out immediately so the fast path arms without waiting
+// out the renewal throttle.
+func (p *preparation) onLeaseAck(a *messages.LeaseAck) []tee.OutMsg {
+	if !p.leases || p.primary(p.view) != p.id {
+		return nil
+	}
+	if a.View != p.view || a.Expiry > p.lastExpiry {
+		return nil
+	}
+	if err := p.ver.VerifyLeaseAck(a); err != nil {
+		return nil
+	}
+	if a.Expiry <= p.ackExpiry[a.Holder] {
+		return nil // stale or replayed ack
+	}
+	p.ackExpiry[a.Holder] = a.Expiry
+	if p.lastGrantProbe && p.acksFresh(time.Now()) {
+		p.lastGrant = time.Time{} // bypass the throttle for the arming round
+		return p.maybeGrantLeases()
+	}
+	return nil
+}
+
+// onReadIndex answers a holder's read-index query with this primary's
+// proposal frontier — the highest sequence number it has assigned. Every
+// write acknowledged to a client before the query was sent has committed,
+// hence was proposed, hence sits at or below the frontier; a holder that
+// has applied the frontier therefore observes it. Queries for other views
+// (or arriving at a backup) are dropped silently: the holder's read falls
+// back to the agreement path. The frontier check needs no extra fence —
+// this compartment's nextSeq is installed at or above every re-issued slot
+// on view entry, so the bound survives primary turnover.
+func (p *preparation) onReadIndex(host tee.Host, ri *messages.ReadIndex) []tee.OutMsg {
+	if !p.leases || p.primary(p.view) != p.id || ri.View != p.view {
+		return nil
+	}
+	if err := p.ver.VerifyReadIndex(ri); err != nil {
+		return nil
+	}
+	rep := &messages.ReadIndexReply{
+		Replica:  p.id,
+		View:     p.view,
+		Epoch:    ri.Epoch,
+		Frontier: p.nextSeq,
+	}
+	rep.Sig, rep.Auth = p.authenticate(host, messages.TReadIndexReply, rep.SigningBytes())
+	if ri.Holder == p.id {
+		return []tee.OutMsg{localOut(crypto.RoleExecution, rep)}
+	}
+	return []tee.OutMsg{replicaOut(ri.Holder, rep)}
 }
 
 // record stores an accepted proposal digest, reporting false on conflict
@@ -156,6 +272,10 @@ func (p *preparation) record(view, seq uint64, d crypto.Digest) bool {
 	return true
 }
 
+// fencedBatchMax bounds the fence parking buffer; batches past it are
+// dropped and re-collected from client retransmissions.
+const fencedBatchMax = 128
+
 // onBatch is event handler (1): the primary authenticates a client batch
 // from the environment, assigns the next sequence number and emits the
 // PrePrepare — to the network and into the local Confirmation and Execution
@@ -164,6 +284,49 @@ func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg
 	if p.primary(p.view) != p.id {
 		return nil // the environment misjudged the view; liveness only
 	}
+	if p.leases && !p.leaseFence.IsZero() && time.Now().Before(p.leaseFence) {
+		// Write fence after a view change: no fresh proposal may be
+		// assigned while a lease the deposed primary issued could still be
+		// alive somewhere — a partitioned holder could serve a read missing
+		// a write this view already acked. Park the batch; the lease tick
+		// flushes it the moment the fence passes.
+		if len(p.fenced) < fencedBatchMax {
+			b := *batch
+			p.fenced = append(p.fenced, &b)
+		}
+		return nil
+	}
+	return append(p.flushFenced(host), p.proposeBatch(host, batch)...)
+}
+
+// flushFenced proposes the batches the write fence parked, once it has
+// passed. Ordering across the fence is preserved (parked batches flush
+// before any new one), and duplicate requests from overlapping client
+// retransmissions are harmless — the Execution compartments' exactly-once
+// bookkeeping answers them from the reply cache.
+func (p *preparation) flushFenced(host tee.Host) []tee.OutMsg {
+	if len(p.fenced) == 0 {
+		return nil
+	}
+	if p.primary(p.view) != p.id {
+		p.fenced = nil // deposed while fenced: the next primary re-collects
+		return nil
+	}
+	if p.leases && !p.leaseFence.IsZero() && time.Now().Before(p.leaseFence) {
+		return nil
+	}
+	batches := p.fenced
+	p.fenced = nil
+	var out []tee.OutMsg
+	for _, b := range batches {
+		out = append(out, p.proposeBatch(host, b)...)
+	}
+	return out
+}
+
+// proposeBatch authenticates a client batch, assigns the next sequence
+// number and emits the PrePrepare.
+func (p *preparation) proposeBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg {
 	valid := batch.Requests[:0]
 	enc := messages.GetEncoder()
 	for i := range batch.Requests {
@@ -362,6 +525,15 @@ func (p *preparation) onNewView(host tee.Host, nv *messages.NewView) []tee.OutMs
 func (p *preparation) installView(view uint64, stable messages.CheckpointCert, pps []messages.PrePrepare, ctrBase uint64) {
 	p.view = view
 	p.lastGrant = time.Time{} // a new view's primary leases afresh, at once
+	// Reachability must be proven anew under the new view: old acks echo
+	// grant rounds of a dead primary.
+	p.ackExpiry = make(map[uint32]int64)
+	p.lastExpiry = 0
+	p.lastGrantProbe = false
+	if p.leases && view > 0 {
+		p.leaseFence = time.Now().Add(2*p.leaseTTL + p.leaseTTL/2)
+	}
+	p.fenced = nil // parked batches re-arrive via client retransmission
 	p.advanceStable(stable)
 	if p.trustedMode() {
 		// Re-pin the affine counter law: proposals of the new view consume

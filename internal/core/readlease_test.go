@@ -10,23 +10,27 @@ import (
 	"github.com/splitbft/splitbft/internal/tee"
 )
 
-// Lease-anchored local read tests: drive the Preparation (grantor) and
+// Lease-anchored local read tests: drive the Preparation (granter) and
 // Execution (holder) compartments directly, probing the fail-closed
-// admission rules — an expired, revoked, forged, or missing lease must
-// refuse the local read, never serve a stale one.
+// admission rules — an expired, revoked, forged, probe-only, or missing
+// lease must refuse the local read, and a linearizable read must never be
+// served off lease state alone (it needs a read-index frontier sampled
+// after its arrival).
 
 // leaseRig wires one primary Preparation enclave (replica 0, with the
 // trusted counter) and all n Execution enclaves with read leases on.
 type leaseRig struct {
-	t       *testing.T
-	n, f    int
-	reg     *crypto.Registry
-	secret  []byte
-	counter *tee.TrustedCounter
-	prep    *tee.Enclave
-	execs   []*tee.Enclave
-	codes   []*execution // white-box views of the Execution compartments
-	apps    []*app.KVS
+	t        *testing.T
+	n, f     int
+	reg      *crypto.Registry
+	ver      *messages.Verifier
+	secret   []byte
+	counter  *tee.TrustedCounter
+	prep     *tee.Enclave
+	prepCode *preparation // white-box view of the granter
+	execs    []*tee.Enclave
+	codes    []*execution // white-box views of the Execution compartments
+	apps     []*app.KVS
 }
 
 func newLeaseRig(t *testing.T, ttl time.Duration) *leaseRig {
@@ -36,6 +40,7 @@ func newLeaseRig(t *testing.T, ttl time.Duration) *leaseRig {
 	if err != nil {
 		t.Fatal(err)
 	}
+	r.ver = ver
 	ctrID := crypto.Identity{ReplicaID: 0, Role: crypto.RoleCounter}
 	r.counter, err = tee.NewTrustedCounter(ctrID)
 	if err != nil {
@@ -51,8 +56,8 @@ func newLeaseRig(t *testing.T, ttl time.Duration) *leaseRig {
 			ReadLeases: true, LeaseTTL: ttl,
 		}.withDefaults()
 		if i == 0 {
-			prepCode := newPreparation(cfg, ver, r.counter)
-			r.prep, err = tee.NewEnclave(0, crypto.RolePreparation, prepCode, tee.ZeroCostModel())
+			r.prepCode = newPreparation(cfg, ver, r.counter)
+			r.prep, err = tee.NewEnclave(0, crypto.RolePreparation, r.prepCode, tee.ZeroCostModel())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,6 +75,23 @@ func newLeaseRig(t *testing.T, ttl time.Duration) *leaseRig {
 	return r
 }
 
+// scanMsg extracts the first message of a type from enclave outputs,
+// regardless of destination (local and remote legs both matter here).
+func scanMsg[T messages.Message](t *testing.T, out []tee.OutMsg) (T, bool) {
+	t.Helper()
+	var zero T
+	for i := range out {
+		m, err := messages.Unmarshal(out[i].Payload)
+		if err != nil {
+			continue // non-message payloads (none expected, but stay lenient)
+		}
+		if typed, ok := m.(T); ok {
+			return typed, true
+		}
+	}
+	return zero, false
+}
+
 // grants ticks the primary's Preparation compartment and collects the
 // emitted lease grants, keyed by holder.
 func (r *leaseRig) grants() map[uint32]*messages.LeaseGrant {
@@ -78,11 +100,16 @@ func (r *leaseRig) grants() map[uint32]*messages.LeaseGrant {
 	if err != nil {
 		r.t.Fatal(err)
 	}
+	return collectGrants(r.t, out)
+}
+
+func collectGrants(t *testing.T, out []tee.OutMsg) map[uint32]*messages.LeaseGrant {
+	t.Helper()
 	got := make(map[uint32]*messages.LeaseGrant)
 	for i := range out {
 		m, err := messages.Unmarshal(out[i].Payload)
 		if err != nil {
-			r.t.Fatal(err)
+			t.Fatal(err)
 		}
 		if g, ok := m.(*messages.LeaseGrant); ok {
 			got[g.Holder] = g
@@ -91,16 +118,93 @@ func (r *leaseRig) grants() map[uint32]*messages.LeaseGrant {
 	return got
 }
 
-// deliver hands a lease grant to a replica's Execution enclave.
-func (r *leaseRig) deliver(replica uint32, g *messages.LeaseGrant) {
+// deliver hands a lease grant to a replica's Execution enclave, returning
+// the LeaseAck it emits (nil when the grant was dropped).
+func (r *leaseRig) deliver(replica uint32, g *messages.LeaseGrant) *messages.LeaseAck {
 	r.t.Helper()
-	if _, err := r.execs[replica].Invoke(wrapMessage(messages.Marshal(g))); err != nil {
+	out, err := r.execs[replica].Invoke(wrapMessage(messages.Marshal(g)))
+	if err != nil {
 		r.t.Fatal(err)
+	}
+	ack, _ := scanMsg[*messages.LeaseAck](r.t, out)
+	return ack
+}
+
+// feedAck hands a holder's LeaseAck to the granter, returning any grant
+// round it triggered (the arming round once the quorum forms).
+func (r *leaseRig) feedAck(a *messages.LeaseAck) map[uint32]*messages.LeaseGrant {
+	r.t.Helper()
+	out, err := r.prep.Invoke(wrapMessage(messages.Marshal(a)))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return collectGrants(r.t, out)
+}
+
+// armLeases runs the full probe → ack → grant handshake: the first round
+// is probe-only, holders acknowledge, and the quorum of acks authorizes
+// the real (servable) round, which is installed on every holder.
+func (r *leaseRig) armLeases() map[uint32]*messages.LeaseGrant {
+	r.t.Helper()
+	probes := r.grants()
+	if len(probes) != r.n {
+		r.t.Fatalf("got %d probe grants, want %d", len(probes), r.n)
+	}
+	var real map[uint32]*messages.LeaseGrant
+	for holder := uint32(0); int(holder) < r.n; holder++ {
+		g, ok := probes[holder]
+		if !ok {
+			r.t.Fatalf("no probe grant for holder %d", holder)
+		}
+		if !g.Probe {
+			r.t.Fatalf("pre-quorum grant to %d is not a probe", holder)
+		}
+		ack := r.deliver(holder, g)
+		if ack == nil {
+			r.t.Fatalf("holder %d did not acknowledge the probe", holder)
+		}
+		if round := r.feedAck(ack); len(round) > 0 {
+			real = round
+		}
+	}
+	if real == nil {
+		r.t.Fatal("ack quorum did not trigger a servable grant round")
+	}
+	for holder := uint32(0); int(holder) < r.n; holder++ {
+		g, ok := real[holder]
+		if !ok {
+			r.t.Fatalf("no servable grant for holder %d", holder)
+		}
+		if g.Probe {
+			r.t.Fatal("post-quorum grant round is still probe-only")
+		}
+		r.deliver(holder, g)
+	}
+	return real
+}
+
+// renew runs one renewal round end to end (tick → grants → install →
+// acks), keeping leases and the granter's reachability records fresh the
+// way the broker's lease clock does. A no-op within the renewal throttle.
+func (r *leaseRig) renew() {
+	r.t.Helper()
+	round := r.grants()
+	for holder := uint32(0); int(holder) < r.n; holder++ {
+		g, ok := round[holder]
+		if !ok {
+			continue
+		}
+		if ack := r.deliver(holder, g); ack != nil {
+			r.feedAck(ack)
+		}
 	}
 }
 
 // read sends a MAC-authenticated ReadRequest to a replica's Execution
-// enclave and returns the reply (nil when the enclave stayed silent).
+// enclave and returns the reply (nil when the enclave stayed silent). A
+// linearizable read parks behind a read-index exchange; this helper
+// shuttles the query to the primary's Preparation compartment and the
+// frontier reply back, mimicking the broker.
 func (r *leaseRig) read(replica uint32, ts, minSeq uint64, linearizable bool, op []byte) *messages.ReadReply {
 	r.t.Helper()
 	const clientID = 42
@@ -114,6 +218,25 @@ func (r *leaseRig) read(replica uint32, ts, minSeq uint64, linearizable bool, op
 	if err != nil {
 		r.t.Fatal(err)
 	}
+	if rep, ok := findMsg[*messages.ReadReply](r.t, out, tee.DestClient); ok {
+		return rep
+	}
+	ri, ok := scanMsg[*messages.ReadIndex](r.t, out)
+	if !ok {
+		return nil
+	}
+	pout, err := r.prep.Invoke(wrapMessage(messages.Marshal(ri)))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	rr, ok := scanMsg[*messages.ReadIndexReply](r.t, pout)
+	if !ok {
+		return nil // granter refused to answer (e.g. wrong view)
+	}
+	out, err = r.execs[replica].Invoke(wrapMessage(messages.Marshal(rr)))
+	if err != nil {
+		r.t.Fatal(err)
+	}
 	rep, ok := findMsg[*messages.ReadReply](r.t, out, tee.DestClient)
 	if !ok {
 		return nil
@@ -122,15 +245,12 @@ func (r *leaseRig) read(replica uint32, ts, minSeq uint64, linearizable bool, op
 }
 
 // TestLeaseLocalReadServes is the fast-path happy case: a granted,
-// verified, in-view lease serves a linearizable read locally — one
-// request, one attested reply, no agreement traffic.
+// verified, in-view, ack-armed lease serves a linearizable read locally —
+// one read-index round trip to the primary, one attested reply, no
+// agreement round.
 func TestLeaseLocalReadServes(t *testing.T) {
 	r := newLeaseRig(t, time.Second)
-	grants := r.grants()
-	if len(grants) != r.n {
-		t.Fatalf("got %d grants, want %d", len(grants), r.n)
-	}
-	r.deliver(1, grants[1])
+	r.armLeases()
 	rep := r.read(1, 1, 0, true, app.EncodeGet("missing"))
 	if rep == nil || !rep.OK {
 		t.Fatalf("leased linearizable read refused: %+v", rep)
@@ -160,12 +280,88 @@ func TestLeaselessReadRefused(t *testing.T) {
 	}
 }
 
+// TestProbeGrantNotServable: a probe grant is a reachability check, not a
+// lease — a holder that installed nothing but probes must refuse reads in
+// both consistency modes.
+func TestProbeGrantNotServable(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	probes := r.grants()
+	if !probes[1].Probe {
+		t.Fatal("first grant round is not probe-only")
+	}
+	r.deliver(1, probes[1])
+	if rep := r.read(1, 1, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatalf("probe grant served a session read: %+v", rep)
+	}
+	if rep := r.read(1, 2, 0, true, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatalf("probe grant served a linearizable read: %+v", rep)
+	}
+}
+
+// TestGrantsProbeUntilAckQuorum: real grants require 2f+1 fresh holder
+// acks — with fewer, every round stays probe-only. This is the fence that
+// stops a primary partitioned with a minority from keeping its holders'
+// leases alive forever.
+func TestGrantsProbeUntilAckQuorum(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	probes := r.grants()
+	// Two acks: one short of the 2f+1 = 3 quorum.
+	for holder := uint32(0); holder < 2; holder++ {
+		ack := r.deliver(holder, probes[holder])
+		if ack == nil {
+			t.Fatalf("holder %d did not ack", holder)
+		}
+		if round := r.feedAck(ack); len(round) != 0 {
+			t.Fatalf("grant round issued below ack quorum (after %d acks)", holder+1)
+		}
+	}
+	// The third ack completes the quorum: the arming round must follow at
+	// once, and it must be servable.
+	ack := r.deliver(2, probes[2])
+	round := r.feedAck(ack)
+	if len(round) != r.n {
+		t.Fatalf("quorum-completing ack triggered %d grants, want %d", len(round), r.n)
+	}
+	if round[1].Probe {
+		t.Fatal("post-quorum grant round is still probe-only")
+	}
+}
+
+// TestLeaseAckReplayRejected: a replayed ack must not count toward the
+// quorum — each holder's record is monotonic in the echoed round nonce, so
+// the broker (or a Byzantine peer) cannot simulate reachability by
+// repeating one holder's ack.
+func TestLeaseAckReplayRejected(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	probes := r.grants()
+	ack0 := r.deliver(0, probes[0])
+	ack1 := r.deliver(1, probes[1])
+	r.feedAck(ack0)
+	r.feedAck(ack1)
+	// Replays of both recorded acks: still only two distinct holders.
+	if round := r.feedAck(ack0); len(round) != 0 {
+		t.Fatal("replayed ack triggered a grant round")
+	}
+	if round := r.feedAck(ack1); len(round) != 0 {
+		t.Fatal("replayed ack triggered a grant round")
+	}
+	if r.prepCode.acksFresh(time.Now()) {
+		t.Fatal("two holders plus replays counted as an ack quorum")
+	}
+	// A genuine third holder completes it.
+	if round := r.feedAck(r.deliver(2, probes[2])); len(round) == 0 {
+		t.Fatal("third distinct ack did not complete the quorum")
+	}
+}
+
 // TestLeaseWrongHolderIgnored: a grant addressed to another replica must
 // not arm the fast path.
 func TestLeaseWrongHolderIgnored(t *testing.T) {
 	r := newLeaseRig(t, time.Second)
 	grants := r.grants()
-	r.deliver(2, grants[1]) // replica 2 gets replica 1's grant
+	if ack := r.deliver(2, grants[1]); ack != nil { // replica 2 gets replica 1's grant
+		t.Fatal("misaddressed grant was acknowledged")
+	}
 	if rep := r.read(2, 1, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
 		t.Fatalf("misaddressed grant armed the fast path: %+v", rep)
 	}
@@ -173,13 +369,22 @@ func TestLeaseWrongHolderIgnored(t *testing.T) {
 
 // TestLeaseForgedSignatureRejected: a lease whose counter signature does
 // not verify must be dropped — the broker relays grants, so a corrupt or
-// malicious environment can tamper with them.
+// malicious environment can tamper with them. Flipping the probe flag is
+// the most dangerous forgery (it would turn a reachability probe into a
+// servable lease), so it is covered explicitly.
 func TestLeaseForgedSignatureRejected(t *testing.T) {
 	r := newLeaseRig(t, time.Second)
 	grants := r.grants()
 	g := *grants[1]
 	g.AnchorSeq++ // payload no longer matches the signature
-	r.deliver(1, &g)
+	if ack := r.deliver(1, &g); ack != nil {
+		t.Fatal("forged lease was acknowledged")
+	}
+	probe := *grants[1]
+	probe.Probe = false // probe laundered into a servable lease
+	if ack := r.deliver(1, &probe); ack != nil {
+		t.Fatal("probe-flag forgery was acknowledged")
+	}
 	if rep := r.read(1, 1, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
 		t.Fatalf("forged lease served a local read: %+v", rep)
 	}
@@ -191,8 +396,7 @@ func TestLeaseForgedSignatureRejected(t *testing.T) {
 func TestLeaseExpiryFailsClosed(t *testing.T) {
 	ttl := 80 * time.Millisecond
 	r := newLeaseRig(t, ttl)
-	grants := r.grants()
-	r.deliver(1, grants[1])
+	r.armLeases()
 	if rep := r.read(1, 1, 0, true, app.EncodeGet("k")); rep == nil || !rep.OK {
 		t.Fatalf("fresh lease refused: %+v", rep)
 	}
@@ -207,11 +411,10 @@ func TestLeaseExpiryFailsClosed(t *testing.T) {
 
 // TestLeaseViewChangeRevokes: a lease from a deposed view must stop
 // serving the moment the holder learns of the new view, well before its
-// timer expires — the counter-key revocation path.
+// timer expires — the view-match revocation path.
 func TestLeaseViewChangeRevokes(t *testing.T) {
-	r := newLeaseRig(t, time.Minute) // nowhere near expiry
-	grants := r.grants()
-	r.deliver(1, grants[1])
+	r := newLeaseRig(t, time.Second)
+	r.armLeases()
 	if rep := r.read(1, 1, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
 		t.Fatalf("fresh lease refused: %+v", rep)
 	}
@@ -222,6 +425,9 @@ func TestLeaseViewChangeRevokes(t *testing.T) {
 	if rep := r.read(1, 2, 0, false, app.EncodeGet("k")); rep == nil || rep.OK {
 		t.Fatal("deposed view's lease served a local read")
 	}
+	if rep := r.read(1, 3, 0, true, app.EncodeGet("k")); rep == nil || rep.OK {
+		t.Fatal("deposed view's lease served a linearizable read")
+	}
 }
 
 // TestSessionReadHonorsWatermark: a session read carries the client's
@@ -229,8 +435,7 @@ func TestLeaseViewChangeRevokes(t *testing.T) {
 // this is what makes the fast path read-your-writes.
 func TestSessionReadHonorsWatermark(t *testing.T) {
 	r := newLeaseRig(t, time.Second)
-	grants := r.grants()
-	r.deliver(1, grants[1])
+	r.armLeases()
 	if rep := r.read(1, 1, 5, false, app.EncodeGet("k")); rep == nil || rep.OK {
 		t.Fatal("lagging replica served a session read past its watermark")
 	}
@@ -239,41 +444,153 @@ func TestSessionReadHonorsWatermark(t *testing.T) {
 	}
 }
 
-// TestLinearizableReadHonorsAnchor: once the primary has assigned a
-// sequence number, new leases anchor there, and a holder that has not yet
-// executed it must refuse linearizable reads (the proposal could commit
-// before the read returns) while still serving session reads.
-func TestLinearizableReadHonorsAnchor(t *testing.T) {
+// TestLinearizableReadSeesPostGrantWrite is the stale-read regression the
+// read-index confirmation exists for: a write proposed AFTER the holder's
+// lease was granted must be observed by a later linearizable read, or the
+// read must wait. Anchoring admission at grant time (the old AnchorSeq
+// check) failed exactly this: the lease predates the write, so a lagging
+// holder under a still-valid lease would serve the stale value.
+func TestLinearizableReadSeesPostGrantWrite(t *testing.T) {
 	r := newLeaseRig(t, time.Second)
+	r.armLeases() // leases granted with nothing proposed yet
+
+	// A write is proposed (and, on a quorum elsewhere, committed and acked)
+	// after the grants went out. Holder 1 has not executed it.
 	req := testRequest(r.secret, r.n, 7, 1, app.EncodePut("k", []byte("v")))
-	out, err := r.prep.Invoke(wrapBatch(&messages.Batch{Requests: []messages.Request{req}}))
+	if _, err := r.prep.Invoke(wrapBatch(&messages.Batch{Requests: []messages.Request{req}})); err != nil {
+		t.Fatal(err)
+	}
+
+	// The linearizable read must NOT be served: the primary's frontier (1)
+	// is ahead of the holder's applied index (0), so the read parks.
+	if rep := r.read(1, 1, 0, true, app.EncodeGet("k")); rep != nil {
+		t.Fatalf("linearizable read answered while behind the frontier: %+v", rep)
+	}
+	if got := len(r.codes[1].riPending); got != 1 {
+		t.Fatalf("pending linearizable reads = %d, want 1", got)
+	}
+
+	// A session read (weaker contract, no cross-client recency) still
+	// serves off the applied index.
+	if rep := r.read(1, 2, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
+		t.Fatalf("session read refused on a replica behind the frontier: %+v", rep)
+	}
+
+	// Once the holder catches up past the frontier, the parked read is
+	// served by the next flush (white-box: executing the slot for real is
+	// the commit-path tests' job).
+	r.codes[1].lastExec = 1
+	r.apps[1].Execute(7, app.EncodePut("k", []byte("v")))
+	out, err := r.execs[1].Invoke([]byte{ecallTick})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The proposal's output carries the piggybacked grants, anchored at
-	// the sequence it just assigned.
-	var g *messages.LeaseGrant
-	for i := range out {
-		m, err := messages.Unmarshal(out[i].Payload)
-		if err != nil {
-			continue // ecall outputs include non-message payloads? no — but stay lenient
-		}
-		if lg, ok := m.(*messages.LeaseGrant); ok && lg.Holder == 1 {
-			g = lg
-		}
+	rep, ok := findMsg[*messages.ReadReply](t, out, tee.DestClient)
+	if !ok || !rep.OK {
+		t.Fatalf("caught-up holder did not serve the parked read: %+v", rep)
 	}
-	if g == nil {
-		t.Fatal("proposal did not piggyback a lease grant for replica 1")
+	if string(rep.Result) != "v" {
+		t.Fatalf("parked read returned %q, want the post-grant write %q", rep.Result, "v")
 	}
-	if g.AnchorSeq == 0 {
-		t.Fatalf("post-proposal grant anchored at 0, want the assigned sequence")
+	if got := len(r.codes[1].riPending); got != 0 {
+		t.Fatalf("pending linearizable reads = %d after flush, want 0", got)
 	}
-	r.deliver(1, g)
-	if rep := r.read(1, 1, 0, true, app.EncodeGet("k")); rep == nil || rep.OK {
-		t.Fatal("holder behind the lease anchor served a linearizable read")
+}
+
+// TestReadReplayDropped: a replayed (or timestamp-reordered) ReadRequest
+// must be dropped before any MAC or application work — the replay guard
+// that stops the broker from burning enclave CPU with one captured
+// authenticated read.
+func TestReadReplayDropped(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	r.armLeases()
+	if rep := r.read(1, 5, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
+		t.Fatalf("fresh read refused: %+v", rep)
 	}
-	if rep := r.read(1, 2, 0, false, app.EncodeGet("k")); rep == nil || !rep.OK {
-		t.Fatalf("session read refused on a replica behind the anchor: %+v", rep)
+	if rep := r.read(1, 5, 0, false, app.EncodeGet("k")); rep != nil {
+		t.Fatalf("replayed read was answered: %+v", rep)
+	}
+	if rep := r.read(1, 3, 0, false, app.EncodeGet("k")); rep != nil {
+		t.Fatalf("stale-timestamp read was answered: %+v", rep)
+	}
+	if got := r.codes[1].localReads.Load(); got != 1 {
+		t.Fatalf("localReads = %d, want 1 (replays must not serve)", got)
+	}
+}
+
+// TestLeaseTTLClampedToDetectionPeriod: a lease must never outlive
+// view-change detection, whatever the caller asked for — withDefaults
+// clamps the TTL to RequestTimeout/4 (and defaults a zero TTL there).
+func TestLeaseTTLClampedToDetectionPeriod(t *testing.T) {
+	base := Config{RequestTimeout: 400 * time.Millisecond}
+	if got := base.withDefaults().LeaseTTL; got != 100*time.Millisecond {
+		t.Fatalf("default LeaseTTL = %v, want RequestTimeout/4 = 100ms", got)
+	}
+	base.LeaseTTL = 2 * time.Second // 5× the detection period: unsafe
+	if got := base.withDefaults().LeaseTTL; got != 100*time.Millisecond {
+		t.Fatalf("oversized LeaseTTL clamped to %v, want 100ms", got)
+	}
+	base.LeaseTTL = 20 * time.Millisecond // below the clamp: honored
+	if got := base.withDefaults().LeaseTTL; got != 20*time.Millisecond {
+		t.Fatalf("small LeaseTTL rewritten to %v, want 20ms", got)
+	}
+}
+
+// TestNewPrimaryWriteFence: a primary taking over a lease-enabled
+// deployment must not assign fresh proposals until every lease its
+// predecessor could have kept alive has expired — otherwise a partitioned
+// holder could serve a linearizable read missing a write the new view
+// already acknowledged.
+func TestNewPrimaryWriteFence(t *testing.T) {
+	r := newLeaseRig(t, time.Second)
+	cfg := Config{
+		N: r.n, F: r.f, ID: 1,
+		Registry: r.reg, MACSecret: r.secret, App: app.NewKVS(),
+		ReadLeases: true, LeaseTTL: time.Second,
+	}.withDefaults()
+	code := newPreparation(cfg, r.ver, r.counter)
+	enc, err := tee.NewEnclave(1, crypto.RolePreparation, code, tee.ZeroCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.reg.Register(enc.Identity(), enc.PublicKey())
+
+	// White-box view install: replica 1 becomes the primary of view 1 (the
+	// full NewView certificate path is the view-change tests' job).
+	code.installView(1, messages.CheckpointCert{}, nil, 0)
+	if code.leaseFence.IsZero() {
+		t.Fatal("view install did not arm the write fence")
+	}
+	req := testRequest(r.secret, r.n, 7, 1, app.EncodePut("k", []byte("v")))
+	out, err := enc.Invoke(wrapBatch(&messages.Batch{Requests: []messages.Request{req}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := scanMsg[*messages.PrePrepare](t, out); ok {
+		t.Fatal("fenced new primary proposed a fresh batch")
+	}
+	if got := len(code.fenced); got != 1 {
+		t.Fatalf("fenced batches parked = %d, want 1", got)
+	}
+	// Fence passed: the lease tick flushes the parked batch — no client
+	// retransmission needed (that dependency would race the failure
+	// detector into another view change).
+	code.leaseFence = time.Now().Add(-time.Millisecond)
+	out, err = enc.Invoke([]byte{ecallTick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := scanMsg[*messages.PrePrepare](t, out); !ok {
+		t.Fatal("lease tick did not flush the parked batch after the fence")
+	}
+	// And fresh batches flow directly again.
+	req2 := testRequest(r.secret, r.n, 7, 2, app.EncodePut("k", []byte("w")))
+	out, err = enc.Invoke(wrapBatch(&messages.Batch{Requests: []messages.Request{req2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := scanMsg[*messages.PrePrepare](t, out); !ok {
+		t.Fatal("post-fence proposal did not go out")
 	}
 }
 
@@ -283,9 +600,11 @@ func TestLinearizableReadHonorsAnchor(t *testing.T) {
 // client would otherwise bloat enclave memory with useless entries.
 func TestReadsBypassReplyCache(t *testing.T) {
 	r := newLeaseRig(t, time.Second)
-	grants := r.grants()
-	r.deliver(1, grants[1])
+	r.armLeases()
 	for ts := uint64(1); ts <= 64; ts++ {
+		// Keep the lease renewed across the loop — the TTL is clamped to
+		// RequestTimeout/4, which a 64-read loop can outlive under -race.
+		r.renew()
 		if rep := r.read(1, ts, 0, true, app.EncodeGet("k")); rep == nil || !rep.OK {
 			t.Fatalf("read %d refused: %+v", ts, rep)
 		}

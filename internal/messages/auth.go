@@ -85,6 +85,12 @@ func agreementAuthRoles(t Type) []crypto.Role {
 		return []crypto.Role{crypto.RoleConfirmation}
 	case TCommit:
 		return []crypto.Role{crypto.RoleExecution}
+	case TLeaseAck, TReadIndex:
+		// Holder Execution → granting primary's Preparation.
+		return []crypto.Role{crypto.RolePreparation}
+	case TReadIndexReply:
+		// Primary Preparation → holder Execution.
+		return []crypto.Role{crypto.RoleExecution}
 	default:
 		return nil
 	}

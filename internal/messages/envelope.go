@@ -92,6 +92,12 @@ func newMessage(t Type) (Message, error) {
 		return &ReadRequest{}, nil
 	case TReadReply:
 		return &ReadReply{}, nil
+	case TLeaseAck:
+		return &LeaseAck{}, nil
+	case TReadIndex:
+		return &ReadIndex{}, nil
+	case TReadIndexReply:
+		return &ReadIndexReply{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrDecode, uint8(t))
 	}

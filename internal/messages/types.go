@@ -31,6 +31,9 @@ const (
 	TLeaseGrant
 	TReadRequest
 	TReadReply
+	TLeaseAck
+	TReadIndex
+	TReadIndexReply
 )
 
 // String returns the conventional protocol name for the message type.
@@ -76,6 +79,12 @@ func (t Type) String() string {
 		return "ReadRequest"
 	case TReadReply:
 		return "ReadReply"
+	case TLeaseAck:
+		return "LeaseAck"
+	case TReadIndex:
+		return "ReadIndex"
+	case TReadIndexReply:
+		return "ReadIndexReply"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -567,10 +576,15 @@ type LeaseGrant struct {
 	Granter   uint32 // primary replica owning the counter
 	Holder    uint32 // replica authorized to serve local reads
 	View      uint64 // view the lease is valid in (view change revokes)
-	AnchorSeq uint64 // holder must have applied at least this sequence
+	AnchorSeq uint64 // primary's proposal frontier at grant time (informational)
 	CtrVal    uint64 // counter position at grant time
 	Expiry    int64  // UnixNano wall-clock bound
-	Sig       []byte // counter-enclave signature (RoleCounter key)
+	// Probe marks a non-servable grant: the holder acknowledges it (proving
+	// reachability to the granter) but never installs it. The primary sends
+	// probes until a quorum of fresh LeaseAcks authorizes real grants, so a
+	// primary cut off from a quorum can never keep leases alive.
+	Probe bool
+	Sig   []byte // counter-enclave signature (RoleCounter key)
 }
 
 // MsgType implements Message.
@@ -583,6 +597,7 @@ func (g *LeaseGrant) encodeBody(e *Encoder) {
 	e.U64(g.AnchorSeq)
 	e.U64(g.CtrVal)
 	e.U64(uint64(g.Expiry))
+	e.Bool(g.Probe)
 	e.VarBytes(g.Sig)
 }
 
@@ -593,6 +608,7 @@ func (g *LeaseGrant) decodeBody(d *Decoder) {
 	g.AnchorSeq = d.U64()
 	g.CtrVal = d.U64()
 	g.Expiry = int64(d.U64())
+	g.Probe = d.Bool()
 	g.Sig = d.VarBytes()
 }
 
@@ -700,4 +716,146 @@ func (r *ReadReply) decodeBody(d *Decoder) {
 	r.OK = d.Bool()
 	r.Result = d.VarBytes()
 	r.MAC = d.MAC()
+}
+
+// LeaseAck acknowledges a verified LeaseGrant back to the granting
+// primary's Preparation compartment. Expiry echoes the acknowledged grant
+// round's expiry and doubles as the round nonce: the granter keeps only
+// the per-holder maximum and treats a holder as reachable while that
+// maximum lies in the future, so replaying an old ack can never refresh a
+// holder. Acks are what authorize real (servable) grants — a primary
+// holding fresh acks from a quorum is provably not cut off in a minority
+// partition.
+type LeaseAck struct {
+	Holder uint32 // acknowledging replica (its Execution compartment signs)
+	View   uint64 // holder's current view; must match the granter's
+	Expiry int64  // echoed grant-round expiry (UnixNano)
+	Sig    []byte
+	// Auth is the MAC-mode authenticator vector (one slot per Preparation
+	// compartment). Empty in sig mode.
+	Auth crypto.Authenticator
+}
+
+// MsgType implements Message.
+func (*LeaseAck) MsgType() Type { return TLeaseAck }
+
+// SigningBytes returns the bytes the signature covers.
+func (a *LeaseAck) SigningBytes() []byte {
+	e := NewEncoder(32)
+	e.U8(uint8(TLeaseAck))
+	e.U32(a.Holder)
+	e.U64(a.View)
+	e.U64(uint64(a.Expiry))
+	return e.Bytes()
+}
+
+func (a *LeaseAck) encodeBody(e *Encoder) {
+	e.U32(a.Holder)
+	e.U64(a.View)
+	e.U64(uint64(a.Expiry))
+	e.VarBytes(a.Sig)
+	e.Auth(a.Auth)
+}
+
+func (a *LeaseAck) decodeBody(d *Decoder) {
+	a.Holder = d.U32()
+	a.View = d.U64()
+	a.Expiry = int64(d.U64())
+	a.Sig = d.VarBytes()
+	a.Auth = d.Auth()
+}
+
+// ReadIndex asks the primary's Preparation compartment for its current
+// proposal frontier — the read-index confirmation of the linearizable
+// read fast path. A write acknowledged to any client has committed, hence
+// was proposed, hence its sequence number is at or below the frontier the
+// primary reports for any query sent afterwards; a holder that waits
+// until it has applied the frontier therefore observes every completed
+// write. Epoch orders this holder's queries so a stale reply cannot
+// confirm a later read.
+type ReadIndex struct {
+	Holder uint32 // querying replica (its Execution compartment signs)
+	View   uint64 // holder's current view; the primary answers only its own
+	Epoch  uint64 // holder-local query sequence number
+	Sig    []byte
+	// Auth is the MAC-mode authenticator vector (one slot per Preparation
+	// compartment). Empty in sig mode.
+	Auth crypto.Authenticator
+}
+
+// MsgType implements Message.
+func (*ReadIndex) MsgType() Type { return TReadIndex }
+
+// SigningBytes returns the bytes the signature covers.
+func (r *ReadIndex) SigningBytes() []byte {
+	e := NewEncoder(32)
+	e.U8(uint8(TReadIndex))
+	e.U32(r.Holder)
+	e.U64(r.View)
+	e.U64(r.Epoch)
+	return e.Bytes()
+}
+
+func (r *ReadIndex) encodeBody(e *Encoder) {
+	e.U32(r.Holder)
+	e.U64(r.View)
+	e.U64(r.Epoch)
+	e.VarBytes(r.Sig)
+	e.Auth(r.Auth)
+}
+
+func (r *ReadIndex) decodeBody(d *Decoder) {
+	r.Holder = d.U32()
+	r.View = d.U64()
+	r.Epoch = d.U64()
+	r.Sig = d.VarBytes()
+	r.Auth = d.Auth()
+}
+
+// ReadIndexReply answers a ReadIndex with the primary's proposal frontier.
+// Frontier is the highest sequence number the primary's Preparation
+// compartment has assigned in the reply's view; view changes install the
+// frontier at or above every slot that could have committed earlier, so
+// the bound survives primary turnover.
+type ReadIndexReply struct {
+	Replica  uint32 // answering primary
+	View     uint64
+	Epoch    uint64 // echoed query epoch
+	Frontier uint64 // primary's highest assigned sequence number
+	Sig      []byte
+	// Auth is the MAC-mode authenticator vector (one slot per Execution
+	// compartment). Empty in sig mode.
+	Auth crypto.Authenticator
+}
+
+// MsgType implements Message.
+func (*ReadIndexReply) MsgType() Type { return TReadIndexReply }
+
+// SigningBytes returns the bytes the signature covers.
+func (r *ReadIndexReply) SigningBytes() []byte {
+	e := NewEncoder(40)
+	e.U8(uint8(TReadIndexReply))
+	e.U32(r.Replica)
+	e.U64(r.View)
+	e.U64(r.Epoch)
+	e.U64(r.Frontier)
+	return e.Bytes()
+}
+
+func (r *ReadIndexReply) encodeBody(e *Encoder) {
+	e.U32(r.Replica)
+	e.U64(r.View)
+	e.U64(r.Epoch)
+	e.U64(r.Frontier)
+	e.VarBytes(r.Sig)
+	e.Auth(r.Auth)
+}
+
+func (r *ReadIndexReply) decodeBody(d *Decoder) {
+	r.Replica = d.U32()
+	r.View = d.U64()
+	r.Epoch = d.U64()
+	r.Frontier = d.U64()
+	r.Sig = d.VarBytes()
+	r.Auth = d.Auth()
 }

@@ -317,9 +317,57 @@ func (v *Verifier) VerifyLease(g *LeaseGrant) error {
 	}
 	v.leaseOps.Add(1)
 	signer := crypto.Identity{ReplicaID: g.Granter, Role: crypto.RoleCounter}
-	msg := crypto.LeaseSigningBytes(g.Granter, g.Holder, g.View, g.AnchorSeq, g.CtrVal, g.Expiry)
+	msg := crypto.LeaseSigningBytes(g.Granter, g.Holder, g.View, g.AnchorSeq, g.CtrVal, g.Expiry, g.Probe)
 	if err := v.VerifySig(signer, msg, g.Sig); err != nil {
 		return fmt.Errorf("%w: LeaseGrant(v=%d,holder=%d): %v", ErrInvalid, g.View, g.Holder, err)
+	}
+	return nil
+}
+
+// VerifyLeaseAck checks a lease acknowledgement: the holder must be a
+// valid replica and the message authenticated by its Execution compartment
+// (signature or the Preparation-addressed MAC slot, per mode). Freshness —
+// whether the echoed expiry still lies in the future and exceeds the
+// holder's previous acks — is the granter's job.
+func (v *Verifier) VerifyLeaseAck(a *LeaseAck) error {
+	if err := v.validReplica(a.Holder); err != nil {
+		return err
+	}
+	signer := crypto.Identity{ReplicaID: a.Holder, Role: crypto.RoleExecution}
+	if err := v.verifyAuth(TLeaseAck, signer, a.SigningBytes(), a.Sig, a.Auth); err != nil {
+		return fmt.Errorf("%w: LeaseAck(v=%d,holder=%d): %v", ErrInvalid, a.View, a.Holder, err)
+	}
+	return nil
+}
+
+// VerifyReadIndex checks a read-index query: the holder must be a valid
+// replica and the message authenticated by its Execution compartment.
+func (v *Verifier) VerifyReadIndex(r *ReadIndex) error {
+	if err := v.validReplica(r.Holder); err != nil {
+		return err
+	}
+	signer := crypto.Identity{ReplicaID: r.Holder, Role: crypto.RoleExecution}
+	if err := v.verifyAuth(TReadIndex, signer, r.SigningBytes(), r.Sig, r.Auth); err != nil {
+		return fmt.Errorf("%w: ReadIndex(v=%d,holder=%d): %v", ErrInvalid, r.View, r.Holder, err)
+	}
+	return nil
+}
+
+// VerifyReadIndexReply checks a read-index answer: the sender must be the
+// primary of the reply's view and the message authenticated by its
+// Preparation compartment — the same compartment that assigns sequence
+// numbers, so the frontier carries the proposer's own authority.
+func (v *Verifier) VerifyReadIndexReply(r *ReadIndexReply) error {
+	if err := v.validReplica(r.Replica); err != nil {
+		return err
+	}
+	if r.Replica != v.Primary(r.View) {
+		return fmt.Errorf("%w: ReadIndexReply for view %d from %d, primary is %d",
+			ErrInvalid, r.View, r.Replica, v.Primary(r.View))
+	}
+	signer := crypto.Identity{ReplicaID: r.Replica, Role: crypto.RolePreparation}
+	if err := v.verifyAuth(TReadIndexReply, signer, r.SigningBytes(), r.Sig, r.Auth); err != nil {
+		return fmt.Errorf("%w: ReadIndexReply(v=%d,epoch=%d): %v", ErrInvalid, r.View, r.Epoch, err)
 	}
 	return nil
 }

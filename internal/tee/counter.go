@@ -81,15 +81,19 @@ type LeaseAttestation struct {
 	AnchorSeq uint64
 	CtrVal    uint64
 	Expiry    int64 // UnixNano wall-clock bound
-	Sig       []byte
+	// Probe marks a reachability probe: holders acknowledge it but must
+	// never install or serve under it.
+	Probe bool
+	Sig   []byte
 }
 
 // GrantLease issues a signed read lease to holder, anchored at the current
 // counter position. The expiry is chosen by the caller (the Preparation
-// compartment renews leases on the failure-detector clock); the counter
-// only binds and signs, it does not keep lease state — revocation is by
-// expiry and by view change, not by the counter.
-func (t *TrustedCounter) GrantLease(holder uint32, view, anchorSeq uint64, expiry int64) LeaseAttestation {
+// compartment renews leases on the failure-detector clock), as is the
+// probe flag (a probe is acknowledged, never installed); the counter only
+// binds and signs, it does not keep lease state — revocation is by expiry
+// and by view change, not by the counter.
+func (t *TrustedCounter) GrantLease(holder uint32, view, anchorSeq uint64, expiry int64, probe bool) LeaseAttestation {
 	t.mu.Lock()
 	ctr := t.next
 	t.grants++
@@ -101,8 +105,9 @@ func (t *TrustedCounter) GrantLease(holder uint32, view, anchorSeq uint64, expir
 		AnchorSeq: anchorSeq,
 		CtrVal:    ctr,
 		Expiry:    expiry,
+		Probe:     probe,
 	}
-	att.Sig = t.key.Sign(crypto.LeaseSigningBytes(att.Granter, att.Holder, att.View, att.AnchorSeq, att.CtrVal, att.Expiry))
+	att.Sig = t.key.Sign(crypto.LeaseSigningBytes(att.Granter, att.Holder, att.View, att.AnchorSeq, att.CtrVal, att.Expiry, att.Probe))
 	return att
 }
 
@@ -165,6 +170,6 @@ func VerifyAttestation(pub []byte, att CounterAttestation) bool {
 // VerifyLease checks a read lease under the granting counter's public key.
 func VerifyLease(pub []byte, att LeaseAttestation) bool {
 	return crypto.Verify(pub,
-		crypto.LeaseSigningBytes(att.Granter, att.Holder, att.View, att.AnchorSeq, att.CtrVal, att.Expiry),
+		crypto.LeaseSigningBytes(att.Granter, att.Holder, att.View, att.AnchorSeq, att.CtrVal, att.Expiry, att.Probe),
 		att.Sig)
 }

@@ -352,36 +352,50 @@ func (o *options) replyQuorum() (int, error) {
 	}
 }
 
-// WithReadLeases toggles the lease-anchored local read fast path. When on:
+// WithReadLeases toggles the leased local read fast path. When on:
 //
 //   - The primary's trusted counter enclave issues time-bounded read leases
 //     to every replica, piggybacked on proposal and checkpoint traffic and
-//     renewed on the failure-detector clock — no extra protocol round.
+//     renewed on a dedicated lease clock. Grants are ack-fenced: real
+//     (installable) grants go out only while 2f+1 holders have freshly
+//     acked, so a primary partitioned into a minority cannot keep
+//     extending leases.
 //   - A lease-holding replica's Execution compartment serves Client read
 //     operations locally: no PrePrepare, no quorum, one attested reply.
 //     Reads spread round-robin across the group, so read throughput scales
-//     with n instead of being serialized through agreement.
+//     with n instead of being serialized through agreement. Linearizable
+//     reads are confirmed with a batched read-index round to the primary
+//     (the read waits until local execution reaches the primary's proposal
+//     frontier sampled after the read arrived), so a read observes every
+//     write acknowledged before it began.
 //   - Replicas fail closed. A leaseless, expiring, or lagging replica
 //     refuses and the client transparently re-issues the read through the
 //     agreement path, so reads are never stale — at worst slower.
 //
 // Leases are anchored in the same trusted counter that orders proposals
-// (and revoked by view changes), so the fast path leans on the compartment
-// trust model exactly as the trusted consensus mode does. It works in
-// either consensus mode. All nodes of a deployment must agree on the
-// setting. See the README read-path section for the soundness argument.
+// (and revoked by view changes: a new primary additionally fences writes
+// for 2.5× the lease TTL so no old-view lease can miss a new-view write),
+// so the fast path leans on the compartment trust model exactly as the
+// trusted consensus mode does. Cross-view safety assumes bounded clock
+// skew between replicas (see WithLeaseTTL); within a view the read index
+// makes no timing assumption. It works in either consensus mode. All
+// nodes of a deployment must agree on the setting. See the README
+// read-path section for the soundness argument.
 func WithReadLeases(on bool) Option {
 	return func(o *options) { o.readLeases = on }
 }
 
 // WithReadConsistency selects the consistency level of leased reads:
 //
-//   - "linearizable" (the default): the serving replica must have applied
-//     everything proposed up to its lease grant, so the read reflects every
-//     operation that could have committed before it was issued.
+//   - "linearizable" (the default): the serving replica confirms each read
+//     with a batched read-index round — it waits until it has applied
+//     everything the primary had proposed when the read arrived — so the
+//     read reflects every operation acknowledged to any client before it
+//     was issued.
 //   - "session": the replica only needs to have applied this client's own
 //     observed prefix (read-your-writes + monotonic reads). Weaker across
-//     clients, but admits local reads on replicas that lag the primary.
+//     clients, but skips the read-index round entirely and admits local
+//     reads on replicas that lag the primary.
 //
 // The level is client-local; it has no effect without WithReadLeases.
 func WithReadConsistency(level string) Option {
@@ -402,10 +416,14 @@ func (o *options) readLinearizable() (bool, error) {
 }
 
 // WithLeaseTTL bounds a read lease's validity from its grant time (leases
-// renew at a quarter of it). Shorter TTLs tighten the window in which a
+// renew at a quarter of it; holders stop serving a clock-skew margin of
+// an eighth before expiry). Shorter TTLs tighten the window in which a
 // deposed primary's final leases can linger; longer ones tolerate more
-// clock skew between replicas. Default 4× the request timeout. Only
-// meaningful with WithReadLeases.
+// clock skew between replicas. The TTL is clamped to a quarter of the
+// request timeout — a lease must never outlive failure detection, and the
+// new primary's 2.5×TTL write fence has to fit inside one detection
+// period — and defaults to that maximum. Only meaningful with
+// WithReadLeases.
 func WithLeaseTTL(d time.Duration) Option {
 	return func(o *options) { o.leaseTTL = d }
 }
