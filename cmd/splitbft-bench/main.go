@@ -36,6 +36,7 @@ func main() {
 	root := flag.String("root", ".", "repository root for table2")
 	measure := flag.Duration("measure", time.Second, "measurement window per point")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
+	trace := flag.Bool("trace", false, "enable request-lifecycle tracing and print per-stage latency tables (pipeline and readlease experiments)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -136,7 +137,7 @@ func main() {
 	}
 	if all || *exp == "readlease" {
 		run("Ablation — lease-anchored local reads (90/10 open-loop mix)", func() error {
-			cfg := load.ReadLeaseConfig{}
+			cfg := load.ReadLeaseConfig{Trace: *trace}
 			if *quick {
 				cfg.Rate = 2000
 				cfg.Warmup = 400 * time.Millisecond
@@ -169,11 +170,18 @@ func main() {
 	if all || *exp == "pipeline" {
 		run("Ablation — staged agreement pipeline", func() error {
 			pts, err := bench.PipelineAblation(
-				[][2]int{{0, 0}, {16, 1}, {16, 8}, {64, 8}}, 40, *measure)
+				[][2]int{{0, 0}, {16, 1}, {16, 8}, {64, 8}}, 40, *measure, *trace)
 			if err != nil {
 				return err
 			}
 			fmt.Print(bench.FormatPipelineAblation(pts))
+			if *trace {
+				for _, p := range pts {
+					fmt.Printf("\nstage latency breakdown @batch=%d,workers=%d (leader's view):\n",
+						p.EcallBatch, p.VerifyWorkers)
+					fmt.Print(bench.FormatStages(p.Result.Stages))
+				}
+			}
 			return writeJSON("pipeline", pts)
 		})
 	}

@@ -55,6 +55,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the versioned result JSON here")
 	compare := flag.String("compare", "", "committed trajectory point to gate against")
 	band := flag.Float64("band", 0.15, "noise band for -compare (0.15 = ±15%)")
+	stageBreakdown := flag.Bool("stage-breakdown", false, "trace request lifecycles and report per-stage latency (in-process cluster only); the JSON result gains an optional stages section")
 	flag.Parse()
 
 	wl := load.Workload{
@@ -89,10 +90,20 @@ func main() {
 	if *confidential {
 		opts = append(opts, splitbft.WithConfidential())
 	}
+	if *stageBreakdown {
+		if *peers != "" {
+			// TCP replicas run in other processes; scrape their /metrics
+			// endpoints (splitbft-replica -metrics-addr) instead.
+			fatalf("-stage-breakdown needs the in-process cluster (drop -peers, or scrape the replicas' -metrics-addr endpoints)")
+		}
+		opts = append(opts, splitbft.WithObservability())
+	}
 
 	var invokers []load.Invoker
+	var cluster *splitbft.Cluster
 	if *peers == "" {
-		cluster, err := splitbft.NewCluster(*n, opts...)
+		var err error
+		cluster, err = splitbft.NewCluster(*n, opts...)
 		if err != nil {
 			fatalf("start cluster: %v", err)
 		}
@@ -165,7 +176,13 @@ func main() {
 		fatalf("run: %v", err)
 	}
 	res := load.NewResult(cfg, st, wl)
+	if *stageBreakdown && cluster != nil {
+		res.Stages = load.NodeStages(cluster.Node(0))
+	}
 	printResult(st, res)
+	if len(res.Stages) > 0 {
+		fmt.Printf("stage latency breakdown (primary's view):\n%s", load.FormatStages(res.Stages))
+	}
 
 	if *jsonPath != "" {
 		if err := load.WriteResult(*jsonPath, res); err != nil {

@@ -41,6 +41,7 @@ func main() {
 	consensus := flag.String("consensus", "classic", "consensus mode: classic (3f+1) or trusted (counter-backed 2f+1); must match across the deployment")
 	dataDir := flag.String("data-dir", "", "sealed durability directory: per-compartment WAL + snapshots; the replica recovers from it on start (empty = in-memory only)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP introspection endpoint: /metrics, /healthz, /debug/trace (\":0\" picks a free port; empty disables observability)")
 	flag.Parse()
 
 	addrs := splitbft.SplitAddrs(*peers)
@@ -89,6 +90,9 @@ func main() {
 	if *listen != "" {
 		opts = append(opts, splitbft.WithListenAddr(*listen))
 	}
+	if *metricsAddr != "" {
+		opts = append(opts, splitbft.WithMetricsAddr(*metricsAddr))
+	}
 
 	node, err := splitbft.NewNode(uint32(*id), opts...)
 	if err != nil {
@@ -103,6 +107,9 @@ func main() {
 	}
 	fmt.Printf("splitbft-replica %d listening on %s (app=%s, confidential=%v)\n",
 		*id, node.Addr(), *appName, *confidential)
+	if ma := node.MetricsAddr(); ma != "" {
+		fmt.Printf("splitbft-replica %d metrics on http://%s/metrics\n", *id, ma)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

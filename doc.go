@@ -283,6 +283,29 @@
 // against them with a noise-aware regression gate (see README
 // "Benchmarking & perf trajectory").
 //
+// # Observability
+//
+// WithObservability turns on a unified metrics-and-tracing layer;
+// WithMetricsAddr additionally serves it over HTTP (/metrics in
+// Prometheus text format, /healthz, /debug/trace — stdlib only). All
+// instrumentation records on the untrusted side at compartment
+// boundaries: the enclaves stay minimal, and what the layer reports is
+// exactly the evidence the untrusted environment can see anyway —
+// requests classified, batches entering the Preparation ecall, the
+// replica's own PrePrepares and Commits leaving, replies going out.
+// Request lifecycles become sampled spans over the write chain
+// (classify → enqueue → preprepare → prepare-cert → commit → execute →
+// reply) and the leased-read chain (arrive → read-index → serve);
+// Node.Metrics, Node.StageLatencies and Node.MetricsAddr are the
+// programmatic views. Confidential payloads never appear in traces or
+// metric labels. Disabled, every hook is a nil-receiver no-op pinned at
+// zero allocations by a test; enabled, counters stay lock-free atomics
+// read only at scrape time, and the CI load gate replays the committed
+// calibration with observability on against the uninstrumented
+// trajectory point, bounding the overhead inside the gate's noise band.
+// One Node.ResetStats call zeroes every surface — enclave counters,
+// protocol counters, tracer — as a single measurement epoch.
+//
 // The protocol engine lives under internal/ (internal/core is the
 // compartmentalized replica, internal/pbft the monolithic baseline the
 // paper compares against); the experiment harness reproducing the paper's

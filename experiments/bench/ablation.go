@@ -82,7 +82,7 @@ type PipelinePoint struct {
 // dispatcher on the SplitBFT KVS. Both points run the identical protocol
 // on the same hardware; only the untrusted scheduling and the intra-batch
 // verification parallelism differ.
-func PipelineAblation(configs [][2]int, clients int, measure time.Duration) ([]PipelinePoint, error) {
+func PipelineAblation(configs [][2]int, clients int, measure time.Duration, trace bool) ([]PipelinePoint, error) {
 	out := make([]PipelinePoint, 0, len(configs))
 	for _, c := range configs {
 		res, err := Run(RunConfig{
@@ -92,6 +92,7 @@ func PipelineAblation(configs [][2]int, clients int, measure time.Duration) ([]P
 			Measure:       measure,
 			EcallBatch:    c[0],
 			VerifyWorkers: c[1],
+			Trace:         trace,
 		})
 		if err != nil {
 			return out, fmt.Errorf("pipeline ablation @batch=%d,workers=%d: %w", c[0], c[1], err)

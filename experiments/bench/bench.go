@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -94,6 +95,10 @@ type RunConfig struct {
 	// shrinks from benchN to 2*benchF+1 replicas, matching how the mode
 	// would actually be deployed.
 	ConsensusMode string
+	// Trace enables request-lifecycle tracing on SplitBFT systems
+	// (WithObservability): the Result gains the leader's per-stage latency
+	// breakdown over the measure window.
+	Trace bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -172,6 +177,22 @@ type Result struct {
 	// classic consensus).
 	CounterCreates  uint64
 	CounterVerifies uint64
+	// Stages is the leader's per-stage request-lifecycle latency breakdown
+	// over the measure window (RunConfig.Trace only; nil otherwise).
+	Stages []splitbft.StageLatency `json:",omitempty"`
+}
+
+// FormatStages renders a per-stage latency table from a traced run.
+func FormatStages(stages []splitbft.StageLatency) string {
+	if len(stages) == 0 {
+		return "  (no traced spans — is tracing enabled and traffic flowing?)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-16s %10s %12s %12s %12s %12s\n", "stage", "spans", "mean", "p50", "p99", "max")
+	for _, s := range stages {
+		fmt.Fprintf(&b, "  %-16s %10d %12v %12v %12v %12v\n", s.Stage, s.Count, s.Mean, s.P50, s.P99, s.Max)
+	}
+	return b.String()
 }
 
 // recorder collects latencies from concurrent workers.

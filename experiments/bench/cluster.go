@@ -101,6 +101,9 @@ func startSplitCluster(cfg RunConfig, batchSize int, batchTimeout, requestTimeou
 	if cfg.AgreementAuth != "" {
 		opts = append(opts, splitbft.WithAgreementAuth(cfg.AgreementAuth))
 	}
+	if cfg.Trace {
+		opts = append(opts, splitbft.WithObservability())
+	}
 	n := benchN
 	if cfg.ConsensusMode != "" {
 		opts = append(opts, splitbft.WithConsensusMode(cfg.ConsensusMode))

@@ -1,148 +1,10 @@
 package load
 
-import (
-	"math"
-	"math/bits"
-	"time"
-)
+import "github.com/splitbft/splitbft/internal/obs"
 
-// The histogram is HdrHistogram-style: values (latencies in nanoseconds)
-// are binned into power-of-two octaves, each octave subdivided into
-// 2^subBucketBits linear sub-buckets. Quantile lookups therefore carry at
-// most 2^-subBucketBits ≈ 1.6% relative error while the whole recorder is
-// one fixed 4 KiB-entry array — no per-sample allocation, O(1) record,
-// trivially mergeable across workers. Recording is O(1) and lock-free from
-// the owner's perspective; concurrent use goes through per-worker
-// histograms merged after the run (see Generator).
-const (
-	subBucketBits = 6 // 64 sub-buckets per octave: ≤ ~1.6% relative error
-	subBuckets    = 1 << subBucketBits
-	// histBuckets covers the full int64 nanosecond range: values below
-	// subBuckets map 1:1, every further octave adds subBuckets entries.
-	histBuckets = (64 - subBucketBits) * subBuckets
-)
-
-// Histogram is a log-bucketed latency recorder. The zero value is ready to
-// use. It is not safe for concurrent use — give each worker its own and
-// Merge them.
-type Histogram struct {
-	counts [histBuckets]uint64
-	total  uint64
-	sum    int64 // nanoseconds; mean only, quantiles come from buckets
-	max    int64
-	min    int64
-}
-
-// bucketIndex maps a non-negative nanosecond value to its bucket.
-func bucketIndex(v int64) int {
-	u := uint64(v)
-	if u < subBuckets {
-		return int(u)
-	}
-	// Shift so the value fits in [subBuckets, 2*subBuckets): the exponent
-	// picks the octave, the remaining top bits the linear sub-bucket.
-	exp := bits.Len64(u) - subBucketBits - 1
-	return exp*subBuckets + int(u>>uint(exp))
-}
-
-// bucketUpper returns the inclusive upper edge of a bucket, so quantiles
-// report "at most this" — conservative, never flattering.
-func bucketUpper(idx int) int64 {
-	if idx < subBuckets {
-		return int64(idx)
-	}
-	exp := idx/subBuckets - 1
-	return (int64(idx%subBuckets+subBuckets+1) << uint(exp)) - 1
-}
-
-// Record adds one latency observation. Negative durations (clock trouble)
-// clamp to zero rather than corrupting the state.
-func (h *Histogram) Record(d time.Duration) {
-	v := int64(d)
-	if v < 0 {
-		v = 0
-	}
-	if h.total == 0 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.counts[bucketIndex(v)]++
-	h.total++
-	h.sum += v
-}
-
-// Count returns the number of recorded observations.
-func (h *Histogram) Count() uint64 { return h.total }
-
-// Max returns the largest recorded value exactly (not bucket-quantized).
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
-
-// Min returns the smallest recorded value exactly.
-func (h *Histogram) Min() time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	return time.Duration(h.min)
-}
-
-// Mean returns the arithmetic mean of all recorded values.
-func (h *Histogram) Mean() time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / int64(h.total))
-}
-
-// Quantile returns the latency at quantile q in [0, 1]: the bucket upper
-// edge below which at least q·Count observations fall (the exact maximum
-// for q = 1). Returns 0 on an empty histogram.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	if q >= 1 {
-		return time.Duration(h.max)
-	}
-	if q < 0 {
-		q = 0
-	}
-	// ceil(q*total) with a floor of 1: the smallest rank covering q.
-	rank := uint64(math.Ceil(q * float64(h.total)))
-	if rank == 0 {
-		rank = 1
-	}
-	var seen uint64
-	for i := range h.counts {
-		seen += h.counts[i]
-		if seen >= rank {
-			upper := bucketUpper(i)
-			if upper > h.max {
-				upper = h.max // never report beyond the observed maximum
-			}
-			return time.Duration(upper)
-		}
-	}
-	return time.Duration(h.max)
-}
-
-// Merge folds other into h. Merging bucket arrays is exact: quantiles of
-// the merged histogram equal those of one histogram having recorded both
-// streams.
-func (h *Histogram) Merge(other *Histogram) {
-	if other.total == 0 {
-		return
-	}
-	for i := range h.counts {
-		h.counts[i] += other.counts[i]
-	}
-	if h.total == 0 || other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
-	}
-	h.total += other.total
-	h.sum += other.sum
-}
+// Histogram is the shared log-bucketed latency recorder, promoted from
+// this package into internal/obs so the replica-side observability layer
+// (stage-latency breakdowns, /metrics quantiles) and the load generator
+// agree on one recorder with one merge semantics. The alias keeps every
+// existing call site and the on-disk JSON produced from it unchanged.
+type Histogram = obs.Histogram

@@ -45,6 +45,9 @@ type ReadLeaseConfig struct {
 	InFlight int           // worker pool; default 64
 	Queue    int           // dispatch queue; default 256
 	Seed     int64         // arrival seed; default 1
+	// Trace enables request-lifecycle tracing on the cluster; each point's
+	// Result gains the primary's per-stage latency breakdown.
+	Trace bool
 }
 
 func (c ReadLeaseConfig) withDefaults() ReadLeaseConfig {
@@ -95,13 +98,17 @@ func ReadLeaseAblation(cfg ReadLeaseConfig) ([]ReadLeasePoint, error) {
 }
 
 func runReadLeasePoint(cfg ReadLeaseConfig, leases bool) (ReadLeasePoint, error) {
-	cluster, err := splitbft.NewCluster(cfg.Replicas,
+	opts := []splitbft.Option{
 		splitbft.WithKVStore(),
 		splitbft.WithBatchSize(1),
 		splitbft.WithEcallBatch(16),
 		splitbft.WithVerifyWorkers(1),
 		splitbft.WithReadLeases(leases),
-	)
+	}
+	if cfg.Trace {
+		opts = append(opts, splitbft.WithObservability())
+	}
+	cluster, err := splitbft.NewCluster(cfg.Replicas, opts...)
 	if err != nil {
 		return ReadLeasePoint{}, fmt.Errorf("start cluster: %w", err)
 	}
@@ -159,7 +166,23 @@ func runReadLeasePoint(cfg ReadLeaseConfig, leases bool) (ReadLeasePoint, error)
 		pt.LocalReads += n.LocalReads()
 	}
 	pt.LeaseGrants = cluster.Node(0).CryptoStats().LeaseGrants
+	if cfg.Trace {
+		pt.Result.Stages = NodeStages(cluster.Node(0))
+	}
 	return pt, nil
+}
+
+// NodeStages converts a traced node's per-stage latency breakdown into the
+// load result's JSON shape. The view is that single replica's — here the
+// primary's: write stages are complete on it, while with leases on it
+// serves only its round-robin share of the reads.
+func NodeStages(n *splitbft.Node) []StageLatency {
+	stats := n.StageLatencies()
+	out := make([]StageLatency, len(stats))
+	for i, s := range stats {
+		out[i] = StageLatency{Stage: s.Stage, Count: s.Count, Mean: s.Mean, P50: s.P50, P99: s.P99, Max: s.Max}
+	}
+	return out
 }
 
 // ReadLeaseSpeedup is the read-class throughput ratio of the lease-enabled
@@ -207,6 +230,17 @@ func FormatReadLeaseAblation(pts []ReadLeasePoint) string {
 	}
 	if s := ReadLeaseSpeedup(pts); s > 0 {
 		sb.WriteString(fmt.Sprintf("\nread throughput speedup (leases on / off): %.2fx\n", s))
+	}
+	for _, p := range pts {
+		if len(p.Result.Stages) == 0 {
+			continue
+		}
+		mode := "off"
+		if p.Leases {
+			mode = "on"
+		}
+		sb.WriteString(fmt.Sprintf("\nstage latency breakdown, leases %s (primary's view):\n", mode))
+		sb.WriteString(FormatStages(p.Result.Stages))
 	}
 	return sb.String()
 }

@@ -83,6 +83,40 @@ type Result struct {
 	WriteRate    float64         `json:"write_ops_per_sec,omitempty"`
 	ReadLatency  *LatencySummary `json:"read_latency,omitempty"`
 	WriteLatency *LatencySummary `json:"write_latency,omitempty"`
+
+	// Stages is the per-stage request-lifecycle latency breakdown of one
+	// replica's tracer (-stage-breakdown runs only). It is omitted when
+	// tracing is off so previously committed trajectory points round-trip
+	// unchanged, and it is deliberately NOT part of the gate's workload
+	// identity: a traced run hard-compares against a committed untraced
+	// point, which is exactly how the observability overhead is gated.
+	Stages []StageLatency `json:"stages,omitempty"`
+}
+
+// StageLatency is one row of a traced run's per-stage latency breakdown.
+type StageLatency struct {
+	Stage string        `json:"stage"`
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// FormatStages renders the per-stage breakdown as an aligned table.
+func FormatStages(stages []StageLatency) string {
+	if len(stages) == 0 {
+		return "  (no traced spans)\n"
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "spans", "mean", "p50", "p99", "max"))
+	for _, s := range stages {
+		sb.WriteString(fmt.Sprintf("  %-16s %10d %12v %12v %12v %12v\n",
+			s.Stage, s.Count,
+			s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond)))
+	}
+	return sb.String()
 }
 
 // summarize digests a histogram into the quantile summary.
@@ -117,9 +151,9 @@ func NewResult(cfg Config, st Stats, wl Workload) Result {
 		Errors:       st.Errors,
 		OfferedRate:  st.OfferedRate(),
 		AchievedRate: st.AchievedRate(),
-		Latency:  summarize(&st.Hist),
-		Workload: wl,
-		Env:      bench.CollectEnv(),
+		Latency:      summarize(&st.Hist),
+		Workload:     wl,
+		Env:          bench.CollectEnv(),
 	}
 	if cfg.ReadFrac > 0 {
 		r.ReadOps = st.Reads

@@ -8,6 +8,7 @@ import (
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/genset"
 	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/obs"
 	"github.com/splitbft/splitbft/internal/ring"
 	"github.com/splitbft/splitbft/internal/store"
 	"github.com/splitbft/splitbft/internal/tee"
@@ -328,7 +329,7 @@ type broker struct {
 	lastSuspect  time.Time
 	lastRotate   time.Time
 	lastLease    time.Time // last lease-clock tick into Preparation
-	fetchBudget  int // remaining BatchFetch forwards this period
+	fetchBudget  int       // remaining BatchFetch forwards this period
 
 	blocksMu sync.Mutex
 	blocks   [][]byte // sealed blockchain blocks persisted via ocall
@@ -340,9 +341,17 @@ type broker struct {
 	mReplies atomic.Uint64
 	mBatches atomic.Uint64
 
-	mSuspects atomic.Uint64
-	mGarbage  atomic.Uint64 // malformed inbound messages dropped pre-ecall
-	mDeduped  atomic.Uint64 // retransmits dropped pre-ecall
+	mSuspects    atomic.Uint64
+	mGarbage     atomic.Uint64 // malformed inbound messages dropped pre-ecall
+	mDeduped     atomic.Uint64 // retransmits dropped pre-ecall
+	mViewChanges atomic.Uint64 // view-estimate advances (observed NewView or own suspicion)
+
+	// tr is the request-lifecycle tracer (nil when observability is off).
+	// Every stamp below sits behind a nil check; the broker stamps spans at
+	// exactly the points where requests cross a compartment boundary it can
+	// see — it never looks inside enclaves, only at the traffic between
+	// them.
+	tr *obs.Tracer
 }
 
 // dedupEntries bounds each generation of the broker's retransmit filter.
@@ -371,6 +380,7 @@ func newBroker(cfg Config, prep, conf, exec *tee.Enclave, stores map[crypto.Role
 		reqTimers:   make(map[reqKey]time.Time),
 		fetchBudget: fetchBudgetPerPeriod,
 		stop:        make(chan struct{}),
+		tr:          cfg.Obs.Trace(),
 	}
 	if cfg.SingleThread {
 		b.queues = []*queue{newQueue()}
@@ -510,17 +520,27 @@ func (b *broker) route(out []tee.OutMsg) {
 		m := &out[i]
 		switch m.Kind {
 		case tee.DestBroadcast:
+			b.observeOutbound(m.Payload)
 			if b.conn != nil {
 				_ = b.conn.BroadcastReplicas(m.Payload)
 			}
 		case tee.DestReplica:
+			b.observeOutbound(m.Payload)
 			if b.conn != nil {
 				_ = b.conn.Send(transport.ReplicaEndpoint(m.ID), m.Payload)
 			}
 		case tee.DestClient:
-			b.noteClientBound(m.Payload)
+			client, ts, kind := b.noteClientBound(m.Payload)
 			if b.conn != nil {
 				_ = b.conn.Send(transport.ClientEndpoint(m.ID), m.Payload)
+			}
+			// The span closes after the transport hand-off, so the final
+			// segment (execute → reply) covers the send itself.
+			switch kind {
+			case clientBoundReply:
+				b.tr.Finish(client, ts, obs.StageReply)
+			case clientBoundReadReply:
+				b.tr.Finish(client, ts, obs.StageReadServe)
 			}
 		case tee.DestLocal:
 			pb := frameMessage(m.Payload, 1)
@@ -529,22 +549,93 @@ func (b *broker) route(out []tee.OutMsg) {
 	}
 }
 
+// observeOutbound stamps lifecycle spans from this replica's own outbound
+// protocol traffic — the only untrusted-visible evidence of progress
+// inside the enclaves. Free when tracing is off; when on it decodes only
+// the three message kinds it cares about.
+func (b *broker) observeOutbound(data []byte) {
+	if b.tr == nil || len(data) == 0 {
+		return
+	}
+	switch messages.Type(data[0]) {
+	case messages.TPrePrepare:
+		// Own proposal leaving the Preparation compartment: link the batch
+		// members to their sequence number (followers link in handler).
+		m, err := messages.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		pp := m.(*messages.PrePrepare)
+		for i := range pp.Batch.Requests {
+			r := &pp.Batch.Requests[i]
+			b.tr.Link(pp.Seq, r.ClientID, r.Timestamp)
+		}
+	case messages.TCommit:
+		// Own Commit leaving the Confirmation compartment proves it holds a
+		// prepare certificate; it also counts toward the commit quorum.
+		m, err := messages.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		c := m.(*messages.Commit)
+		b.tr.StampSeq(c.Seq, obs.StagePrepareCert)
+		b.tr.CommitVote(c.Seq, b.cfg.N-b.cfg.F)
+	case messages.TReadIndex:
+		// A frontier query leaving the Execution compartment confirms every
+		// read pending at this moment (queries are batched per epoch).
+		b.tr.StampActiveReads(obs.StageReadIndex)
+	case messages.TNewView:
+		// This replica is the new primary announcing the view change.
+		m, err := messages.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		b.observeNewView(m.(*messages.NewView))
+	}
+}
+
+// Outbound client-traffic kinds noted by noteClientBound.
+const (
+	clientBoundOther = iota
+	clientBoundReply
+	clientBoundReadReply
+)
+
 // noteClientBound inspects outbound client traffic to clear request timers
 // and count executed operations. The broker may read these envelopes — the
-// confidential payload inside is ciphertext.
-func (b *broker) noteClientBound(data []byte) {
-	if len(data) == 0 || messages.Type(data[0]) != messages.TReply {
-		return
+// confidential payload inside is ciphertext. It returns the request
+// identity and kind so route can close the lifecycle span after the send.
+func (b *broker) noteClientBound(data []byte) (client uint32, ts uint64, kind int) {
+	if len(data) == 0 {
+		return 0, 0, clientBoundOther
 	}
-	m, err := messages.Unmarshal(data)
-	if err != nil {
-		return
+	switch messages.Type(data[0]) {
+	case messages.TReply:
+		m, err := messages.Unmarshal(data)
+		if err != nil {
+			return 0, 0, clientBoundOther
+		}
+		rep := m.(*messages.Reply)
+		b.mReplies.Add(1)
+		b.mu.Lock()
+		delete(b.reqTimers, reqKey{client: rep.ClientID, ts: rep.Timestamp})
+		b.mu.Unlock()
+		// The reply emerging from the Execution compartment is the
+		// untrusted side's proof the operation was applied.
+		b.tr.Stamp(rep.ClientID, rep.Timestamp, obs.StageExecute)
+		return rep.ClientID, rep.Timestamp, clientBoundReply
+	case messages.TReadReply:
+		if b.tr == nil {
+			return 0, 0, clientBoundOther
+		}
+		m, err := messages.Unmarshal(data)
+		if err != nil {
+			return 0, 0, clientBoundOther
+		}
+		rep := m.(*messages.ReadReply)
+		return rep.ClientID, rep.Timestamp, clientBoundReadReply
 	}
-	rep := m.(*messages.Reply)
-	b.mReplies.Add(1)
-	b.mu.Lock()
-	delete(b.reqTimers, reqKey{client: rep.ClientID, ts: rep.Timestamp})
-	b.mu.Unlock()
+	return 0, 0, clientBoundOther
 }
 
 // handler is the transport inbound path — the classify stage of the
@@ -592,6 +683,15 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 	}
 	switch t {
 	case messages.TPrePrepare:
+		if b.tr != nil {
+			// Link the batch members to their sequence number so later
+			// per-seq protocol events (commits) reach their spans.
+			pp := m.(*messages.PrePrepare)
+			for i := range pp.Batch.Requests {
+				r := &pp.Batch.Requests[i]
+				b.tr.Link(pp.Seq, r.ClientID, r.Timestamp)
+			}
+		}
 		// Duplicated into all three input logs (Preparation prepares it,
 		// Confirmation matches it against Prepares, Execution needs the
 		// request bodies).
@@ -599,6 +699,10 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 	case messages.TPrepare:
 		b.submitShared(data, crypto.RoleConfirmation)
 	case messages.TCommit:
+		if b.tr != nil {
+			c := m.(*messages.Commit)
+			b.tr.CommitVote(c.Seq, b.cfg.N-b.cfg.F)
+		}
 		b.submitShared(data, crypto.RoleExecution)
 	case messages.TCheckpoint:
 		b.submitShared(data, crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution)
@@ -628,6 +732,10 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 			}
 		}
 	case messages.TLeaseGrant, messages.TReadRequest, messages.TReadIndexReply:
+		if t == messages.TReadRequest && b.tr != nil {
+			r := m.(*messages.ReadRequest)
+			b.tr.Begin(r.ClientID, r.Timestamp, true)
+		}
 		// Read-lease fast path: all three terminate in the Execution
 		// compartment. Not deduplicated — a retransmitted read must be
 		// re-answered... by the enclave's replay guard, which drops it
@@ -646,13 +754,22 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 
 // observeNewView updates the broker's view estimate so batching
 // responsibility follows the primary. The estimate is untrusted and only
-// affects liveness.
+// affects liveness. A NewView that actually advances the estimate counts
+// as one observed view change (retransmits don't), and voids the
+// tracer's pending commit-vote counts — votes from the deposed view
+// cannot certify sequence numbers in the new one.
 func (b *broker) observeNewView(nv *messages.NewView) {
+	advanced := false
 	b.mu.Lock()
 	if nv.View > b.viewEstimate {
 		b.viewEstimate = nv.View
+		advanced = true
 	}
 	b.mu.Unlock()
+	if advanced {
+		b.mViewChanges.Add(1)
+		b.tr.OnViewChange()
+	}
 }
 
 // believesPrimary reports whether this replica's Preparation compartment is
@@ -671,6 +788,7 @@ func (b *broker) onClientRequest(data []byte) {
 		return
 	}
 	req := m.(*messages.Request)
+	b.tr.Begin(req.ClientID, req.Timestamp, false)
 	key := reqKey{client: req.ClientID, ts: req.Timestamp}
 	var submitNow *messages.Batch
 	b.mu.Lock()
@@ -717,6 +835,12 @@ func (b *broker) takeBatchLocked() *messages.Batch {
 
 func (b *broker) submitBatch(batch *messages.Batch) {
 	b.mBatches.Add(1)
+	if b.tr != nil {
+		for i := range batch.Requests {
+			r := &batch.Requests[i]
+			b.tr.Stamp(r.ClientID, r.Timestamp, obs.StageEnqueue)
+		}
+	}
 	pb := frameBatch(batch)
 	b.submit(crypto.RolePreparation, pb.buf, pb)
 }
@@ -803,6 +927,13 @@ func (b *broker) onTick(now time.Time) {
 	}
 	if suspect {
 		b.mSuspects.Add(1)
+		// The suspect path advanced the view estimate without a NewView
+		// (batching duty may already be ours), so it is a view change this
+		// replica observed too — and the deposed view's pending commit
+		// votes can no more certify the new view here than on the
+		// NewView-observing path.
+		b.mViewChanges.Add(1)
+		b.tr.OnViewChange()
 		pb := frameMsg(&messages.Suspect{Replica: b.cfg.ID, View: suspectView}, 1)
 		b.submit(crypto.RoleConfirmation, pb.buf, pb)
 	}

@@ -26,6 +26,7 @@ import (
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/defaults"
 	"github.com/splitbft/splitbft/internal/messages"
+	"github.com/splitbft/splitbft/internal/obs"
 	"github.com/splitbft/splitbft/internal/tee"
 )
 
@@ -122,6 +123,13 @@ type Config struct {
 	BatchSize          int
 	BatchTimeout       time.Duration
 	RequestTimeout     time.Duration
+
+	// Obs attaches the observability layer: the metrics registry collects
+	// every stat surface of the replica and the tracer records sampled
+	// request-lifecycle spans stamped at the untrusted compartment
+	// boundaries. Nil disables observability entirely — every hook
+	// degrades to a nil check on the hot path.
+	Obs *obs.Observer
 
 	// ReadLeases enables the lease-anchored local read fast path: the
 	// primary's trusted counter enclave issues time-bounded read leases to

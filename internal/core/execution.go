@@ -113,6 +113,15 @@ type execution struct {
 	lease       *messages.LeaseGrant
 	leaseMargin time.Duration
 	localReads  atomic.Uint64
+	// Protocol-event counters the observability layer reads from the
+	// untrusted side (the localReads pattern): plain atomics, never part
+	// of the sealed persistent state, safe for the environment to read
+	// while the protocol thread writes.
+	evLeaseRefusals  atomic.Uint64
+	evReadIndexes    atomic.Uint64
+	evStallFetches   atomic.Uint64
+	evProbesSent     atomic.Uint64
+	evProbesAnswered atomic.Uint64
 	// readHigh tracks, per client, the highest ReadRequest timestamp already
 	// accepted past MAC verification. Clients never reuse a read timestamp,
 	// so anything at or below the watermark is a replay (or stale
@@ -384,6 +393,7 @@ func (e *execution) answerRead(r *messages.ReadRequest) tee.OutMsg {
 // refuseRead builds an explicit OK=false reply: the client's signal to
 // take the agreement path.
 func (e *execution) refuseRead(r *messages.ReadRequest) tee.OutMsg {
+	e.evLeaseRefusals.Add(1)
 	rep := &messages.ReadReply{
 		Replica:    e.id,
 		ClientID:   r.ClientID,
@@ -424,6 +434,7 @@ func (e *execution) admitLinearizableRead(host tee.Host, r *messages.ReadRequest
 // sendReadIndex (re)transmits the current epoch's frontier query to the
 // primary's Preparation compartment.
 func (e *execution) sendReadIndex(host tee.Host) tee.OutMsg {
+	e.evReadIndexes.Add(1)
 	ri := &messages.ReadIndex{Holder: e.id, View: e.view, Epoch: e.riSentEpoch}
 	ri.Sig, ri.Auth = e.authenticate(host, messages.TReadIndex, ri.SigningBytes())
 	if p := e.primary(e.view); p != e.id {
@@ -756,6 +767,7 @@ func (e *execution) tickStall() []tee.OutMsg {
 // still covers the gap if every fetch is lost — this is the fast path,
 // not the only one.
 func (e *execution) fetchBody(seq uint64, digest crypto.Digest) []tee.OutMsg {
+	e.evStallFetches.Add(1)
 	return []tee.OutMsg{broadcastOut(&messages.BatchFetch{Seq: seq, Digest: digest, Replica: e.id})}
 }
 
@@ -867,6 +879,7 @@ func (e *execution) onProbeTick() []tee.OutMsg {
 		return nil
 	}
 	e.probesLeft--
+	e.evProbesSent.Add(1)
 	have := e.lastExec
 	if e.stableCert.Seq > have {
 		have = e.stableCert.Seq
@@ -903,6 +916,7 @@ func (e *execution) onStateProbe(p *messages.StateProbe) []tee.OutMsg {
 	if !ok {
 		return nil
 	}
+	e.evProbesAnswered.Add(1)
 	return []tee.OutMsg{replicaOut(p.Replica,
 		&messages.StateReply{Cert: e.stableCert, Snapshot: snap, Replica: e.id})}
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/obs"
+)
+
+// compartmentRoles is the fixed emission order for per-compartment series;
+// it matches the construction order of r.vers and r.caches in NewReplica.
+var compartmentRoles = [3]crypto.Role{crypto.RolePreparation, crypto.RoleConfirmation, crypto.RoleExecution}
+
+// EventStats are the protocol-event counters the untrusted environment
+// tracks outside the enclaves (the obs registry exposes them as series;
+// this struct is the programmatic view).
+type EventStats struct {
+	// ViewChanges counts advances of this replica's view estimate —
+	// observed NewView messages and its own suspicion-driven bumps.
+	ViewChanges uint64
+	// LeaseRefusals counts linearizable reads the Execution compartment
+	// refused to serve locally (expired/absent lease, stale frontier) —
+	// each one fell back to the agreement or read-index path.
+	LeaseRefusals uint64
+	// ReadIndexes counts read-index confirmation rounds this replica
+	// started as lease holder.
+	ReadIndexes uint64
+	// StallFetches counts checkpoint-stall body fetches: a compartment
+	// held a certificate without the batch body and had to ask peers.
+	StallFetches uint64
+	// ProbesSent and ProbesAnswered count state-transfer probes, both
+	// directions.
+	ProbesSent     uint64
+	ProbesAnswered uint64
+}
+
+// Events returns the untrusted-side protocol-event counters.
+func (r *Replica) Events() EventStats {
+	return EventStats{
+		ViewChanges:    r.broker.mViewChanges.Load(),
+		LeaseRefusals:  r.execCode.evLeaseRefusals.Load(),
+		ReadIndexes:    r.execCode.evReadIndexes.Load(),
+		StallFetches:   r.execCode.evStallFetches.Load(),
+		ProbesSent:     r.execCode.evProbesSent.Load(),
+		ProbesAnswered: r.execCode.evProbesAnswered.Load(),
+	}
+}
+
+// ViewChanges returns how many times this replica's view estimate
+// advanced (observed NewView or own suspicion).
+func (r *Replica) ViewChanges() uint64 { return r.broker.mViewChanges.Load() }
+
+// compartmentName is the full paper name of a compartment's role, used as
+// the metrics label and healthz key; Role.String() is the short wire form.
+func compartmentName(role crypto.Role) string {
+	switch role {
+	case crypto.RolePreparation:
+		return "preparation"
+	case crypto.RoleConfirmation:
+		return "confirmation"
+	case crypto.RoleExecution:
+		return "execution"
+	}
+	return role.String()
+}
+
+// EnclavesAlive reports per-compartment liveness keyed by the full
+// compartment name: false once the enclave was crashed by fault injection
+// (a real deployment would ask the hypervisor whether the enclave process
+// still runs).
+func (r *Replica) EnclavesAlive() map[string]bool {
+	return map[string]bool{
+		compartmentName(crypto.RolePreparation):  !r.prep.Crashed(),
+		compartmentName(crypto.RoleConfirmation): !r.conf.Crashed(),
+		compartmentName(crypto.RoleExecution):    !r.exec.Crashed(),
+	}
+}
+
+// WALError returns the first sticky write failure across the
+// per-compartment durability stores, nil when persistence is off or
+// healthy.
+func (r *Replica) WALError() error {
+	for _, role := range compartmentRoles {
+		cs, ok := r.stores[role]
+		if !ok {
+			continue
+		}
+		if err := cs.st.Failed(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetAllStats zeroes every stat surface this replica owns in one call:
+// the per-compartment ecall/crypto/cache counters (ResetEnclaveStats),
+// the broker's message counters, the protocol-event counters, and the
+// request tracer. Callers that previously combined ResetEnclaveStats with
+// ad-hoc per-counter resets mixed measurement epochs — counters zeroed at
+// slightly different times — so this is the only reset entry point the
+// observability layer exposes.
+func (r *Replica) ResetAllStats() {
+	r.ResetEnclaveStats()
+	b := r.broker
+	b.mReplies.Store(0)
+	b.mBatches.Store(0)
+	b.mSuspects.Store(0)
+	b.mGarbage.Store(0)
+	b.mDeduped.Store(0)
+	b.mViewChanges.Store(0)
+	e := r.execCode
+	e.evLeaseRefusals.Store(0)
+	e.evReadIndexes.Store(0)
+	e.evStallFetches.Store(0)
+	e.evProbesSent.Store(0)
+	e.evProbesAnswered.Store(0)
+	r.cfg.Obs.Trace().Reset()
+}
+
+// registerObs publishes every existing stat surface into the
+// observability registry as pull-style collectors: the hot paths keep
+// their cheap atomics and the registry reads them only when scraped.
+// Called once from NewReplica; on a restart the facade drops the dead
+// replica's collectors before the new replica re-registers.
+func (r *Replica) registerObs() {
+	reg := r.cfg.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Collect(func(emit func(name string, value float64)) {
+		for _, role := range compartmentRoles {
+			c := compartmentName(role)
+			s := r.Enclave(role).Stats()
+			emit(obs.Label("splitbft_ecalls_total", "compartment", c), float64(s.Count))
+			emit(obs.Label("splitbft_ecall_msgs_total", "compartment", c), float64(s.Msgs))
+			emit(obs.Label("splitbft_ecall_time_ns_total", "compartment", c), float64(s.Total))
+		}
+		for i, v := range r.vers {
+			c := compartmentName(compartmentRoles[i])
+			s := v.Stats()
+			emit(obs.Label("splitbft_sig_verifies_total", "compartment", c), float64(s.SigVerifies))
+			emit(obs.Label("splitbft_sig_verify_ns_total", "compartment", c), float64(s.SigTime))
+			emit(obs.Label("splitbft_mac_verifies_total", "compartment", c), float64(s.MACVerifies))
+			emit(obs.Label("splitbft_counter_verifies_total", "compartment", c), float64(s.CounterVerifies))
+			emit(obs.Label("splitbft_lease_verifies_total", "compartment", c), float64(s.LeaseVerifies))
+		}
+		for i, vc := range r.caches {
+			c := compartmentName(compartmentRoles[i])
+			s := vc.Stats()
+			emit(obs.Label("splitbft_verify_cache_hits_total", "compartment", c), float64(s.Hits))
+			emit(obs.Label("splitbft_verify_cache_misses_total", "compartment", c), float64(s.Misses))
+		}
+		for _, role := range compartmentRoles {
+			cs, ok := r.stores[role]
+			if !ok {
+				continue
+			}
+			c := compartmentName(role)
+			s := cs.st.Stats()
+			emit(obs.Label("splitbft_wal_appends_total", "compartment", c), float64(s.Appended))
+			emit(obs.Label("splitbft_wal_fsyncs_total", "compartment", c), float64(s.Fsyncs))
+			emit(obs.Label("splitbft_wal_segments", "compartment", c), float64(s.Segments))
+			emit(obs.Label("splitbft_wal_snapshot_index", "compartment", c), float64(s.SnapshotIndex))
+		}
+		emit("splitbft_executed_ops_total", float64(r.ExecutedOps()))
+		emit("splitbft_batches_total", float64(r.Batches()))
+		emit("splitbft_suspects_total", float64(r.Suspects()))
+		emit("splitbft_dedup_drops_total", float64(r.DedupedMsgs()))
+		emit("splitbft_garbage_drops_total", float64(r.DroppedGarbage()))
+		emit("splitbft_view_changes_total", float64(r.ViewChanges()))
+		emit("splitbft_persisted_blocks_total", float64(r.PersistedBlocks()))
+		emit("splitbft_lease_grants_total", float64(r.LeaseGrants()))
+		emit("splitbft_counter_creates_total", float64(r.CounterCreates()))
+		emit("splitbft_local_reads_total", float64(r.LocalReads()))
+		ev := r.Events()
+		emit("splitbft_lease_refusals_total", float64(ev.LeaseRefusals))
+		emit("splitbft_read_index_rounds_total", float64(ev.ReadIndexes))
+		emit("splitbft_stall_fetches_total", float64(ev.StallFetches))
+		emit("splitbft_state_probes_sent_total", float64(ev.ProbesSent))
+		emit("splitbft_state_probes_answered_total", float64(ev.ProbesAnswered))
+		emit("splitbft_recovery_snapshots", float64(r.recovery.Snapshots))
+		emit("splitbft_recovery_wal_records", float64(r.recovery.WALRecords))
+		emit("splitbft_recovery_replay_ns", float64(r.recovery.Replay))
+	})
+	reg.OnReset(r.ResetAllStats)
+}

@@ -240,6 +240,10 @@ func NewReplica(cfg Config) (*Replica, error) {
 			return err
 		})
 	}
+
+	// Observability: publish every stat surface as pull-style collectors.
+	// No-op when cfg.Obs is nil.
+	r.registerObs()
 	return r, nil
 }
 

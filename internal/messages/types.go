@@ -90,6 +90,13 @@ func (t Type) String() string {
 	}
 }
 
+// ProbePing is the single-byte out-of-band connectivity probe the health
+// endpoint sends to each peer replica: it collides with no wire Type, so
+// the receiving broker's classify stage drops it as an unknown type
+// without decoding anything. Reaching the peer's transport is the whole
+// point — a forged or replayed ping can cost bandwidth only.
+const ProbePing byte = 0xFE
+
 // Message is implemented by every wire message.
 type Message interface {
 	// MsgType returns the envelope type tag.

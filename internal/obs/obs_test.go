@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricRegistryGatherSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(3)
+	r.Counter("alpha").Inc()
+	r.Gauge("mid").Set(-7)
+	r.Collect(func(emit func(string, float64)) {
+		emit("beta", 2.5)
+	})
+	got := r.Gather()
+	want := []Sample{{"alpha", 1}, {"beta", 2.5}, {"mid", -7}, {"zeta", 3}}
+	if len(got) != len(want) {
+		t.Fatalf("gathered %d samples, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMetricRegistryResetRunsHooks(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Add(41)
+	hooked := 0
+	r.OnReset(func() { hooked++ })
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter survived reset: %d", c.Value())
+	}
+	if hooked != 1 {
+		t.Fatalf("reset hook ran %d times, want 1", hooked)
+	}
+	// DropCollectors removes the hook with the collectors: a restarted
+	// replica re-registers both, and a stale hook would reset freed state.
+	r.DropCollectors()
+	r.Reset()
+	if hooked != 1 {
+		t.Fatalf("dropped hook still ran (%d)", hooked)
+	}
+}
+
+func TestMetricLabelRendering(t *testing.T) {
+	if got := Label("a_total"); got != "a_total" {
+		t.Fatalf("unlabeled = %q", got)
+	}
+	got := Label("a_total", "compartment", "preparation", "k", "v")
+	want := `a_total{compartment="preparation",k="v"}`
+	if got != want {
+		t.Fatalf("labeled = %q, want %q", got, want)
+	}
+}
+
+// TestMetricNilInstrumentsZeroAlloc pins the off-switch contract: with
+// observability disabled every hook is a method on a nil receiver, and the
+// request hot path must not allocate for it.
+func TestMetricNilInstrumentsZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var reg *Registry
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		g.Add(-1)
+		reg.Counter("x").Inc()
+		tr.Begin(1, 2, false)
+		tr.Stamp(1, 2, StageEnqueue)
+		tr.Link(7, 1, 2)
+		tr.StampSeq(7, StagePrepareCert)
+		tr.CommitVote(7, 3)
+		tr.StampActiveReads(StageReadIndex)
+		tr.Finish(1, 2, StageReply)
+		tr.OnViewChange()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTracerWriteChainComplete(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin(9, 100, false)
+	tr.Stamp(9, 100, StageEnqueue)
+	tr.Link(5, 9, 100)
+	tr.StampSeq(5, StagePrepareCert)
+	for i := 0; i < 3; i++ {
+		tr.CommitVote(5, 3)
+	}
+	tr.Stamp(9, 100, StageExecute)
+	tr.Finish(9, 100, StageReply)
+
+	spans := tr.Spans(10)
+	if len(spans) != 1 {
+		t.Fatalf("got %d finished spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Seq != 5 || sp.Read {
+		t.Fatalf("span identity wrong: %+v", sp)
+	}
+	for s := StageClassify; s <= StageReply; s++ {
+		if !sp.Stamped(s) {
+			t.Fatalf("stage %v missing from %v", s, sp.Stages())
+		}
+	}
+	stats := tr.StageStats()
+	var names []string
+	for _, st := range stats {
+		names = append(names, st.Stage)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"enqueue", "preprepare", "prepare-cert", "commit", "execute", "reply", "end-to-end"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("stage stats missing %q: %v", want, joined)
+		}
+	}
+	if begun, finished, dropped := tr.Counts(); begun != 1 || finished != 1 || dropped != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 1/1/0", begun, finished, dropped)
+	}
+}
+
+// TestTracerCommitOutrunsLink covers the recovering-replica order: the
+// commit quorum is observed before the PrePrepare links the span, and the
+// late Link must still pick up the Commit stamp via the -1 sentinel.
+func TestTracerCommitOutrunsLink(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin(1, 1, false)
+	for i := 0; i < 3; i++ {
+		tr.CommitVote(8, 3)
+	}
+	tr.Link(8, 1, 1)
+	tr.Finish(1, 1, StageReply)
+	sp := tr.Spans(1)[0]
+	if !sp.Stamped(StageCommit) {
+		t.Fatalf("late-linked span lost its commit stamp: %v", sp.Stages())
+	}
+}
+
+func TestTracerSamplingAndRetransmits(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 9; i++ {
+		tr.Begin(1, uint64(100+i), false)
+	}
+	if begun, _, _ := tr.Counts(); begun != 3 {
+		t.Fatalf("sample=3 over 9 arrivals begun %d spans, want 3", begun)
+	}
+	// A retransmit of an in-flight request must not restart its span.
+	tr2 := NewTracer(1)
+	tr2.Begin(2, 7, false)
+	tr2.Stamp(2, 7, StageEnqueue)
+	tr2.Begin(2, 7, false)
+	tr2.Finish(2, 7, StageReply)
+	sp := tr2.Spans(1)[0]
+	if !sp.Stamped(StageEnqueue) {
+		t.Fatal("retransmitted Begin restarted the span")
+	}
+}
+
+func TestTracerViewChangeVoidsVotes(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin(1, 1, false)
+	tr.Link(4, 1, 1)
+	tr.CommitVote(4, 3)
+	tr.CommitVote(4, 3)
+	tr.OnViewChange() // old-view votes cannot certify the new view
+	tr.CommitVote(4, 3)
+	tr.CommitVote(4, 3)
+	tr.Finish(1, 1, StageReply)
+	if sp := tr.Spans(1)[0]; sp.Stamped(StageCommit) {
+		t.Fatal("two post-view-change votes reached a quorum of three")
+	}
+}
+
+func TestTracerReadChain(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin(3, 50, true)
+	tr.StampActiveReads(StageReadIndex)
+	tr.Finish(3, 50, StageReadServe)
+	sp := tr.Spans(1)[0]
+	if !sp.Read {
+		t.Fatal("read span not marked read")
+	}
+	for _, s := range []Stage{StageReadArrive, StageReadIndex, StageReadServe} {
+		if !sp.Stamped(s) {
+			t.Fatalf("read stage %v missing: %v", s, sp.Stages())
+		}
+	}
+	var sawReadE2E bool
+	for _, st := range tr.StageStats() {
+		if st.Stage == "end-to-end-read" {
+			sawReadE2E = true
+		}
+	}
+	if !sawReadE2E {
+		t.Fatal("no end-to-end-read row in stage stats")
+	}
+}
+
+// fakeSource feeds the HTTP server deterministic data.
+type fakeSource struct {
+	healthy bool
+	tracer  *Tracer
+}
+
+func (f *fakeSource) Gather() []Sample {
+	return []Sample{{Name: `x_total{compartment="preparation"}`, Value: 42}, {Name: "y_ratio", Value: 0.5}}
+}
+func (f *fakeSource) StageStats() []StageStat { return f.tracer.StageStats() }
+func (f *fakeSource) Spans(limit int) []Span  { return f.tracer.Spans(limit) }
+func (f *fakeSource) TraceEpoch() time.Time   { return f.tracer.Epoch() }
+func (f *fakeSource) Health() Health {
+	return Health{
+		Healthy:      f.healthy,
+		Peers:        []PeerHealth{{ID: 1, Reachable: f.healthy}},
+		Compartments: map[string]bool{"preparation": true, "confirmation": true, "execution": true},
+		WAL:          "off",
+	}
+}
+
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin(1, 1, false)
+	tr.Link(2, 1, 1)
+	tr.Finish(1, 1, StageReply)
+	src := &fakeSource{healthy: true, tracer: tr}
+	srv := NewServer("127.0.0.1:0", src)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ct, code := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "x_total{compartment=\"preparation\"} 42\n") {
+		t.Fatalf("/metrics missing integer-rendered counter:\n%s", body)
+	}
+	if !strings.Contains(body, "y_ratio 0.5\n") {
+		t.Fatalf("/metrics missing float sample:\n%s", body)
+	}
+	if !strings.Contains(body, `splitbft_stage_spans_total{stage="preprepare"}`) {
+		t.Fatalf("/metrics missing stage summary:\n%s", body)
+	}
+
+	if _, _, code := httpGet(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy /healthz status %d, want 200", code)
+	}
+	src.healthy = false
+	body, _, code = httpGet(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status %d, want 503", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body not JSON: %v\n%s", err, body)
+	}
+	if h.Healthy || len(h.Peers) != 1 || h.Peers[0].Reachable {
+		t.Fatalf("healthz payload wrong: %+v", h)
+	}
+
+	body, ct, code = httpGet(t, base+"/debug/trace?limit=5")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/trace status %d type %q", code, ct)
+	}
+	var out struct {
+		Epoch time.Time `json:"epoch"`
+		Spans []struct {
+			Client uint32           `json:"client"`
+			Seq    uint64           `json:"seq"`
+			Stages map[string]int64 `json:"stages"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("trace body not JSON: %v\n%s", err, body)
+	}
+	if len(out.Spans) != 1 || out.Spans[0].Seq != 2 || out.Spans[0].Client != 1 {
+		t.Fatalf("trace spans wrong: %+v", out.Spans)
+	}
+	if _, ok := out.Spans[0].Stages["preprepare"]; !ok {
+		t.Fatalf("trace span missing preprepare stage: %+v", out.Spans[0].Stages)
+	}
+}
+
+func httpGet(t *testing.T, url string) (body, contentType string, status int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	return string(b), resp.Header.Get("Content-Type"), resp.StatusCode
+}
+
+func TestMetricFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{42, "42"}, {0, "0"}, {1e9, "1000000000"}, {0.25, "0.25"}} {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Fatalf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package obs is the unified observability layer: a dependency-free
+// metrics registry, a request-lifecycle tracer stamped at the untrusted
+// compartment boundaries, and an HTTP introspection server exposing both.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when off. Every hook in the hot path is a method on a
+//     possibly-nil receiver that returns immediately; with observability
+//     disabled the compiled code is a nil check.
+//  2. Allocation-free metrics. Counters and gauges are single atomics;
+//     recording never allocates. Aggregation (Gather) happens on the
+//     scrape path, not the request path.
+//  3. Enclaves stay opaque. Everything in this package runs in the
+//     untrusted environment and observes only what the environment can
+//     already see: message arrivals, queue hand-offs and replies. No
+//     payload bytes — which are ciphertext in confidential mode anyway —
+//     ever enter a metric label or a trace.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe on a
+// nil receiver (no-ops), so call sites need no "is observability on"
+// branching of their own.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is a metric that can go up and down. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Sample is one gathered metric reading.
+type Sample struct {
+	Name  string // fully rendered series name, labels included
+	Value float64
+}
+
+// CollectFunc lets an existing stat surface feed the registry without
+// migrating its internal counters: at gather time it emits one sample per
+// series. Collectors run on the scrape path only, so they may take locks
+// and read snapshot structs freely.
+type CollectFunc func(emit func(name string, value float64))
+
+// Registry holds every metric of one replica. Counter and Gauge hand out
+// live instruments for hot-path recording; Collect registers pull-style
+// sources for stats that already exist elsewhere (enclave ecall counters,
+// verifier stats, store stats). Gather merges both into one sorted
+// snapshot.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	collectors []CollectFunc
+	resets     []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Safe on a nil registry (returns a nil, no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Safe on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Collect registers a pull-style sample source. Safe on a nil registry.
+func (r *Registry) Collect(fn CollectFunc) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// OnReset registers a hook run by Reset, for stat surfaces that live
+// outside the registry (caches, verifiers, tracers). Safe on a nil
+// registry.
+func (r *Registry) OnReset(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resets = append(r.resets, fn)
+}
+
+// DropCollectors removes every registered collector and reset hook,
+// keeping the live counters and gauges. A replica restart re-registers
+// its collectors against the same registry; without this, the old
+// replica's closures would keep emitting stale readings alongside the new
+// ones.
+func (r *Registry) DropCollectors() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = nil
+	r.resets = nil
+}
+
+// Gather snapshots every registered series, sorted by name. A collector
+// emitting a name that collides with a direct counter/gauge simply yields
+// two samples; exporters render both (Prometheus treats that as a scrape
+// error, so collectors use distinct names by convention).
+func (r *Registry) Gather() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+16)
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: float64(g.Value())})
+	}
+	collectors := append([]CollectFunc(nil), r.collectors...)
+	r.mu.Unlock()
+	// Collectors run outside the registry lock: they take their own locks
+	// (enclave stats, store stats) and must not order against ours.
+	emit := func(name string, value float64) {
+		out = append(out, Sample{Name: name, Value: value})
+	}
+	for _, fn := range collectors {
+		fn(emit)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes every counter and gauge and runs the registered reset
+// hooks — one atomic epoch boundary for all stat surfaces, so ratios
+// computed after a reset (cache hit rate, signature CPU fraction) never
+// mix numerators and denominators from different epochs.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.Set(0)
+	}
+	resets := append([]func(){}, r.resets...)
+	r.mu.Unlock()
+	for _, fn := range resets {
+		fn()
+	}
+}
+
+// Label renders a series name with labels in Prometheus text form:
+// Label("splitbft_ecalls_total", "compartment", "preparation") returns
+// `splitbft_ecalls_total{compartment="preparation"}`. Call it at
+// registration time and keep the returned string — rendering per scrape
+// (let alone per request) is wasted work.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteString("}")
+	return b.String()
+}

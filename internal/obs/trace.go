@@ -1,0 +1,571 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage identifies one point in a request's lifecycle where the untrusted
+// environment can stamp a timestamp. Write-path requests walk Classify
+// through Reply; lease-served reads walk ReadArrive through ReadServe.
+// Everything between two stamps — including all enclave-internal work — is
+// attributed to the later stage: the environment sees requests enter and
+// leave compartments, never what happens inside them.
+type Stage uint8
+
+// Lifecycle stages, in chain order.
+const (
+	// StageClassify: the request arrived and was parsed, deduplicated and
+	// classified by the untrusted broker.
+	StageClassify Stage = iota
+	// StageEnqueue: the request was batched and framed into the
+	// Preparation compartment's ecall queue (the proposal hand-off).
+	StageEnqueue
+	// StagePrePrepare: the PrePrepare carrying the request's batch was
+	// observed — the proposal holds an agreement sequence number.
+	StagePrePrepare
+	// StagePrepareCert: this replica's own Commit left the Confirmation
+	// compartment, proving it assembled a prepare certificate.
+	StagePrepareCert
+	// StageCommit: the n−f-th Commit for the batch's sequence number was
+	// observed — a commit certificate exists.
+	StageCommit
+	// StageExecute: the Execution compartment emitted the client reply —
+	// the operation has been applied.
+	StageExecute
+	// StageReply: the reply was handed to the transport.
+	StageReply
+	// StageReadArrive: a lease-path ReadRequest arrived at the broker.
+	StageReadArrive
+	// StageReadIndex: a read-index confirmation round was observed while
+	// the read was pending (linearizable leased reads only).
+	StageReadIndex
+	// StageReadServe: the ReadReply was handed to the transport.
+	StageReadServe
+
+	numStages
+)
+
+// String returns the stage's short name, used in tables and trace JSON.
+func (s Stage) String() string {
+	switch s {
+	case StageClassify:
+		return "classify"
+	case StageEnqueue:
+		return "enqueue"
+	case StagePrePrepare:
+		return "preprepare"
+	case StagePrepareCert:
+		return "prepare-cert"
+	case StageCommit:
+		return "commit"
+	case StageExecute:
+		return "execute"
+	case StageReply:
+		return "reply"
+	case StageReadArrive:
+		return "read-arrive"
+	case StageReadIndex:
+		return "read-index"
+	case StageReadServe:
+		return "read-serve"
+	}
+	return "unknown"
+}
+
+// SpanKey identifies one request: client requests are unique per
+// (ClientID, Timestamp) — the same pair the protocol's exactly-once
+// semantics key on.
+type SpanKey struct {
+	Client uint32
+	TS     uint64
+}
+
+// Span is one request's recorded lifecycle. T holds nanosecond offsets
+// from the tracer's epoch, one per stage; 0 means the stage was never
+// observed on this replica (a follower, for example, never classifies the
+// requests the primary batches).
+type Span struct {
+	Key  SpanKey
+	Seq  uint64 // agreement sequence number, once known
+	Read bool   // lease-path read chain
+	T    [numStages]int64
+}
+
+// Stamped reports whether stage s was observed.
+func (sp *Span) Stamped(s Stage) bool { return sp.T[s] != 0 }
+
+// Stages returns the observed stages as a name → nanosecond-offset map,
+// for JSON export. Allocates; not for the hot path.
+func (sp *Span) Stages() map[string]int64 {
+	m := make(map[string]int64, len(sp.T))
+	for i, t := range sp.T {
+		if t != 0 {
+			m[Stage(i).String()] = t
+		}
+	}
+	return m
+}
+
+// firstLast returns the earliest and latest stamped offsets of the span's
+// chain (write or read), or ok=false if fewer than two stages stamped.
+func (sp *Span) firstLast() (first, last int64, ok bool) {
+	lo, hi := sp.chain()
+	for i := lo; i <= hi; i++ {
+		if sp.T[i] == 0 {
+			continue
+		}
+		if first == 0 {
+			first = sp.T[i]
+		}
+		last = sp.T[i]
+	}
+	return first, last, last > first
+}
+
+// chain returns the inclusive stage range of the span's lifecycle chain.
+func (sp *Span) chain() (Stage, Stage) {
+	if sp.Read {
+		return StageReadArrive, StageReadServe
+	}
+	return StageClassify, StageReply
+}
+
+const (
+	// maxActive bounds the in-flight span table: a stalled system must not
+	// let the tracer grow without bound. Arrivals beyond the cap are
+	// counted as dropped, not recorded.
+	maxActive = 4096
+	// doneRing is the completed-span ring capacity served by /debug/trace.
+	doneRing = 1024
+	// sweepAt triggers a stale-entry sweep of the seq index: view changes
+	// re-propose batches under new sequence numbers and abandon the old
+	// ones, so the index sheds entries whose spans are no longer live.
+	sweepAt = 4096
+)
+
+// Tracer records sampled request-lifecycle spans. All stamping methods are
+// nil-safe no-ops, so disabled tracing costs one nil check per hook. A
+// single mutex guards the span tables: tracing is opt-in and sampled, and
+// correctness of cross-stage linking matters more than shaving the last
+// contention here.
+type Tracer struct {
+	epoch  time.Time
+	sample uint64 // record every sample-th request; 1 = all
+
+	mu       sync.Mutex
+	arrivals uint64
+	active   map[SpanKey]*Span
+	bySeq    map[uint64][]SpanKey
+	commits  map[uint64]int
+	done     [doneRing]Span
+	doneLen  int
+	doneNext int
+	seg      [numStages]Histogram
+	e2e      Histogram // write chain, first stamp → reply
+	readE2E  Histogram // read chain, arrive → serve
+	begun    uint64
+	finished uint64
+	dropped  uint64
+}
+
+// NewTracer returns a tracer recording every sample-th request (sample ≤ 1
+// records everything).
+func NewTracer(sample int) *Tracer {
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{
+		epoch:   time.Now(),
+		sample:  uint64(sample),
+		active:  make(map[SpanKey]*Span),
+		bySeq:   make(map[uint64][]SpanKey),
+		commits: make(map[uint64]int),
+	}
+}
+
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Begin opens a span for a newly arrived request, stamping Classify (or
+// ReadArrive for lease-path reads). Sampling and the active-table cap are
+// decided here; every later stamp on an unsampled request is a map miss.
+func (t *Tracer) Begin(client uint32, ts uint64, read bool) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.arrivals++
+	if (t.arrivals-1)%t.sample != 0 {
+		return
+	}
+	key := SpanKey{Client: client, TS: ts}
+	if sp := t.active[key]; sp != nil {
+		return // retransmission of an in-flight request
+	}
+	if len(t.active) >= maxActive {
+		t.dropped++
+		return
+	}
+	sp := &Span{Key: key, Read: read}
+	if read {
+		sp.T[StageReadArrive] = now
+	} else {
+		sp.T[StageClassify] = now
+	}
+	t.active[key] = sp
+	t.begun++
+}
+
+// Stamp records stage s for an in-flight request, if it is being traced.
+// Later stamps of the same stage overwrite earlier ones: a view change
+// re-proposes batches, and the span should describe the attempt that
+// actually committed.
+func (t *Tracer) Stamp(client uint32, ts uint64, s Stage) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp := t.active[SpanKey{Client: client, TS: ts}]; sp != nil {
+		sp.T[s] = now
+	}
+}
+
+// Link associates an in-flight request with an agreement sequence number
+// and stamps PrePrepare — called when the untrusted side observes the
+// PrePrepare carrying the request's batch. Re-linking under a new sequence
+// number (view-change re-proposal) re-stamps and re-indexes the span.
+func (t *Tracer) Link(seq uint64, client uint32, ts uint64) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	key := SpanKey{Client: client, TS: ts}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.active[key]
+	if sp == nil {
+		return
+	}
+	sp.Seq = seq
+	sp.T[StagePrePrepare] = now
+	t.bySeq[seq] = append(t.bySeq[seq], key)
+	// Commits can outrun the PrePrepare on a recovering or partitioned
+	// replica; if the quorum already arrived, stamp Commit now rather than
+	// losing the stage.
+	if t.commits[seq] < 0 && sp.T[StageCommit] == 0 {
+		if sp.T[StagePrepareCert] == 0 {
+			sp.T[StagePrepareCert] = now
+		}
+		sp.T[StageCommit] = now
+	}
+	if len(t.bySeq) > sweepAt {
+		t.sweepLocked()
+	}
+}
+
+// StampSeq stamps stage s on every in-flight request linked to seq.
+func (t *Tracer) StampSeq(seq uint64, s Stage) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stampSeqLocked(seq, s, now)
+}
+
+func (t *Tracer) stampSeqLocked(seq uint64, s Stage, now int64) {
+	for _, key := range t.bySeq[seq] {
+		if sp := t.active[key]; sp != nil {
+			sp.T[s] = now
+		}
+	}
+}
+
+// CommitVote counts one observed Commit for seq; when the count reaches
+// need (the commit quorum, n−f), every linked span gets its Commit stamp.
+// A negative stored count marks "quorum already reached" so spans linked
+// afterwards still pick the stage up (see Link).
+func (t *Tracer) CommitVote(seq uint64, need int) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.commits[seq]
+	if n < 0 {
+		return // quorum already stamped
+	}
+	n++
+	if n < need {
+		t.commits[seq] = n
+		return
+	}
+	t.commits[seq] = -1
+	// A commit quorum proves prepare certificates existed cluster-wide,
+	// but this replica's own Commit — the event that stamps PrepareCert —
+	// may never leave its Confirmation compartment when pipelined peer
+	// commits outran its prepare processing. Backfill the stage so a
+	// committed request still yields a complete chain; the zero-width
+	// prepare-cert→commit segment is honest about what was observed.
+	for _, key := range t.bySeq[seq] {
+		if sp := t.active[key]; sp != nil && sp.T[StagePrepareCert] == 0 {
+			sp.T[StagePrepareCert] = now
+		}
+	}
+	t.stampSeqLocked(seq, StageCommit, now)
+}
+
+// StampActiveReads stamps stage s on every in-flight read span that has
+// not yet reached it. Read-index confirmation rounds are batched over all
+// pending reads inside the Execution enclave, so the environment cannot
+// attribute a round to one request — it attributes the round to every read
+// it finds pending, which is exactly the set the round confirms.
+func (t *Tracer) StampActiveReads(s Stage) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.active {
+		if sp.Read && sp.T[s] == 0 {
+			sp.T[s] = now
+		}
+	}
+}
+
+// Finish stamps the terminal stage (Reply or ReadServe), folds the span's
+// per-stage deltas into the stage histograms and retires it into the
+// completed ring.
+func (t *Tracer) Finish(client uint32, ts uint64, s Stage) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	key := SpanKey{Client: client, TS: ts}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.active[key]
+	if sp == nil {
+		return
+	}
+	sp.T[s] = now
+	delete(t.active, key)
+	t.unlinkLocked(sp.Seq, key)
+	t.recordLocked(sp)
+	t.done[t.doneNext] = *sp
+	t.doneNext = (t.doneNext + 1) % doneRing
+	if t.doneLen < doneRing {
+		t.doneLen++
+	}
+	t.finished++
+	if len(t.active) == 0 {
+		// Quiescent point: drop whatever the view-change churn left in
+		// the seq index wholesale instead of sweeping entry by entry.
+		if len(t.bySeq) > 0 {
+			t.bySeq = make(map[uint64][]SpanKey)
+		}
+		if len(t.commits) > 0 {
+			t.commits = make(map[uint64]int)
+		}
+	}
+}
+
+// recordLocked folds one finished span into the stage histograms. Each
+// stage's histogram records the time from the previous observed stage —
+// so a follower span missing Classify/Enqueue still contributes its
+// PrePrepare→Reply segments, and the segments always sum to the span's
+// observed end-to-end time.
+func (t *Tracer) recordLocked(sp *Span) {
+	lo, hi := sp.chain()
+	prev := int64(0)
+	for i := lo; i <= hi; i++ {
+		ts := sp.T[i]
+		if ts == 0 {
+			continue
+		}
+		if prev != 0 {
+			d := ts - prev
+			if d < 0 {
+				d = 0 // re-stamped across a view change; clamp
+			}
+			t.seg[i].Record(time.Duration(d))
+		}
+		prev = ts
+	}
+	if first, last, ok := sp.firstLast(); ok {
+		if sp.Read {
+			t.readE2E.Record(time.Duration(last - first))
+		} else {
+			t.e2e.Record(time.Duration(last - first))
+		}
+	}
+}
+
+// unlinkLocked removes key from seq's index entry, dropping the entry
+// (and its commit count) when it empties.
+func (t *Tracer) unlinkLocked(seq uint64, key SpanKey) {
+	keys := t.bySeq[seq]
+	for i, k := range keys {
+		if k == key {
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			break
+		}
+	}
+	if len(keys) == 0 {
+		delete(t.bySeq, seq)
+		delete(t.commits, seq)
+	} else {
+		t.bySeq[seq] = keys
+	}
+}
+
+// sweepLocked drops seq-index entries whose spans have all retired —
+// sequence numbers abandoned by view-change re-proposals.
+func (t *Tracer) sweepLocked() {
+	for seq, keys := range t.bySeq {
+		live := keys[:0]
+		for _, k := range keys {
+			if _, ok := t.active[k]; ok {
+				live = append(live, k)
+			}
+		}
+		if len(live) == 0 {
+			delete(t.bySeq, seq)
+			delete(t.commits, seq)
+		} else {
+			t.bySeq[seq] = live
+		}
+	}
+}
+
+// OnViewChange voids the pending commit-vote counts: votes from the old
+// view cannot certify a sequence number in the new one. In-flight spans
+// stay — their requests will be re-proposed and re-stamped.
+func (t *Tracer) OnViewChange() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.commits) > 0 {
+		t.commits = make(map[uint64]int)
+	}
+}
+
+// StageStat summarizes one lifecycle stage: Count spans passed through it,
+// and the latency columns describe the time spent reaching it from the
+// previous observed stage.
+type StageStat struct {
+	Stage string
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// StageStats snapshots the per-stage latency breakdown of every finished
+// span, ending with the end-to-end rows. Stages never observed are
+// omitted.
+func (t *Tracer) StageStats() []StageStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageStat, 0, numStages+2)
+	for i := range t.seg {
+		h := &t.seg[i]
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, statFrom(Stage(i).String(), h))
+	}
+	if t.e2e.Count() > 0 {
+		out = append(out, statFrom("end-to-end", &t.e2e))
+	}
+	if t.readE2E.Count() > 0 {
+		out = append(out, statFrom("end-to-end-read", &t.readE2E))
+	}
+	return out
+}
+
+func statFrom(name string, h *Histogram) StageStat {
+	return StageStat{
+		Stage: name,
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Spans returns up to limit recently completed spans, oldest first.
+func (t *Tracer) Spans(limit int) []Span {
+	if t == nil || limit <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.doneLen
+	if n > limit {
+		n = limit
+	}
+	out := make([]Span, 0, n)
+	start := t.doneNext - n
+	if start < 0 {
+		start += doneRing
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.done[(start+i)%doneRing])
+	}
+	return out
+}
+
+// Counts returns how many spans were begun, finished and dropped (at the
+// active-table cap) since the last reset.
+func (t *Tracer) Counts() (begun, finished, dropped uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.begun, t.finished, t.dropped
+}
+
+// Epoch returns the wall-clock instant span offsets are relative to.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Reset drops all spans, counts and histograms. The epoch is kept: spans
+// stamped concurrently with a reset must not go negative.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.arrivals, t.begun, t.finished, t.dropped = 0, 0, 0, 0
+	t.active = make(map[SpanKey]*Span)
+	t.bySeq = make(map[uint64][]SpanKey)
+	t.commits = make(map[uint64]int)
+	t.doneLen, t.doneNext = 0, 0
+	for i := range t.seg {
+		t.seg[i].Reset()
+	}
+	t.e2e.Reset()
+	t.readE2E.Reset()
+}

@@ -574,6 +574,16 @@ func (s *Store) unlock() {
 	}
 }
 
+// Failed returns the store's sticky failure, nil while it is healthy. A
+// failed store refuses all further writes (see the failed field); the
+// health endpoint reports it so an operator learns the compartment went
+// mute on durability grounds rather than guessing from silence.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

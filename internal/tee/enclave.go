@@ -423,6 +423,15 @@ func (e *Enclave) Crash() {
 	e.crashed = true
 }
 
+// Crashed reports whether the enclave has been crashed. The untrusted
+// environment may ask (it could observe ErrCrashed from the next Invoke
+// anyway); the health endpoint uses it for compartment liveness.
+func (e *Enclave) Crashed() bool {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return e.crashed
+}
+
 // SetVerifyWorkers bounds the enclave-side preprocessing pool used by
 // InvokeBatch (n <= 1 disables it). It is part of enclave setup, before
 // traffic flows.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/splitbft/splitbft/internal/core"
 	"github.com/splitbft/splitbft/internal/crypto"
+	"github.com/splitbft/splitbft/internal/obs"
 	"github.com/splitbft/splitbft/internal/transport"
 )
 
@@ -25,6 +26,14 @@ type Node struct {
 	stopped bool
 	tcp     *transport.TCPNode
 	conn    transport.Conn
+
+	// observer is the node's observability spine (nil without
+	// WithObservability); it survives restarts so measurement epochs span
+	// a node's whole lifetime, while each rebuilt replica re-registers its
+	// collectors against it. metrics is the opt-in HTTP introspection
+	// endpoint (nil without WithMetricsAddr or while not started).
+	observer *obs.Observer
+	metrics  *obs.Server
 }
 
 // EnclaveStat is one compartment's ecall profile (the Figure 4
@@ -107,6 +116,9 @@ func NewNode(id uint32, opts ...Option) (*Node, error) {
 		}
 	}
 	n := &Node{id: id, opts: o, reg: reg}
+	if o.obsOn {
+		n.observer = obs.NewObserver(o.traceSample)
+	}
 	if err := n.buildReplica(); err != nil {
 		return nil, err
 	}
@@ -127,6 +139,10 @@ func (n *Node) buildReplica() error {
 		return err
 	}
 	application := o.application()
+	// A rebuilt replica registers fresh stat collectors; drop the dead
+	// replica's first so the registry never reads freed state (no-op on a
+	// nil observer or first build).
+	n.observer.Registry().DropCollectors()
 	replica, err := core.NewReplica(core.Config{
 		N: o.n, F: o.f, ID: n.id,
 		Registry:           n.reg,
@@ -147,6 +163,7 @@ func (n *Node) buildReplica() error {
 		RequestTimeout:     o.requestTimeout,
 		ReadLeases:         o.readLeases,
 		LeaseTTL:           o.leaseTTL,
+		Obs:                n.observer,
 	})
 	if err != nil {
 		return err
@@ -192,6 +209,10 @@ func (n *Node) Start() error {
 	}
 	n.replica.Start(n.conn)
 	n.started = true
+	if err := n.startMetrics(); err != nil {
+		n.Stop()
+		return fmt.Errorf("splitbft: node %d metrics endpoint on %q: %w", n.id, n.opts.metricsAddr, err)
+	}
 	return nil
 }
 
@@ -200,6 +221,7 @@ func (n *Node) Start() error {
 // Start again, but with WithPersistence it can Restart: recovery rebuilds
 // the replica from the sealed stores.
 func (n *Node) Stop() {
+	n.stopMetrics()
 	// A never-started replica still owns resources (durability stores,
 	// their committer goroutines), so release runs regardless of started;
 	// stopping an idle broker is a no-op.
@@ -218,6 +240,7 @@ func (n *Node) Stop() {
 // the durability stores drop their un-fsynced group-commit tail, exactly
 // the window a real kill would lose. Use Restart to bring the node back.
 func (n *Node) Crash() {
+	n.stopMetrics()
 	if !n.stopped {
 		n.replica.Crash()
 	}
@@ -407,5 +430,10 @@ func (n *Node) DedupedMsgs() uint64 { return n.replica.DedupedMsgs() }
 // crossing.
 func (n *Node) DroppedGarbage() uint64 { return n.replica.DroppedGarbage() }
 
-// ResetEnclaveStats zeroes the per-compartment ecall statistics.
-func (n *Node) ResetEnclaveStats() { n.replica.ResetEnclaveStats() }
+// ResetEnclaveStats zeroes every measurement surface of the node.
+//
+// Deprecated: it is now an alias for ResetStats. It historically reset
+// only the enclave-adjacent counters, which left the broker's counters on
+// the old epoch; callers mixing both surfaces over one window measured
+// across inconsistent epochs.
+func (n *Node) ResetEnclaveStats() { n.ResetStats() }

@@ -70,6 +70,10 @@ type options struct {
 
 	persistDir string
 
+	obsOn       bool
+	metricsAddr string
+	traceSample int
+
 	tcpAddrs   []string
 	listenAddr string
 
@@ -426,6 +430,50 @@ func (o *options) readLinearizable() (bool, error) {
 // WithReadLeases.
 func WithLeaseTTL(d time.Duration) Option {
 	return func(o *options) { o.leaseTTL = d }
+}
+
+// WithObservability enables the node's observability layer: the metrics
+// registry (every stat surface published as Prometheus-style series) and
+// the request-lifecycle tracer, which stamps each sampled request at the
+// untrusted compartment boundaries (classify, ecall enqueue, PrePrepare,
+// prepare-certificate, commit, execute, reply — and for leased reads:
+// arrive, read-index, serve). Spans carry protocol identifiers only —
+// client ID, timestamp, sequence number — never operation payloads, so
+// traces leak nothing the untrusted broker cannot already see.
+//
+// Off (the default), every instrumentation hook degrades to a nil check
+// and the request path allocates nothing for observability.
+func WithObservability() Option {
+	return func(o *options) { o.obsOn = true }
+}
+
+// WithTraceSample records every nth request in the lifecycle tracer
+// (1 — the default — traces everything). Sampling bounds tracer overhead
+// under sustained load; metrics are unaffected. Implies WithObservability
+// for n >= 1.
+func WithTraceSample(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.obsOn = true
+		}
+		o.traceSample = n
+	}
+}
+
+// WithMetricsAddr starts the node's HTTP introspection endpoint on addr
+// at Start, serving /metrics (Prometheus text format), /healthz (JSON;
+// 200 only while every peer answers a connectivity probe, all three
+// compartment enclaves are alive and the durability store has not
+// failed — 503 otherwise) and /debug/trace (recent sampled spans as
+// JSON). ":0" picks a free port — read it back with Node.MetricsAddr.
+// Implies WithObservability.
+func WithMetricsAddr(addr string) Option {
+	return func(o *options) {
+		o.metricsAddr = addr
+		if addr != "" {
+			o.obsOn = true
+		}
+	}
 }
 
 // WithKeySeed derives all enclave keys and client MAC keys

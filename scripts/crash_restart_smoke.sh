@@ -61,6 +61,7 @@ start_replica() {
         -peers "$PEERS" -secret "$SECRET" -confidential=false \
         -auth "$AUTH" -consensus "$CONSENSUS" \
         -data-dir "$DATA/r$id" -stats 0 \
+        -metrics-addr "127.0.0.1:$((17500 + id))" \
         >"$WORK/replica-$id.log" 2>&1 &
     PIDS[$id]=$!
     disown "${PIDS[$id]}" # keep bash quiet when we SIGKILL it
@@ -72,6 +73,22 @@ client() {
         -consensus "$CONSENSUS" -timeout 30s "$@"
 }
 
+# wait_healthz <id> <want-status> polls a replica's /healthz until it
+# answers with the wanted HTTP status or the deadline passes.
+wait_healthz() {
+    local id=$1 want=$2
+    for _ in $(seq 1 80); do
+        local got
+        got=$(curl -s -o /dev/null -w '%{http_code}' \
+            "http://127.0.0.1:$((17500 + id))/healthz" || true)
+        [ "$got" = "$want" ] && return 0
+        sleep 0.25
+    done
+    echo "FAIL: replica $id /healthz never reached $want (last: ${got:-none})"
+    curl -s "http://127.0.0.1:$((17500 + id))/healthz" || true
+    exit 1
+}
+
 echo "== starting $N replicas with sealed durability (auth=$AUTH, consensus=$CONSENSUS)"
 for ((id = 0; id < N; id++)); do start_replica "$id"; done
 sleep 1
@@ -80,12 +97,34 @@ echo "== committing state"
 client put alpha one
 client put beta two
 
+echo "== scraping the introspection endpoint of replica 0"
+wait_healthz 0 200
+METRICS=$(curl -s "http://127.0.0.1:17500/metrics")
+echo "$METRICS" | grep -q '^splitbft_executed_ops_total [1-9]' || {
+    echo "FAIL: /metrics missing a non-zero splitbft_executed_ops_total"
+    echo "$METRICS" | head -20
+    exit 1
+}
+echo "$METRICS" | grep -q 'splitbft_wal_fsyncs_total{compartment="execution"}' || {
+    echo "FAIL: /metrics missing the per-compartment WAL series"
+    exit 1
+}
+
 echo "== SIGKILL replica $KILL_ID"
 kill -9 "${PIDS[$KILL_ID]}"
 PIDS[$KILL_ID]=0
 
 echo "== committing during the outage (quorum of survivors)"
 client put gamma three
+
+echo "== survivor's /healthz must flip unhealthy while replica $KILL_ID is down"
+wait_healthz 0 503
+curl -s "http://127.0.0.1:17500/healthz" \
+    | grep -q "\"id\":$KILL_ID,\"reachable\":false" || {
+    echo "FAIL: /healthz does not name replica $KILL_ID as unreachable"
+    curl -s "http://127.0.0.1:17500/healthz"
+    exit 1
+}
 
 echo "== restarting replica $KILL_ID over its data directory"
 start_replica "$KILL_ID"
@@ -95,6 +134,9 @@ grep -q "recovered" "$WORK/replica-$KILL_ID.log" || {
     cat "$WORK/replica-$KILL_ID.log"
     exit 1
 }
+
+echo "== survivor's /healthz must recover once replica $KILL_ID rejoins"
+wait_healthz 0 200
 
 echo "== stopping replica $STOP_ID: the quorum now needs the restarted replica"
 kill "${PIDS[$STOP_ID]}"

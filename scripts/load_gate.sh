@@ -70,4 +70,26 @@ gate_leg trusted -auth mac -consensus trusted
 # falling back to agreement shows up as a p99 blowout at this rate.
 gate_leg readmix -auth sig -read-frac 0.9 -read-leases
 
+# The observability-overhead leg replays the sig calibration with the
+# metrics registry and request tracing enabled (-stage-breakdown) and
+# gates the instrumented run against the SAME committed sig point: the
+# registry is pull-only and tracing stamps are a mutex-guarded map write
+# per stage, so the overhead must stay inside the noise band of the
+# uninstrumented trajectory. Result.Stages is deliberately not part of
+# the workload identity — that is what keeps this a hard comparison
+# rather than an advisory one. Never seeds: the sig leg owns the point.
+obs_leg() {
+    go run ./cmd/splitbft-load "${CALIBRATION[@]}" -auth sig -stage-breakdown \
+        -duration "$DURATION" -warmup "$WARMUP" \
+        -json "$OUT/BENCH_load_obs.json" \
+        -compare "perf/BENCH_load_sig.json" -band "$BAND"
+}
+if [ "${SPLITBFT_LOAD_SEED_TRAJECTORY:-0}" != 1 ]; then
+    echo "== load gate: obs (observability overhead vs committed sig point, band ±$(awk "BEGIN{print $BAND*100}")%)"
+    obs_leg || {
+        echo "== load gate: obs leg failed once — retrying to rule out transient tail noise"
+        obs_leg
+    }
+fi
+
 echo "== load gate: OK"
