@@ -1,0 +1,198 @@
+package splitbft_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/splitbft/splitbft"
+	"github.com/splitbft/splitbft/experiments/chaos"
+)
+
+// TestChaosPlans runs every named fault plan end to end with read leases
+// on and persistence enabled — the configuration with the most moving
+// parts — and requires every safety invariant to hold. kitchen-sink is the
+// combined schedule: partition + crash-restart + disk-stall + clock skew +
+// enclave crash in one run.
+func TestChaosPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos plans take seconds each")
+	}
+	for _, plan := range chaos.PlanNames() {
+		plan := plan
+		t.Run(plan, func(t *testing.T) {
+			rep, err := chaos.Run(chaos.Config{
+				Seed:       2026,
+				Plan:       plan,
+				Duration:   3 * time.Second,
+				ReadLeases: true,
+				DataDir:    t.TempDir(),
+			})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", plan, err)
+			}
+			if rep.Failed() {
+				t.Fatalf("plan %s violated invariants:\n%s", plan, rep.Dump())
+			}
+			if rep.Writes == 0 {
+				t.Fatalf("plan %s: workload made no progress", plan)
+			}
+		})
+	}
+}
+
+// TestChaosTrustedMode runs the combined schedule under the 2f+1
+// trusted-counter consensus mode with MAC agreement.
+func TestChaosTrustedMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos plans take seconds each")
+	}
+	rep, err := chaos.Run(chaos.Config{
+		Seed:       2026,
+		Plan:       "kitchen-sink",
+		Duration:   3 * time.Second,
+		Consensus:  "trusted",
+		Auth:       "mac",
+		ReadLeases: true,
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed() {
+		t.Fatalf("trusted-mode kitchen-sink violated invariants:\n%s", rep.Dump())
+	}
+}
+
+// TestRetransmitBackoffBounded pins the client's retransmit backoff: under
+// a total partition the resend interval doubles (with jitter) up to 8× the
+// base, so a 5-second outage provokes a handful of resends, not the
+// ~50 a fixed 100ms period would send.
+func TestRetransmitBackoffBounded(t *testing.T) {
+	cluster, err := splitbft.NewCluster(4, splitbft.WithNetworkSeed(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(100,
+		splitbft.WithRetransmitInterval(100*time.Millisecond),
+		splitbft.WithInvokeTimeout(5*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("k", []byte("warm")); err != nil {
+		t.Fatalf("warm-up PUT: %v", err)
+	}
+	base := cl.Resends()
+
+	cluster.Partition(0, 1, 2, 3) // client can reach nothing
+	if _, err := cl.Put("k", []byte("lost")); err == nil {
+		t.Fatal("PUT succeeded with every replica unreachable")
+	}
+	resends := cl.Resends() - base
+	// Backoff schedule from 100ms: ~100+200+400+800+800… covers 5s in
+	// ~8 resends; jitter (±25%) can stretch that to ~11. A fixed interval
+	// would need ~50.
+	if resends < 2 || resends > 16 {
+		t.Fatalf("resends over a 5s partition = %d, want 2..16 (backoff not in effect?)", resends)
+	}
+
+	cluster.Heal()
+	if _, err := cl.Put("k", []byte("back")); err != nil {
+		t.Fatalf("PUT after heal: %v", err)
+	}
+}
+
+// TestPartitionStrandsClient covers the client-inclusive partition: a
+// client stranded with a minority replica cannot commit (it reaches fewer
+// than 2f+1 replicas), a majority-side client keeps committing, and the
+// stranded client recovers after Heal.
+func TestPartitionStrandsClient(t *testing.T) {
+	cluster, err := splitbft.NewCluster(4, splitbft.WithNetworkSeed(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	stranded, err := cluster.NewClient(7, splitbft.WithInvokeTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := cluster.NewClient(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stranded.Put("s", []byte("1")); err != nil {
+		t.Fatalf("warm-up PUT: %v", err)
+	}
+
+	cluster.PartitionWithClients([]uint32{7}, 3)
+	if _, err := stranded.Put("s", []byte("2")); err == nil {
+		t.Fatal("stranded client committed with only a minority reachable")
+	}
+	if _, err := healthy.Put("h", []byte("1")); err != nil {
+		t.Fatalf("majority-side client blocked by the partition: %v", err)
+	}
+
+	cluster.Heal()
+	if _, err := stranded.Put("s", []byte("3")); err != nil {
+		t.Fatalf("stranded client still failing after heal: %v", err)
+	}
+}
+
+// TestPartitionFlipsHealthAndViewChange drives the liveness surfaces with
+// a partition rather than a crash: the isolated view-0 primary is alive
+// but unreachable, so a live peer's /healthz flips to 503, the remaining
+// trio elects a new view (the view_changes counter advances), and healthz
+// recovers after Heal.
+func TestPartitionFlipsHealthAndViewChange(t *testing.T) {
+	cluster, err := splitbft.NewCluster(4,
+		splitbft.WithObservability(),
+		splitbft.WithMetricsAddr("127.0.0.1:0"),
+		splitbft.WithBatchSize(1),
+		splitbft.WithRequestTimeout(300*time.Millisecond),
+		splitbft.WithNetworkSeed(73),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(100, splitbft.WithInvokeTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("k", []byte("1")); err != nil {
+		t.Fatalf("warm-up PUT: %v", err)
+	}
+
+	addr := cluster.Node(1).MetricsAddr()
+	waitHealth := func(wantCode int) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		var code int
+		var body string
+		for time.Now().Before(deadline) {
+			body, code = scrape(t, addr, "/healthz")
+			if code == wantCode {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("healthz stuck at %d, want %d; last body:\n%s", code, wantCode, body)
+	}
+
+	waitHealth(http.StatusOK)
+	cluster.Partition(0) // the view-0 primary: partitioned, not crashed
+	waitHealth(http.StatusServiceUnavailable)
+
+	// A write across the partition forces the trio through a view change.
+	if _, err := cl.Put("k", []byte("2")); err != nil {
+		t.Fatalf("PUT across view change: %v", err)
+	}
+	if v, ok := metricValue(t, cluster.Node(1), "splitbft_view_changes_total"); !ok || v < 1 {
+		t.Fatalf("view_changes_total = %v (present=%v), want >= 1", v, ok)
+	}
+
+	cluster.Heal()
+	waitHealth(http.StatusOK)
+}

@@ -306,6 +306,25 @@
 // One Node.ResetStats call zeroes every surface — enclave counters,
 // protocol counters, tracer — as a single measurement epoch.
 //
+// # Chaos testing
+//
+// experiments/chaos (driven by cmd/splitbft-chaos) runs a live workload
+// against a Cluster while executing a seeded fault plan over four
+// surfaces — network (per-link drop/duplication/reordering/delay,
+// symmetric and asymmetric partitions, client-stranding partitions via
+// Cluster.PartitionWithClients), disk (Node.DiskFaults write/fsync
+// errors and stalls against the sticky-failure barrier), clock
+// (Node.SetClockSkew on the lease-safety paths) and enclave/process
+// (CrashEnclave, Crash/Restart) — while checking three safety
+// invariants online and at quiescence: ledger-prefix parity of a
+// chained execution journal across replicas, per-key linearizability of
+// the read history, and exactly-once apply across crash-restart. Plans
+// are pure functions of (name, seed, shape, duration) and the simulated
+// network draws faults from per-link seeded streams, so one seed
+// replays one fault sequence exactly; a violation report carries that
+// seed, the live plan step and the offending history. See README
+// "Chaos testing".
+//
 // The protocol engine lives under internal/ (internal/core is the
 // compartmentalized replica, internal/pbft the monolithic baseline the
 // paper compares against); the experiment harness reproducing the paper's

@@ -1,0 +1,255 @@
+// Package chaos is a deterministic, seeded chaos harness for SplitBFT
+// clusters: it runs a live workload against a splitbft.Cluster while
+// executing a fault plan — composable timed actions over the network,
+// disk, clock and enclave fault surfaces — and continuously verifies
+// safety invariants, reporting a replayable seed on any violation.
+//
+// Three invariants are checked online during the schedule and again at
+// quiescence:
+//
+//   - ledger-prefix parity: the journaled execution histories of any two
+//     live replicas must be prefixes of one another (compared by chained
+//     digest, so a single diverging operation is caught);
+//   - per-key linearizability of the read history: every read must
+//     observe at least the newest write acknowledged before it began and
+//     never a value that was never written, and real-time-ordered reads
+//     must be monotonic;
+//   - exactly-once apply: no replica may execute the same client
+//     operation twice within one application instance, across any
+//     combination of crash, restart, WAL replay and state transfer.
+//
+// A violation aborts nothing: the harness records it with the seed, the
+// plan step that was live, and the offending history, so the run is
+// replayable bit-for-bit from the report alone.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/splitbft/splitbft/internal/app"
+	"github.com/splitbft/splitbft/internal/crypto"
+)
+
+// chainRing bounds how many (count, chain) pairs a LedgerApp retains for
+// prefix comparison. A checker comparing two replicas whose journals
+// differ by more than this many operations skips the pair (it cannot
+// anchor the prefix) and catches up at the next round.
+const chainRing = 8192
+
+// dupTrackMax bounds the duplicate-detection map; when the bound is hit
+// the map resets, trading detection of duplicates more than dupTrackMax
+// operations apart for bounded memory.
+const dupTrackMax = 1 << 17
+
+// LedgerApp wraps the key-value store with an execution journal: a chained
+// digest over every applied operation plus an apply-count, both part of
+// the replicated state (snapshot/restore carries them), so two replicas
+// whose journals agree at a count have executed byte-identical histories
+// up to it. The journal is what the ledger-prefix-parity and exactly-once
+// invariant checkers read.
+type LedgerApp struct {
+	mu  sync.Mutex
+	kvs *app.KVS
+	// count and chain are replicated state: the length of the applied
+	// history and the running digest over it.
+	count uint64
+	chain crypto.Digest
+	// recent is observer-only: the last chainRing (count, chain) points,
+	// for anchoring prefix comparisons between replicas at different
+	// counts. Reset (not restored) on snapshot restore.
+	recent []chainPoint
+	// seen is observer-only: per-instance apply counts keyed by operation
+	// digest. The workload makes every write operation unique, so a count
+	// of 2 within one instance is a duplicate execution.
+	seen map[crypto.Digest]uint32
+	dup  string // first duplicate detected, "" when none
+}
+
+type chainPoint struct {
+	count uint64
+	chain crypto.Digest
+	desc  string // rendered operation, for divergence dumps
+}
+
+// describeOp renders a KVS operation compactly for violation dumps.
+func describeOp(clientID uint32, op []byte) string {
+	if len(op) == 0 {
+		return fmt.Sprintf("c%d:empty", clientID)
+	}
+	kind := "op"
+	switch op[0] {
+	case 1:
+		kind = "put"
+	case 2:
+		kind = "get"
+	case 3:
+		kind = "del"
+	}
+	body := op[1:]
+	if len(body) > 24 {
+		body = body[:24]
+	}
+	return fmt.Sprintf("c%d:%s:%q", clientID, kind, body)
+}
+
+// NewLedgerApp returns an empty journaled KVS.
+func NewLedgerApp() *LedgerApp {
+	return &LedgerApp{kvs: app.NewKVS(), seen: make(map[crypto.Digest]uint32)}
+}
+
+// Execute implements app.Application: journal the operation, then apply it
+// to the underlying store.
+func (l *LedgerApp) Execute(clientID uint32, op []byte) []byte {
+	var idBuf [4]byte
+	binary.BigEndian.PutUint32(idBuf[:], clientID)
+	h := crypto.HashData(append(append([]byte(nil), idBuf[:]...), op...))
+	l.mu.Lock()
+	// Reads are exempt from duplicate tracking: a client re-issuing an
+	// identical GET is a new, identical request, and ordered-read
+	// fallbacks route those through Execute.
+	if !app.IsRead(op) {
+		if n := l.seen[h] + 1; n > 1 && l.dup == "" {
+			l.dup = fmt.Sprintf("op %x (client %d) applied %d times in one instance", h[:8], clientID, n)
+		} else {
+			l.seen[h] = n
+		}
+		if len(l.seen) > dupTrackMax {
+			l.seen = make(map[crypto.Digest]uint32)
+		}
+	}
+	l.chain = crypto.HashData(append(l.chain[:], h[:]...))
+	l.count++
+	l.recent = append(l.recent, chainPoint{count: l.count, chain: l.chain, desc: describeOp(clientID, op)})
+	if len(l.recent) > chainRing {
+		l.recent = l.recent[len(l.recent)-chainRing:]
+	}
+	res := l.kvs.Execute(clientID, op)
+	l.mu.Unlock()
+	return res
+}
+
+// ExecuteRead implements app.ReadExecutor: reads bypass the journal (they
+// mutate nothing) and go straight to the store.
+func (l *LedgerApp) ExecuteRead(clientID uint32, op []byte) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.kvs.ExecuteRead(clientID, op)
+}
+
+// Digest implements app.Application: the KVS digest chained with the
+// journal head, so replicas disagree the moment their histories do even
+// if their final key-value states happen to collide.
+func (l *LedgerApp) Digest() crypto.Digest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	inner := l.kvs.Digest()
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], l.count)
+	sum := make([]byte, 0, len(inner)+len(l.chain)+8)
+	sum = append(sum, inner[:]...)
+	sum = append(sum, l.chain[:]...)
+	sum = append(sum, cnt[:]...)
+	return crypto.HashData(sum)
+}
+
+// Snapshot implements app.Application: journal head plus the inner store.
+func (l *LedgerApp) Snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	inner := l.kvs.Snapshot()
+	out := make([]byte, 0, 8+len(l.chain)+len(inner))
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], l.count)
+	out = append(out, cnt[:]...)
+	out = append(out, l.chain[:]...)
+	return append(out, inner...)
+}
+
+// Restore implements app.Application. The observer-side surfaces (recent
+// ring, duplicate tracking) reset: a restored instance starts a fresh
+// observation epoch.
+func (l *LedgerApp) Restore(snapshot []byte) error {
+	if len(snapshot) < 8+len(crypto.Digest{}) {
+		return fmt.Errorf("chaos: ledger snapshot too short (%d bytes)", len(snapshot))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count = binary.BigEndian.Uint64(snapshot)
+	copy(l.chain[:], snapshot[8:])
+	l.recent = append(l.recent[:0], chainPoint{count: l.count, chain: l.chain, desc: "restore"})
+	l.seen = make(map[crypto.Digest]uint32)
+	l.dup = ""
+	return l.kvs.Restore(snapshot[8+len(l.chain):])
+}
+
+// Head returns the journal head: how many operations this instance's
+// history holds and the chained digest over them.
+func (l *LedgerApp) Head() (count uint64, chain crypto.Digest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count, l.chain
+}
+
+// ChainAt returns the chained digest after count operations, if this
+// instance still retains that point (the ring holds chainRing entries).
+func (l *LedgerApp) ChainAt(count uint64) (crypto.Digest, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if count == 0 {
+		return crypto.Digest{}, true
+	}
+	for i := len(l.recent) - 1; i >= 0; i-- {
+		if l.recent[i].count == count {
+			return l.recent[i].chain, true
+		}
+		if l.recent[i].count < count {
+			break
+		}
+	}
+	return crypto.Digest{}, false
+}
+
+// OpsAround renders the retained journal entries within k positions of
+// count — the divergence neighborhood for ledger-prefix violation dumps.
+func (l *LedgerApp) OpsAround(count uint64, k uint64) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for _, p := range l.recent {
+		if p.count+k >= count && p.count <= count+k {
+			out = append(out, fmt.Sprintf("#%d %s %x", p.count, p.desc, p.chain[:4]))
+		}
+	}
+	return out
+}
+
+// Duplicate returns the first duplicate execution this instance observed,
+// or "" — the exactly-once invariant's surface.
+func (l *LedgerApp) Duplicate() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dup
+}
+
+// Get returns the current value of key, for quiescence checks.
+func (l *LedgerApp) Get(key string) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.kvs.Get(key)
+}
+
+// Sabotage deliberately corrupts this instance's journal — chain digest
+// and retained ring — bypassing consensus entirely. It exists as the test
+// hook behind the harness's BreakInvariant option: a correct checker must
+// flag ledger-prefix divergence on the next comparison. Never called
+// outside tests.
+func (l *LedgerApp) Sabotage() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.chain = crypto.HashData([]byte("sabotage"))
+	for i := range l.recent {
+		l.recent[i].chain = l.chain
+	}
+}

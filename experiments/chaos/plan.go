@@ -1,0 +1,276 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Action is one timed fault-plan step. Actions are plain data — the plan
+// generator produces them deterministically from (name, seed, n, f,
+// duration), and their rendered form is the replay pin: two runs with the
+// same inputs must produce byte-identical action lists.
+type Action struct {
+	// At is the action's offset from workload start.
+	At time.Duration
+	// Op selects the fault; the remaining fields are its operands.
+	Op string
+	// Node and Node2 name replica IDs (Node2 for directed link ops).
+	Node, Node2 int
+	// Nodes names a replica group (partitions).
+	Nodes []int
+	// Role is the compartment for enclave crashes.
+	Role string
+	// Dur is a duration operand (disk stall, clock skew).
+	Dur time.Duration
+	// Drop/Dup/Reorder/Delay/Jitter are fault probabilities and latencies
+	// for link-fault ops.
+	Drop, Dup, Reorder float64
+	Delay, Jitter      time.Duration
+	// StrandClient marks a partition that also strands the workload's
+	// first writer client inside the minority.
+	StrandClient bool
+}
+
+// Action ops.
+const (
+	OpPartition    = "partition"     // Nodes [+ StrandClient]
+	OpHeal         = "heal"          // heal partitions
+	OpCrash        = "crash"         // Node
+	OpRestart      = "restart"       // Node
+	OpCrashEnclave = "crash-enclave" // Node, Role
+	OpGlobalFaults = "net-faults"    // Drop/Dup/Reorder/Delay/Jitter, all links
+	OpLinkFaults   = "link-faults"   // Node→Node2 directed
+	OpBlockOneWay  = "block-one-way" // Node→Node2
+	OpClearNet     = "clear-net"     // remove all probabilistic faults + one-way blocks
+	OpSkew         = "clock-skew"    // Node, Dur (may be negative)
+	OpDiskStall    = "disk-stall"    // Node, Dur per flush
+	OpDiskFail     = "disk-fail"     // Node: sticky write errors
+	OpDiskClear    = "disk-clear"    // Node: clear injector (store stays failed until restart)
+)
+
+// String renders the action deterministically; the rendered schedule is
+// what the replay-equality test compares.
+func (a Action) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%v %s", a.At, a.Op)
+	switch a.Op {
+	case OpPartition:
+		fmt.Fprintf(&b, " nodes=%v strand-client=%v", a.Nodes, a.StrandClient)
+	case OpCrash, OpRestart, OpDiskFail, OpDiskClear:
+		fmt.Fprintf(&b, " node=%d", a.Node)
+	case OpCrashEnclave:
+		fmt.Fprintf(&b, " node=%d role=%s", a.Node, a.Role)
+	case OpGlobalFaults:
+		fmt.Fprintf(&b, " drop=%.3f dup=%.3f reorder=%.3f delay=%v jitter=%v", a.Drop, a.Dup, a.Reorder, a.Delay, a.Jitter)
+	case OpLinkFaults:
+		fmt.Fprintf(&b, " link=%d>%d drop=%.3f dup=%.3f reorder=%.3f delay=%v jitter=%v", a.Node, a.Node2, a.Drop, a.Dup, a.Reorder, a.Delay, a.Jitter)
+	case OpBlockOneWay:
+		fmt.Fprintf(&b, " link=%d>%d", a.Node, a.Node2)
+	case OpSkew:
+		fmt.Fprintf(&b, " node=%d skew=%v", a.Node, a.Dur)
+	case OpDiskStall:
+		fmt.Fprintf(&b, " node=%d stall=%v", a.Node, a.Dur)
+	}
+	return b.String()
+}
+
+// PlanNames lists the named plans BuildPlan accepts.
+func PlanNames() []string {
+	return []string{"rolling-crashes", "flaky-links", "partition-storm", "disk-degraded", "skewed-clocks", "kitchen-sink"}
+}
+
+// BuildPlan generates the named plan's action schedule for an n-replica
+// group tolerating f faults over the given duration. The schedule is a
+// pure function of its arguments: same inputs, byte-identical schedule.
+// All randomness comes from one rand.Rand seeded with seed.
+func BuildPlan(name string, seed int64, n, f int, duration time.Duration) ([]Action, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var acts []Action
+	switch name {
+	case "rolling-crashes":
+		acts = planRollingCrashes(rng, n, duration)
+	case "flaky-links":
+		acts = planFlakyLinks(rng, n, duration)
+	case "partition-storm":
+		acts = planPartitionStorm(rng, n, f, duration)
+	case "disk-degraded":
+		acts = planDiskDegraded(rng, n, duration)
+	case "skewed-clocks":
+		acts = planSkewedClocks(rng, n, duration)
+	case "kitchen-sink":
+		acts = planKitchenSink(rng, n, f, duration)
+	default:
+		return nil, fmt.Errorf("chaos: unknown plan %q (have %s)", name, strings.Join(PlanNames(), ", "))
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	return acts, nil
+}
+
+// frac positions an action at a fraction of the run.
+func frac(d time.Duration, num, den int64) time.Duration {
+	return d * time.Duration(num) / time.Duration(den)
+}
+
+// jitterFrac perturbs a schedule offset by up to ±d/den.
+func jitterFrac(rng *rand.Rand, at, d time.Duration, den int64) time.Duration {
+	span := int64(d) / den
+	if span <= 0 {
+		return at
+	}
+	off := at + time.Duration(rng.Int63n(2*span)-span)
+	if off < 0 {
+		off = 0
+	}
+	return off
+}
+
+// planRollingCrashes cycles crash → recover across the replicas, one down
+// at a time (staying within f), alternating whole-node crashes with
+// single-enclave crashes.
+func planRollingCrashes(rng *rand.Rand, n int, d time.Duration) []Action {
+	roles := []string{"preparation", "confirmation", "execution"}
+	var acts []Action
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		node := rng.Intn(n)
+		start := frac(d, int64(2*r), 2*rounds)
+		if r%2 == 1 {
+			// An enclave crash leaves the node up but mute in one
+			// compartment; the node restarts to recover it.
+			acts = append(acts, Action{At: jitterFrac(rng, start, d, 24), Op: OpCrashEnclave, Node: node, Role: roles[rng.Intn(len(roles))]})
+		} else {
+			acts = append(acts, Action{At: jitterFrac(rng, start, d, 24), Op: OpCrash, Node: node})
+		}
+		acts = append(acts, Action{At: frac(d, int64(2*r+1), 2*rounds), Op: OpRestart, Node: node})
+	}
+	return acts
+}
+
+// planFlakyLinks degrades individual directed links — drop, duplication,
+// bounded reordering, jittered delay — re-rolling the affected set midway,
+// plus one asymmetric one-way cut, healing everything before the end.
+func planFlakyLinks(rng *rand.Rand, n int, d time.Duration) []Action {
+	var acts []Action
+	linkFault := func(at time.Duration, from, to int) Action {
+		return Action{
+			At: at, Op: OpLinkFaults, Node: from, Node2: to,
+			Drop:    0.05 + 0.15*rng.Float64(),
+			Dup:     0.10 * rng.Float64(),
+			Reorder: 0.30 * rng.Float64(),
+			Delay:   time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+			Jitter:  time.Millisecond + time.Duration(rng.Int63n(int64(3*time.Millisecond))),
+		}
+	}
+	for phase := int64(0); phase < 2; phase++ {
+		at := frac(d, phase*2, 5)
+		for k := 0; k < n; k++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			acts = append(acts, linkFault(at, from, to))
+		}
+	}
+	// One asymmetric cut for a slice of the run: from can't reach to,
+	// while to still reaches from.
+	from, to := rng.Intn(n), rng.Intn(n)
+	if from == to {
+		to = (to + 1) % n
+	}
+	acts = append(acts,
+		Action{At: frac(d, 1, 5), Op: OpBlockOneWay, Node: from, Node2: to},
+		Action{At: frac(d, 4, 5), Op: OpClearNet},
+	)
+	return acts
+}
+
+// planPartitionStorm runs repeated minority partitions with heals between
+// them, ending healed.
+func planPartitionStorm(rng *rand.Rand, n, f int, d time.Duration) []Action {
+	var acts []Action
+	const waves = 3
+	for w := 0; w < waves; w++ {
+		size := 1 + rng.Intn(f) // minority: ≤ f replicas cut off
+		if size > f {
+			size = f
+		}
+		perm := rng.Perm(n)[:size]
+		group := append([]int(nil), perm...)
+		sort.Ints(group)
+		acts = append(acts,
+			Action{At: frac(d, int64(3*w), 3*waves), Op: OpPartition, Nodes: group},
+			Action{At: frac(d, int64(3*w+2), 3*waves), Op: OpHeal},
+		)
+	}
+	return acts
+}
+
+// planDiskDegraded stalls flushes on rotating replicas, then injects a
+// sticky write error on one replica and later clears + restarts it (the
+// restart reopens the stores; recovery and state transfer close the gap).
+func planDiskDegraded(rng *rand.Rand, n int, d time.Duration) []Action {
+	victim := rng.Intn(n)
+	slow := (victim + 1 + rng.Intn(n-1)) % n
+	return []Action{
+		{At: frac(d, 1, 10), Op: OpDiskStall, Node: slow, Dur: 5*time.Millisecond + time.Duration(rng.Int63n(int64(20*time.Millisecond)))},
+		{At: frac(d, 2, 10), Op: OpDiskFail, Node: victim},
+		{At: frac(d, 5, 10), Op: OpDiskClear, Node: victim},
+		{At: frac(d, 5, 10), Op: OpRestart, Node: victim},
+		{At: frac(d, 7, 10), Op: OpDiskClear, Node: slow},
+	}
+}
+
+// planSkewedClocks offsets replica lease clocks in both directions, within
+// and slightly beyond the protocol's documented TTL/8 skew allowance
+// (leases may be refused — reads then fall back — but safety must hold),
+// then re-centers everything.
+func planSkewedClocks(rng *rand.Rand, n int, d time.Duration) []Action {
+	var acts []Action
+	// Skews are expressed as fractions of the default 300ms request
+	// timeout's TTL (75ms): ±TTL/8 ≈ ±9ms, one outlier at ±TTL/4.
+	ttl := 75 * time.Millisecond
+	outlier := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		skew := time.Duration(rng.Int63n(int64(ttl/4))) - ttl/8
+		if i == outlier {
+			skew = ttl / 4
+			if rng.Intn(2) == 0 {
+				skew = -skew
+			}
+		}
+		acts = append(acts, Action{At: jitterFrac(rng, frac(d, 1, 8), d, 16), Op: OpSkew, Node: i, Dur: skew})
+	}
+	for i := 0; i < n; i++ {
+		acts = append(acts, Action{At: frac(d, 6, 8), Op: OpSkew, Node: i, Dur: 0})
+	}
+	return acts
+}
+
+// planKitchenSink composes every fault surface in one schedule: global
+// link flakiness, a minority partition stranding a client, a clock skew, a
+// disk stall, an enclave crash, and a crash-restart — partition +
+// crash-restart + disk-stall in a single run.
+func planKitchenSink(rng *rand.Rand, n, f int, d time.Duration) []Action {
+	crashNode := rng.Intn(n)
+	stallNode := (crashNode + 1) % n
+	skewNode := (crashNode + 2) % n
+	encNode := (crashNode + 1 + rng.Intn(n-1)) % n
+	part := []int{(crashNode + 1) % n}
+	return []Action{
+		{At: 0, Op: OpGlobalFaults, Drop: 0.02, Dup: 0.02, Reorder: 0.10, Jitter: 2 * time.Millisecond},
+		{At: frac(d, 1, 10), Op: OpDiskStall, Node: stallNode, Dur: 5 * time.Millisecond},
+		{At: frac(d, 1, 8), Op: OpSkew, Node: skewNode, Dur: 9 * time.Millisecond},
+		{At: frac(d, 2, 10), Op: OpPartition, Nodes: part, StrandClient: true},
+		{At: frac(d, 4, 10), Op: OpHeal},
+		{At: frac(d, 5, 10), Op: OpCrash, Node: crashNode},
+		{At: frac(d, 6, 10), Op: OpRestart, Node: crashNode},
+		{At: frac(d, 65, 100), Op: OpCrashEnclave, Node: encNode, Role: "execution"},
+		{At: frac(d, 7, 10), Op: OpRestart, Node: encNode},
+		{At: frac(d, 3, 4), Op: OpDiskClear, Node: stallNode},
+		{At: frac(d, 4, 5), Op: OpClearNet},
+		{At: frac(d, 4, 5), Op: OpSkew, Node: skewNode, Dur: 0},
+	}
+}

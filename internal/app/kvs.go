@@ -43,6 +43,11 @@ func EncodeGet(key string) []byte {
 	return e.Bytes()
 }
 
+// IsRead reports whether op is a read-only KVS operation (a GET). Reads
+// may legitimately execute more than once — identical GETs from one client
+// are identical requests — so exactly-once checkers skip them.
+func IsRead(op []byte) bool { return len(op) > 0 && op[0] == opGet }
+
 // EncodeDelete encodes a DELETE operation.
 func EncodeDelete(key string) []byte {
 	e := messages.NewEncoder(5 + len(key))

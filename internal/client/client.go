@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,6 +122,8 @@ type Client struct {
 	// with the client ID so a fleet of clients doesn't converge on one
 	// replica.
 	readRR atomic.Uint32
+	// resends counts write retransmissions (see Resends).
+	resends atomic.Uint64
 
 	mu           sync.Mutex
 	pending      map[uint64]*call
@@ -383,8 +386,17 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 	if err := send(); err != nil {
 		return nil, err
 	}
+	// Retransmission backs off exponentially (with jitter) instead of
+	// firing at a fixed period: during a view change or partition every
+	// stranded client would otherwise resend to all N replicas every
+	// interval, and the synchronized storm slows the very recovery it is
+	// waiting for. The first resend still happens after one interval (so
+	// failure detection is not delayed), later ones spread out, capped at
+	// eight intervals so a healed cluster is re-contacted promptly.
 	deadline := time.After(c.cfg.Timeout)
-	retry := time.NewTicker(c.cfg.RetransmitInterval)
+	backoff := c.cfg.RetransmitInterval
+	maxBackoff := 8 * c.cfg.RetransmitInterval
+	retry := time.NewTimer(jitter(backoff))
 	defer retry.Stop()
 	for {
 		select {
@@ -397,11 +409,30 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 			if err := send(); err != nil {
 				return nil, err
 			}
+			c.resends.Add(1)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			retry.Reset(jitter(backoff))
 		case <-deadline:
 			return nil, fmt.Errorf("%w: op after %v", ErrTimeout, c.cfg.Timeout)
 		}
 	}
 }
+
+// jitter spreads a backoff delay uniformly over [3d/4, 5d/4) so concurrent
+// clients' retransmissions desynchronize while the expected period stays d.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d - d/4 + time.Duration(mrand.Int63n(int64(d)/2))
+}
+
+// Resends returns how many write retransmissions this client has sent —
+// the backoff behavior's observable surface, pinned by chaos tests.
+func (c *Client) Resends() uint64 { return c.resends.Load() }
 
 // InvokeRead submits a read-only operation. With ReadLeases off it is
 // exactly Invoke. With ReadLeases on it first tries the local-read fast

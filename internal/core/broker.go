@@ -326,10 +326,16 @@ type broker struct {
 	batchSince   time.Time
 	viewEstimate uint64
 	reqTimers    map[reqKey]time.Time
-	lastSuspect  time.Time
-	lastRotate   time.Time
-	lastLease    time.Time // last lease-clock tick into Preparation
-	fetchBudget  int       // remaining BatchFetch forwards this period
+	// parked holds the body of every client request this replica has seen
+	// but not yet observed a reply for, whether or not it is the primary.
+	// Clients broadcast to all replicas, so a replica that becomes primary
+	// mid-request can propose from here immediately instead of waiting for
+	// the client's next (backed-off) retransmit. Pruned with reqTimers.
+	parked      map[reqKey]*messages.Request
+	lastSuspect time.Time
+	lastRotate  time.Time
+	lastLease   time.Time // last lease-clock tick into Preparation
+	fetchBudget int       // remaining BatchFetch forwards this period
 
 	blocksMu sync.Mutex
 	blocks   [][]byte // sealed blockchain blocks persisted via ocall
@@ -378,6 +384,7 @@ func newBroker(cfg Config, prep, conf, exec *tee.Enclave, stores map[crypto.Role
 		dedup:       newDedup(dedupEntries),
 		pendingKeys: make(map[reqKey]bool),
 		reqTimers:   make(map[reqKey]time.Time),
+		parked:      make(map[reqKey]*messages.Request),
 		fetchBudget: fetchBudgetPerPeriod,
 		stop:        make(chan struct{}),
 		tr:          cfg.Obs.Trace(),
@@ -618,7 +625,9 @@ func (b *broker) noteClientBound(data []byte) (client uint32, ts uint64, kind in
 		rep := m.(*messages.Reply)
 		b.mReplies.Add(1)
 		b.mu.Lock()
-		delete(b.reqTimers, reqKey{client: rep.ClientID, ts: rep.Timestamp})
+		key := reqKey{client: rep.ClientID, ts: rep.Timestamp}
+		delete(b.reqTimers, key)
+		delete(b.parked, key)
 		b.mu.Unlock()
 		// The reply emerging from the Execution compartment is the
 		// untrusted side's proof the operation was applied.
@@ -760,16 +769,52 @@ func (b *broker) handler(from transport.Endpoint, data []byte) {
 // cannot certify sequence numbers in the new one.
 func (b *broker) observeNewView(nv *messages.NewView) {
 	advanced := false
+	var promoted *messages.Batch
 	b.mu.Lock()
 	if nv.View > b.viewEstimate {
 		b.viewEstimate = nv.View
 		advanced = true
+		promoted = b.promoteParkedLocked()
 	}
 	b.mu.Unlock()
 	if advanced {
 		b.mViewChanges.Add(1)
 		b.tr.OnViewChange()
 	}
+	if promoted != nil {
+		b.submitBatch(promoted)
+	}
+}
+
+// promoteParkedLocked queues every parked, not-yet-replied request for
+// proposal if this replica now believes it holds batching duty. Clients
+// broadcast each request to all replicas, but only the then-primary queues
+// it on arrival — without promotion a new primary sits on a pending
+// request until the client's next retransmit, while the failure detector
+// keeps advancing views, so post-view-change liveness would hinge on the
+// client's (exponentially backed-off) retransmit cadence. Re-proposing a
+// request that already committed in an earlier view is safe: ordering it
+// twice is filtered by the Execution compartments' exactly-once caches.
+// Returns a full batch to submit (nil if below BatchSize — the batch
+// timeout flushes the remainder).
+func (b *broker) promoteParkedLocked() *messages.Batch {
+	if !b.believesPrimaryLocked() || len(b.parked) == 0 {
+		return nil
+	}
+	for key, req := range b.parked {
+		if b.pendingKeys[key] {
+			continue
+		}
+		if b.pendingReqs.Len() == 0 {
+			b.batchSince = time.Now()
+		}
+		b.pendingKeys[key] = true
+		b.pendingReqs.Push(*req)
+	}
+	if b.pendingReqs.Len() >= b.cfg.BatchSize {
+		return b.takeBatchLocked()
+	}
+	return nil
 }
 
 // believesPrimary reports whether this replica's Preparation compartment is
@@ -794,6 +839,9 @@ func (b *broker) onClientRequest(data []byte) {
 	b.mu.Lock()
 	if _, ok := b.reqTimers[key]; !ok {
 		b.reqTimers[key] = time.Now()
+	}
+	if _, ok := b.parked[key]; !ok {
+		b.parked[key] = req
 	}
 	if b.believesPrimaryLocked() && !b.pendingKeys[key] {
 		if b.pendingReqs.Len() == 0 {
@@ -891,7 +939,12 @@ func (b *broker) onTick(now time.Time) {
 	if now.Sub(b.lastSuspect) > b.cfg.RequestTimeout {
 		for key, since := range b.reqTimers {
 			if now.Sub(since) > 10*b.cfg.RequestTimeout {
-				delete(b.reqTimers, key) // stale entry (e.g. pre-dedup retransmit)
+				// Stale entry (e.g. pre-dedup retransmit, or a request
+				// executed before a state transfer skipped this replica
+				// past the reply). A still-live client retransmits well
+				// inside this horizon and re-arms both maps.
+				delete(b.reqTimers, key)
+				delete(b.parked, key)
 				continue
 			}
 			if now.Sub(since) > b.cfg.RequestTimeout {
@@ -905,9 +958,16 @@ func (b *broker) onTick(now time.Time) {
 			b.viewEstimate++ // batching duty may now be ours in v+1
 		}
 	}
+	var promoted *messages.Batch
+	if suspect {
+		promoted = b.promoteParkedLocked()
+	}
 	b.mu.Unlock()
 	if batch != nil {
 		b.submitBatch(batch)
+	}
+	if promoted != nil {
+		b.submitBatch(promoted)
 	}
 	if tick {
 		// Periodic environment nudge into Execution: drives the rejoin

@@ -432,7 +432,12 @@ func TestExecutionCatchesUpViaStateTransfer(t *testing.T) {
 	peerState := app.NewKVS()
 	peerState.Execute(7, app.EncodePut("a", []byte("1")))
 	peerState.Execute(7, app.EncodePut("b", []byte("2")))
-	snap := peerState.Snapshot()
+	// Checkpoint snapshots wrap the app state with the reply-cache skip
+	// state (empty here: the peers' cache contents are not under test).
+	wrapEnc := messages.NewEncoder(256)
+	wrapEnc.U32(0)
+	wrapEnc.VarBytes(peerState.Snapshot())
+	snap := wrapEnc.Bytes()
 	cert := messages.CheckpointCert{Seq: 10, StateDigest: crypto.HashData(snap)}
 	for r := uint32(0); r < 3; r++ {
 		kp := h.byzantineSigner(r, crypto.RoleExecution)
@@ -479,6 +484,88 @@ func TestExecutionCatchesUpViaStateTransfer(t *testing.T) {
 	}
 	if v, ok := h.apps[3].Get("c"); !ok || !bytes.Equal(v, []byte("3")) {
 		t.Fatal("post-catch-up execution did not apply")
+	}
+}
+
+// TestCheckpointCarriesReplyCache pins the exactly-once contract across
+// state transfer: checkpoint snapshots must carry the reply-cache skip
+// state (so a replica that catches up by state transfer does not
+// re-execute a request the primary re-ordered after a client retransmit),
+// the checkpoint digest must NOT depend on reply bodies (those differ per
+// replica in the Replica field and MAC, and would break checkpoint-vote
+// agreement), and restore must merge the skip state into the live cache.
+func TestCheckpointCarriesReplyCache(t *testing.T) {
+	reg := crypto.NewRegistry()
+	ver, err := messages.NewVerifier(4, 1, reg, messages.SplitScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id uint32) *execution {
+		cfg := Config{
+			N: 4, F: 1, ID: id,
+			Registry: reg, MACSecret: []byte("ckpt-test"), App: app.NewKVS(),
+		}.withDefaults()
+		return newExecution(cfg, ver)
+	}
+
+	a := mk(0)
+	a.app.Execute(7, app.EncodePut("k", []byte("v")))
+	a.clients[7] = &execClient{maxExecuted: 5, replies: map[uint64]*messages.Reply{
+		3: {ClientID: 7, Timestamp: 3, Replica: 0, Result: []byte("r3")},
+		5: {ClientID: 7, Timestamp: 5, Replica: 0, Result: []byte("r5")},
+	}}
+	snap := a.snapshotState()
+
+	// Same history on replica 1: identical skip state, different reply
+	// bodies (Replica field). The checkpoint digests must still agree.
+	b := mk(1)
+	b.app.Execute(7, app.EncodePut("k", []byte("v")))
+	b.clients[7] = &execClient{maxExecuted: 5, replies: map[uint64]*messages.Reply{
+		3: {ClientID: 7, Timestamp: 3, Replica: 1, Result: []byte("r3")},
+		5: {ClientID: 7, Timestamp: 5, Replica: 1, Result: []byte("r5")},
+	}}
+	if crypto.HashData(snap) != crypto.HashData(b.snapshotState()) {
+		t.Fatal("checkpoint digest depends on per-replica reply bodies")
+	}
+
+	// A replica catching up by state transfer inherits the skip state.
+	c := mk(2)
+	if err := c.restoreState(snap); err != nil {
+		t.Fatalf("restoreState: %v", err)
+	}
+	if v, ok := c.app.(*app.KVS).Get("k"); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatal("restoreState did not install the application state")
+	}
+	cl := c.clients[7]
+	if cl == nil {
+		t.Fatal("restoreState dropped the reply-cache skip state")
+	}
+	for _, ts := range []uint64{3, 5} {
+		if _, done := cl.executed(ts); !done {
+			t.Fatalf("timestamp %d executed before the checkpoint would re-execute after state transfer", ts)
+		}
+	}
+	if _, done := cl.executed(6); done {
+		t.Fatal("unexecuted timestamp reported as executed after state transfer")
+	}
+
+	// Merging must not clobber a live cache: existing reply bodies survive
+	// so retransmits are still answered.
+	d := mk(3)
+	d.clients[7] = &execClient{maxExecuted: 3, replies: map[uint64]*messages.Reply{
+		3: {ClientID: 7, Timestamp: 3, Replica: 3, Result: []byte("r3")},
+	}}
+	if err := d.restoreState(snap); err != nil {
+		t.Fatalf("restoreState (merge): %v", err)
+	}
+	if rep, done := d.clients[7].executed(3); !done || rep == nil {
+		t.Fatal("merge dropped a cached reply body")
+	}
+	if _, done := d.clients[7].executed(5); !done {
+		t.Fatal("merge did not add the transferred skip entry")
+	}
+	if d.clients[7].maxExecuted != 5 {
+		t.Fatalf("maxExecuted = %d after merge, want 5", d.clients[7].maxExecuted)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"github.com/splitbft/splitbft/internal/defaults"
 	"github.com/splitbft/splitbft/internal/messages"
 	"github.com/splitbft/splitbft/internal/obs"
+	"github.com/splitbft/splitbft/internal/store"
 	"github.com/splitbft/splitbft/internal/tee"
 )
 
@@ -150,6 +151,15 @@ type Config struct {
 	// fits inside one detection period. Renewal runs at TTL/4 and the
 	// clock-skew margin is TTL/8. 0 means RequestTimeout/4.
 	LeaseTTL time.Duration
+
+	// Clock, when non-nil, replaces real time on the lease-safety paths
+	// (grant freshness, holder validity, the new-primary write fence) so
+	// chaos tests can inject per-replica clock skew. Nil reads real time.
+	Clock *SkewClock
+	// DiskFaults, when non-nil, is shared by all three compartments'
+	// durability stores as their chaos fault injector (write error, fsync
+	// error, slow-disk stall). Nil injects nothing.
+	DiskFaults *store.FaultInjector
 }
 
 func (c Config) withDefaults() Config {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -112,6 +113,7 @@ type execution struct {
 	leases      bool
 	lease       *messages.LeaseGrant
 	leaseMargin time.Duration
+	clock       *SkewClock
 	localReads  atomic.Uint64
 	// Protocol-event counters the observability layer reads from the
 	// untrusted side (the localReads pattern): plain atomics, never part
@@ -204,6 +206,7 @@ func newExecution(cfg Config, ver *messages.Verifier) *execution {
 		app:          cfg.App,
 		leases:       cfg.ReadLeases,
 		leaseMargin:  cfg.LeaseTTL / 8,
+		clock:        cfg.Clock,
 		batches:      make(map[crypto.Digest]*messages.Batch),
 		batchSeq:     make(map[crypto.Digest]uint64),
 		commits:      make(map[uint64]map[uint64]map[uint32]*messages.Commit),
@@ -215,8 +218,96 @@ func newExecution(cfg Config, ver *messages.Verifier) *execution {
 		snapshots:    make(map[uint64][]byte),
 		readHigh:     make(map[uint32]uint64),
 	}
-	e.snapshots[0] = cfg.App.Snapshot()
+	e.snapshots[0] = e.snapshotState()
 	return e
+}
+
+// snapshotState builds the checkpoint snapshot: the application state
+// wrapped with the exactly-once skip state of the reply caches (client
+// IDs, executed-timestamp high-water marks and the cached timestamp
+// window). Checkpoint digests are compared across replicas, so the
+// encoding is canonical (sorted) and carries no reply bodies — those
+// differ per replica (Replica field, MAC). Without this state a replica
+// that catches up by state transfer would re-execute a client request
+// that the primary re-ordered after a retransmit, forking its history
+// from replicas whose warm caches skip the duplicate.
+func (e *execution) snapshotState() []byte {
+	enc := messages.NewEncoder(256)
+	ids := make([]uint32, 0, len(e.clients))
+	for id := range e.clients {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	enc.U32(uint32(len(ids)))
+	for _, id := range ids {
+		cl := e.clients[id]
+		enc.U32(id)
+		enc.U64(cl.maxExecuted)
+		tss := make([]uint64, 0, len(cl.replies))
+		for ts := range cl.replies {
+			tss = append(tss, ts)
+		}
+		sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
+		enc.U32(uint32(len(tss)))
+		for _, ts := range tss {
+			enc.U64(ts)
+		}
+	}
+	enc.VarBytes(e.app.Snapshot())
+	return enc.Bytes()
+}
+
+// restoreState installs a checkpoint snapshot produced by snapshotState:
+// the application state plus the reply-cache skip state. Skip entries are
+// merged into (never replace) the live caches — every restored timestamp
+// was executed in the history the snapshot covers, so skipping it can only
+// be correct; existing entries keep their reply bodies for resends.
+// Restored entries without a body cause duplicates to be skipped silently,
+// which is safe: ordering already happened, and live replicas answer the
+// retransmit from their caches.
+func (e *execution) restoreState(snap []byte) error {
+	d := messages.NewDecoder(snap)
+	type skipState struct {
+		maxExecuted uint64
+		timestamps  []uint64
+	}
+	restored := make(map[uint32]skipState)
+	n := d.Count(1 << 20)
+	for i := 0; i < n; i++ {
+		id := d.U32()
+		st := skipState{maxExecuted: d.U64()}
+		m := d.Count(1 << 20)
+		for j := 0; j < m; j++ {
+			st.timestamps = append(st.timestamps, d.U64())
+		}
+		restored[id] = st
+	}
+	appState := d.VarBytes()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if err := e.app.Restore(appState); err != nil {
+		return err
+	}
+	for id, st := range restored {
+		cl, ok := e.clients[id]
+		if !ok {
+			cl = &execClient{}
+			e.clients[id] = cl
+		}
+		if st.maxExecuted > cl.maxExecuted {
+			cl.maxExecuted = st.maxExecuted
+		}
+		for _, ts := range st.timestamps {
+			if cl.replies == nil {
+				cl.replies = make(map[uint64]*messages.Reply)
+			}
+			if _, have := cl.replies[ts]; !have {
+				cl.replies[ts] = nil
+			}
+		}
+	}
+	return nil
 }
 
 // Measurement implements tee.Code.
@@ -417,7 +508,7 @@ func (e *execution) admitLinearizableRead(host tee.Host, r *messages.ReadRequest
 	if _, ok := e.app.(app.ReadExecutor); !ok {
 		return []tee.OutMsg{e.refuseRead(r)}
 	}
-	if !e.leaseValid(time.Now()) || len(e.riPending) >= riPendingMax {
+	if !e.leaseValid(e.clock.Now()) || len(e.riPending) >= riPendingMax {
 		return []tee.OutMsg{e.refuseRead(r)}
 	}
 	var out []tee.OutMsg
@@ -476,7 +567,7 @@ func (e *execution) flushReads() []tee.OutMsg {
 	if len(e.riPending) == 0 {
 		return nil
 	}
-	valid := e.leaseValid(time.Now())
+	valid := e.leaseValid(e.clock.Now())
 	var out []tee.OutMsg
 	keep := e.riPending[:0]
 	for _, pr := range e.riPending {
@@ -541,7 +632,7 @@ func (e *execution) serveLocalRead(r *messages.ReadRequest) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	if !e.leaseValid(time.Now()) {
+	if !e.leaseValid(e.clock.Now()) {
 		return nil, false
 	}
 	if e.lastExec < r.MinSeq {
@@ -814,7 +905,7 @@ func (e *execution) maybeCheckpoint(host tee.Host, seq uint64) []tee.OutMsg {
 	if seq%e.ckptInterval != 0 {
 		return nil
 	}
-	snap := e.app.Snapshot()
+	snap := e.snapshotState()
 	e.snapshots[seq] = snap
 	cp := &messages.Checkpoint{Seq: seq, StateDigest: crypto.HashData(snap), Replica: e.id}
 	cp.Sig, cp.Auth = e.authenticate(host, messages.TCheckpoint, cp.SigningBytes())
@@ -1014,7 +1105,7 @@ func (e *execution) onStateReply(host tee.Host, rep *messages.StateReply) []tee.
 	if crypto.HashData(rep.Snapshot) != rep.Cert.StateDigest {
 		return nil
 	}
-	if err := e.app.Restore(rep.Snapshot); err != nil {
+	if err := e.restoreState(rep.Snapshot); err != nil {
 		return nil
 	}
 	e.snapshots[rep.Cert.Seq] = rep.Snapshot

@@ -319,7 +319,13 @@ func (e *execution) ExportState() []byte {
 		enc.U32(uint32(len(cl.replies)))
 		for ts, rep := range cl.replies {
 			enc.U64(ts)
-			enc.VarBytes(messages.Marshal(rep))
+			if rep == nil {
+				// Skip-only entry installed by state transfer: the
+				// timestamp was executed but no reply body is held.
+				enc.VarBytes(nil)
+			} else {
+				enc.VarBytes(messages.Marshal(rep))
+			}
 		}
 	}
 	// Confidential sessions: raw key + nonce position.
@@ -412,9 +418,18 @@ func (e *execution) ImportState(data []byte) error {
 		nReps := d.Count(1 << 16)
 		for j := 0; j < nReps; j++ {
 			ts := d.U64()
-			rep, err := decodeMessage[*messages.Reply](d)
+			raw := d.VarBytes()
+			if len(raw) == 0 {
+				cl.replies[ts] = nil // skip-only entry, no cached body
+				continue
+			}
+			m, err := messages.Unmarshal(raw)
 			if err != nil {
 				return err
+			}
+			rep, ok := m.(*messages.Reply)
+			if !ok {
+				return fmt.Errorf("core: state holds %s where reply expected", m.MsgType())
 			}
 			cl.replies[ts] = rep
 		}

@@ -29,6 +29,7 @@ type preparation struct {
 	// failure-detector tick, so holders stay leased on idle clusters too.
 	leases    bool
 	leaseTTL  time.Duration
+	clock     *SkewClock
 	lastGrant time.Time
 	// lastGrantProbe records whether the last grant round was probe-only,
 	// so the first quorum of acks can trigger an immediate real round
@@ -81,6 +82,7 @@ func newPreparation(cfg Config, ver *messages.Verifier, counter *tee.TrustedCoun
 		counter:     counter,
 		leases:      cfg.ReadLeases,
 		leaseTTL:    cfg.LeaseTTL,
+		clock:       cfg.Clock,
 		ackExpiry:   make(map[uint32]int64),
 		proposals:   make(map[uint64]map[uint64]crypto.Digest),
 		viewChanges: make(map[uint64]map[uint32]*messages.ViewChange),
@@ -152,7 +154,7 @@ func (p *preparation) maybeGrantLeases() []tee.OutMsg {
 	if !p.leases || p.counter == nil || p.primary(p.view) != p.id {
 		return nil
 	}
-	now := time.Now()
+	now := p.clock.Now()
 	if !p.lastGrant.IsZero() && now.Sub(p.lastGrant) < p.leaseTTL/4 {
 		return nil
 	}
@@ -221,7 +223,7 @@ func (p *preparation) onLeaseAck(a *messages.LeaseAck) []tee.OutMsg {
 		return nil // stale or replayed ack
 	}
 	p.ackExpiry[a.Holder] = a.Expiry
-	if p.lastGrantProbe && p.acksFresh(time.Now()) {
+	if p.lastGrantProbe && p.acksFresh(p.clock.Now()) {
 		p.lastGrant = time.Time{} // bypass the throttle for the arming round
 		return p.maybeGrantLeases()
 	}
@@ -284,7 +286,7 @@ func (p *preparation) onBatch(host tee.Host, batch *messages.Batch) []tee.OutMsg
 	if p.primary(p.view) != p.id {
 		return nil // the environment misjudged the view; liveness only
 	}
-	if p.leases && !p.leaseFence.IsZero() && time.Now().Before(p.leaseFence) {
+	if p.leases && !p.leaseFence.IsZero() && p.clock.Now().Before(p.leaseFence) {
 		// Write fence after a view change: no fresh proposal may be
 		// assigned while a lease the deposed primary issued could still be
 		// alive somewhere — a partitioned holder could serve a read missing
@@ -312,7 +314,7 @@ func (p *preparation) flushFenced(host tee.Host) []tee.OutMsg {
 		p.fenced = nil // deposed while fenced: the next primary re-collects
 		return nil
 	}
-	if p.leases && !p.leaseFence.IsZero() && time.Now().Before(p.leaseFence) {
+	if p.leases && !p.leaseFence.IsZero() && p.clock.Now().Before(p.leaseFence) {
 		return nil
 	}
 	batches := p.fenced
@@ -531,7 +533,7 @@ func (p *preparation) installView(view uint64, stable messages.CheckpointCert, p
 	p.lastExpiry = 0
 	p.lastGrantProbe = false
 	if p.leases && view > 0 {
-		p.leaseFence = time.Now().Add(2*p.leaseTTL + p.leaseTTL/2)
+		p.leaseFence = p.clock.Now().Add(2*p.leaseTTL + p.leaseTTL/2)
 	}
 	p.fenced = nil // parked batches re-arrive via client retransmission
 	p.advanceStable(stable)

@@ -187,7 +187,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 			role := enc.Identity().Role
 			st, recovered, err := store.Open(
 				filepath.Join(cfg.DataDir, role.String()),
-				store.Options{Sealer: enc, FsyncInterval: cfg.FsyncInterval},
+				store.Options{Sealer: enc, FsyncInterval: cfg.FsyncInterval, Faults: cfg.DiskFaults},
 			)
 			if err != nil {
 				r.closeStores()

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultInjector injects disk-level failures into a Store: write errors,
+// fsync errors, and slow-disk stalls. It exists for chaos testing the
+// sticky-failure/write-ahead-barrier path — a store whose injector reports
+// a write or fsync error fails permanently, exactly as it would on a real
+// device error, and the broker's pre-route Sync then suppresses enclave
+// outputs (availability loss, never safety).
+//
+// One injector may be shared by several stores (the facade hands the same
+// injector to all three compartment stores of a replica). A nil
+// *FaultInjector is inert, so the hook costs nothing when unused.
+type FaultInjector struct {
+	mu       sync.Mutex
+	writeErr error
+	fsyncErr error
+	stall    time.Duration
+	injected uint64
+}
+
+// FailWrites makes every subsequent segment write fail with err
+// (nil re-arms nothing and clears the write fault).
+func (i *FaultInjector) FailWrites(err error) {
+	i.mu.Lock()
+	i.writeErr = err
+	i.mu.Unlock()
+}
+
+// FailFsync makes every subsequent fsync fail with err (nil clears).
+func (i *FaultInjector) FailFsync(err error) {
+	i.mu.Lock()
+	i.fsyncErr = err
+	i.mu.Unlock()
+}
+
+// Stall makes every subsequent flush sleep for d before touching the
+// device, modelling a degraded disk. Zero clears the stall.
+func (i *FaultInjector) Stall(d time.Duration) {
+	i.mu.Lock()
+	i.stall = d
+	i.mu.Unlock()
+}
+
+// Clear removes all configured faults. It does not resurrect a store that
+// already failed: sticky failure is the semantics under test.
+func (i *FaultInjector) Clear() {
+	i.mu.Lock()
+	i.writeErr, i.fsyncErr, i.stall = nil, nil, 0
+	i.mu.Unlock()
+}
+
+// Injected returns how many faults (errors and stalls) have actually been
+// applied to store operations.
+func (i *FaultInjector) Injected() uint64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected
+}
+
+// writeFault returns the configured write error, if any. Nil-safe.
+func (i *FaultInjector) writeFault() error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.writeErr != nil {
+		i.injected++
+	}
+	return i.writeErr
+}
+
+// fsyncFault returns the configured fsync error, if any. Nil-safe.
+func (i *FaultInjector) fsyncFault() error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.fsyncErr != nil {
+		i.injected++
+	}
+	return i.fsyncErr
+}
+
+// stallFor returns the configured flush stall. Nil-safe.
+func (i *FaultInjector) stallFor() time.Duration {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.stall > 0 {
+		i.injected++
+	}
+	return i.stall
+}

@@ -60,6 +60,9 @@ type Options struct {
 	// DefaultFsyncInterval; negative flushes and fsyncs on every append
 	// (synchronous mode, for tests and benchmarks).
 	FsyncInterval time.Duration
+	// Faults, when non-nil, injects disk failures (write error, fsync
+	// error, slow-disk stall) into the flush path for chaos testing.
+	Faults *FaultInjector
 }
 
 // Recovered is what Open reconstructed from disk.
@@ -86,6 +89,7 @@ type Store struct {
 	sealer   Sealer
 	segSize  int
 	interval time.Duration
+	inj      *FaultInjector // nil when no chaos fault injection
 
 	mu           sync.Mutex
 	pending      []byte // framed records awaiting flush
@@ -161,6 +165,7 @@ func Open(dir string, o Options) (*Store, *Recovered, error) {
 		sealer:   o.Sealer,
 		segSize:  o.SegmentSize,
 		interval: o.FsyncInterval,
+		inj:      o.Faults,
 		stopCh:   make(chan struct{}),
 	}
 	rec, err := s.recover()
@@ -357,6 +362,15 @@ func (s *Store) flushLocked() error {
 	if len(s.pending) == 0 {
 		return nil
 	}
+	// Chaos injection points: a stall holds the store lock for the
+	// duration (a degraded device stalls every appender), and injected
+	// errors take the same sticky-failure path as real device errors.
+	if d := s.inj.stallFor(); d > 0 {
+		time.Sleep(d)
+	}
+	if err := s.inj.writeFault(); err != nil {
+		return s.failLocked(err)
+	}
 	if s.f == nil {
 		first := s.pendingFirst
 		f, err := os.OpenFile(filepath.Join(s.dir, segmentName(first)),
@@ -381,6 +395,9 @@ func (s *Store) flushLocked() error {
 	s.segs[len(s.segs)-1].next = s.nextIndex
 	s.pending = s.pending[:0]
 	s.pendingCount = 0
+	if err := s.inj.fsyncFault(); err != nil {
+		return s.failLocked(err)
+	}
 	if err := s.f.Sync(); err != nil {
 		return s.failLocked(err)
 	}

@@ -2,9 +2,11 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -459,4 +461,89 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 	b.Run("Plain", func(b *testing.B) { bench(b, nil) })
 	b.Run("Sealed", func(b *testing.B) { bench(b, sessionSealer{key: testKey(9)}) })
+}
+
+// TestFaultInjectorWriteError pins that an injected write error trips the
+// sticky-failure barrier exactly like a real device error: the store
+// refuses all further writes and Failed() reports the cause.
+func TestFaultInjectorWriteError(t *testing.T) {
+	inj := &FaultInjector{}
+	s, _, err := Open(t.TempDir(), Options{FsyncInterval: -1, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected write error")
+	inj.FailWrites(boom)
+	if _, err := s.Append([]byte("doomed")); err == nil {
+		t.Fatal("append succeeded past injected write error")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("injector did not count the applied fault")
+	}
+	// Sticky: clearing the fault must not resurrect the store.
+	inj.Clear()
+	if _, err := s.Append([]byte("still doomed")); err == nil {
+		t.Fatal("store recovered from sticky failure")
+	}
+	if s.Failed() == nil || !strings.Contains(s.Failed().Error(), "injected write error") {
+		t.Fatalf("Failed() = %v, want injected cause", s.Failed())
+	}
+}
+
+// TestFaultInjectorFsyncError pins the same sticky path via Sync.
+func TestFaultInjectorFsyncError(t *testing.T) {
+	inj := &FaultInjector{}
+	s, _, err := Open(t.TempDir(), Options{FsyncInterval: time.Hour, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append([]byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailFsync(errors.New("injected fsync error"))
+	if err := s.Sync(); err == nil {
+		t.Fatal("sync succeeded past injected fsync error")
+	}
+	if s.Failed() == nil {
+		t.Fatal("fsync fault did not stick")
+	}
+}
+
+// TestFaultInjectorStall pins that a stall delays the flush but leaves the
+// store healthy: records survive a reopen.
+func TestFaultInjectorStall(t *testing.T) {
+	inj := &FaultInjector{}
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{FsyncInterval: -1, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Stall(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := s.Append([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stalled append returned in %v, want ≥30ms", d)
+	}
+	if s.Failed() != nil {
+		t.Fatalf("stall failed the store: %v", s.Failed())
+	}
+	inj.Clear()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := Open(dir, Options{FsyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "slow" {
+		t.Fatalf("stalled record lost: %v", rec.Records)
+	}
 }

@@ -27,18 +27,47 @@ type Faults struct {
 // crosses the wire. It must not retain or mutate data.
 type Observer func(from, to Endpoint, data []byte)
 
+// FaultEvent records one fault decision taken on a directed link. The
+// chaos harness uses the stream of these both as metrics input and to pin
+// replay equality: identical seeds must produce identical decision
+// sequences per link.
+type FaultEvent struct {
+	From, To Endpoint
+	Drop     bool
+	Dup      bool
+	Delay    time.Duration
+}
+
+// FaultObserver sees every fault decision taken on a faulty link. It is
+// invoked inline on the sender's goroutine and must be cheap.
+type FaultObserver func(ev FaultEvent)
+
+// linkState carries a directed link's fault configuration and its own
+// seeded RNG stream. Giving each link an independent stream (derived
+// deterministically from the master seed and the endpoint pair) means the
+// decision sequence on one link does not depend on how concurrent traffic
+// on other links interleaves — the property the replay-equality tests pin.
+type linkState struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	faults    Faults
+	hasFaults bool
+}
+
 // SimNet is an in-process message network connecting replicas and clients.
 // Delivery to each endpoint is sequential (one dispatcher goroutine per
 // endpoint); cross-endpoint ordering is unspecified, and fault injection
-// can drop, duplicate, delay and reorder individual messages.
+// can drop, duplicate, delay and reorder individual messages — globally or
+// per directed link.
 type SimNet struct {
 	mu        sync.RWMutex
 	nodes     map[Endpoint]*simConn
 	replicas  map[uint32]*simConn
 	faults    Faults
-	rng       *rand.Rand
-	rngMu     sync.Mutex
+	seed      int64
+	links     map[[2]Endpoint]*linkState
 	observers []Observer
+	faultObs  FaultObserver
 	blocked   map[[2]Endpoint]bool
 	closed    bool
 }
@@ -49,16 +78,96 @@ func NewSimNet(seed int64) *SimNet {
 	return &SimNet{
 		nodes:    make(map[Endpoint]*simConn),
 		replicas: make(map[uint32]*simConn),
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		links:    make(map[[2]Endpoint]*linkState),
 		blocked:  make(map[[2]Endpoint]bool),
 	}
 }
 
-// SetFaults installs the fault configuration for all links.
+// SetFaults installs the fault configuration for all links without a
+// per-link override.
 func (n *SimNet) SetFaults(f Faults) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.faults = f
+}
+
+// SetLinkFaults installs a fault configuration for the directed link
+// from→to, overriding the global configuration on that link (including
+// with a zero Faults, which makes the link perfect).
+func (n *SimNet) SetLinkFaults(from, to Endpoint, f Faults) {
+	ls := n.linkFor(from, to)
+	ls.mu.Lock()
+	ls.faults = f
+	ls.hasFaults = true
+	ls.mu.Unlock()
+}
+
+// ClearLinkFaults removes the per-link override on from→to; the link
+// falls back to the global fault configuration.
+func (n *SimNet) ClearLinkFaults(from, to Endpoint) {
+	ls := n.linkFor(from, to)
+	ls.mu.Lock()
+	ls.faults = Faults{}
+	ls.hasFaults = false
+	ls.mu.Unlock()
+}
+
+// ClearAllLinkFaults removes every per-link override.
+func (n *SimNet) ClearAllLinkFaults() {
+	n.mu.RLock()
+	states := make([]*linkState, 0, len(n.links))
+	for _, ls := range n.links {
+		states = append(states, ls)
+	}
+	n.mu.RUnlock()
+	for _, ls := range states {
+		ls.mu.Lock()
+		ls.faults = Faults{}
+		ls.hasFaults = false
+		ls.mu.Unlock()
+	}
+}
+
+// SetFaultObserver installs the (single) fault-decision observer. Pass nil
+// to remove it.
+func (n *SimNet) SetFaultObserver(o FaultObserver) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultObs = o
+}
+
+// linkSeed derives a per-link RNG seed from the master seed and the
+// directed endpoint pair with a splitmix64-style mix, so every link gets
+// an independent but reproducible stream.
+func linkSeed(seed int64, from, to Endpoint) int64 {
+	z := uint64(seed)
+	for _, e := range [2]Endpoint{from, to} {
+		z += uint64(e.ID) | uint64(e.Kind)<<32 | 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// linkFor returns (lazily creating) the state of the directed link
+// from→to.
+func (n *SimNet) linkFor(from, to Endpoint) *linkState {
+	k := [2]Endpoint{from, to}
+	n.mu.RLock()
+	ls := n.links[k]
+	n.mu.RUnlock()
+	if ls != nil {
+		return ls
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ls = n.links[k]; ls == nil {
+		ls = &linkState{rng: rand.New(rand.NewSource(linkSeed(n.seed, from, to)))}
+		n.links[k] = ls
+	}
+	return ls
 }
 
 // AddObserver registers an observer for all traffic.
@@ -82,6 +191,30 @@ func (n *SimNet) Unblock(a, b Endpoint) {
 	defer n.mu.Unlock()
 	delete(n.blocked, [2]Endpoint{a, b})
 	delete(n.blocked, [2]Endpoint{b, a})
+}
+
+// BlockOneWay cuts only the from→to direction of a link, modelling an
+// asymmetric partition (from's messages vanish; to can still reach from).
+func (n *SimNet) BlockOneWay(from, to Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]Endpoint{from, to}] = true
+}
+
+// UnblockOneWay heals only the from→to direction.
+func (n *SimNet) UnblockOneWay(from, to Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]Endpoint{from, to})
+}
+
+// HealAll removes every directional block installed on the network.
+func (n *SimNet) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for k := range n.blocked {
+		delete(n.blocked, k)
+	}
 }
 
 // Isolate blocks all links to and from e (a crashed or partitioned node).
@@ -131,8 +264,6 @@ func (n *SimNet) Close() {
 	}
 }
 
-func (n *SimNet) random() *rand.Rand { return n.rng }
-
 type inboundMsg struct {
 	from Endpoint
 	data []byte
@@ -167,6 +298,28 @@ func (c *simConn) Send(to Endpoint, data []byte) error {
 	default:
 	}
 	return c.net.deliver(c.self, to, data)
+}
+
+// Reachable reports whether a message sent to the endpoint right now
+// would be delivered rather than silently dropped by a partition. The
+// health probe prefers this over a fire-and-forget send: on a simulated
+// network a blocked link swallows messages without an error (exactly like
+// a real partition), so send success proves nothing about connectivity.
+func (c *simConn) Reachable(to Endpoint) bool {
+	select {
+	case <-c.done:
+		return false
+	default:
+	}
+	c.net.mu.RLock()
+	defer c.net.mu.RUnlock()
+	if c.net.closed {
+		return false
+	}
+	if _, ok := c.net.nodes[to]; !ok {
+		return false
+	}
+	return !c.net.blocked[[2]Endpoint{c.self, to}]
 }
 
 // BroadcastReplicas implements Conn.
@@ -212,6 +365,7 @@ func (n *SimNet) deliver(from, to Endpoint, data []byte) error {
 	blocked := n.blocked[[2]Endpoint{from, to}]
 	faults := n.faults
 	observers := n.observers
+	faultObs := n.faultObs
 	closed := n.closed
 	n.mu.RUnlock()
 	if closed {
@@ -227,15 +381,25 @@ func (n *SimNet) deliver(from, to Endpoint, data []byte) error {
 		return nil // silently dropped, like a partition
 	}
 
-	n.rngMu.Lock()
-	drop := faults.DropProb > 0 && n.random().Float64() < faults.DropProb
-	dup := faults.DupProb > 0 && n.random().Float64() < faults.DupProb
-	extra := time.Duration(0)
-	if faults.ReorderProb > 0 && n.random().Float64() < faults.ReorderProb && faults.Jitter > 0 {
-		extra = time.Duration(n.random().Int63n(int64(faults.Jitter)))
+	// Fault decisions draw from the link's own seeded stream under the
+	// link's own lock: concurrent traffic on other links cannot perturb
+	// this link's decision sequence, and the draw is race-free.
+	ls := n.linkFor(from, to)
+	ls.mu.Lock()
+	if ls.hasFaults {
+		faults = ls.faults
 	}
-	n.rngMu.Unlock()
+	drop := faults.DropProb > 0 && ls.rng.Float64() < faults.DropProb
+	dup := faults.DupProb > 0 && ls.rng.Float64() < faults.DupProb
+	extra := time.Duration(0)
+	if faults.ReorderProb > 0 && ls.rng.Float64() < faults.ReorderProb && faults.Jitter > 0 {
+		extra = time.Duration(ls.rng.Int63n(int64(faults.Jitter)))
+	}
+	ls.mu.Unlock()
 
+	if faultObs != nil && faults != (Faults{}) {
+		faultObs(FaultEvent{From: from, To: to, Drop: drop, Dup: dup, Delay: faults.Delay + extra})
+	}
 	if drop {
 		return nil
 	}

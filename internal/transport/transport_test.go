@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -380,5 +381,141 @@ func TestEndpointString(t *testing.T) {
 	}
 	if got := ClientEndpoint(9).String(); got != "client-9" {
 		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestSimNetLinkFaultsOverrideGlobal pins that a per-link override beats
+// the global configuration, including a zero override that makes one link
+// perfect while the rest of the network drops everything.
+func TestSimNetLinkFaultsOverrideGlobal(t *testing.T) {
+	net := NewSimNet(11)
+	defer net.Close()
+	var got1, got2 atomic.Int64
+	if _, err := net.Join(ReplicaEndpoint(1), func(Endpoint, []byte) { got1.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(ReplicaEndpoint(2), func(Endpoint, []byte) { got2.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaults(Faults{DropProb: 1.0})
+	net.SetLinkFaults(ReplicaEndpoint(0), ReplicaEndpoint(1), Faults{})
+	for i := 0; i < 20; i++ {
+		if err := conn.Send(ReplicaEndpoint(1), []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(ReplicaEndpoint(2), []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := got1.Load(); got != 20 {
+		t.Fatalf("overridden link delivered %d/20", got)
+	}
+	if got := got2.Load(); got != 0 {
+		t.Fatalf("global-drop link delivered %d/0", got)
+	}
+	// Clearing the override puts the link back under the global config.
+	net.ClearLinkFaults(ReplicaEndpoint(0), ReplicaEndpoint(1))
+	for i := 0; i < 20; i++ {
+		if err := conn.Send(ReplicaEndpoint(1), []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := got1.Load(); got != 20 {
+		t.Fatalf("cleared link delivered %d new messages, want 0", got-20)
+	}
+}
+
+// TestSimNetBlockOneWay pins asymmetric partitions: 0→1 cut, 1→0 alive.
+func TestSimNetBlockOneWay(t *testing.T) {
+	net := NewSimNet(3)
+	defer net.Close()
+	var at0, at1 atomic.Int64
+	conn0, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) { at0.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1, err := net.Join(ReplicaEndpoint(1), func(Endpoint, []byte) { at1.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.BlockOneWay(ReplicaEndpoint(0), ReplicaEndpoint(1))
+	if err := conn0.Send(ReplicaEndpoint(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn1.Send(ReplicaEndpoint(0), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if at1.Load() != 0 {
+		t.Fatal("blocked direction delivered")
+	}
+	if at0.Load() != 1 {
+		t.Fatal("open direction did not deliver")
+	}
+	net.UnblockOneWay(ReplicaEndpoint(0), ReplicaEndpoint(1))
+	if err := conn0.Send(ReplicaEndpoint(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if at1.Load() != 1 {
+		t.Fatal("healed direction did not deliver")
+	}
+}
+
+// faultTrace drives a fixed message schedule over two independent links
+// and records the per-link fault-decision sequence.
+func faultTrace(t *testing.T, seed int64) map[string][]string {
+	t.Helper()
+	net := NewSimNet(seed)
+	defer net.Close()
+	for id := uint32(1); id <= 2; id++ {
+		if _, err := net.Join(ReplicaEndpoint(id), func(Endpoint, []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn, err := net.Join(ReplicaEndpoint(0), func(Endpoint, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make(map[string][]string)
+	var mu sync.Mutex
+	net.SetFaultObserver(func(ev FaultEvent) {
+		mu.Lock()
+		k := ev.From.String() + ">" + ev.To.String()
+		trace[k] = append(trace[k], fmt.Sprintf("drop=%v dup=%v delay=%v", ev.Drop, ev.Dup, ev.Delay))
+		mu.Unlock()
+	})
+	net.SetFaults(Faults{DropProb: 0.3, DupProb: 0.2, ReorderProb: 0.5, Jitter: time.Millisecond})
+	for i := 0; i < 50; i++ {
+		if err := conn.Send(ReplicaEndpoint(1), []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(ReplicaEndpoint(2), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	return trace
+}
+
+// TestSimNetReplayEquality pins determinism: the same seed must yield the
+// same per-link fault-decision sequence, and a different seed must not.
+func TestSimNetReplayEquality(t *testing.T) {
+	a := faultTrace(t, 99)
+	b := faultTrace(t, 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different fault sequences:\n%v\nvs\n%v", a, b)
+	}
+	c := faultTrace(t, 100)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault sequences")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/splitbft/splitbft/internal/core"
 	"github.com/splitbft/splitbft/internal/crypto"
 	"github.com/splitbft/splitbft/internal/obs"
+	"github.com/splitbft/splitbft/internal/store"
 	"github.com/splitbft/splitbft/internal/transport"
 )
 
@@ -34,6 +35,14 @@ type Node struct {
 	// endpoint (nil without WithMetricsAddr or while not started).
 	observer *obs.Observer
 	metrics  *obs.Server
+
+	// clock and disk are the chaos fault-injection handles. Both live on
+	// the Node, not the replica, so injected skew and disk faults survive
+	// Restart (each rebuilt replica is handed the same objects) — a chaos
+	// plan that skews a clock and later restarts the node keeps the skew,
+	// matching a machine whose system clock is simply wrong.
+	clock *core.SkewClock
+	disk  *store.FaultInjector
 }
 
 // EnclaveStat is one compartment's ecall profile (the Figure 4
@@ -115,7 +124,7 @@ func NewNode(id uint32, opts ...Option) (*Node, error) {
 			return nil, err
 		}
 	}
-	n := &Node{id: id, opts: o, reg: reg}
+	n := &Node{id: id, opts: o, reg: reg, clock: new(core.SkewClock), disk: new(store.FaultInjector)}
 	if o.obsOn {
 		n.observer = obs.NewObserver(o.traceSample)
 	}
@@ -164,6 +173,8 @@ func (n *Node) buildReplica() error {
 		ReadLeases:         o.readLeases,
 		LeaseTTL:           o.leaseTTL,
 		Obs:                n.observer,
+		Clock:              n.clock,
+		DiskFaults:         n.disk,
 	})
 	if err != nil {
 		return err

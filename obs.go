@@ -134,12 +134,20 @@ func (s nodeSource) Health() obs.Health {
 		h.WAL = "ok"
 	}
 	conn := n.conn
+	// A transport that can answer reachability directly (the simulated
+	// network knows its blocked links) beats the send-probe: a partition
+	// swallows sends without an error, so send success alone would report
+	// a partitioned peer as healthy.
+	prober, _ := conn.(interface{ Reachable(transport.Endpoint) bool })
 	for id := 0; id < n.opts.n; id++ {
 		if uint32(id) == n.id {
 			continue
 		}
 		reachable := false
-		if conn != nil {
+		switch {
+		case prober != nil:
+			reachable = prober.Reachable(transport.ReplicaEndpoint(uint32(id)))
+		case conn != nil:
 			reachable = conn.Send(transport.ReplicaEndpoint(uint32(id)), []byte{messages.ProbePing}) == nil
 		}
 		h.Peers = append(h.Peers, obs.PeerHealth{ID: uint32(id), Reachable: reachable})
